@@ -1,0 +1,55 @@
+"""Workload characterization table (the reproduction's mini ref-[18] study)."""
+
+from conftest import emit
+
+from repro.apps import paper_applications
+from repro.apps.characterize import characterize, format_characterization
+
+
+def test_characterization_table(benchmark, platform):
+    chars = benchmark.pedantic(
+        lambda: [characterize(app, platform) for app in paper_applications()],
+        rounds=1, iterations=1,
+    )
+    emit("Workload characterization — arithmetic intensity, transfer "
+         "footprint, Glinda metrics", format_characterization(chars))
+    by_name = {c.application: c for c in chars}
+    # the matchmaking table reproduces end to end
+    assert by_name["MatrixMul"].best_strategy == "SP-Single"
+    assert by_name["STREAM-Seq"].best_strategy == "SP-Unified"
+    # the transfer-boundedness split that drives the rankings
+    assert by_name["BlackScholes"].kernels[0].transfer_bound
+    assert not by_name["MatrixMul"].kernels[0].transfer_bound
+    assert all(k.transfer_bound for k in by_name["STREAM-Seq"].kernels)
+
+
+def test_sensitivity_of_the_splits(benchmark, platform):
+    from repro.apps import get_application
+    from repro.partition.glinda import TransferModel
+    from repro.partition.profiling import profile_kernel
+    from repro.partition.sensitivity import (
+        format_sensitivity,
+        profiling_sensitivity,
+    )
+
+    app = get_application("BlackScholes")
+    program = app.program()
+    kernel = program.kernels[0]
+    n = program.invocations[0].n
+
+    def sweep():
+        profile = profile_kernel(kernel, platform, n)
+        return profiling_sensitivity(
+            n=n,
+            theta_gpu=profile.gpu_throughput,
+            theta_cpu=profile.cpu_throughput,
+            link=platform.link_for("gpu0"),
+            transfer=TransferModel.single_pass(profile),
+        )
+
+    report = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("Glinda robustness — BlackScholes split under profiling error",
+         format_sensitivity(report))
+    # "low-cost profiling" is viable because the optimum is flat:
+    # 30% throughput error costs far less than 30% time
+    assert report.max_regret < 0.30

@@ -1,0 +1,41 @@
+"""Crossover sweeps: where the paper's win/lose boundaries sit.
+
+The paper reports point observations (STREAM-Seq is CPU-won, STREAM-Loop is
+GPU-won; HotSpot is CPU-won on PCIe); these sweeps locate the boundaries.
+"""
+
+from conftest import emit
+
+from repro.bench.crossover import (
+    format_crossover,
+    hotspot_bandwidth_crossover,
+    stream_iteration_crossover,
+)
+
+
+def test_stream_iteration_crossover(benchmark, platform):
+    point = benchmark.pedantic(
+        lambda: stream_iteration_crossover(platform), rounds=1, iterations=1
+    )
+    emit("Crossover — STREAM-Loop iterations (Only-CPU vs Only-GPU)",
+         format_crossover(point))
+    # one pass is CPU-won (the Fig. 9 observation) ...
+    assert point.ratios[0] < 1.0
+    # ... the iterated form is GPU-won (the Fig. 11 observation) ...
+    assert point.ratios[-1] > 1.0
+    # ... so the crossover exists inside the sweep
+    assert point.crossover is not None
+    assert 1 < point.crossover <= 10
+
+
+def test_hotspot_bandwidth_crossover(benchmark, platform):
+    point = benchmark.pedantic(
+        lambda: hotspot_bandwidth_crossover(platform), rounds=1, iterations=1
+    )
+    emit("Crossover — HotSpot link bandwidth (Only-CPU vs Only-GPU)",
+         format_crossover(point))
+    # on the paper's 6 GB/s PCIe the CPU wins (the Fig. 7b observation)
+    idx_6gbs = point.values.index(6.0)
+    assert point.ratios[idx_6gbs] < 1.0
+    # with a fast enough link the GPU wins (the §VII expectation)
+    assert point.crossover is not None

@@ -1,0 +1,28 @@
+"""Figure 10: MK-Seq partitioning ratios (per kernel for SP-Varied)."""
+
+from conftest import emit
+
+from repro.bench.experiments import run_experiment
+from repro.bench.tables import format_ratio_table
+
+
+def test_fig10_mkseq_ratios(benchmark, platform):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig10", platform), rounds=1, iterations=1
+    )
+    emit("Figure 10 — partitioning ratio of strategies in MK-Seq",
+         format_ratio_table(results, per_kernel=True))
+    without = results[0]
+    # SP-Unified: one split for all kernels, ~44% GPU (CPU gets more:
+    # "The GPU gets less work mainly because its data transfer takes too
+    # much time")
+    unified = without.outcome("SP-Unified")
+    per_kernel = unified.ratio_by_kernel
+    fractions = {
+        k: v.get("gpu", 0) / sum(v.values()) for k, v in per_kernel.items()
+    }
+    assert len(set(round(f, 3) for f in fractions.values())) == 1
+    assert 0.30 <= unified.gpu_fraction <= 0.55
+    # SP-Varied skewed toward the CPU compared to SP-Unified
+    varied = without.outcome("SP-Varied")
+    assert varied.gpu_fraction < unified.gpu_fraction

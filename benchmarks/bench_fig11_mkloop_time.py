@@ -1,0 +1,26 @@
+"""Figure 11: MK-Loop execution times (STREAM-Loop, with/without sync)."""
+
+from conftest import emit
+
+from repro.bench.experiments import run_experiment
+from repro.bench.tables import format_time_table
+from repro.bench.validation import TIE
+
+
+def test_fig11_mkloop_times(benchmark, platform):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig11", platform), rounds=1, iterations=1
+    )
+    emit("Figure 11 — execution time (ms) of strategies in MK-Loop",
+         format_time_table(results))
+    without, with_sync = results
+    # iterations amortize transfers: Only-GPU now beats Only-CPU
+    # (different from STREAM-Seq)
+    assert without.makespan_ms("Only-GPU") < without.makespan_ms("Only-CPU")
+    # rankings per sync mode, as in Table I
+    assert without.best_strategy() == "SP-Unified"
+    assert with_sync.best_strategy() == "SP-Varied"
+    assert without.makespan_ms("DP-Perf") <= \
+        without.makespan_ms("DP-Dep") * TIE
+    assert with_sync.makespan_ms("DP-Dep") <= \
+        with_sync.makespan_ms("SP-Unified") * TIE

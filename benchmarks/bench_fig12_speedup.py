@@ -1,0 +1,19 @@
+"""Figure 12: best-strategy speedups vs Only-GPU / Only-CPU."""
+
+from conftest import emit
+
+from repro.bench.speedup import average_speedups, figure12, format_figure12
+
+
+def test_fig12_speedups(benchmark, platform):
+    rows = benchmark.pedantic(
+        lambda: figure12(platform), rounds=1, iterations=1
+    )
+    emit("Figure 12 — speedup of the best strategy vs Only-GPU/Only-CPU "
+         "(paper: avg 3.0x / 5.3x, max 22.2x)",
+         format_figure12(rows))
+    avg_og, avg_oc = average_speedups(rows)
+    assert 1.5 <= avg_og <= 5.0
+    assert 3.0 <= avg_oc <= 9.0
+    assert max(max(r.vs_only_gpu for r in rows),
+               max(r.vs_only_cpu for r in rows)) >= 12

@@ -1,0 +1,21 @@
+"""Figure 5: SK-One execution times (MatrixMul 6144^2, BlackScholes 80.5M)."""
+
+from conftest import emit
+
+from repro.bench.experiments import run_experiment
+from repro.bench.tables import format_time_table
+
+
+def test_fig5_skone_times(benchmark, platform):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig5", platform), rounds=1, iterations=1
+    )
+    emit("Figure 5 — execution time (ms) of strategies in SK-One",
+         format_time_table(results))
+    for scenario in results:
+        # SP-Single wins both applications (paper Summary 1)
+        assert scenario.best_strategy() == "SP-Single"
+        assert scenario.makespan_ms("SP-Single") <= \
+            scenario.makespan_ms("DP-Perf")
+        assert scenario.makespan_ms("DP-Perf") <= \
+            scenario.makespan_ms("DP-Dep")

@@ -1,0 +1,24 @@
+"""Figure 6: SK-One partitioning ratios."""
+
+from conftest import emit
+
+from repro.bench.experiments import run_experiment
+from repro.bench.tables import format_ratio_table
+
+
+def test_fig6_skone_ratios(benchmark, platform):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig6", platform), rounds=1, iterations=1
+    )
+    emit("Figure 6 — partitioning ratio of strategies in SK-One",
+         format_ratio_table(results))
+    matrixmul, blackscholes = results
+    # paper: ~90%/10% GPU/CPU for MatrixMul, ~59%/41% for BlackScholes
+    assert 0.85 <= matrixmul.outcome("SP-Single").gpu_fraction <= 0.95
+    assert 0.50 <= blackscholes.outcome("SP-Single").gpu_fraction <= 0.68
+    # DP-Perf overestimates the GPU in both
+    assert matrixmul.outcome("DP-Perf").gpu_fraction > 0.95
+    assert blackscholes.outcome("DP-Perf").gpu_fraction > \
+        blackscholes.outcome("SP-Single").gpu_fraction
+    # DP-Dep leaves the GPU a single instance
+    assert matrixmul.outcome("DP-Dep").gpu_fraction < 0.15

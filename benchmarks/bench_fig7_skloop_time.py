@@ -1,0 +1,24 @@
+"""Figure 7: SK-Loop execution times (Nbody 1M bodies, HotSpot 8192^2)."""
+
+from conftest import emit
+
+from repro.bench.experiments import run_experiment
+from repro.bench.tables import format_time_table
+
+
+def test_fig7_skloop_times(benchmark, platform):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig7", platform), rounds=1, iterations=1
+    )
+    emit("Figure 7 — execution time (ms) of strategies in SK-Loop",
+         format_time_table(results))
+    nbody, hotspot = results
+    # SP-Single best among strategies in both applications
+    for scenario in results:
+        assert scenario.best_strategy() == "SP-Single"
+    # Nbody: GPU-dominant; DP-Perf even worse than Only-GPU
+    assert nbody.makespan_ms("Only-GPU") * 10 < nbody.makespan_ms("Only-CPU")
+    assert nbody.makespan_ms("DP-Perf") > nbody.makespan_ms("Only-GPU")
+    # HotSpot: the CPU side wins; SP-Single beats even Only-CPU
+    assert hotspot.makespan_ms("Only-CPU") < hotspot.makespan_ms("Only-GPU")
+    assert hotspot.makespan_ms("SP-Single") < hotspot.makespan_ms("Only-CPU")

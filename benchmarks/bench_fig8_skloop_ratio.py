@@ -1,0 +1,21 @@
+"""Figure 8: SK-Loop partitioning ratios."""
+
+from conftest import emit
+
+from repro.bench.experiments import run_experiment
+from repro.bench.tables import format_ratio_table
+
+
+def test_fig8_skloop_ratios(benchmark, platform):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig8", platform), rounds=1, iterations=1
+    )
+    emit("Figure 8 — partitioning ratio of strategies in SK-Loop",
+         format_ratio_table(results))
+    nbody, hotspot = results
+    # Nbody: most work on the GPU; HotSpot: large partition on the CPU
+    assert nbody.outcome("SP-Single").gpu_fraction >= 0.85
+    assert hotspot.outcome("SP-Single").gpu_fraction <= 0.45
+    # DP-Perf detects a similar (GPU-heavier) partitioning
+    assert nbody.outcome("DP-Perf").gpu_fraction >= \
+        nbody.outcome("SP-Single").gpu_fraction

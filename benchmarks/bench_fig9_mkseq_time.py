@@ -1,0 +1,30 @@
+"""Figure 9: MK-Seq execution times (STREAM-Seq, with/without sync)."""
+
+from conftest import emit
+
+from repro.bench.experiments import run_experiment
+from repro.bench.tables import format_time_table
+from repro.bench.validation import TIE
+
+
+def test_fig9_mkseq_times(benchmark, platform):
+    results = benchmark.pedantic(
+        lambda: run_experiment("fig9", platform), rounds=1, iterations=1
+    )
+    emit("Figure 9 — execution time (ms) of strategies in MK-Seq",
+         format_time_table(results))
+    without, with_sync = results
+    # w/o sync: SP-Unified best, SP-Varied last (ties within tolerance)
+    assert without.best_strategy() == "SP-Unified"
+    assert without.makespan_ms("DP-Dep") <= \
+        without.makespan_ms("SP-Varied") * TIE
+    # w sync: SP-Varied best, SP-Unified last
+    assert with_sync.best_strategy() == "SP-Varied"
+    assert with_sync.makespan_ms("DP-Dep") <= \
+        with_sync.makespan_ms("SP-Unified") * TIE
+    # SP-Varied identical in both cases (it carries its own sync)
+    assert without.makespan_ms("SP-Varied") == \
+        with_sync.makespan_ms("SP-Varied")
+    # Only-GPU is transfer-bound
+    og = without.outcome("Only-GPU").result
+    assert og.total_transfer_time_s / og.makespan_s > 0.75

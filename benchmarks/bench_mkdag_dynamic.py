@@ -1,0 +1,27 @@
+"""MK-DAG extension: DP-Perf vs DP-Dep on blocked Cholesky (cf. ref [20]).
+
+The paper excludes MK-DAG from the static-vs-dynamic comparison and refers
+to Planas et al. for the dynamic-policies comparison; this bench supplies
+that experiment on the reproduction's substrate.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import run_experiment
+from repro.bench.tables import format_time_table
+from repro.bench.validation import TIE
+
+
+def test_mkdag_dynamic_scheduling(benchmark, platform):
+    results = benchmark.pedantic(
+        lambda: run_experiment("mkdag", platform), rounds=1, iterations=1
+    )
+    emit("MK-DAG extension — blocked Cholesky (8x8 tiles of 1024^2)",
+         format_time_table(results))
+    (cholesky,) = results
+    # Proposition 1 carries over to the DAG class
+    assert cholesky.makespan_ms("DP-Perf") <= \
+        cholesky.makespan_ms("DP-Dep") * TIE
+    # the DAG exposes enough parallelism that dynamic heterogeneous
+    # execution beats the CPU-only baseline
+    assert cholesky.makespan_ms("DP-Perf") < cholesky.makespan_ms("Only-CPU")

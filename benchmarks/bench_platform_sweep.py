@@ -1,0 +1,56 @@
+"""Future-work probe (paper §VII): other platform balances.
+
+"In the future, we plan to apply our analyzer to heterogeneous platforms
+with other types of accelerators."  The fusion (APU-like) preset has a
+near-free host<->device link: the transfer-driven effects of the paper's
+platform (HotSpot's CPU win, STREAM's CPU-heavy splits) should weaken or
+invert, while the classification and matchmaking pipeline stays unchanged.
+"""
+
+from conftest import emit
+
+from repro import fusion_platform, match
+from repro.apps import get_application
+
+
+def test_platform_sweep_hotspot(benchmark, platform):
+    fusion = fusion_platform()
+    app = get_application("HotSpot")
+
+    def measure():
+        shen = match(app, platform, execute=False)
+        apu = match(app, fusion, execute=False)
+        return shen, apu
+
+    shen, apu = benchmark.pedantic(measure, rounds=1, iterations=1)
+    share = lambda m: next(iter(m.plan.decision.gpu_fraction_by_kernel.values()))
+    emit(
+        "Platform sweep — HotSpot split on PCIe vs APU-like platform",
+        f"Table III platform: GPU share {share(shen):6.1%} "
+        f"({shen.strategy})\n"
+        f"fusion platform:    GPU share {share(apu):6.1%} "
+        f"({apu.strategy})",
+    )
+    # same class and strategy; very different split
+    assert shen.strategy == apu.strategy == "SP-Single"
+    assert share(apu) > share(shen)
+
+
+def test_platform_sweep_stream(benchmark, platform):
+    fusion = fusion_platform()
+    app = get_application("STREAM-Seq")
+
+    def measure():
+        return (
+            match(app, platform, execute=False),
+            match(app, fusion, execute=False),
+        )
+
+    shen, apu = benchmark.pedantic(measure, rounds=1, iterations=1)
+    share = lambda m: next(iter(m.plan.decision.gpu_fraction_by_kernel.values()))
+    emit(
+        "Platform sweep — STREAM-Seq unified split on PCIe vs APU-like",
+        f"Table III platform: GPU share {share(shen):6.1%}\n"
+        f"fusion platform:    GPU share {share(apu):6.1%}",
+    )
+    assert share(apu) > share(shen)

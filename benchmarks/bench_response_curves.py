@@ -1,0 +1,53 @@
+"""Response curves T(β): Glinda's prediction sits in the measured valley.
+
+The strongest end-to-end check of the static stack: sweep the GPU fraction
+in 10% steps, measure each pinned split on the simulator, and verify the
+model-predicted split lands within tolerance of the sweep minimum for
+every SK-class application.
+"""
+
+from conftest import emit
+
+from repro.apps import get_application
+from repro.bench.whatif import format_curve, split_response_curve
+from repro.partition import get_strategy
+
+
+APPS = ("MatrixMul", "BlackScholes", "Nbody", "HotSpot")
+
+
+def test_response_curves(benchmark, platform):
+    grid = tuple(i / 10 for i in range(11))
+
+    def measure():
+        out = {}
+        for app_name in APPS:
+            app = get_application(app_name)
+            program = app.program()
+            plan = get_strategy("SP-Single").plan(program, platform)
+            predicted = next(
+                iter(plan.decision.gpu_fraction_by_kernel.values())
+            )
+            fractions = tuple(sorted({*grid, round(predicted, 4)}))
+            curve = split_response_curve(program, platform,
+                                         fractions=fractions)
+            out[app_name] = (curve, predicted)
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for app_name, (curve, predicted) in results.items():
+        emit(f"Response curve — {app_name} "
+             f"(Glinda predicts GPU {predicted:.1%})",
+             format_curve(curve, predicted=predicted))
+        # the prediction sits in the measured valley (within 6%: the
+        # per-iteration taskwait quiescence — a constant Glinda does not
+        # model — nudges the loop apps' true optimum a point or two
+        # GPU-ward)
+        assert curve.valley_contains(predicted, tolerance=0.06), (
+            app_name, predicted, curve.best_fraction
+        )
+    # sanity of the curve shapes themselves
+    mm, _ = results["MatrixMul"]
+    assert mm.best_fraction >= 0.8        # GPU-dominant valley
+    hs, _ = results["HotSpot"]
+    assert hs.best_fraction <= 0.4        # CPU-dominant valley

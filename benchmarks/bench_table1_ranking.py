@@ -1,0 +1,33 @@
+"""Table I: theoretical ranking, validated empirically per scenario."""
+
+from conftest import emit
+
+from repro.bench.experiments import empirical_ranking
+from repro.bench.validation import TIE
+
+SCENARIOS = [
+    ("MatrixMul", None), ("BlackScholes", None),
+    ("Nbody", None), ("HotSpot", None),
+    ("STREAM-Seq", False), ("STREAM-Seq", True),
+    ("STREAM-Loop", False), ("STREAM-Loop", True),
+]
+
+
+def test_table1_empirical_ranking(benchmark, platform):
+    def regenerate():
+        return [
+            empirical_ranking(app, platform, sync=sync)
+            for app, sync in SCENARIOS
+        ]
+
+    comparisons = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    lines = []
+    for c in comparisons:
+        status = "MATCH" if c.matches(tie_tolerance=TIE) else "MISMATCH"
+        times = "  ".join(
+            f"{s}={c.times_ms[s]:.0f}ms" for s in c.theoretical
+        )
+        lines.append(f"{c.scenario:<18} [{status}]  {times}")
+        assert c.matches(tie_tolerance=TIE), c.scenario
+    emit("Table I — theoretical vs empirical strategy ranking",
+         "\n".join(lines))

@@ -1,0 +1,31 @@
+"""Table II: application -> class classification."""
+
+from conftest import emit
+
+from repro.apps import paper_applications
+from repro.core.analyzer import analyze
+from repro.core.classes import AppClass
+
+
+def test_table2_classification(benchmark, platform):
+    def regenerate():
+        rows = []
+        for app in paper_applications():
+            report = analyze(app, n=max(256, app.paper_n // 256))
+            rows.append((app.name, report.app_class, app.origin))
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=3, iterations=1)
+    lines = [f"{'Application':<14} {'Class':<9} Origin"]
+    for name, app_class, origin in rows:
+        lines.append(f"{name:<14} {app_class.value:<9} {origin}")
+    emit("Table II — applications for evaluation", "\n".join(lines))
+    expected = {
+        "MatrixMul": AppClass.SK_ONE,
+        "BlackScholes": AppClass.SK_ONE,
+        "Nbody": AppClass.SK_LOOP,
+        "HotSpot": AppClass.SK_LOOP,
+        "STREAM-Seq": AppClass.MK_SEQ,
+        "STREAM-Loop": AppClass.MK_LOOP,
+    }
+    assert {name: cls for name, cls, _ in rows} == expected

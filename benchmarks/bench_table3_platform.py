@@ -1,0 +1,15 @@
+"""Table III: the platform description."""
+
+from conftest import emit
+
+from repro.platform import shen_icpp15_platform
+
+
+def test_table3_platform(benchmark):
+    platform = benchmark(shen_icpp15_platform)
+    emit("Table III — the hardware components of the platform",
+         platform.describe())
+    cpu, gpu = platform.host.spec, platform.gpu.spec
+    assert (cpu.peak_gflops_sp, cpu.peak_gflops_dp) == (384.0, 192.0)
+    assert (gpu.peak_gflops_sp, gpu.peak_gflops_dp) == (3519.3, 1173.1)
+    assert (cpu.mem_bandwidth_gbs, gpu.mem_bandwidth_gbs) == (42.6, 208.0)

@@ -1,0 +1,24 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's tables/figures at the paper's
+problem sizes on the Table III platform, times the regeneration with
+pytest-benchmark, and prints the reproduced rows/series so the output can be
+compared side by side with the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform import shen_icpp15_platform
+
+
+@pytest.fixture(scope="session")
+def platform():
+    return shen_icpp15_platform()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduced table under a recognizable banner."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Survey: matchmake all six evaluation applications (Tables I/II, Fig. 12).
+
+For every application of the paper's Table II, this example runs the
+analyzer, executes the chosen strategy AND both single-device baselines,
+and prints the speedup the matchmaking achieved — the reproduction of the
+paper's bottom line ("average speedup of 3.0x/5.3x over the Only-GPU/
+Only-CPU execution").
+
+Run:  python examples/matchmaking_survey.py            # paper sizes (~4 s)
+      python examples/matchmaking_survey.py --quick    # scaled down
+"""
+
+import sys
+
+from repro import get_application, match, shen_icpp15_platform
+from repro.bench.experiments import scaled_size
+from repro.partition import get_strategy
+
+CONFIGS = [
+    ("MatrixMul", None),
+    ("BlackScholes", None),
+    ("Nbody", None),
+    ("HotSpot", None),
+    ("STREAM-Seq", False),
+    ("STREAM-Seq", True),
+    ("STREAM-Loop", False),
+    ("STREAM-Loop", True),
+]
+
+
+def main(quick: bool = False) -> None:
+    platform = shen_icpp15_platform()
+    print(f"{'scenario':<18} {'class':<8} {'strategy':<11} "
+          f"{'time':>10} {'vs OG':>7} {'vs OC':>7}")
+    speedups_og, speedups_oc = [], []
+    for app_name, sync in CONFIGS:
+        app = get_application(app_name)
+        n = scaled_size(app_name, 1 / 16) if quick else None
+        outcome = match(app, platform, n=n, sync=sync)
+        program = app.program(n, sync=app.needs_sync if sync is None else sync)
+        og = get_strategy("Only-GPU").run(program, platform).makespan_ms
+        oc = get_strategy("Only-CPU").run(program, platform).makespan_ms
+        best = outcome.makespan_ms
+        label = app_name if sync is None else f"{app_name}-{'w' if sync else 'w/o'}"
+        speedups_og.append(og / best)
+        speedups_oc.append(oc / best)
+        print(f"{label:<18} {outcome.report.app_class.value:<8} "
+              f"{outcome.strategy:<11} {best:>8.1f}ms "
+              f"{og / best:>6.2f}x {oc / best:>6.2f}x")
+    n = len(CONFIGS)
+    print(f"{'average':<18} {'':<8} {'':<11} {'':>10} "
+          f"{sum(speedups_og) / n:>6.2f}x {sum(speedups_oc) / n:>6.2f}x")
+    print("\n(paper: average 3.0x vs Only-GPU, 5.3x vs Only-CPU)")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

@@ -1,0 +1,39 @@
+#!/usr/bin/env python
+"""Quickstart: matchmake one application to its best partitioning strategy.
+
+The three-line version of the paper: classify the application by its kernel
+structure, look up the best-ranked strategy for that class (Table I), and
+execute it on the simulated CPU+GPU platform.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    format_match,
+    get_application,
+    match,
+    shen_icpp15_platform,
+)
+
+
+def main() -> None:
+    platform = shen_icpp15_platform()
+    print(platform.describe())
+    print()
+
+    # MatrixMul at a reduced problem size for a quick run; drop n to use
+    # the paper's 6144 x 6144 matrices.
+    app = get_application("MatrixMul")
+    outcome = match(app, platform, n=2048)
+    print(format_match(outcome))
+    print()
+
+    # the same pipeline picks a *different* strategy for a multi-kernel
+    # application that needs synchronization between kernels
+    stream = get_application("STREAM-Seq")
+    outcome = match(stream, platform, sync=True)
+    print(format_match(outcome))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""The STREAM synchronization study (paper Figs. 9-11).
+
+STREAM is the paper's instrument for the MK-Seq/MK-Loop classes because
+its synchronization is *optional*: the four kernels chain cleanly, so a
+taskwait between them can be added or removed to mimic both application
+families.  This example regenerates the four scenario groups and shows the
+ranking flip: SP-Unified wins without synchronization, SP-Varied with it —
+and each is the *worst* choice in the opposite scenario.
+
+Run:  python examples/stream_sync_study.py
+"""
+
+from repro import shen_icpp15_platform
+from repro.apps import get_application
+from repro.bench.harness import mk_strategies, run_scenario
+from repro.bench.tables import format_ratio_table, format_time_table
+
+
+def main() -> None:
+    platform = shen_icpp15_platform()
+    scenarios = []
+    for app_name in ("STREAM-Seq", "STREAM-Loop"):
+        for sync in (False, True):
+            scenarios.append(run_scenario(
+                get_application(app_name), platform, mk_strategies(),
+                sync=sync,
+            ))
+
+    print(format_time_table(
+        scenarios,
+        title="Execution time (ms) — cf. paper Figures 9 and 11",
+    ))
+    print()
+    print(format_ratio_table(
+        scenarios[:2],
+        title="Partitioning ratios — cf. paper Figure 10",
+        per_kernel=True,
+    ))
+    print()
+    for scenario in scenarios:
+        order = scenario.ordered()
+        print(f"{scenario.label:<18} ranking: {' > '.join(order)}")
+    print("\nTable I says: w/o sync -> SP-Unified first, SP-Varied last;"
+          "\n              w sync   -> SP-Varied first, SP-Unified last.")
+
+
+if __name__ == "__main__":
+    main()

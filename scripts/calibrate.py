@@ -1,0 +1,25 @@
+"""Calibration harness: evaluate the paper's shape constraints.
+
+Thin CLI over :mod:`repro.bench.validation` — used while tuning the
+calibrated constants; the integration tests assert the same checks.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import shen_icpp15_platform
+from repro.bench.tables import format_time_table
+from repro.bench.validation import run_full_matrix, validate_shapes
+from repro.bench.speedup import figure12, format_figure12
+
+if __name__ == "__main__":
+    platform = shen_icpp15_platform()
+    matrix = run_full_matrix(platform)
+    rows = figure12(platform)
+    report = validate_shapes(matrix, rows=rows)
+    print(report.summary())
+    if "-v" in sys.argv:
+        print(format_time_table(matrix.values(), title="full matrix (ms)"))
+        print(format_figure12(rows))
+    sys.exit(0 if report.ok else 1)

@@ -1,0 +1,44 @@
+"""The paper's evaluation workloads (Table II) plus extensions.
+
+=================  ========  ==========================================
+Application        Class     Origin (paper)
+=================  ========  ==========================================
+``MatrixMul``      SK-One    Nvidia OpenCL SDK
+``BlackScholes``   SK-One    Nvidia OpenCL SDK
+``Nbody``          SK-Loop   Mont-Blanc benchmark suite
+``HotSpot``        SK-Loop   Rodinia benchmark suite
+``STREAM-Seq``     MK-Seq    the STREAM benchmark (one pass)
+``STREAM-Loop``    MK-Loop   the STREAM benchmark (iterated)
+``Cholesky``       MK-DAG    extension (blocked Cholesky, ref [20])
+=================  ========  ==========================================
+
+Every application provides NumPy kernel bodies (functional correctness),
+analytic cost models (simulated timing), and the paper's problem sizes.
+"""
+
+from repro.apps.base import Application
+from repro.apps.matrixmul import MatrixMul
+from repro.apps.blackscholes import BlackScholes
+from repro.apps.nbody import Nbody
+from repro.apps.hotspot import HotSpot
+from repro.apps.stream import StreamLoop, StreamSeq
+from repro.apps.cholesky import Cholesky
+from repro.apps.fdtd import FDTD
+from repro.apps.spmv import SpMV
+from repro.apps.registry import all_applications, get_application, paper_applications
+
+__all__ = [
+    "Application",
+    "MatrixMul",
+    "BlackScholes",
+    "Nbody",
+    "HotSpot",
+    "StreamSeq",
+    "StreamLoop",
+    "Cholesky",
+    "FDTD",
+    "SpMV",
+    "all_applications",
+    "get_application",
+    "paper_applications",
+]

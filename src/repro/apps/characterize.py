@@ -1,0 +1,132 @@
+"""Application characterization: the quantities that drive matchmaking.
+
+The paper's classification uses kernel *structure*; its performance
+arguments use kernel *character* — arithmetic intensity, transfer
+footprint, and the two Glinda metrics.  This module computes both sides
+for any application, giving the one-page summary a practitioner would
+build before partitioning (and the reproduction's stand-in for the
+workload study of ref [18]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import Application
+from repro.core.analyzer import analyze
+from repro.core.classes import AppClass
+from repro.partition.profiling import profile_kernel, transfer_footprint
+from repro.platform.topology import Platform
+
+
+@dataclass(frozen=True)
+class KernelCharacter:
+    """Per-kernel characterization on a concrete platform."""
+
+    kernel: str
+    #: FLOPs per device-memory byte (the roofline x-axis)
+    arithmetic_intensity: float
+    #: host<->device bytes per kernel index (partitioned accesses)
+    transfer_bytes_per_index: float
+    #: Glinda metric r: GPU/CPU throughput ratio
+    relative_capability: float
+    #: Glinda metric g: GPU throughput vs link bandwidth (index units)
+    compute_transfer_gap: float
+    #: device-seconds per pass on CPU / on the accelerator (incl. transfer)
+    cpu_time_s: float
+    acc_time_s: float
+
+    @property
+    def transfer_bound(self) -> bool:
+        """Whether moving the data costs more than computing it (g > 1)."""
+        return self.compute_transfer_gap > 1.0
+
+
+@dataclass(frozen=True)
+class AppCharacter:
+    """Whole-application characterization."""
+
+    application: str
+    app_class: AppClass
+    needs_sync: bool
+    best_strategy: str
+    kernels: tuple[KernelCharacter, ...]
+
+    @property
+    def dominant_kernel(self) -> KernelCharacter:
+        """The kernel with the largest best-device time."""
+        return max(self.kernels, key=lambda k: min(k.cpu_time_s, k.acc_time_s))
+
+
+def characterize(
+    app: Application,
+    platform: Platform,
+    *,
+    n: int | None = None,
+    iterations: int | None = None,
+) -> AppCharacter:
+    """Characterize ``app`` on ``platform`` at (scaled) problem size."""
+    report = analyze(app, n=n, iterations=iterations)
+    program = app.program(n, iterations=iterations)
+    link = platform.link_for(platform.accelerators[0].device_id)
+
+    kernels = []
+    seen: set[str] = set()
+    for inv in program.invocations:
+        kernel = inv.kernel
+        if kernel.name in seen:
+            continue
+        seen.add(kernel.name)
+        profile = profile_kernel(kernel, platform, inv.n)
+        part_total, _, _, full = transfer_footprint(kernel)
+        flops = kernel.cost.flops(1, inv.n)
+        mem = kernel.cost.mem_bytes(1, inv.n)
+        intensity = flops / mem if mem else float("inf")
+        n_work = (
+            kernel.total_work if kernel.imbalanced else float(inv.n)
+        )
+        cpu_time = n_work / profile.cpu_throughput
+        acc_time = (
+            n_work / profile.gpu_throughput
+            + (part_total * inv.n + full) / link.bandwidth
+        )
+        kernels.append(
+            KernelCharacter(
+                kernel=kernel.name,
+                arithmetic_intensity=intensity,
+                transfer_bytes_per_index=part_total,
+                relative_capability=(
+                    profile.gpu_throughput / profile.cpu_throughput
+                ),
+                compute_transfer_gap=(
+                    profile.gpu_throughput * part_total / link.bandwidth
+                ),
+                cpu_time_s=cpu_time,
+                acc_time_s=acc_time,
+            )
+        )
+    return AppCharacter(
+        application=app.name,
+        app_class=report.app_class,
+        needs_sync=report.needs_sync,
+        best_strategy=report.best_strategy,
+        kernels=tuple(kernels),
+    )
+
+
+def format_characterization(chars: list[AppCharacter]) -> str:
+    """A table across applications (one row per kernel)."""
+    lines = [
+        f"{'application':<14} {'class':<8} {'kernel':<12} "
+        f"{'AI F/B':>8} {'tx B/idx':>9} {'r':>8} {'g':>8} {'best':<11}"
+    ]
+    for char in chars:
+        for k in char.kernels:
+            lines.append(
+                f"{char.application:<14} {char.app_class.value:<8} "
+                f"{k.kernel:<12} {k.arithmetic_intensity:>8.2f} "
+                f"{k.transfer_bytes_per_index:>9.1f} "
+                f"{k.relative_capability:>8.2f} "
+                f"{k.compute_transfer_gap:>8.2f} {char.best_strategy:<11}"
+            )
+    return "\n".join(lines)

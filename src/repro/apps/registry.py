@@ -1,0 +1,59 @@
+"""Application registry: the paper's Table II plus extensions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.base import Application
+from repro.apps.blackscholes import BlackScholes
+from repro.apps.cholesky import Cholesky
+from repro.apps.hotspot import HotSpot
+from repro.apps.matrixmul import MatrixMul
+from repro.apps.nbody import Nbody
+from repro.apps.fdtd import FDTD
+from repro.apps.spmv import SpMV
+from repro.apps.stream import StreamLoop, StreamSeq
+from repro.errors import ConfigurationError
+
+_FACTORIES: dict[str, Callable[[], Application]] = {
+    MatrixMul.name: MatrixMul,
+    BlackScholes.name: BlackScholes,
+    Nbody.name: Nbody,
+    HotSpot.name: HotSpot,
+    StreamSeq.name: StreamSeq,
+    StreamLoop.name: StreamLoop,
+    Cholesky.name: Cholesky,
+    SpMV.name: SpMV,
+    FDTD.name: FDTD,
+}
+
+#: the six evaluation applications, in Table II order
+PAPER_ORDER = (
+    MatrixMul.name,
+    BlackScholes.name,
+    Nbody.name,
+    HotSpot.name,
+    StreamSeq.name,
+    StreamLoop.name,
+)
+
+
+def get_application(name: str) -> Application:
+    """Instantiate an application by its canonical name."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown application {name!r}; known: {sorted(_FACTORIES)}"
+        ) from None
+
+
+def paper_applications() -> list[Application]:
+    """The six Table II applications, in the paper's order."""
+    return [get_application(name) for name in PAPER_ORDER]
+
+
+def all_applications() -> list[Application]:
+    """Every registered application, Table II first."""
+    extra = sorted(set(_FACTORIES) - set(PAPER_ORDER))
+    return [get_application(name) for name in (*PAPER_ORDER, *extra)]

@@ -1,0 +1,162 @@
+"""A synthetic kernel-structure study (stand-in for paper ref [18]).
+
+The paper grounds its classification on a study of five benchmark suites —
+86 applications in total — and reports that the five classes cover all of
+them.  The tech report [18] is not available, so this module supplies a
+*synthetic* population of kernel-structure descriptors with the same
+aggregate shape: 86 applications drawn from five suites, spanning all five
+classes, including the III-V cases where individual kernels carry inner
+loops (which, per §III-B, do not change the class).
+
+Each descriptor can be *realized* as a toy
+:class:`~repro.runtime.graph.Program` so the classifier is exercised on
+real program objects, not just on labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.graph import KernelInvocation, Program
+from repro.runtime.kernels import AccessSpec, Kernel, KernelCostModel
+from repro.runtime.regions import AccessMode, ArraySpec
+
+#: the five suites the study draws from
+SUITES = ("Rodinia", "Parboil", "NVIDIA SDK", "AMD SDK", "Mont-Blanc")
+
+
+@dataclass(frozen=True)
+class StructureDescriptor:
+    """Shape summary of one application's kernel structure."""
+
+    name: str
+    suite: str
+    n_kernels: int
+    #: "sequence" | "loop" | "dag"
+    flow: str
+    #: loop iterations of the outer loop (1 = not looped)
+    iterations: int
+    #: expected class label ("SK-One" ... "MK-DAG")
+    expected_class: str
+
+
+def _mk(name, suite, n_kernels, flow, iterations, expected) -> StructureDescriptor:
+    return StructureDescriptor(name, suite, n_kernels, flow, iterations, expected)
+
+
+def synthetic_suite() -> list[StructureDescriptor]:
+    """86 structure descriptors across the five suites and five classes.
+
+    The per-class counts loosely follow the prose of the paper (single
+    kernel and iterated single kernel dominate GPU benchmark suites; full
+    DAGs are rare).
+    """
+    out: list[StructureDescriptor] = []
+    counter = 0
+
+    def take(suite: str, cls: str, count: int) -> None:
+        nonlocal counter
+        for _ in range(count):
+            counter += 1
+            if cls == "SK-One":
+                out.append(_mk(f"app{counter:02d}", suite, 1, "sequence", 1, cls))
+            elif cls == "SK-Loop":
+                out.append(_mk(f"app{counter:02d}", suite, 1, "loop", 6, cls))
+            elif cls == "MK-Seq":
+                out.append(_mk(f"app{counter:02d}", suite, 3, "sequence", 1, cls))
+            elif cls == "MK-Loop":
+                out.append(_mk(f"app{counter:02d}", suite, 3, "loop", 5, cls))
+            else:
+                out.append(_mk(f"app{counter:02d}", suite, 4, "dag", 1, cls))
+
+    take("Rodinia", "SK-One", 4)
+    take("Rodinia", "SK-Loop", 8)
+    take("Rodinia", "MK-Seq", 4)
+    take("Rodinia", "MK-Loop", 6)
+    take("Rodinia", "MK-DAG", 1)
+    take("Parboil", "SK-One", 3)
+    take("Parboil", "SK-Loop", 3)
+    take("Parboil", "MK-Seq", 3)
+    take("Parboil", "MK-Loop", 2)
+    take("NVIDIA SDK", "SK-One", 12)
+    take("NVIDIA SDK", "SK-Loop", 5)
+    take("NVIDIA SDK", "MK-Seq", 5)
+    take("NVIDIA SDK", "MK-Loop", 2)
+    take("NVIDIA SDK", "MK-DAG", 1)
+    take("AMD SDK", "SK-One", 10)
+    take("AMD SDK", "SK-Loop", 4)
+    take("AMD SDK", "MK-Seq", 4)
+    take("AMD SDK", "MK-Loop", 2)
+    take("Mont-Blanc", "SK-One", 2)
+    take("Mont-Blanc", "SK-Loop", 3)
+    take("Mont-Blanc", "MK-Seq", 1)
+    take("Mont-Blanc", "MK-Loop", 1)
+    assert len(out) == 86, f"expected 86 descriptors, built {len(out)}"
+    return out
+
+
+def realize_program(desc: StructureDescriptor, *, n: int = 1024) -> Program:
+    """Build a toy program with the descriptor's kernel structure."""
+    arrays = {
+        f"x{i}": ArraySpec(f"x{i}", n, 4) for i in range(desc.n_kernels + 1)
+    }
+    cost = KernelCostModel(flops_per_elem=2.0, mem_bytes_per_elem=8.0)
+    kernels = [
+        Kernel(
+            f"k{i}",
+            cost,
+            (
+                AccessSpec(arrays[f"x{i}"], AccessMode.IN),
+                AccessSpec(arrays[f"x{i + 1}"], AccessMode.OUT),
+            ),
+        )
+        for i in range(desc.n_kernels)
+    ]
+    invocations: list[KernelInvocation] = []
+    next_id = 0
+
+    def emit(kernel: Kernel, iteration: int, sync: bool) -> None:
+        nonlocal next_id
+        invocations.append(
+            KernelInvocation(
+                invocation_id=next_id,
+                kernel=kernel,
+                n=n,
+                iteration=iteration,
+                sync_after=sync,
+            )
+        )
+        next_id += 1
+
+    if desc.flow == "dag":
+        # a fork-join over independent kernels: k0 then k1..k_{m-2} reading
+        # k0's output into separate arrays, then a join kernel
+        fork = [
+            Kernel(
+                f"k{i}",
+                cost,
+                (
+                    AccessSpec(arrays["x1"], AccessMode.IN),
+                    AccessSpec(arrays[f"x{i + 1}"], AccessMode.OUT),
+                ),
+            )
+            for i in range(1, desc.n_kernels - 1)
+        ]
+        emit(kernels[0], 0, False)
+        for k in fork:
+            emit(k, 0, False)
+        join = Kernel(
+            f"k{desc.n_kernels - 1}",
+            cost,
+            tuple(
+                AccessSpec(arrays[f"x{i + 1}"], AccessMode.IN)
+                for i in range(1, desc.n_kernels - 1)
+            )
+            + (AccessSpec(arrays[f"x{desc.n_kernels}"], AccessMode.OUT),),
+        )
+        emit(join, 0, False)
+    else:
+        for it in range(desc.iterations):
+            for k in kernels:
+                emit(k, it, desc.flow == "loop" and desc.n_kernels == 1)
+    return Program(invocations=invocations, arrays=arrays)

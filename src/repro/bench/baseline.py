@@ -1,0 +1,120 @@
+"""Regression baselines: persist a run's numbers and diff later runs.
+
+A reproduction only stays reproduced while its numbers hold.  This module
+snapshots the full experiment matrix into JSON and compares a fresh run
+against a stored snapshot with a relative tolerance, so model changes that
+move results show up as a *diff*, not as silent drift.
+
+Workflow::
+
+    python -m repro baseline --save results/baseline.json
+    ...hack on the models...
+    python -m repro baseline --check results/baseline.json
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.bench.harness import ScenarioResult
+from repro.bench.validation import run_full_matrix
+from repro.platform.topology import Platform
+
+#: snapshot format version (bump on breaking layout changes)
+FORMAT_VERSION = 1
+
+
+def snapshot(matrix: dict[str, ScenarioResult]) -> dict:
+    """Condense a matrix into a JSON-serializable snapshot."""
+    scenarios = {}
+    for label, scenario in matrix.items():
+        scenarios[label] = {
+            o.strategy: {
+                "makespan_ms": round(o.makespan_ms, 6),
+                "gpu_fraction": round(o.gpu_fraction, 6),
+            }
+            for o in scenario.outcomes
+        }
+    return {"version": FORMAT_VERSION, "scenarios": scenarios}
+
+
+def save_baseline(platform: Platform, path: str | Path) -> Path:
+    """Run the full matrix and persist its snapshot."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    data = snapshot(run_full_matrix(platform))
+    path.write_text(json.dumps(data, indent=2, sort_keys=True))
+    return path
+
+
+@dataclass
+class BaselineDiff:
+    """Differences between a stored snapshot and a fresh run."""
+
+    changes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.changes
+
+    def summary(self) -> str:
+        if self.ok:
+            return "baseline check: no drift"
+        return "baseline check: drift detected\n  " + "\n  ".join(self.changes)
+
+
+def compare(
+    stored: dict,
+    fresh: dict,
+    *,
+    rtol: float = 0.01,
+    atol_fraction: float = 0.02,
+) -> BaselineDiff:
+    """Diff two snapshots; times use ``rtol``, ratios use ``atol``."""
+    diff = BaselineDiff()
+    if stored.get("version") != fresh.get("version"):
+        diff.changes.append(
+            f"format version {stored.get('version')} != {fresh.get('version')}"
+        )
+        return diff
+    old = stored["scenarios"]
+    new = fresh["scenarios"]
+    for label in sorted(set(old) | set(new)):
+        if label not in old:
+            diff.changes.append(f"new scenario {label}")
+            continue
+        if label not in new:
+            diff.changes.append(f"missing scenario {label}")
+            continue
+        for strategy in sorted(set(old[label]) | set(new[label])):
+            if strategy not in old[label]:
+                diff.changes.append(f"{label}: new strategy {strategy}")
+                continue
+            if strategy not in new[label]:
+                diff.changes.append(f"{label}: missing strategy {strategy}")
+                continue
+            o, n = old[label][strategy], new[label][strategy]
+            t_old, t_new = o["makespan_ms"], n["makespan_ms"]
+            if abs(t_new - t_old) > rtol * max(abs(t_old), 1e-9):
+                diff.changes.append(
+                    f"{label}/{strategy}: makespan {t_old:.1f} -> "
+                    f"{t_new:.1f} ms ({(t_new - t_old) / t_old:+.1%})"
+                )
+            f_old, f_new = o["gpu_fraction"], n["gpu_fraction"]
+            if abs(f_new - f_old) > atol_fraction:
+                diff.changes.append(
+                    f"{label}/{strategy}: gpu fraction {f_old:.3f} -> "
+                    f"{f_new:.3f}"
+                )
+    return diff
+
+
+def check_baseline(
+    platform: Platform, path: str | Path, *, rtol: float = 0.01
+) -> BaselineDiff:
+    """Run the matrix and diff it against a stored snapshot."""
+    stored = json.loads(Path(path).read_text())
+    fresh = snapshot(run_full_matrix(platform))
+    return compare(stored, fresh, rtol=rtol)

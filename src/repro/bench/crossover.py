@@ -1,0 +1,148 @@
+"""Crossover analysis: where do the paper's win/lose boundaries sit?
+
+Three crossovers structure the paper's evaluation:
+
+* **STREAM: Only-GPU vs Only-CPU over iterations** — a single pass is
+  CPU-won (transfers dominate), the iterated form is GPU-won (transfers
+  amortize).  Somewhere in between the two baselines cross.
+* **HotSpot: Only-CPU vs Only-GPU over link bandwidth** — the stencil is
+  CPU-won on PCIe but GPU-won once the link is fast enough (the §VII
+  future-work axis).
+* **Hardware-configuration thresholds** — the problem size below which
+  Glinda's decision step collapses a GPU-favoured kernel to a single
+  device.
+
+These sweeps locate the boundaries on the simulated platform so changes to
+the models move a *number*, not just a boolean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.registry import get_application
+from repro.errors import ExperimentError
+from repro.partition.base import get_strategy
+from repro.platform.device import Device
+from repro.platform.interconnect import Link
+from repro.platform.topology import Platform
+
+
+@dataclass(frozen=True)
+class CrossoverPoint:
+    """Result of a 1-D sweep: the first x where ``b`` beats ``a``."""
+
+    parameter: str
+    values: tuple[float, ...]
+    a: str
+    b: str
+    #: measured a/b time ratios per value (>1 means b wins)
+    ratios: tuple[float, ...]
+    crossover: float | None  # None when b never wins in the sweep
+
+    def winner_at(self, value: float) -> str:
+        idx = self.values.index(value)
+        return self.b if self.ratios[idx] > 1.0 else self.a
+
+
+def _ratio(a_ms: float, b_ms: float) -> float:
+    return a_ms / b_ms
+
+
+def stream_iteration_crossover(
+    platform: Platform,
+    *,
+    iterations: tuple[int, ...] = (1, 2, 3, 4, 6, 8, 10),
+    n: int | None = None,
+) -> CrossoverPoint:
+    """Sweep STREAM-Loop iterations: where Only-GPU overtakes Only-CPU."""
+    app = get_application("STREAM-Loop")
+    ratios = []
+    crossover = None
+    for it in iterations:
+        program = app.program(n, iterations=it, sync=False)
+        oc = get_strategy("Only-CPU").run(program, platform).makespan_ms
+        og = get_strategy("Only-GPU").run(program, platform).makespan_ms
+        ratios.append(_ratio(oc, og))
+        if crossover is None and ratios[-1] > 1.0:
+            crossover = float(it)
+    return CrossoverPoint(
+        parameter="iterations",
+        values=tuple(float(i) for i in iterations),
+        a="Only-CPU",
+        b="Only-GPU",
+        ratios=tuple(ratios),
+        crossover=crossover,
+    )
+
+
+def with_link_bandwidth(platform: Platform, bandwidth_gbs: float) -> Platform:
+    """A copy of ``platform`` with every host link at ``bandwidth_gbs``."""
+    if bandwidth_gbs <= 0:
+        raise ExperimentError("bandwidth must be positive")
+    links = {
+        dev: Link(
+            name=f"{link.name}@{bandwidth_gbs:g}GB/s",
+            bandwidth_gbs=bandwidth_gbs,
+            latency_s=link.latency_s,
+            duplex=link.duplex,
+        )
+        for dev, link in platform.links.items()
+    }
+    return Platform(
+        host=Device(
+            platform.host.device_id, platform.host.spec,
+            platform.host.cost_model,
+        ),
+        accelerators=[
+            Device(a.device_id, a.spec, a.cost_model)
+            for a in platform.accelerators
+        ],
+        links=links,
+    )
+
+
+def hotspot_bandwidth_crossover(
+    platform: Platform,
+    *,
+    bandwidths_gbs: tuple[float, ...] = (3.0, 6.0, 12.0, 24.0, 48.0, 96.0),
+    n: int | None = None,
+    iterations: int | None = None,
+) -> CrossoverPoint:
+    """Sweep link bandwidth: where Only-GPU overtakes Only-CPU on HotSpot."""
+    app = get_application("HotSpot")
+    ratios = []
+    crossover = None
+    for bw in bandwidths_gbs:
+        plat = with_link_bandwidth(platform, bw)
+        program = app.program(n, iterations=iterations)
+        oc = get_strategy("Only-CPU").run(program, plat).makespan_ms
+        og = get_strategy("Only-GPU").run(program, plat).makespan_ms
+        ratios.append(_ratio(oc, og))
+        if crossover is None and ratios[-1] > 1.0:
+            crossover = bw
+    return CrossoverPoint(
+        parameter="link_bandwidth_gbs",
+        values=tuple(bandwidths_gbs),
+        a="Only-CPU",
+        b="Only-GPU",
+        ratios=tuple(ratios),
+        crossover=crossover,
+    )
+
+
+def format_crossover(point: CrossoverPoint) -> str:
+    """Plain-text rendering of a sweep."""
+    lines = [
+        f"sweep over {point.parameter}: {point.a} vs {point.b} "
+        f"(ratio > 1 means {point.b} wins)"
+    ]
+    for value, ratio in zip(point.values, point.ratios):
+        marker = "<-- crossover" if value == point.crossover else ""
+        lines.append(
+            f"  {point.parameter}={value:<8g} "
+            f"{point.a}/{point.b} = {ratio:6.2f} {marker}"
+        )
+    if point.crossover is None:
+        lines.append(f"  ({point.b} never wins in this range)")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Export experiment results to CSV/JSON for external plotting.
+
+The paper's figures are bar charts; downstream users typically want the
+underlying series in a machine-readable form.  These writers keep the
+library free of plotting dependencies while making every regenerated
+table/figure consumable by pandas/gnuplot/spreadsheets.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.bench.harness import ScenarioResult
+from repro.bench.speedup import SpeedupRow
+
+
+def scenario_rows(scenarios: Iterable[ScenarioResult]) -> list[dict]:
+    """Flatten scenario results into one record per (scenario, strategy)."""
+    rows = []
+    for scenario in scenarios:
+        for outcome in scenario.outcomes:
+            result = outcome.result
+            rows.append({
+                "scenario": scenario.label,
+                "application": scenario.application,
+                "sync": scenario.sync,
+                "strategy": outcome.strategy,
+                "makespan_ms": round(result.makespan_ms, 4),
+                "gpu_fraction": round(result.gpu_fraction, 4),
+                "cpu_fraction": round(result.cpu_fraction, 4),
+                "h2d_bytes": result.transfer_bytes.get("h2d", 0),
+                "d2h_bytes": result.transfer_bytes.get("d2h", 0),
+                "transfer_time_ms": round(
+                    result.total_transfer_time_s * 1e3, 4
+                ),
+                "instances": result.instance_count,
+            })
+    return rows
+
+
+def speedup_rows(rows: Iterable[SpeedupRow]) -> list[dict]:
+    """Flatten Figure 12 rows."""
+    return [
+        {
+            "scenario": r.scenario,
+            "best_strategy": r.best_strategy,
+            "best_ms": round(r.best_ms, 4),
+            "only_gpu_ms": round(r.only_gpu_ms, 4),
+            "only_cpu_ms": round(r.only_cpu_ms, 4),
+            "speedup_vs_only_gpu": round(r.vs_only_gpu, 4),
+            "speedup_vs_only_cpu": round(r.vs_only_cpu, 4),
+        }
+        for r in rows
+    ]
+
+
+def to_csv(records: list[dict]) -> str:
+    """Render records as CSV text (header from the first record)."""
+    if not records:
+        return ""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(records[0]))
+    writer.writeheader()
+    writer.writerows(records)
+    return buf.getvalue()
+
+
+def to_json(records: list[dict]) -> str:
+    """Render records as pretty-printed JSON."""
+    return json.dumps(records, indent=2, sort_keys=False)
+
+
+def write_records(records: list[dict], path: str | Path) -> Path:
+    """Write records to ``path``; the suffix picks the format (.csv/.json)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        text = to_csv(records)
+    elif path.suffix == ".json":
+        text = to_json(records)
+    else:
+        raise ValueError(f"unsupported export format {path.suffix!r}")
+    path.write_text(text)
+    return path

@@ -1,0 +1,111 @@
+"""Common machinery for running an application under many strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import Application
+from repro.partition.base import PlanConfig, get_strategy
+from repro.platform.topology import Platform
+from repro.runtime.executor import ExecutionResult, RuntimeConfig
+
+#: strategy sets per class family (baselines first, paper figure order)
+SK_STRATEGIES = ("Only-GPU", "Only-CPU", "SP-Single", "DP-Perf", "DP-Dep")
+MK_STRATEGIES = (
+    "Only-GPU", "Only-CPU", "SP-Unified", "DP-Perf", "DP-Dep", "SP-Varied",
+)
+DAG_STRATEGIES = ("Only-GPU", "Only-CPU", "DP-Perf", "DP-Dep")
+
+
+def sk_strategies() -> tuple[str, ...]:
+    """Strategies compared for SK-One/SK-Loop applications (Figs. 5/7)."""
+    return SK_STRATEGIES
+
+
+def mk_strategies() -> tuple[str, ...]:
+    """Strategies compared for MK-Seq/MK-Loop applications (Figs. 9/11)."""
+    return MK_STRATEGIES
+
+
+@dataclass
+class StrategyOutcome:
+    """One bar of a paper figure: one strategy on one scenario."""
+
+    strategy: str
+    result: ExecutionResult
+
+    @property
+    def makespan_ms(self) -> float:
+        return self.result.makespan_ms
+
+    @property
+    def gpu_fraction(self) -> float:
+        return self.result.gpu_fraction
+
+    @property
+    def ratio_by_kernel(self) -> dict[str, dict[str, int]]:
+        return self.result.ratio_by_kernel()
+
+
+@dataclass
+class ScenarioResult:
+    """All strategies of one scenario (one figure group)."""
+
+    label: str
+    application: str
+    sync: bool | None
+    outcomes: list[StrategyOutcome] = field(default_factory=list)
+
+    def outcome(self, strategy: str) -> StrategyOutcome:
+        for o in self.outcomes:
+            if o.strategy == strategy:
+                return o
+        raise KeyError(f"{self.label}: no outcome for {strategy!r}")
+
+    def makespan_ms(self, strategy: str) -> float:
+        return self.outcome(strategy).makespan_ms
+
+    def best_strategy(self, *, exclude_baselines: bool = True) -> str:
+        """The fastest strategy (by default excluding Only-CPU/Only-GPU)."""
+        candidates = [
+            o for o in self.outcomes
+            if not (exclude_baselines and o.strategy.startswith("Only-"))
+        ]
+        return min(candidates, key=lambda o: o.makespan_ms).strategy
+
+    def ordered(self, *, exclude_baselines: bool = True) -> list[str]:
+        """Strategies from fastest to slowest."""
+        candidates = [
+            o for o in self.outcomes
+            if not (exclude_baselines and o.strategy.startswith("Only-"))
+        ]
+        return [o.strategy for o in sorted(candidates, key=lambda o: o.makespan_ms)]
+
+
+def run_scenario(
+    app: Application,
+    platform: Platform,
+    strategies: tuple[str, ...],
+    *,
+    n: int | None = None,
+    iterations: int | None = None,
+    sync: bool | None = None,
+    config: PlanConfig | None = None,
+    runtime_config: RuntimeConfig | None = None,
+    label: str | None = None,
+) -> ScenarioResult:
+    """Run ``app`` under every strategy; returns the scenario row."""
+    effective_sync = app.needs_sync if sync is None else sync
+    program = app.program(n, iterations=iterations, sync=effective_sync)
+    if label is None:
+        label = app.name if sync is None else (
+            f"{app.name}-{'w' if sync else 'w/o'}"
+        )
+    scenario = ScenarioResult(label=label, application=app.name, sync=sync)
+    for name in strategies:
+        strategy = get_strategy(name)
+        result = strategy.run(
+            program, platform, config=config, runtime_config=runtime_config
+        )
+        scenario.outcomes.append(StrategyOutcome(strategy=name, result=result))
+    return scenario

@@ -1,0 +1,97 @@
+"""Figure 12: speedup of the best strategy vs Only-GPU / Only-CPU."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.registry import get_application
+from repro.bench.experiments import scaled_size
+from repro.bench.harness import MK_STRATEGIES, SK_STRATEGIES, run_scenario
+from repro.platform.topology import Platform
+
+#: the eight configurations of Figure 12, in the paper's order
+FIG12_CONFIGS: tuple[tuple[str, bool | None], ...] = (
+    ("MatrixMul", None),
+    ("BlackScholes", None),
+    ("Nbody", None),
+    ("HotSpot", None),
+    ("STREAM-Seq", True),
+    ("STREAM-Seq", False),
+    ("STREAM-Loop", True),
+    ("STREAM-Loop", False),
+)
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """One group of Figure 12 bars."""
+
+    scenario: str
+    best_strategy: str
+    best_ms: float
+    only_gpu_ms: float
+    only_cpu_ms: float
+
+    @property
+    def vs_only_gpu(self) -> float:
+        return self.only_gpu_ms / self.best_ms
+
+    @property
+    def vs_only_cpu(self) -> float:
+        return self.only_cpu_ms / self.best_ms
+
+
+def figure12(
+    platform: Platform,
+    *,
+    scale: float = 1.0,
+    iterations: int | None = None,
+) -> list[SpeedupRow]:
+    """Regenerate Figure 12 across the eight application configurations."""
+    rows = []
+    for app_name, sync in FIG12_CONFIGS:
+        app = get_application(app_name)
+        strategies = (
+            SK_STRATEGIES if app.paper_class.startswith("SK") else MK_STRATEGIES
+        )
+        n = scaled_size(app_name, scale) if scale != 1.0 else None
+        scenario = run_scenario(
+            app, platform, strategies, n=n, iterations=iterations, sync=sync
+        )
+        best = scenario.best_strategy(exclude_baselines=True)
+        rows.append(
+            SpeedupRow(
+                scenario=scenario.label,
+                best_strategy=best,
+                best_ms=scenario.makespan_ms(best),
+                only_gpu_ms=scenario.makespan_ms("Only-GPU"),
+                only_cpu_ms=scenario.makespan_ms("Only-CPU"),
+            )
+        )
+    return rows
+
+
+def average_speedups(rows: list[SpeedupRow]) -> tuple[float, float]:
+    """``(mean vs Only-GPU, mean vs Only-CPU)`` — the paper's 3.0x/5.3x."""
+    n = len(rows)
+    return (
+        sum(r.vs_only_gpu for r in rows) / n,
+        sum(r.vs_only_cpu for r in rows) / n,
+    )
+
+
+def format_figure12(rows: list[SpeedupRow]) -> str:
+    """Plain-text rendering of Figure 12."""
+    lines = [
+        f"{'scenario':<18} {'best':<12} {'vs Only-GPU':>12} {'vs Only-CPU':>12}"
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.scenario:<18} {r.best_strategy:<12} "
+            f"{r.vs_only_gpu:>11.2f}x {r.vs_only_cpu:>11.2f}x"
+        )
+    avg_og, avg_oc = average_speedups(rows)
+    lines.append(
+        f"{'average':<18} {'':<12} {avg_og:>11.2f}x {avg_oc:>11.2f}x"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment results (the figures' data tables)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.bench.harness import ScenarioResult
+
+
+def format_time_table(
+    scenarios: Iterable[ScenarioResult], *, title: str = ""
+) -> str:
+    """Execution times (ms) per strategy per scenario — a paper bar chart."""
+    scenarios = list(scenarios)
+    strategies: list[str] = []
+    for scenario in scenarios:
+        for o in scenario.outcomes:
+            if o.strategy not in strategies:
+                strategies.append(o.strategy)
+    name_w = max(len(s) for s in strategies) + 2
+    col_w = max(12, max(len(s.label) for s in scenarios) + 2)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * name_w + "".join(f"{s.label:>{col_w}}" for s in scenarios)
+    lines.append(header)
+    for strategy in strategies:
+        row = f"{strategy:<{name_w}}"
+        for scenario in scenarios:
+            try:
+                row += f"{scenario.makespan_ms(strategy):>{col_w}.1f}"
+            except KeyError:
+                row += f"{'-':>{col_w}}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_ratio_table(
+    scenarios: Iterable[ScenarioResult],
+    *,
+    title: str = "",
+    per_kernel: bool = False,
+) -> str:
+    """GPU/CPU partitioning ratios per strategy — the Figs. 6/8/10 data.
+
+    With ``per_kernel`` each kernel's split is listed separately (the way
+    Fig. 10 reports SP-Varied).
+    """
+    scenarios = list(scenarios)
+    lines = []
+    if title:
+        lines.append(title)
+    for scenario in scenarios:
+        lines.append(f"{scenario.label}:")
+        for o in scenario.outcomes:
+            if per_kernel:
+                parts = []
+                for kernel, split in sorted(o.ratio_by_kernel.items()):
+                    total = sum(split.values())
+                    gpu = split.get("gpu", 0) / total if total else 0.0
+                    parts.append(f"{kernel}={gpu:.0%}G/{1 - gpu:.0%}C")
+                detail = "  ".join(parts)
+            else:
+                gpu = o.gpu_fraction
+                detail = f"GPU {gpu:6.1%} / CPU {1 - gpu:6.1%}"
+            lines.append(f"  {o.strategy:<12} {detail}")
+    return "\n".join(lines)

@@ -1,0 +1,340 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Applications, strategies, platform presets, experiment keys.
+``platform [--preset P]``
+    Describe a platform preset (default: the paper's Table III machine).
+``analyze APP [--sync|--no-sync] [-n N]``
+    Run the application analyzer and print the class/ranking report.
+``run APP [--strategy S] [--sync|--no-sync] [-n N] [-i I] [--gantt] ...``
+    Execute one application under one strategy (default: the matchmade
+    best) and print the outcome, optionally with a Gantt chart and trace
+    statistics.
+``experiment KEY [--scale F] [-o FILE.csv|.json]``
+    Regenerate one paper table/figure and print (or export) its data.
+``speedup [-o FILE]``
+    Regenerate Figure 12.
+``validate``
+    Run the full shape validation (49 paper claims); exit 1 on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.apps.registry import all_applications, get_application
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.export import (
+    scenario_rows,
+    speedup_rows,
+    write_records,
+)
+from repro.bench.speedup import figure12, format_figure12
+from repro.bench.tables import format_ratio_table, format_time_table
+from repro.bench.validation import validate_platform
+from repro.core.analyzer import analyze
+from repro.core.matchmaker import match
+from repro.core.report import format_analysis, format_match
+from repro.partition import PlanConfig, get_strategy, list_strategies
+from repro.platform import (
+    balanced_platform,
+    dual_gpu_platform,
+    fusion_platform,
+    phi_platform,
+    shen_icpp15_platform,
+)
+from repro.sim import analyze_trace, format_stats, render_gantt
+
+PRESETS: dict[str, Callable] = {
+    "shen": shen_icpp15_platform,
+    "dual-gpu": dual_gpu_platform,
+    "fusion": fusion_platform,
+    "balanced": balanced_platform,
+    "phi": phi_platform,
+}
+
+
+def _platform(args) -> "Platform":
+    return PRESETS[args.preset]()
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--preset", choices=sorted(PRESETS), default="shen",
+        help="platform preset (default: the paper's Table III machine)",
+    )
+
+
+def cmd_list(args) -> int:
+    print("applications:")
+    for app in all_applications():
+        print(f"  {app.name:<14} {app.paper_class:<8} {app.origin}")
+    print("strategies:")
+    for name in list_strategies():
+        print(f"  {name}")
+    print("platform presets:")
+    for name in sorted(PRESETS):
+        print(f"  {name}")
+    print("experiments:")
+    for key, exp in EXPERIMENTS.items():
+        print(f"  {key:<8} {exp.label()}")
+    return 0
+
+
+def cmd_platform(args) -> int:
+    print(_platform(args).describe())
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    app = get_application(args.app)
+    report = analyze(app, n=args.n, sync=args.sync)
+    print(format_analysis(report))
+    return 0
+
+
+def cmd_run(args) -> int:
+    platform = _platform(args)
+    app = get_application(args.app)
+    config = PlanConfig(cpu_threads=args.threads, task_count=args.tasks)
+    if args.strategy is None:
+        outcome = match(
+            app, platform, n=args.n, iterations=args.iterations,
+            sync=args.sync, config=config,
+        )
+        result = outcome.result
+        print(format_match(outcome))
+    else:
+        sync = app.needs_sync if args.sync is None else args.sync
+        program = app.program(args.n, iterations=args.iterations, sync=sync)
+        strategy = get_strategy(args.strategy)
+        result = strategy.run(program, platform, config=config)
+        print(f"{app.name} under {strategy.name}: "
+              f"{result.makespan_ms:.2f} ms "
+              f"(GPU {result.gpu_fraction:.1%} / CPU {result.cpu_fraction:.1%})")
+    if args.stats:
+        print()
+        print(format_stats(analyze_trace(result.trace)))
+    if args.gantt:
+        print()
+        print(render_gantt(result.trace, width=args.gantt_width))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    platform = _platform(args)
+    results = run_experiment(args.key, platform, scale=args.scale)
+    if args.key in ("fig6", "fig8", "fig10"):
+        print(format_ratio_table(
+            results, title=EXPERIMENTS[args.key].label(),
+            per_kernel=args.key == "fig10",
+        ))
+    else:
+        print(format_time_table(results, title=EXPERIMENTS[args.key].label()))
+    if args.output:
+        path = write_records(scenario_rows(results), args.output)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def cmd_speedup(args) -> int:
+    platform = _platform(args)
+    rows = figure12(platform, scale=args.scale)
+    print(format_figure12(rows))
+    if args.output:
+        path = write_records(speedup_rows(rows), args.output)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    report = validate_platform(_platform(args))
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_regenerate(args) -> int:
+    """Dump every table/figure's data to a results directory."""
+    from pathlib import Path
+
+    platform = _platform(args)
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    for key in sorted(EXPERIMENTS):
+        results = run_experiment(key, platform, scale=args.scale)
+        path = write_records(scenario_rows(results), out / f"{key}.csv")
+        written.append(path)
+    rows = figure12(platform, scale=args.scale)
+    written.append(write_records(speedup_rows(rows), out / "fig12.csv"))
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    from repro.apps.characterize import characterize, format_characterization
+    from repro.apps.registry import all_applications
+
+    platform = _platform(args)
+    chars = []
+    for app in all_applications():
+        if app.name == "Cholesky":
+            continue  # tile-granular; the table is per index-space kernel
+        chars.append(characterize(app, platform))
+    print(format_characterization(chars))
+    return 0
+
+
+def cmd_crossover(args) -> int:
+    from repro.bench.crossover import (
+        format_crossover,
+        hotspot_bandwidth_crossover,
+        stream_iteration_crossover,
+    )
+
+    platform = _platform(args)
+    if args.sweep == "stream-iterations":
+        point = stream_iteration_crossover(platform)
+    else:
+        point = hotspot_bandwidth_crossover(platform)
+    print(format_crossover(point))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.bench.report import write_report
+
+    path = write_report(_platform(args), args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_baseline(args) -> int:
+    from repro.bench.baseline import check_baseline, save_baseline
+
+    platform = _platform(args)
+    if args.save:
+        path = save_baseline(platform, args.save)
+        print(f"wrote baseline {path}")
+        return 0
+    diff = check_baseline(platform, args.check, rtol=args.rtol)
+    print(diff.summary())
+    return 0 if diff.ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Matchmaking applications and partitioning strategies "
+                    "(ICPP 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="list applications/strategies/experiments")
+    p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser("platform", help="describe a platform preset")
+    _add_common(p)
+    p.set_defaults(func=cmd_platform)
+
+    p = sub.add_parser("analyze", help="classify an application")
+    p.add_argument("app")
+    p.add_argument("-n", type=int, default=None, help="problem size")
+    sync = p.add_mutually_exclusive_group()
+    sync.add_argument("--sync", dest="sync", action="store_true", default=None)
+    sync.add_argument("--no-sync", dest="sync", action="store_false")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("run", help="execute an application")
+    _add_common(p)
+    p.add_argument("app")
+    p.add_argument("--strategy", default=None,
+                   help="strategy name (default: matchmade best)")
+    p.add_argument("-n", type=int, default=None)
+    p.add_argument("-i", "--iterations", type=int, default=None)
+    p.add_argument("--threads", type=int, default=None,
+                   help="SMP thread count m")
+    p.add_argument("--tasks", type=int, default=None,
+                   help="dynamic task count per kernel")
+    sync = p.add_mutually_exclusive_group()
+    sync.add_argument("--sync", dest="sync", action="store_true", default=None)
+    sync.add_argument("--no-sync", dest="sync", action="store_false")
+    p.add_argument("--stats", action="store_true",
+                   help="print trace statistics")
+    p.add_argument("--gantt", action="store_true", help="print a Gantt chart")
+    p.add_argument("--gantt-width", type=int, default=80)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    _add_common(p)
+    p.add_argument("key", choices=sorted(EXPERIMENTS))
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="problem-size scale factor (0, 1]")
+    p.add_argument("-o", "--output", default=None,
+                   help="export data to FILE.csv or FILE.json")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("speedup", help="regenerate Figure 12")
+    _add_common(p)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_speedup)
+
+    p = sub.add_parser("validate", help="run the paper-shape validation")
+    _add_common(p)
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "regenerate",
+        help="export every table/figure's data to a directory",
+    )
+    _add_common(p)
+    p.add_argument("-o", "--output", default="results")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=cmd_regenerate)
+
+    p = sub.add_parser("characterize", help="print the workload table")
+    _add_common(p)
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("crossover", help="run a crossover sweep")
+    _add_common(p)
+    p.add_argument("sweep", choices=["stream-iterations", "hotspot-bandwidth"])
+    p.set_defaults(func=cmd_crossover)
+
+    p = sub.add_parser(
+        "report", help="run the full evaluation and write a markdown report"
+    )
+    _add_common(p)
+    p.add_argument("-o", "--output", default="REPORT.md")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "baseline", help="save or check a regression baseline snapshot"
+    )
+    _add_common(p)
+    mode = p.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--save", metavar="FILE", default=None)
+    mode.add_argument("--check", metavar="FILE", default=None)
+    p.add_argument("--rtol", type=float, default=0.01)
+    p.set_defaults(func=cmd_baseline)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # output piped into head & co.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

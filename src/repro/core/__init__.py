@@ -1,0 +1,45 @@
+"""The application analyzer — the paper's primary contribution (§III).
+
+Given an application, the analyzer:
+
+1. derives its **kernel structure** from the program
+   (:mod:`repro.core.structure`),
+2. **classifies** it into one of the five classes
+   (:mod:`repro.core.classifier`),
+3. looks up the **performance ranking** of the suitable partitioning
+   strategies for that class (:mod:`repro.core.ranking`, Table I),
+4. **matches** the application with the best-ranked strategy and can run
+   it end-to-end (:mod:`repro.core.matchmaker`).
+"""
+
+from repro.core.classes import AppClass
+from repro.core.structure import FlowType, KernelStructure, derive_structure
+from repro.core.classifier import classify, classify_program
+from repro.core.ranking import (
+    PROPOSITIONS,
+    ranking,
+    suitable_strategies,
+)
+from repro.core.analyzer import AnalysisReport, analyze, analyze_program
+from repro.core.matchmaker import MatchResult, match, run_best
+from repro.core.report import format_analysis, format_match
+
+__all__ = [
+    "AppClass",
+    "FlowType",
+    "KernelStructure",
+    "derive_structure",
+    "classify",
+    "classify_program",
+    "PROPOSITIONS",
+    "ranking",
+    "suitable_strategies",
+    "AnalysisReport",
+    "analyze",
+    "analyze_program",
+    "MatchResult",
+    "match",
+    "run_best",
+    "format_analysis",
+    "format_match",
+]

@@ -1,0 +1,77 @@
+"""The analysis step: program -> class -> ranked strategies (§III-A).
+
+The analyzer implements steps (2) and (3) of the paper's Figure 2 flow:
+analyze the kernel structure, identify the class, and select the ranked
+strategies.  Step (4) — enabling the chosen strategy — is the matchmaker's
+job (:mod:`repro.core.matchmaker`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import Application
+from repro.core.classes import AppClass
+from repro.core.classifier import classify
+from repro.core.ranking import ranking
+from repro.core.structure import KernelStructure, derive_structure
+from repro.runtime.graph import Program
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything the analyzer determined about one application."""
+
+    application: str
+    structure: KernelStructure
+    app_class: AppClass
+    needs_sync: bool
+    #: suitable strategies, best-ranked first (Table I row)
+    ranked_strategies: tuple[str, ...]
+
+    @property
+    def best_strategy(self) -> str:
+        return self.ranked_strategies[0]
+
+
+def analyze_program(
+    program: Program,
+    *,
+    name: str = "<program>",
+    needs_sync: bool | None = None,
+) -> AnalysisReport:
+    """Analyze a raw program.
+
+    ``needs_sync`` defaults to what the program itself declares (taskwait
+    markers between kernels); pass it explicitly for applications that
+    *need* synchronization for post-processing even though the ported code
+    does not yet contain it.
+    """
+    structure = derive_structure(program)
+    app_class = classify(structure)
+    sync = structure.has_inter_kernel_sync if needs_sync is None else needs_sync
+    return AnalysisReport(
+        application=name,
+        structure=structure,
+        app_class=app_class,
+        needs_sync=sync,
+        ranked_strategies=ranking(app_class, needs_sync=sync),
+    )
+
+
+def analyze(
+    app: Application,
+    *,
+    n: int | None = None,
+    iterations: int | None = None,
+    sync: bool | None = None,
+) -> AnalysisReport:
+    """Analyze an :class:`~repro.apps.base.Application`.
+
+    The application's own ``needs_sync`` declaration is used unless
+    overridden — STREAM, for instance, is analyzed as needing sync only in
+    its ``-w`` configuration.
+    """
+    effective_sync = app.needs_sync if sync is None else sync
+    program = app.program(n, iterations=iterations, sync=effective_sync)
+    return analyze_program(program, name=app.name, needs_sync=effective_sync)

@@ -1,0 +1,51 @@
+"""The five application classes (paper §III-B, Figure 3)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class AppClass(enum.Enum):
+    """Application classification by kernel structure.
+
+    The two criteria are the number of kernels and the type of kernel
+    execution flow (a sequence, a loop, or a full DAG).
+    """
+
+    #: Class I — a single kernel
+    SK_ONE = "SK-One"
+    #: Class II — a single kernel iterated in a loop
+    SK_LOOP = "SK-Loop"
+    #: Class III — multiple kernels executed in a sequence
+    MK_SEQ = "MK-Seq"
+    #: Class IV — multiple kernels in a sequence, iterated in a loop
+    MK_LOOP = "MK-Loop"
+    #: Class V — multiple kernels whose execution forms a DAG
+    MK_DAG = "MK-DAG"
+
+    @property
+    def roman(self) -> str:
+        """The paper's roman-numeral class label."""
+        return {
+            AppClass.SK_ONE: "I",
+            AppClass.SK_LOOP: "II",
+            AppClass.MK_SEQ: "III",
+            AppClass.MK_LOOP: "IV",
+            AppClass.MK_DAG: "V",
+        }[self]
+
+    @property
+    def single_kernel(self) -> bool:
+        return self in (AppClass.SK_ONE, AppClass.SK_LOOP)
+
+    @property
+    def multi_kernel(self) -> bool:
+        return not self.single_kernel
+
+    @classmethod
+    def from_label(cls, label: str) -> "AppClass":
+        """Parse a class from its paper label (``"SK-One"`` ...)."""
+        for member in cls:
+            if member.value == label:
+                return member
+        raise ValueError(f"unknown application class label {label!r}")

@@ -1,0 +1,32 @@
+"""Mapping kernel structures to the five application classes (§III-B)."""
+
+from __future__ import annotations
+
+from repro.core.classes import AppClass
+from repro.core.structure import FlowType, KernelStructure, derive_structure
+from repro.runtime.graph import Program
+
+
+def classify(structure: KernelStructure) -> AppClass:
+    """Classify a kernel structure.
+
+    * one kernel, executed once → **SK-One**
+    * one kernel, iterated → **SK-Loop**
+    * multiple kernels, totally ordered, single pass → **MK-Seq**
+    * multiple kernels, totally ordered, iterated → **MK-Loop**
+    * multiple kernels with parallel (incomparable) invocations → **MK-DAG**
+    """
+    if structure.n_kernels == 1:
+        return (
+            AppClass.SK_LOOP if structure.flow is FlowType.LOOP else AppClass.SK_ONE
+        )
+    if structure.flow is FlowType.DAG:
+        return AppClass.MK_DAG
+    if structure.flow is FlowType.LOOP:
+        return AppClass.MK_LOOP
+    return AppClass.MK_SEQ
+
+
+def classify_program(program: Program) -> AppClass:
+    """Derive the structure of ``program`` and classify it."""
+    return classify(derive_structure(program))

@@ -1,0 +1,71 @@
+"""Matchmaking: select the best strategy and execute it (§III-A step 4).
+
+This is the end-to-end entry point a user of the library calls: give it an
+application and a platform, get back the class, the chosen strategy, and
+the (simulated) execution outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import Application
+from repro.core.analyzer import AnalysisReport, analyze
+from repro.partition.base import ExecutionPlan, PlanConfig, get_strategy, run_plan
+from repro.platform.topology import Platform
+from repro.runtime.executor import ExecutionResult, RuntimeConfig
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matchmaking one application."""
+
+    report: AnalysisReport
+    plan: ExecutionPlan
+    result: ExecutionResult | None = None
+
+    @property
+    def strategy(self) -> str:
+        return self.plan.strategy_name
+
+    @property
+    def makespan_ms(self) -> float:
+        if self.result is None:
+            raise ValueError("match() was called with execute=False")
+        return self.result.makespan_ms
+
+
+def match(
+    app: Application,
+    platform: Platform,
+    *,
+    n: int | None = None,
+    iterations: int | None = None,
+    sync: bool | None = None,
+    config: PlanConfig | None = None,
+    runtime_config: RuntimeConfig | None = None,
+    execute: bool = True,
+) -> MatchResult:
+    """Classify ``app``, pick the best-ranked strategy, plan, and run it."""
+    cfg = config or PlanConfig()
+    report = analyze(app, n=n, iterations=iterations, sync=sync)
+    effective_sync = app.needs_sync if sync is None else sync
+    program = app.program(n, iterations=iterations, sync=effective_sync)
+    strategy = get_strategy(report.best_strategy)
+    plan = strategy.plan(program, platform, cfg)
+    result = None
+    if execute:
+        rt = runtime_config or RuntimeConfig(cpu_threads=cfg.threads(platform))
+        result = run_plan(plan, platform, rt)
+    return MatchResult(report=report, plan=plan, result=result)
+
+
+def run_best(
+    app: Application,
+    platform: Platform,
+    **kwargs,
+) -> ExecutionResult:
+    """Convenience wrapper: matchmake and return the execution result."""
+    outcome = match(app, platform, execute=True, **kwargs)
+    assert outcome.result is not None
+    return outcome.result

@@ -1,0 +1,71 @@
+"""Table I: suitable strategies and their performance ranking (§III-C).
+
+==============================  ==============================================
+Application class               Ranking (best first)
+==============================  ==============================================
+SK-One, SK-Loop                 SP-Single, DP-Perf, DP-Dep
+MK-Seq, MK-Loop (w/o sync)      SP-Unified, DP-Perf, DP-Dep, SP-Varied
+MK-Seq, MK-Loop (w sync)        SP-Varied, DP-Perf, DP-Dep, SP-Unified
+MK-DAG                          DP-Perf, DP-Dep
+==============================  ==============================================
+
+The ranking rests on the paper's three propositions, reproduced in
+:data:`PROPOSITIONS` and validated empirically by the integration tests
+and :mod:`repro.bench.experiments`.
+"""
+
+from __future__ import annotations
+
+from repro.core.classes import AppClass
+from repro.errors import ClassificationError
+
+#: the paper's three ranking propositions ("≥" = outperforms or equals)
+PROPOSITIONS: dict[int, str] = {
+    1: "For all classes, DP-Perf >= DP-Dep: performance-aware scheduling "
+       "distinguishes device capabilities; breadth-first cannot, and may "
+       "overload the weaker device.",
+    2: "For SK-One and SK-Loop, SP-Single > DP-Perf >= DP-Dep: the static "
+       "split is optimal and pays no runtime scheduling overhead; at best "
+       "a dynamic policy discovers the same split, later and at a cost.",
+    3: "For MK-Seq and MK-Loop: without inter-kernel synchronization, "
+       "SP-Unified > DP-Perf >= DP-Dep >= SP-Varied (SP-Varied adds "
+       "synchronization and transfers the application never needed); with "
+       "synchronization, SP-Varied > DP-Perf >= DP-Dep >= SP-Unified "
+       "(per-kernel optima win; a unified split ignores kernel "
+       "differences).",
+}
+
+_SK_RANKING = ("SP-Single", "DP-Perf", "DP-Dep")
+_MK_NOSYNC = ("SP-Unified", "DP-Perf", "DP-Dep", "SP-Varied")
+_MK_SYNC = ("SP-Varied", "DP-Perf", "DP-Dep", "SP-Unified")
+_DAG_RANKING = ("DP-Perf", "DP-Dep")
+
+
+def ranking(app_class: AppClass, *, needs_sync: bool = False) -> tuple[str, ...]:
+    """Strategy names ranked best-first for a class (paper Table I).
+
+    ``needs_sync`` selects the MK-Seq/MK-Loop sub-case: whether the
+    application originally uses — or, because of partitioned outputs
+    feeding post-processing, needs — inter-kernel synchronization.
+    """
+    if app_class.single_kernel:
+        return _SK_RANKING
+    if app_class is AppClass.MK_DAG:
+        return _DAG_RANKING
+    if app_class in (AppClass.MK_SEQ, AppClass.MK_LOOP):
+        return _MK_SYNC if needs_sync else _MK_NOSYNC
+    raise ClassificationError(f"unhandled class {app_class}")  # pragma: no cover
+
+
+def suitable_strategies(app_class: AppClass) -> tuple[str, ...]:
+    """All strategies applicable to a class, regardless of sync (Table I)."""
+    if app_class.single_kernel:
+        return _SK_RANKING
+    if app_class is AppClass.MK_DAG:
+        return _DAG_RANKING
+    return _MK_NOSYNC  # both MK orderings contain the same four strategies
+
+
+def best_strategy(app_class: AppClass, *, needs_sync: bool = False) -> str:
+    """The top-ranked strategy for a class."""
+    return ranking(app_class, needs_sync=needs_sync)[0]

@@ -1,0 +1,53 @@
+"""Human-readable reports of analysis and matchmaking outcomes."""
+
+from __future__ import annotations
+
+from repro.core.analyzer import AnalysisReport
+from repro.core.matchmaker import MatchResult
+
+
+def format_analysis(report: AnalysisReport) -> str:
+    """Multi-line summary of an analysis report."""
+    s = report.structure
+    lines = [
+        f"Application: {report.application}",
+        f"  kernels:        {s.n_kernels} ({', '.join(s.kernel_names)})",
+        f"  execution flow: {s.flow.value}"
+        + (f" x {s.iterations} iterations" if s.iterations > 1 else ""),
+        f"  inter-kernel sync: {'yes' if report.needs_sync else 'no'}",
+        f"  class:          {report.app_class.value} "
+        f"(Class {report.app_class.roman})",
+        "  ranking:        "
+        + " > ".join(
+            f"{i + 1}.{name}" for i, name in enumerate(report.ranked_strategies)
+        ),
+        f"  => best strategy: {report.best_strategy}",
+    ]
+    return "\n".join(lines)
+
+
+def format_match(outcome: MatchResult) -> str:
+    """Multi-line summary of a matchmaking outcome."""
+    lines = [format_analysis(outcome.report)]
+    decision = outcome.plan.decision
+    lines.append(f"  hardware config: {decision.hardware_config}")
+    if decision.gpu_fraction_by_kernel:
+        for kernel, frac in decision.gpu_fraction_by_kernel.items():
+            lines.append(
+                f"  planned split [{kernel}]: "
+                f"GPU {frac:6.1%} / CPU {1 - frac:6.1%}"
+            )
+    if outcome.result is not None:
+        r = outcome.result
+        lines.append(f"  simulated makespan: {r.makespan_ms:.2f} ms")
+        if r.elements_by_device:
+            lines.append(
+                f"  executed split: GPU {r.gpu_fraction:6.1%} / "
+                f"CPU {r.cpu_fraction:6.1%}"
+            )
+        lines.append(
+            "  transfers: "
+            f"H2D {r.transfer_bytes.get('h2d', 0) / 1e6:.1f} MB, "
+            f"D2H {r.transfer_bytes.get('d2h', 0) / 1e6:.1f} MB"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Deriving an application's kernel structure from its program.
+
+The classifier needs two facts (paper §III-B): the number of kernels and
+the type of kernel execution flow — sequence, loop, or DAG.  Both are
+derived from the program itself:
+
+* kernels are counted by distinct kernel *name* (double-buffered variants
+  of one kernel share a name and count once);
+* the flow type comes from the invocation-level dependence graph: if every
+  pair of invocations is ordered (the graph's reachability is a total
+  order) the flow is a sequence, otherwise it is a DAG; iteration tags
+  distinguish loops from plain sequences.
+
+Inner loops around individual kernels (repeated consecutive invocations of
+the same kernel) unroll into the sequence and do not affect the class, as
+§III-B prescribes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ClassificationError
+from repro.runtime.dependence import build_dependences
+from repro.runtime.graph import InstanceKind, Program, expand_program
+
+
+class FlowType(enum.Enum):
+    """Kernel execution-flow shape."""
+
+    SEQUENCE = "sequence"
+    LOOP = "loop"
+    DAG = "dag"
+
+
+@dataclass(frozen=True)
+class KernelStructure:
+    """Structural summary of one application."""
+
+    kernel_names: tuple[str, ...]
+    flow: FlowType
+    iterations: int
+    #: whether a taskwait separates non-final invocations
+    has_inter_kernel_sync: bool
+    n_invocations: int
+
+    @property
+    def n_kernels(self) -> int:
+        return len(self.kernel_names)
+
+
+def _invocation_level_graph(program: Program):
+    """Task graph with exactly one instance per invocation."""
+    graph = expand_program(program, lambda inv: [(0, inv.n, None, None)])
+    return build_dependences(graph)
+
+
+def _is_total_order(graph) -> bool:
+    """Whether reachability makes the compute instances a total order.
+
+    Instances are created in program order, which is a topological order,
+    so the graph is a total order iff every compute instance reaches the
+    next compute instance.  Reachability is computed with bitsets in
+    reverse program order over *all* instances, so barriers transmit
+    ordering rather than breaking the traversal.
+    """
+    instances = graph.instances
+    computes = [
+        k for k, inst in enumerate(instances)
+        if inst.kind is InstanceKind.COMPUTE
+    ]
+    if len(computes) <= 1:
+        return True
+    index = {inst.instance_id: k for k, inst in enumerate(instances)}
+    reach = [0] * len(instances)
+    for k in range(len(instances) - 1, -1, -1):
+        bits = 0
+        for succ in instances[k].succs:
+            j = index[succ]
+            bits |= (1 << j) | reach[j]
+        reach[k] = bits
+    return all(
+        reach[a] >> b & 1 for a, b in zip(computes, computes[1:])
+    )
+
+
+def derive_structure(program: Program) -> KernelStructure:
+    """Analyze ``program`` and summarize its kernel structure."""
+    if not program.invocations:
+        raise ClassificationError("cannot classify an empty program")
+    names: dict[str, None] = {}
+    for inv in program.invocations:
+        names.setdefault(inv.kernel.name, None)
+    kernel_names = tuple(names)
+    iterations = max(inv.iteration for inv in program.invocations) + 1
+    sync = any(inv.sync_after for inv in program.invocations[:-1])
+
+    if len(kernel_names) == 1:
+        flow = FlowType.LOOP if len(program.invocations) > 1 else FlowType.SEQUENCE
+    else:
+        # the flow type is a property of one loop body: analyze the first
+        # iteration only, so legitimate cross-iteration pipelining does not
+        # turn an MK-Loop application into MK-DAG
+        first_iter = [
+            inv for inv in program.invocations if inv.iteration == 0
+        ]
+        body = Program(invocations=first_iter, arrays=dict(program.arrays))
+        graph = _invocation_level_graph(body)
+        if not _is_total_order(graph):
+            flow = FlowType.DAG
+        elif iterations > 1:
+            flow = FlowType.LOOP
+        else:
+            flow = FlowType.SEQUENCE
+
+    return KernelStructure(
+        kernel_names=kernel_names,
+        flow=flow,
+        iterations=iterations,
+        has_inter_kernel_sync=sync,
+        n_invocations=len(program.invocations),
+    )

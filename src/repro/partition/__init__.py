@@ -1,0 +1,88 @@
+"""Workload partitioning strategies.
+
+The five strategies of the paper plus the two single-device baselines:
+
+=============  =========================================================
+``SP-Single``  Glinda static split of a single kernel (classes I, II)
+``SP-Unified`` one static split shared by all kernels (classes III, IV)
+``SP-Varied``  per-kernel static splits + inter-kernel sync (III, IV)
+``DP-Dep``     dynamic, breadth-first + dependence-chain affinity (all)
+``DP-Perf``    dynamic, performance-aware earliest finish (all)
+``Only-CPU``   all work on the host CPU with ``m`` threads
+``Only-GPU``   all work on the GPU, data resident across iterations
+=============  =========================================================
+
+Plus the paper's §V extensions: a task-size autotuner for the dynamic
+strategies and the "make dynamic behave like static" converter.
+"""
+
+from repro.partition.base import (
+    ExecutionPlan,
+    PlanConfig,
+    Strategy,
+    StrategyDecision,
+    get_strategy,
+    list_strategies,
+    register_strategy,
+    run_plan,
+)
+from repro.partition.glinda import (
+    GlindaDecision,
+    GlindaMetrics,
+    GlindaModel,
+    HardwareConfig,
+    TransferModel,
+)
+from repro.partition.glinda_multi import (
+    DeviceTerm,
+    MultiDeviceDecision,
+    predict_multi,
+    solve_overlap,
+)
+from repro.partition.profiling import KernelProfile, build_profile_table, profile_kernel
+from repro.partition.sp_single import SPSingle
+from repro.partition.sp_unified import SPUnified
+from repro.partition.sp_varied import SPVaried
+from repro.partition.dp_dep import DPDep
+from repro.partition.dp_guided import DPGuided
+from repro.partition.dp_perf import DPPerf
+from repro.partition.only import OnlyCPU, OnlyGPU
+from repro.partition.autotune import autotune_task_count
+from repro.partition.convert import static_assignment_counts, dynamic_as_static_plan
+from repro.partition.validate import PlanValidation, validate_plan
+
+__all__ = [
+    "ExecutionPlan",
+    "PlanConfig",
+    "Strategy",
+    "StrategyDecision",
+    "get_strategy",
+    "list_strategies",
+    "register_strategy",
+    "run_plan",
+    "GlindaDecision",
+    "GlindaMetrics",
+    "GlindaModel",
+    "HardwareConfig",
+    "TransferModel",
+    "DeviceTerm",
+    "MultiDeviceDecision",
+    "predict_multi",
+    "solve_overlap",
+    "KernelProfile",
+    "build_profile_table",
+    "profile_kernel",
+    "SPSingle",
+    "SPUnified",
+    "SPVaried",
+    "DPDep",
+    "DPGuided",
+    "DPPerf",
+    "OnlyCPU",
+    "OnlyGPU",
+    "autotune_task_count",
+    "static_assignment_counts",
+    "dynamic_as_static_plan",
+    "PlanValidation",
+    "validate_plan",
+]

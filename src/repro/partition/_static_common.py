@@ -1,0 +1,148 @@
+"""Shared machinery of the SP-* (static) strategies."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import PartitioningError, StrategyInapplicableError
+from repro.partition.base import PlanConfig
+from repro.partition.glinda import GlindaDecision, HardwareConfig
+from repro.platform.topology import Platform
+from repro.runtime.graph import KernelInvocation, Program
+
+#: a chunk descriptor: (lo, hi, pinned_device, pinned_resource)
+Chunk = tuple[int, int, str | None, str | None]
+
+
+def cpu_thread_ranges(lo: int, hi: int, m: int) -> list[tuple[int, int]]:
+    """Split ``[lo, hi)`` into up to ``m`` near-equal contiguous ranges."""
+    n = hi - lo
+    if n <= 0:
+        return []
+    m = min(m, n)
+    base, extra = divmod(n, m)
+    out = []
+    cur = lo
+    for i in range(m):
+        nxt = cur + base + (1 if i < extra else 0)
+        out.append((cur, nxt))
+        cur = nxt
+    return out
+
+
+def static_chunks(
+    inv: KernelInvocation,
+    n_gpu: int,
+    *,
+    platform: Platform,
+    m: int,
+) -> list[Chunk]:
+    """Chunks of one invocation under a static split of ``n_gpu`` indices.
+
+    The GPU receives the leading ``[0, n_gpu)`` as a single fused task
+    instance; the CPU share ``[n_gpu, n)`` is split into ``m`` instances
+    pinned round-robin to the SMP threads — exactly the paper's "the GPU
+    task is invoked once, and the CPU task is invoked m times".
+    """
+    if not (0 <= n_gpu <= inv.n):
+        raise PartitioningError(f"n_gpu={n_gpu} outside [0, {inv.n}]")
+    chunks: list[Chunk] = []
+    if n_gpu > 0:
+        gpu_id = platform.gpu.device_id
+        chunks.append((0, n_gpu, gpu_id, None))
+    host = platform.host.device_id
+    for i, (lo, hi) in enumerate(cpu_thread_ranges(n_gpu, inv.n, m)):
+        chunks.append((lo, hi, None, f"{host}:{i}"))
+    return chunks
+
+
+def multi_static_chunks(
+    inv: KernelInvocation,
+    shares: dict[str, int],
+    *,
+    platform: Platform,
+    m: int,
+) -> list[Chunk]:
+    """Chunks of one invocation under a multi-device static split.
+
+    ``shares`` maps accelerator device ids to index counts; whatever is
+    left is the CPU's and is divided into ``m`` thread-pinned instances.
+    Accelerator ranges are laid out in platform order from index 0.
+    """
+    chunks: list[Chunk] = []
+    cursor = 0
+    for acc in platform.accelerators:
+        size = shares.get(acc.device_id, 0)
+        if size < 0 or cursor + size > inv.n:
+            raise PartitioningError(
+                f"invalid share {size} for {acc.device_id} "
+                f"(cursor {cursor}, n {inv.n})"
+            )
+        if size:
+            chunks.append((cursor, cursor + size, acc.device_id, None))
+            cursor += size
+    host = platform.host.device_id
+    for i, (lo, hi) in enumerate(cpu_thread_ranges(cursor, inv.n, m)):
+        chunks.append((lo, hi, None, f"{host}:{i}"))
+    return chunks
+
+
+def single_kernel_of(program: Program, strategy: str):
+    """The unique kernel of a single-kernel program, or raise."""
+    kernels = program.kernels
+    if len(kernels) != 1:
+        raise StrategyInapplicableError(
+            f"{strategy} applies to single-kernel applications only; "
+            f"got kernels {[k.name for k in kernels]}"
+        )
+    return kernels[0]
+
+
+def require_multi_kernel(program: Program, strategy: str) -> None:
+    if len(program.kernels) < 2:
+        raise StrategyInapplicableError(
+            f"{strategy} is designed for multi-kernel applications; "
+            "use SP-Single for single-kernel ones"
+        )
+
+
+def uniform_problem_size(program: Program, strategy: str) -> int:
+    """The shared problem size of all invocations, or raise.
+
+    The paper's unified/single static splits assume every kernel iterates
+    over the same index space (true for all six evaluation applications).
+    """
+    sizes = {inv.n for inv in program.invocations}
+    if len(sizes) != 1:
+        raise StrategyInapplicableError(
+            f"{strategy} needs a uniform problem size across kernels; got {sizes}"
+        )
+    return sizes.pop()
+
+
+def decision_chunker(
+    decision_for: Callable[[KernelInvocation], GlindaDecision],
+    *,
+    platform: Platform,
+    m: int,
+) -> Callable[[KernelInvocation], list[Chunk]]:
+    """Chunker applying a per-invocation Glinda decision."""
+
+    def chunker(inv: KernelInvocation) -> list[Chunk]:
+        decision = decision_for(inv)
+        if decision.config is HardwareConfig.ONLY_GPU:
+            return static_chunks(inv, inv.n, platform=platform, m=m)
+        if decision.config is HardwareConfig.ONLY_CPU:
+            return static_chunks(inv, 0, platform=platform, m=m)
+        return static_chunks(inv, decision.n_gpu, platform=platform, m=m)
+
+    return chunker
+
+
+def glinda_kwargs(config: PlanConfig) -> dict:
+    """GlindaModel constructor kwargs derived from a plan config."""
+    return {
+        "warp_size": config.warp_size,
+        "gpu_only_threshold": config.gpu_only_threshold,
+        "cpu_only_threshold": config.cpu_only_threshold,
+    }

@@ -1,0 +1,230 @@
+"""Strategy interface, plan objects, and the strategy registry.
+
+A :class:`Strategy` turns a :class:`~repro.runtime.graph.Program` into an
+:class:`ExecutionPlan`: an expanded, dependence-annotated task graph plus
+the scheduler that should drive it.  Static strategies pin instances to
+resources; dynamic strategies leave them to the scheduler.
+
+Strategies never import application code — the matchmaker in
+:mod:`repro.core` connects :class:`~repro.apps.base.Application` objects to
+strategies.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError, PartitioningError
+from repro.platform.topology import Platform
+from repro.runtime.dependence import build_dependences
+from repro.runtime.executor import ExecutionResult, RuntimeConfig, RuntimeEngine
+from repro.runtime.graph import KernelInvocation, Program, TaskGraph, expand_program
+from repro.runtime.schedulers.base import Scheduler
+
+
+@dataclass(frozen=True)
+class PlanConfig:
+    """Knobs shared by all strategies.
+
+    Parameters
+    ----------
+    cpu_threads:
+        The paper's ``m`` — number of SMP threads (default: host cores).
+        Used for static CPU chunking *and* as the dynamic task count
+        (dynamic task size is ``n / m``, creating ``m`` instances).
+    task_count:
+        Override for the number of dynamic task instances per kernel
+        invocation (the §V auto-tuning knob).  ``None`` = ``cpu_threads``.
+    warp_size:
+        GPU partition sizes are rounded up to a multiple of this.
+    gpu_only_threshold / cpu_only_threshold:
+        Glinda's hardware-configuration decision: a predicted GPU fraction
+        above/below these collapses to Only-GPU / Only-CPU.
+    """
+
+    cpu_threads: int | None = None
+    task_count: int | None = None
+    warp_size: int = 32
+    gpu_only_threshold: float = 0.97
+    cpu_only_threshold: float = 0.03
+
+    def threads(self, platform: Platform) -> int:
+        return self.cpu_threads or platform.host.spec.cores
+
+    def chunks(self, platform: Platform) -> int:
+        return self.task_count or self.threads(platform)
+
+
+@dataclass
+class StrategyDecision:
+    """What a strategy decided, for reporting (cf. paper Figs. 6/8/10).
+
+    ``gpu_fraction_by_kernel`` maps kernel name to the *planned* GPU share
+    (static strategies only; dynamic strategies discover it at runtime).
+    ``notes`` carries strategy-specific details such as the Glinda metrics.
+    """
+
+    strategy: str
+    hardware_config: str = "cpu+gpu"
+    gpu_fraction_by_kernel: dict[str, float] = field(default_factory=dict)
+    notes: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ExecutionPlan:
+    """A ready-to-execute partitioned workload.
+
+    ``runtime_overrides`` lets a strategy adjust the runtime-cost model for
+    its execution style — the Only-GPU baseline is plain OpenCL without an
+    OmpSs runtime, so it zeroes the task-management and taskwait-quiescence
+    overheads.
+    """
+
+    graph: TaskGraph
+    scheduler: Scheduler
+    decision: StrategyDecision
+    runtime_overrides: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def strategy_name(self) -> str:
+        return self.decision.strategy
+
+
+class Strategy(abc.ABC):
+    """Base class for partitioning strategies."""
+
+    #: canonical name used in tables and the registry ("SP-Single", ...)
+    name: str = "?"
+    #: True for SP-* strategies (fixed split before runtime)
+    static: bool = True
+
+    @abc.abstractmethod
+    def plan(
+        self, program: Program, platform: Platform, config: PlanConfig | None = None
+    ) -> ExecutionPlan:
+        """Build the execution plan for ``program`` on ``platform``.
+
+        Raises :class:`~repro.errors.StrategyInapplicableError` when the
+        program's kernel structure is outside this strategy's coverage.
+        """
+
+    def run(
+        self,
+        program: Program,
+        platform: Platform,
+        *,
+        config: PlanConfig | None = None,
+        runtime_config: RuntimeConfig | None = None,
+    ) -> ExecutionResult:
+        """Plan and execute in one call (convenience wrapper)."""
+        cfg = config or PlanConfig()
+        plan = self.plan(program, platform, cfg)
+        rt = runtime_config or RuntimeConfig(cpu_threads=cfg.threads(platform))
+        return run_plan(plan, platform, rt)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Strategy {self.name}>"
+
+
+def run_plan(
+    plan: ExecutionPlan, platform: Platform, runtime_config: RuntimeConfig | None = None
+) -> ExecutionResult:
+    """Execute a plan on the simulated runtime.
+
+    The plan's ``runtime_overrides`` are applied on top of the supplied
+    runtime configuration.
+    """
+    config = runtime_config or RuntimeConfig()
+    if plan.runtime_overrides:
+        config = replace(config, **plan.runtime_overrides)
+    engine = RuntimeEngine(platform, config=config)
+    return engine.execute(plan.graph, plan.scheduler)
+
+
+# -- program rewriting helpers shared by strategies -----------------------
+
+
+def strip_sync(program: Program) -> Program:
+    """A copy of ``program`` with all ``taskwait`` markers removed."""
+    return Program(
+        invocations=[
+            KernelInvocation(
+                invocation_id=inv.invocation_id,
+                kernel=inv.kernel,
+                n=inv.n,
+                iteration=inv.iteration,
+                sync_after=False,
+            )
+            for inv in program.invocations
+        ],
+        arrays=dict(program.arrays),
+    )
+
+
+def force_sync(program: Program) -> Program:
+    """A copy of ``program`` with a ``taskwait`` after every invocation.
+
+    This is SP-Varied's required "extra global synchronization points".
+    """
+    return Program(
+        invocations=[
+            KernelInvocation(
+                invocation_id=inv.invocation_id,
+                kernel=inv.kernel,
+                n=inv.n,
+                iteration=inv.iteration,
+                sync_after=True,
+            )
+            for inv in program.invocations
+        ],
+        arrays=dict(program.arrays),
+    )
+
+
+def has_inter_kernel_sync(program: Program) -> bool:
+    """Whether any non-final invocation is followed by a ``taskwait``."""
+    if not program.invocations:
+        return False
+    return any(inv.sync_after for inv in program.invocations[:-1])
+
+
+def finalize_graph(
+    program: Program,
+    chunker: Callable[[KernelInvocation], list[tuple[int, int, str | None, str | None]]],
+) -> TaskGraph:
+    """Expand, build dependences, and sanity-check a task graph."""
+    graph = expand_program(program, chunker)
+    build_dependences(graph)
+    graph.validate_acyclic()
+    if not graph.instances:
+        raise PartitioningError("plan produced an empty task graph")
+    return graph
+
+
+# -- registry ---------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[[], Strategy]] = {}
+
+
+def register_strategy(name: str, factory: Callable[[], Strategy]) -> None:
+    """Register a strategy factory under its canonical name."""
+    if name in _REGISTRY:
+        raise ConfigurationError(f"strategy {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_strategy(name: str) -> Strategy:
+    """Instantiate a registered strategy by canonical name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise PartitioningError(
+            f"unknown strategy {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_strategies() -> list[str]:
+    """Canonical names of all registered strategies."""
+    return sorted(_REGISTRY)

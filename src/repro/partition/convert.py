@@ -1,0 +1,111 @@
+"""Making dynamic partitioning "behave" like static partitioning (paper §V).
+
+For an application already written for dynamic partitioning whose best
+strategy is static, the paper recommends a three-step conversion instead of
+a rewrite:
+
+1. set the task size to the full problem size and determine the static
+   partitioning ratio;
+2. convert the ratio to a task-assignment ratio (``k`` instances on the
+   CPU, ``l`` on the GPU);
+3. assign those instance counts to the processors.
+
+The result is "a close-to-optimal partitioning with minimal manual effort".
+:func:`static_assignment_counts` performs step 2 and
+:func:`dynamic_as_static_plan` builds the step-3 plan: the dynamic chunking
+is kept, but chunks are pinned per the converted counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitioningError
+from repro.partition.base import (
+    ExecutionPlan,
+    PlanConfig,
+    StrategyDecision,
+    finalize_graph,
+)
+from repro.platform.topology import Platform
+from repro.runtime.graph import KernelInvocation, Program, chunk_ranges
+from repro.runtime.schedulers.base import StaticScheduler
+
+
+@dataclass(frozen=True)
+class AssignmentCounts:
+    """``k`` CPU instances and ``l`` GPU instances out of ``k + l`` total."""
+
+    cpu_instances: int
+    gpu_instances: int
+
+    @property
+    def total(self) -> int:
+        return self.cpu_instances + self.gpu_instances
+
+    @property
+    def gpu_fraction(self) -> float:
+        return self.gpu_instances / self.total if self.total else 0.0
+
+
+def static_assignment_counts(
+    gpu_fraction: float, task_count: int
+) -> AssignmentCounts:
+    """Convert a static partitioning ratio into instance counts.
+
+    The GPU count is rounded to the nearest instance; both processors are
+    guaranteed at least zero and at most all instances.
+    """
+    if not (0.0 <= gpu_fraction <= 1.0):
+        raise PartitioningError(f"gpu_fraction {gpu_fraction} outside [0, 1]")
+    if task_count <= 0:
+        raise PartitioningError("task_count must be positive")
+    gpu = round(gpu_fraction * task_count)
+    gpu = min(max(gpu, 0), task_count)
+    return AssignmentCounts(cpu_instances=task_count - gpu, gpu_instances=gpu)
+
+
+def dynamic_as_static_plan(
+    program: Program,
+    platform: Platform,
+    gpu_fraction: float,
+    *,
+    config: PlanConfig | None = None,
+) -> ExecutionPlan:
+    """Pin a dynamic chunking according to a converted static ratio.
+
+    Each invocation keeps the dynamic task count; the first ``l`` chunks
+    (scaled by the ratio) are pinned to the GPU and the rest are pinned
+    round-robin to the CPU threads.
+    """
+    config = config or PlanConfig()
+    chunks = config.chunks(platform)
+    counts = static_assignment_counts(gpu_fraction, chunks)
+    gpu_id = platform.gpu.device_id
+    host = platform.host.device_id
+    m = config.threads(platform)
+
+    def chunker(inv: KernelInvocation):
+        ranges = chunk_ranges(inv.n, chunks)
+        out = []
+        for i, (lo, hi) in enumerate(ranges):
+            if i < counts.gpu_instances:
+                out.append((lo, hi, gpu_id, None))
+            else:
+                thread = (i - counts.gpu_instances) % m
+                out.append((lo, hi, None, f"{host}:{thread}"))
+        return out
+
+    graph = finalize_graph(program, chunker)
+    return ExecutionPlan(
+        graph=graph,
+        scheduler=StaticScheduler(),
+        decision=StrategyDecision(
+            strategy="DP-as-SP",
+            hardware_config="cpu+gpu",
+            gpu_fraction_by_kernel={
+                k.name: counts.gpu_fraction for k in program.kernels
+            },
+            notes={"counts": counts, "task_count": chunks},
+        ),
+    )

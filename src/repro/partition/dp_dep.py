@@ -1,0 +1,55 @@
+"""DP-Dep: dynamic partitioning with the OmpSs breadth-first scheduler.
+
+Usable for every application class.  Each kernel invocation is divided into
+``m`` task instances of size ``n/m`` (the paper's dynamic task size), left
+unpinned, and scheduled breadth-first with dependence-chain device affinity
+(:class:`~repro.runtime.schedulers.breadth_first.BreadthFirstScheduler`).
+The policy is capability-blind — the source of the imbalance the paper
+observes on GPU-favouring workloads.
+"""
+
+from __future__ import annotations
+
+from repro.partition.base import (
+    ExecutionPlan,
+    PlanConfig,
+    Strategy,
+    StrategyDecision,
+    finalize_graph,
+    register_strategy,
+)
+from repro.platform.topology import Platform
+from repro.runtime.graph import KernelInvocation, Program, chunk_ranges
+from repro.runtime.schedulers.breadth_first import BreadthFirstScheduler
+
+
+class DPDep(Strategy):
+    """Dynamic partitioning, dependence-aware breadth-first scheduling."""
+
+    name = "DP-Dep"
+    static = False
+
+    def plan(
+        self, program: Program, platform: Platform, config: PlanConfig | None = None
+    ) -> ExecutionPlan:
+        config = config or PlanConfig()
+        chunks = config.chunks(platform)
+
+        def chunker(inv: KernelInvocation):
+            return [
+                (lo, hi, None, None) for lo, hi in chunk_ranges(inv.n, chunks)
+            ]
+
+        graph = finalize_graph(program, chunker)
+        return ExecutionPlan(
+            graph=graph,
+            scheduler=BreadthFirstScheduler(),
+            decision=StrategyDecision(
+                strategy=self.name,
+                hardware_config="cpu+gpu",
+                notes={"task_count": chunks},
+            ),
+        )
+
+
+register_strategy(DPDep.name, DPDep)

@@ -1,0 +1,128 @@
+"""DP-Guided: adaptive-chunk dynamic partitioning (related work, ref [11]).
+
+Boyer et al. ("Load Balancing in a Changing World") schedule a single
+kernel with chunks that *grow* over time: small probe chunks let the
+runtime learn device speeds cheaply, large later chunks amortize the
+per-chunk overhead.  The paper's related-work section observes that such
+schemes "efficiently reduce scheduling overhead, but still cannot
+outperform the optimal partitioning determined by the static partitioning
+approaches" — a claim `benchmarks/bench_related_guided.py` validates on
+this substrate.
+
+Implementation: each invocation is cut into a geometric chunk sequence
+(small probe chunks first, ratio ``growth``, capped so no late grab hands
+a slow device a large slice), scheduled by the performance-aware policy —
+Boyer's runtime uses "the execution times of the scheduled chunks ... to
+partition the remaining work", which is exactly the earliest-finish
+estimate refresh of :class:`PerfAwareScheduler` minus its profiling phase
+(the probe chunks *are* the profiling).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PartitioningError
+from repro.partition.base import (
+    ExecutionPlan,
+    PlanConfig,
+    Strategy,
+    StrategyDecision,
+    finalize_graph,
+    register_strategy,
+)
+from repro.platform.topology import Platform
+from repro.runtime.graph import KernelInvocation, Program
+from repro.runtime.schedulers.perf_aware import PerfAwareScheduler
+
+
+def geometric_chunks(
+    n: int, *, initial: int, growth: float, cap_fraction: float = 0.25
+) -> list[tuple[int, int]]:
+    """Cut ``[0, n)`` into chunks growing by ``growth`` per step.
+
+    Chunk sizes are capped at ``cap_fraction * n`` so one late grab cannot
+    hand the slow device a quarter-problem; the final chunk absorbs the
+    remainder.
+    """
+    if n <= 0:
+        raise PartitioningError("n must be positive")
+    if initial <= 0:
+        raise PartitioningError("initial chunk size must be positive")
+    if growth < 1.0:
+        raise PartitioningError("growth must be >= 1")
+    cap = max(initial, int(n * cap_fraction))
+    chunks = []
+    lo = 0
+    size = initial
+    while lo < n:
+        hi = min(lo + min(int(size), cap), n)
+        if n - hi < initial // 2:  # avoid a dust-sized tail
+            hi = n
+        chunks.append((lo, hi))
+        lo = hi
+        size *= growth
+    return chunks
+
+
+class DPGuided(Strategy):
+    """Self-scheduled geometric chunks (Boyer-style adaptive sizing)."""
+
+    name = "DP-Guided"
+    static = False
+
+    def __init__(
+        self,
+        *,
+        growth: float = 1.6,
+        probes_per_thread: int = 4,
+        cap_fraction: float = 0.05,
+    ):
+        if growth < 1.0:
+            raise PartitioningError("growth must be >= 1")
+        if probes_per_thread <= 0:
+            raise PartitioningError("probes_per_thread must be positive")
+        if not (0.0 < cap_fraction <= 1.0):
+            raise PartitioningError("cap_fraction must be in (0, 1]")
+        self.growth = growth
+        self.probes_per_thread = probes_per_thread
+        self.cap_fraction = cap_fraction
+
+    def plan(
+        self, program: Program, platform: Platform, config: PlanConfig | None = None
+    ) -> ExecutionPlan:
+        config = config or PlanConfig()
+        m = config.threads(platform)
+
+        def chunker(inv: KernelInvocation):
+            # the first wave hands every resource a probe chunk; probes are
+            # kept small so a slow device's first grab costs little
+            initial = max(
+                1, inv.n // (4 * self.probes_per_thread * (m + 1))
+            )
+            return [
+                (lo, hi, None, None)
+                for lo, hi in geometric_chunks(
+                    inv.n,
+                    initial=initial,
+                    growth=self.growth,
+                    cap_fraction=self.cap_fraction,
+                )
+            ]
+
+        graph = finalize_graph(program, chunker)
+        # no seeded profile: the probe chunks teach the scheduler (fast
+        # EWMA — Boyer reacts chunk by chunk)
+        return ExecutionPlan(
+            graph=graph,
+            scheduler=PerfAwareScheduler(ewma_alpha=0.7),
+            decision=StrategyDecision(
+                strategy=self.name,
+                hardware_config="cpu+gpu",
+                notes={
+                    "growth": self.growth,
+                    "probes_per_thread": self.probes_per_thread,
+                },
+            ),
+        )
+
+
+register_strategy(DPGuided.name, DPGuided)

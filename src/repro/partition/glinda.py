@@ -1,0 +1,225 @@
+"""The Glinda static partitioning model (paper §II-A, refs [9][10]).
+
+Glinda predicts the optimal GPU/CPU split of one kernel in three steps:
+
+1. **Model the partitioning.**  With throughputs ``Θ_g``/``Θ_c`` (kernel
+   indices per second on the whole GPU / whole CPU), link bandwidth ``B``
+   and a linear :class:`TransferModel` ``(p, q, D)`` — per-index traffic
+   proportional to the GPU share, per-index traffic proportional to the
+   CPU share (e.g. re-reading the CPU-updated part of a FULL input every
+   iteration), and fixed traffic — a split of ``n_g`` indices executes in
+
+   ``T_gpu(n_g) = n_g/Θ_g + (n_g·p + (n-n_g)·q + D) / B``
+   ``T_cpu(n_g) = (n - n_g) / Θ_c``
+
+   The optimum is the perfect overlap ``T_gpu = T_cpu``:
+
+   ``n_g* = (n/Θ_c - (n·q + D)/B) / (1/Θ_g + (p-q)/B + 1/Θ_c)``
+
+   The paper expresses the same model through two derived metrics — the
+   **relative hardware capability** ``r = Θ_g/Θ_c`` and the
+   **computation-to-transfer gap** ``g = Θ_g·p/B``; with ``q = D = 0``
+   the optimum reduces to ``β* = r / (r + 1 + g)``.
+
+2. **Profile** to estimate ``Θ_g`` and ``Θ_c``
+   (:mod:`repro.partition.profiling`).
+
+3. **Decide the hardware configuration**: round ``n_g`` up to a warp
+   multiple, then collapse to Only-GPU / Only-CPU when the other side's
+   share is too small to use its cores efficiently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import PartitioningError
+from repro.partition.profiling import KernelProfile
+from repro.platform.interconnect import Link
+from repro.units import round_up
+
+
+class HardwareConfig(enum.Enum):
+    """Glinda's final decision on which processors to use."""
+
+    ONLY_CPU = "only-cpu"
+    ONLY_GPU = "only-gpu"
+    CPU_GPU = "cpu+gpu"
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Linear model of GPU traffic as a function of the split.
+
+    ``bytes(n_g) = n_g * gpu_share_b + (n - n_g) * cpu_share_b + fixed_b``
+
+    Construction helpers on :class:`KernelProfile`-derived quantities live
+    in the strategies; the common scenarios are:
+
+    * **single pass** — ``p`` = partitioned in+out bytes/index, ``D`` =
+      FULL input bytes (everything crosses the link once);
+    * **loop with per-iteration sync** — identical to a single pass per
+      iteration: the ``taskwait`` flushes *and invalidates* the device
+      caches (OmpSs-0.7 semantics), so each iteration re-fetches its
+      inputs and flushes its outputs;
+    * **loop without sync** — all zeros (the boundary transfers amortize
+      over the iterations; the paper: "the data transfer is not
+      profiled").
+    """
+
+    gpu_share_b: float = 0.0
+    cpu_share_b: float = 0.0
+    fixed_b: float = 0.0
+
+    NONE: "TransferModel" = None  # type: ignore[assignment]
+
+    def bytes_for(self, n_gpu: int, n: int) -> float:
+        return self.gpu_share_b * n_gpu + self.cpu_share_b * (n - n_gpu) + self.fixed_b
+
+    @staticmethod
+    def single_pass(profile: KernelProfile) -> "TransferModel":
+        return TransferModel(
+            gpu_share_b=profile.partitioned_bytes_per_index,
+            fixed_b=float(profile.full_bytes),
+        )
+
+    @staticmethod
+    def synced_loop(profile: KernelProfile, n: int) -> "TransferModel":
+        # flush + invalidate at every taskwait => each iteration pays a
+        # full single pass of traffic
+        return TransferModel.single_pass(profile)
+
+    @staticmethod
+    def amortized() -> "TransferModel":
+        return TransferModel()
+
+
+TransferModel.NONE = TransferModel()
+
+
+@dataclass(frozen=True)
+class GlindaMetrics:
+    """The two derived metrics of the partitioning model."""
+
+    #: ``r`` — ratio of GPU throughput to CPU throughput
+    relative_capability: float
+    #: ``g`` — ratio of GPU throughput to transfer bandwidth (index units)
+    compute_transfer_gap: float
+
+
+@dataclass(frozen=True)
+class GlindaDecision:
+    """The predicted optimal partitioning of one kernel."""
+
+    kernel: str
+    n: int
+    n_gpu: int
+    n_cpu: int
+    config: HardwareConfig
+    metrics: GlindaMetrics
+    predicted_time_s: float
+
+    @property
+    def gpu_fraction(self) -> float:
+        return self.n_gpu / self.n if self.n else 0.0
+
+    @property
+    def cpu_fraction(self) -> float:
+        return self.n_cpu / self.n if self.n else 0.0
+
+
+@dataclass(frozen=True)
+class GlindaModel:
+    """The partitioning predictor.
+
+    Parameters
+    ----------
+    warp_size:
+        ``n_gpu`` is rounded up to a multiple of this (paper footnote 5).
+    gpu_only_threshold / cpu_only_threshold:
+        Hardware-configuration thresholds on the predicted GPU fraction:
+        beyond them the decision collapses to a single processor
+        ("checking if the obtained partitioning is able to efficiently
+        use a certain amount of hardware cores of each processor").
+    """
+
+    warp_size: int = 32
+    gpu_only_threshold: float = 0.97
+    cpu_only_threshold: float = 0.03
+
+    def predict(
+        self,
+        *,
+        kernel: str,
+        n: int,
+        theta_gpu: float,
+        theta_cpu: float,
+        link: Link,
+        transfer: TransferModel,
+    ) -> GlindaDecision:
+        """Predict the optimal split of ``n`` indices."""
+        if n <= 0:
+            raise PartitioningError("problem size must be positive")
+        if theta_gpu <= 0 or theta_cpu <= 0:
+            raise PartitioningError("throughputs must be positive")
+        bw = link.bandwidth
+        p, q, d = transfer.gpu_share_b, transfer.cpu_share_b, transfer.fixed_b
+
+        metrics = GlindaMetrics(
+            relative_capability=theta_gpu / theta_cpu,
+            compute_transfer_gap=theta_gpu * p / bw,
+        )
+
+        denom = 1.0 / theta_gpu + (p - q) / bw + 1.0 / theta_cpu
+        if denom <= 0:
+            # pathological (q dominates): sending work to the GPU always
+            # pays off; saturate at the full problem.
+            beta = 1.0
+        else:
+            n_gpu_star = (n / theta_cpu - (n * q + d) / bw) / denom
+            beta = min(max(n_gpu_star / n, 0.0), 1.0)
+
+        if beta >= self.gpu_only_threshold:
+            n_gpu, n_cpu = n, 0
+            config = HardwareConfig.ONLY_GPU
+        elif beta <= self.cpu_only_threshold:
+            n_gpu, n_cpu = 0, n
+            config = HardwareConfig.ONLY_CPU
+        else:
+            n_gpu = min(round_up(int(round(beta * n)), self.warp_size), n)
+            n_cpu = n - n_gpu
+            config = HardwareConfig.CPU_GPU if n_cpu else HardwareConfig.ONLY_GPU
+
+        predicted = self.predicted_time(
+            n=n, n_gpu=n_gpu, theta_gpu=theta_gpu, theta_cpu=theta_cpu,
+            link=link, transfer=transfer,
+        )
+        return GlindaDecision(
+            kernel=kernel,
+            n=n,
+            n_gpu=n_gpu,
+            n_cpu=n_cpu,
+            config=config,
+            metrics=metrics,
+            predicted_time_s=predicted,
+        )
+
+    @staticmethod
+    def predicted_time(
+        *,
+        n: int,
+        n_gpu: int,
+        theta_gpu: float,
+        theta_cpu: float,
+        link: Link,
+        transfer: TransferModel,
+    ) -> float:
+        """Model-predicted makespan of an arbitrary split (for what-ifs)."""
+        if not (0 <= n_gpu <= n):
+            raise PartitioningError(f"n_gpu={n_gpu} outside [0, {n}]")
+        t_gpu = 0.0
+        if n_gpu:
+            t_gpu = n_gpu / theta_gpu + transfer.bytes_for(n_gpu, n) / link.bandwidth
+        t_cpu = (n - n_gpu) / theta_cpu
+        return max(t_gpu, t_cpu)

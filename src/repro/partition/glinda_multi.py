@@ -1,0 +1,159 @@
+"""Multi-accelerator Glinda: splits across CPU + several (non-)identical GPUs.
+
+The Glinda approach "supports various platforms, with one or more
+accelerators, identical or non-identical" (paper §II-A).  The single-GPU
+equation generalizes directly: with per-device index cost
+``c_i = 1/Θ_i + p_i/B_i`` (compute plus per-index transfer; the host has no
+link term) and fixed transfer cost ``f_i = D_i/B_i``, the perfect-overlap
+condition ``T = n_i c_i + f_i`` for all devices with ``Σ n_i = n`` gives
+
+    T* = (n + Σ f_i/c_i) / (Σ 1/c_i)
+    n_i* = (T* - f_i) / c_i
+
+Devices whose share falls below the utilization threshold are dropped and
+the system is re-solved — the multi-device generalization of the
+hardware-configuration decision step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitioningError
+from repro.units import round_up
+
+
+@dataclass(frozen=True)
+class DeviceTerm:
+    """One device's coefficients in the multi-way overlap system.
+
+    ``throughput`` is the device's sustained kernel indices/second;
+    ``per_index_transfer_s`` and ``fixed_transfer_s`` are that device's
+    link costs (zero for the host CPU).
+    """
+
+    device_id: str
+    throughput: float
+    per_index_transfer_s: float = 0.0
+    fixed_transfer_s: float = 0.0
+    #: GPU shares are rounded up to this granularity (1 for the host)
+    granularity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.throughput <= 0:
+            raise PartitioningError(
+                f"{self.device_id}: throughput must be positive"
+            )
+        if self.per_index_transfer_s < 0 or self.fixed_transfer_s < 0:
+            raise PartitioningError(
+                f"{self.device_id}: transfer costs must be >= 0"
+            )
+        if self.granularity <= 0:
+            raise PartitioningError(
+                f"{self.device_id}: granularity must be positive"
+            )
+
+    @property
+    def index_cost_s(self) -> float:
+        """Seconds per index including per-index transfer."""
+        return 1.0 / self.throughput + self.per_index_transfer_s
+
+
+@dataclass(frozen=True)
+class MultiDeviceDecision:
+    """The predicted multi-way split."""
+
+    n: int
+    #: device id -> index count (devices dropped by the decision get 0)
+    shares: dict[str, int]
+    #: device ids actually used
+    active: tuple[str, ...]
+    predicted_time_s: float
+
+    def fraction(self, device_id: str) -> float:
+        return self.shares.get(device_id, 0) / self.n if self.n else 0.0
+
+
+def solve_overlap(
+    terms: list[DeviceTerm], n: int
+) -> tuple[float, dict[str, float]]:
+    """Solve the perfect-overlap system; returns ``(T*, raw shares)``.
+
+    Shares may come out negative for devices whose fixed transfer exceeds
+    the balanced time — callers drop those and re-solve.
+    """
+    if not terms:
+        raise PartitioningError("need at least one device")
+    if n <= 0:
+        raise PartitioningError("problem size must be positive")
+    inv_sum = sum(1.0 / t.index_cost_s for t in terms)
+    fixed_sum = sum(t.fixed_transfer_s / t.index_cost_s for t in terms)
+    t_star = (n + fixed_sum) / inv_sum
+    shares = {
+        t.device_id: (t_star - t.fixed_transfer_s) / t.index_cost_s
+        for t in terms
+    }
+    return t_star, shares
+
+
+def predict_multi(
+    terms: list[DeviceTerm],
+    n: int,
+    *,
+    min_share_fraction: float = 0.03,
+) -> MultiDeviceDecision:
+    """Predict the optimal split over an arbitrary device set.
+
+    Devices receiving less than ``min_share_fraction`` of the problem (or
+    a negative raw share) are dropped and the system re-solved — a device
+    that cannot be used "efficiently" is not used at all, exactly like the
+    single-GPU decision step.  At least one device always remains (the
+    one with the lowest whole-problem cost).
+    """
+    active = list(terms)
+    while True:
+        t_star, shares = solve_overlap(active, n)
+        drop = [
+            t for t in active
+            if shares[t.device_id] < min_share_fraction * n
+        ]
+        if not drop or len(active) == 1:
+            break
+        # drop the single worst offender and re-solve (dropping several at
+        # once can overshoot when their shares interact)
+        worst = min(drop, key=lambda t: shares[t.device_id])
+        active = [t for t in active if t.device_id is not worst.device_id]
+
+    if len(active) == 1 and shares[active[0].device_id] < 0:
+        raise PartitioningError("no device can execute the workload")
+
+    # integerize: round accelerator shares to their granularity, give the
+    # remainder to the device with the largest share
+    result = {t.device_id: 0 for t in terms}
+    remaining = n
+    ordered = sorted(active, key=lambda t: shares[t.device_id])
+    for i, term in enumerate(ordered):
+        if i == len(ordered) - 1:
+            result[term.device_id] = remaining
+            break
+        size = min(
+            remaining,
+            round_up(int(round(shares[term.device_id])), term.granularity),
+        )
+        result[term.device_id] = size
+        remaining -= size
+
+    predicted = max(
+        (
+            result[t.device_id] * t.index_cost_s + t.fixed_transfer_s
+            for t in terms
+            if result[t.device_id] > 0
+        ),
+        default=0.0,
+    )
+    return MultiDeviceDecision(
+        n=n,
+        shares=result,
+        active=tuple(t.device_id for t in active if result[t.device_id] > 0),
+        predicted_time_s=predicted,
+    )

@@ -1,0 +1,148 @@
+"""Static partitioning of imbalanced workloads (Glinda lineage, ref [9]).
+
+"Improving Performance by Matching Imbalanced Workloads with Heterogeneous
+Platforms" (Shen et al., ICS'14) extends the Glinda model to kernels whose
+per-index work varies (acoustic ray tracing there; CSR SpMV here).  The
+partitioning question changes from "how many indices per device" to
+"*which contiguous index range* gives each device its share of the
+*work*":
+
+* the split boundary ``b`` balances ``T_gpu(b) = work(0,b)/Θ_g +
+  transfers(b) = work(b,n)/Θ_c = T_cpu(b)`` — found by bisection, since
+  ``T_gpu`` is non-decreasing and ``T_cpu`` non-increasing in ``b``;
+* the CPU's range is further divided into ``m`` thread ranges of equal
+  *work*, not equal index counts (:func:`weighted_ranges`).
+
+Throughputs are in work units per second, exactly what profiling measures
+for a weighted kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PartitioningError
+from repro.partition.glinda import GlindaMetrics, TransferModel
+from repro.platform.interconnect import Link
+from repro.runtime.kernels import Kernel
+from repro.units import round_up
+
+
+@dataclass(frozen=True)
+class ImbalancedDecision:
+    """Boundary-index split of an imbalanced kernel."""
+
+    kernel: str
+    n: int
+    boundary: int  # GPU gets [0, boundary), CPU [boundary, n)
+    gpu_work: float
+    cpu_work: float
+    predicted_time_s: float
+    metrics: GlindaMetrics
+
+    @property
+    def gpu_fraction(self) -> float:
+        """Fraction of *work* (not indices) on the GPU."""
+        total = self.gpu_work + self.cpu_work
+        return self.gpu_work / total if total else 0.0
+
+    @property
+    def gpu_index_fraction(self) -> float:
+        return self.boundary / self.n if self.n else 0.0
+
+
+def weighted_ranges(
+    kernel: Kernel, lo: int, hi: int, k: int
+) -> list[tuple[int, int]]:
+    """Split ``[lo, hi)`` into up to ``k`` ranges of near-equal *work*.
+
+    Falls back to equal index counts for uniform kernels.  Ranges are
+    never empty; fewer than ``k`` are returned when the span is short.
+    """
+    if hi <= lo:
+        return []
+    if k <= 0:
+        raise PartitioningError("k must be positive")
+    if kernel.work_prefix is None:
+        from repro.partition._static_common import cpu_thread_ranges
+
+        return cpu_thread_ranges(lo, hi, k)
+    prefix = kernel.work_prefix
+    total = prefix[hi] - prefix[lo]
+    k = min(k, hi - lo)
+    targets = prefix[lo] + total * np.arange(1, k) / k
+    cuts = np.searchsorted(prefix, targets, side="left")
+    bounds = [lo]
+    for cut in cuts:
+        cut = int(min(max(cut, bounds[-1] + 1), hi - (k - len(bounds))))
+        bounds.append(cut)
+    bounds.append(hi)
+    return [
+        (a, b) for a, b in zip(bounds, bounds[1:]) if b > a
+    ]
+
+
+def imbalanced_split(
+    kernel: Kernel,
+    n: int,
+    *,
+    theta_gpu: float,
+    theta_cpu: float,
+    link: Link,
+    transfer: TransferModel,
+    warp_size: int = 32,
+) -> ImbalancedDecision:
+    """Find the boundary index balancing weighted GPU and CPU times."""
+    if kernel.work_prefix is None:
+        raise PartitioningError(
+            f"kernel {kernel.name!r} is uniform; use GlindaModel instead"
+        )
+    if n <= 0 or n + 1 > len(kernel.work_prefix):
+        raise PartitioningError(
+            f"problem size {n} incompatible with the work prefix "
+            f"(length {len(kernel.work_prefix)})"
+        )
+    if theta_gpu <= 0 or theta_cpu <= 0:
+        raise PartitioningError("throughputs must be positive")
+    bw = link.bandwidth
+
+    def t_gpu(b: int) -> float:
+        if b == 0:
+            return 0.0
+        return kernel.work_units(0, b) / theta_gpu + \
+            transfer.bytes_for(b, n) / bw
+
+    def t_cpu(b: int) -> float:
+        return kernel.work_units(b, n) / theta_cpu
+
+    # bisection on the sign of t_gpu - t_cpu (monotone in b)
+    lo_b, hi_b = 0, n
+    while hi_b - lo_b > 1:
+        mid = (lo_b + hi_b) // 2
+        if t_gpu(mid) < t_cpu(mid):
+            lo_b = mid
+        else:
+            hi_b = mid
+    candidates = {lo_b, hi_b}
+    # warp-rounded variants of both bisection endpoints
+    for b in (lo_b, hi_b):
+        candidates.add(min(round_up(b, warp_size), n))
+    boundary = min(
+        candidates, key=lambda b: max(t_gpu(b), t_cpu(b))
+    )
+    predicted = max(t_gpu(boundary), t_cpu(boundary))
+    metrics = GlindaMetrics(
+        relative_capability=theta_gpu / theta_cpu,
+        compute_transfer_gap=theta_gpu * transfer.gpu_share_b / bw,
+    )
+    return ImbalancedDecision(
+        kernel=kernel.name,
+        n=n,
+        boundary=boundary,
+        gpu_work=kernel.work_units(0, boundary),
+        cpu_work=kernel.work_units(boundary, n),
+        predicted_time_s=predicted,
+        metrics=metrics,
+    )

@@ -1,0 +1,99 @@
+"""Only-CPU and Only-GPU baseline executions (paper §IV footnote 2).
+
+* **Only-CPU** is the parallel execution that only uses the ``m`` SMP
+  threads on the CPU: each kernel invocation becomes ``m`` task instances
+  pinned one-per-thread.  ``taskwait`` markers are kept (they cost nothing
+  without device data).
+* **Only-GPU** is the plain OpenCL execution on the GPU: one task per
+  kernel invocation, honoring the program's synchronization semantics —
+  where the application synchronizes with the host each iteration (the
+  paper's SK-Loop applications), the OpenCL version reads the results back
+  each iteration, exactly like the benchmark ports the paper starts from;
+  where it does not (STREAM without sync), data stays resident on the
+  device and only the final results are copied back.
+"""
+
+from __future__ import annotations
+
+from repro.partition._static_common import cpu_thread_ranges
+from repro.partition.base import (
+    ExecutionPlan,
+    PlanConfig,
+    Strategy,
+    StrategyDecision,
+    finalize_graph,
+    register_strategy,
+)
+from repro.platform.topology import Platform
+from repro.runtime.graph import KernelInvocation, Program
+from repro.runtime.schedulers.base import StaticScheduler
+
+
+class OnlyCPU(Strategy):
+    """All work on the host CPU with ``m`` threads."""
+
+    name = "Only-CPU"
+    static = True
+
+    def plan(
+        self, program: Program, platform: Platform, config: PlanConfig | None = None
+    ) -> ExecutionPlan:
+        config = config or PlanConfig()
+        m = config.threads(platform)
+        host = platform.host.device_id
+
+        def chunker(inv: KernelInvocation):
+            return [
+                (lo, hi, None, f"{host}:{i}")
+                for i, (lo, hi) in enumerate(cpu_thread_ranges(0, inv.n, m))
+            ]
+
+        graph = finalize_graph(program, chunker)
+        return ExecutionPlan(
+            graph=graph,
+            scheduler=StaticScheduler(),
+            decision=StrategyDecision(
+                strategy=self.name,
+                hardware_config="only-cpu",
+                gpu_fraction_by_kernel={k.name: 0.0 for k in program.kernels},
+            ),
+        )
+
+
+class OnlyGPU(Strategy):
+    """All work on the GPU, data resident across kernels and iterations."""
+
+    name = "Only-GPU"
+    static = True
+
+    def plan(
+        self, program: Program, platform: Platform, config: PlanConfig | None = None
+    ) -> ExecutionPlan:
+        config = config or PlanConfig()
+        # on multi-accelerator platforms the baseline uses the primary
+        # (first) accelerator, like a plain single-device OpenCL program
+        gpu = platform.accelerators[0].device_id
+
+        def chunker(inv: KernelInvocation):
+            return [(0, inv.n, gpu, None)]
+
+        graph = finalize_graph(program, chunker)
+        return ExecutionPlan(
+            graph=graph,
+            scheduler=StaticScheduler(),
+            decision=StrategyDecision(
+                strategy=self.name,
+                hardware_config="only-gpu",
+                gpu_fraction_by_kernel={k.name: 1.0 for k in program.kernels},
+            ),
+            # plain OpenCL: no OmpSs task management, no taskwait quiescence
+            runtime_overrides={
+                "task_creation_overhead_s": 0.0,
+                "dynamic_decision_overhead_s": 0.0,
+                "barrier_overhead_s": 0.0,
+            },
+        )
+
+
+register_strategy(OnlyCPU.name, OnlyCPU)
+register_strategy(OnlyGPU.name, OnlyGPU)

@@ -1,0 +1,148 @@
+"""Low-cost profiling of kernels on a platform (Glinda step 2).
+
+On real hardware Glinda times a small probe run of the kernel on each
+processor to estimate its throughput; here the probe runs against the
+simulated platform's cost model.  The *pipeline* is identical — model,
+profile, predict — only the stopwatch is simulated (see DESIGN.md §2).
+
+The same machinery seeds DP-Perf's :class:`ProfileTable` (the paper's
+"fixed profiling phase where each device gets 3 task instances").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitioningError
+from repro.platform.topology import Platform
+from repro.runtime.graph import Program
+from repro.runtime.kernels import AccessPattern, Kernel
+from repro.runtime.schedulers.perf_aware import ProfileTable
+
+#: fraction of the problem used as the probe size (low-cost profiling)
+PROBE_FRACTION = 0.01
+#: minimum probe size in kernel indices
+PROBE_MIN = 256
+#: number of probe task instances per device (the paper uses 3)
+PROBE_RUNS = 3
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Measured characteristics of one kernel on one platform.
+
+    Attributes
+    ----------
+    kernel:
+        Kernel name.
+    cpu_throughput / gpu_throughput:
+        Sustained kernel indices per second on the whole CPU / the GPU.
+    partitioned_bytes_per_index:
+        Host<->device traffic per index implied by partitioned accesses
+        (inputs + outputs) — the ``b_t`` coefficient of the Glinda model.
+    input_bytes_per_index / output_bytes_per_index:
+        Partitioned *input* / *output* bytes per index separately (the
+        loop steady-state transfer model needs outputs only).
+    full_bytes:
+        Bytes of FULL-pattern (unpartitionable) input arrays, transferred
+        wholly to the GPU regardless of the split.
+    """
+
+    kernel: str
+    cpu_throughput: float
+    gpu_throughput: float
+    partitioned_bytes_per_index: float
+    input_bytes_per_index: float
+    output_bytes_per_index: float
+    full_bytes: int
+
+
+def _probe_size(n: int) -> int:
+    return max(PROBE_MIN, min(n, int(n * PROBE_FRACTION)))
+
+
+def _measured_throughput(kernel: Kernel, device, n: int) -> float:
+    """Median of PROBE_RUNS probe timings (deterministic model: identical)."""
+    probe = _probe_size(n)
+    times = [
+        kernel.chunk_time(device, probe, n, include_launch=False)
+        for _ in range(PROBE_RUNS)
+    ]
+    times.sort()
+    t = times[len(times) // 2]
+    if t <= 0:
+        raise PartitioningError(
+            f"kernel {kernel.name!r}: probe produced non-positive time"
+        )
+    return probe / t
+
+
+def transfer_footprint(kernel: Kernel) -> tuple[float, float, float, int]:
+    """``(in+out B/idx, in B/idx, out B/idx, FULL input bytes)`` of a kernel.
+
+    Only PARTITIONED accesses contribute per-index bytes; FULL accesses
+    (read-only by construction) contribute their whole array size.
+    """
+    part_total = 0.0
+    part_in = 0.0
+    part_out = 0.0
+    full = 0
+    for acc in kernel.accesses:
+        if acc.pattern is AccessPattern.FULL:
+            # FULL reads (FULL writes are rejected at AccessSpec level)
+            full += acc.array.nbytes
+            continue
+        if acc.pattern is AccessPattern.PREFIX:
+            # variable extents: use the average per-index volume
+            n_idx = len(acc.prefix) - 1
+            per_index = float(acc.prefix[-1]) / n_idx * acc.array.elem_bytes
+        else:
+            per_index = acc.elems_per_index * acc.array.elem_bytes
+        if acc.mode.reads:
+            part_total += per_index
+            part_in += per_index
+        if acc.mode.writes:
+            part_total += per_index
+            part_out += per_index
+    return part_total, part_in, part_out, full
+
+
+def profile_kernel(kernel: Kernel, platform: Platform, n: int) -> KernelProfile:
+    """Profile one kernel of problem size ``n`` on ``platform``."""
+    if n <= 0:
+        raise PartitioningError("problem size must be positive")
+    gpu = platform.gpu
+    cpu_thr = _measured_throughput(kernel, platform.host, n)
+    gpu_thr = _measured_throughput(kernel, gpu, n)
+    part_total, part_in, part_out, full = transfer_footprint(kernel)
+    return KernelProfile(
+        kernel=kernel.name,
+        cpu_throughput=cpu_thr,
+        gpu_throughput=gpu_thr,
+        partitioned_bytes_per_index=part_total,
+        input_bytes_per_index=part_in,
+        output_bytes_per_index=part_out,
+        full_bytes=full,
+    )
+
+
+def build_profile_table(program: Program, platform: Platform) -> ProfileTable:
+    """Seed DP-Perf's estimates: rates per (kernel, device) + link cost.
+
+    Rates come from the same probes as Glinda profiling (3 instances per
+    device per kernel, excluded from measured makespans, as in the paper).
+    """
+    table = ProfileTable()
+    sizes: dict[str, int] = {}
+    for inv in program.invocations:
+        sizes.setdefault(inv.kernel.name, inv.n)
+    kernels = {k.name: k for k in program.kernels}
+    for name, kernel in kernels.items():
+        n = sizes[name]
+        for device in platform.devices:
+            thr = _measured_throughput(kernel, device, n)
+            table.set(name, device.device_id, 1.0 / thr)
+    for acc_dev in platform.accelerators:
+        link = platform.link_for(acc_dev.device_id)
+        table.transfer_s_per_byte[acc_dev.device_id] = 1.0 / link.bandwidth
+    return table

@@ -1,0 +1,114 @@
+"""Sensitivity of the Glinda prediction to profiling error.
+
+Glinda's split rests on profiled throughputs; real profiling is noisy.
+This module answers "how much does an x% throughput misestimate cost?" by
+perturbing Θ_g/Θ_c, recomputing the split, and evaluating the *perturbed*
+split under the *true* model — the standard robustness analysis for a
+predict-then-commit scheme.  The prediction is robust when the cost curve
+is flat around the optimum (it is: the makespan is a max of two linear
+functions, so small split errors cost linearly with a small slope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PartitioningError
+from repro.partition.glinda import GlindaModel, TransferModel
+from repro.platform.interconnect import Link
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One perturbation's outcome."""
+
+    gpu_error: float  # relative misestimate of Θ_g (e.g. +0.2 = +20%)
+    cpu_error: float
+    predicted_fraction: float   # split chosen under the wrong profile
+    true_time_s: float          # that split evaluated under the truth
+    regret: float               # true_time / optimal_time - 1
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Perturbation sweep around a profiled optimum."""
+
+    optimal_fraction: float
+    optimal_time_s: float
+    points: tuple[SensitivityPoint, ...]
+
+    @property
+    def max_regret(self) -> float:
+        return max((p.regret for p in self.points), default=0.0)
+
+    def worst(self) -> SensitivityPoint:
+        return max(self.points, key=lambda p: p.regret)
+
+
+def profiling_sensitivity(
+    *,
+    n: int,
+    theta_gpu: float,
+    theta_cpu: float,
+    link: Link,
+    transfer: TransferModel,
+    errors: tuple[float, ...] = (-0.3, -0.2, -0.1, 0.1, 0.2, 0.3),
+    model: GlindaModel | None = None,
+) -> SensitivityReport:
+    """Sweep relative profiling errors on each throughput independently."""
+    if not errors:
+        raise PartitioningError("need at least one perturbation")
+    model = model or GlindaModel()
+
+    def split_under(tg: float, tc: float) -> int:
+        return model.predict(
+            kernel="k", n=n, theta_gpu=tg, theta_cpu=tc,
+            link=link, transfer=transfer,
+        ).n_gpu
+
+    def true_time(n_gpu: int) -> float:
+        return GlindaModel.predicted_time(
+            n=n, n_gpu=n_gpu, theta_gpu=theta_gpu, theta_cpu=theta_cpu,
+            link=link, transfer=transfer,
+        )
+
+    optimal_gpu = split_under(theta_gpu, theta_cpu)
+    optimal_time = true_time(optimal_gpu)
+
+    points = []
+    for err in errors:
+        for which in ("gpu", "cpu"):
+            tg = theta_gpu * (1 + err) if which == "gpu" else theta_gpu
+            tc = theta_cpu * (1 + err) if which == "cpu" else theta_cpu
+            n_gpu = split_under(tg, tc)
+            t = true_time(n_gpu)
+            points.append(
+                SensitivityPoint(
+                    gpu_error=err if which == "gpu" else 0.0,
+                    cpu_error=err if which == "cpu" else 0.0,
+                    predicted_fraction=n_gpu / n,
+                    true_time_s=t,
+                    regret=t / optimal_time - 1 if optimal_time else 0.0,
+                )
+            )
+    return SensitivityReport(
+        optimal_fraction=optimal_gpu / n,
+        optimal_time_s=optimal_time,
+        points=tuple(points),
+    )
+
+
+def format_sensitivity(report: SensitivityReport) -> str:
+    """Plain-text rendering of a sensitivity sweep."""
+    lines = [
+        f"optimum: GPU {report.optimal_fraction:.1%}, "
+        f"{report.optimal_time_s * 1e3:.2f} ms; "
+        f"max regret {report.max_regret:.1%}",
+        f"{'Θg err':>8} {'Θc err':>8} {'split':>8} {'regret':>8}",
+    ]
+    for p in report.points:
+        lines.append(
+            f"{p.gpu_error:>+8.0%} {p.cpu_error:>+8.0%} "
+            f"{p.predicted_fraction:>8.1%} {p.regret:>8.2%}"
+        )
+    return "\n".join(lines)

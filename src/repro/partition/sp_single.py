@@ -1,0 +1,213 @@
+"""SP-Single: Glinda static partitioning of a single kernel (paper §III-C).
+
+Applicable to SK-One and SK-Loop.  For SK-Loop, the partitioning is
+determined for one iteration and reused for all of them (the paper assumes
+stable per-iteration performance; if that does not hold, the application
+should be treated as MK-Seq and use SP-Varied instead).
+
+On platforms with more than one accelerator the strategy solves the
+multi-way perfect-overlap system instead (Glinda "supports various
+platforms, with one or more accelerators, identical or non-identical");
+see :mod:`repro.partition.glinda_multi`.
+"""
+
+from __future__ import annotations
+
+from repro.partition._static_common import (
+    decision_chunker,
+    glinda_kwargs,
+    multi_static_chunks,
+    single_kernel_of,
+)
+from repro.partition.glinda_multi import DeviceTerm, predict_multi
+from repro.partition.base import (
+    ExecutionPlan,
+    PlanConfig,
+    Strategy,
+    StrategyDecision,
+    finalize_graph,
+    register_strategy,
+)
+from repro.partition.glinda import GlindaModel, TransferModel
+from repro.partition.profiling import profile_kernel
+from repro.platform.topology import Platform
+from repro.runtime.graph import Program
+from repro.runtime.schedulers.base import StaticScheduler
+
+
+class SPSingle(Strategy):
+    """Static partitioning for single-kernel applications."""
+
+    name = "SP-Single"
+    static = True
+
+    def plan(
+        self, program: Program, platform: Platform, config: PlanConfig | None = None
+    ) -> ExecutionPlan:
+        config = config or PlanConfig()
+        if len(platform.accelerators) > 1:
+            return self._plan_multi(program, platform, config)
+        kernel = single_kernel_of(program, self.name)
+        if kernel.imbalanced:
+            return self._plan_imbalanced(program, platform, config)
+        first = program.invocations[0]
+        n = first.n
+        profile = profile_kernel(kernel, platform, n)
+
+        looped = len(program.invocations) > 1
+        synced = any(inv.sync_after for inv in program.invocations)
+        if looped and synced:
+            # steady state of a synchronized loop: the taskwait flush moves
+            # the outputs every iteration; FULL inputs are re-fetched for
+            # the part the CPU updated.
+            transfer = TransferModel.synced_loop(profile, n)
+        elif looped:
+            transfer = TransferModel.amortized()
+        else:
+            transfer = TransferModel.single_pass(profile)
+
+        model = GlindaModel(**glinda_kwargs(config))
+        decision = model.predict(
+            kernel=kernel.name,
+            n=n,
+            theta_gpu=profile.gpu_throughput,
+            theta_cpu=profile.cpu_throughput,
+            link=platform.link_for(platform.gpu.device_id),
+            transfer=transfer,
+        )
+
+        m = config.threads(platform)
+        graph = finalize_graph(
+            program, decision_chunker(lambda inv: decision, platform=platform, m=m)
+        )
+        return ExecutionPlan(
+            graph=graph,
+            scheduler=StaticScheduler(),
+            decision=StrategyDecision(
+                strategy=self.name,
+                hardware_config=decision.config.value,
+                gpu_fraction_by_kernel={kernel.name: decision.gpu_fraction},
+                notes={
+                    "glinda": decision,
+                    "relative_capability": decision.metrics.relative_capability,
+                    "compute_transfer_gap": decision.metrics.compute_transfer_gap,
+                },
+            ),
+        )
+
+
+    def _plan_imbalanced(
+        self, program: Program, platform: Platform, config: PlanConfig
+    ) -> ExecutionPlan:
+        """Ref-[9] path: balance *work*, not index counts."""
+        from repro.partition.imbalanced import imbalanced_split, weighted_ranges
+
+        kernel = single_kernel_of(program, self.name)
+        n = program.invocations[0].n
+        profile = profile_kernel(kernel, platform, n)
+        looped = len(program.invocations) > 1
+        synced = any(inv.sync_after for inv in program.invocations)
+        if looped and not synced:
+            transfer = TransferModel.amortized()
+        else:
+            transfer = TransferModel.single_pass(profile)
+        decision = imbalanced_split(
+            kernel,
+            n,
+            theta_gpu=profile.gpu_throughput,
+            theta_cpu=profile.cpu_throughput,
+            link=platform.link_for(platform.gpu.device_id),
+            transfer=transfer,
+            warp_size=config.warp_size,
+        )
+        m = config.threads(platform)
+        gpu_id = platform.gpu.device_id
+        host = platform.host.device_id
+
+        def chunker(inv):
+            chunks = []
+            if decision.boundary > 0:
+                chunks.append((0, decision.boundary, gpu_id, None))
+            for i, (lo, hi) in enumerate(
+                weighted_ranges(kernel, decision.boundary, inv.n, m)
+            ):
+                chunks.append((lo, hi, None, f"{host}:{i}"))
+            return chunks
+
+        graph = finalize_graph(program, chunker)
+        return ExecutionPlan(
+            graph=graph,
+            scheduler=StaticScheduler(),
+            decision=StrategyDecision(
+                strategy=self.name,
+                hardware_config="cpu+gpu",
+                gpu_fraction_by_kernel={kernel.name: decision.gpu_fraction},
+                notes={"imbalanced": decision},
+            ),
+        )
+
+    def _plan_multi(
+        self, program: Program, platform: Platform, config: PlanConfig
+    ) -> ExecutionPlan:
+        """Multi-accelerator split via the perfect-overlap system."""
+        from repro.partition.profiling import transfer_footprint, _measured_throughput
+
+        kernel = single_kernel_of(program, self.name)
+        n = program.invocations[0].n
+        looped = len(program.invocations) > 1
+        synced = any(inv.sync_after for inv in program.invocations)
+        part_total, _, _, full = transfer_footprint(kernel)
+        if looped and not synced:
+            part_total, full = 0.0, 0  # transfers amortize (cf. MK-Loop)
+
+        terms = [
+            DeviceTerm(
+                device_id=platform.host.device_id,
+                throughput=_measured_throughput(kernel, platform.host, n),
+            )
+        ]
+        for acc in platform.accelerators:
+            link = platform.link_for(acc.device_id)
+            terms.append(
+                DeviceTerm(
+                    device_id=acc.device_id,
+                    throughput=_measured_throughput(kernel, acc, n),
+                    per_index_transfer_s=part_total / link.bandwidth,
+                    fixed_transfer_s=full / link.bandwidth,
+                    granularity=config.warp_size,
+                )
+            )
+        decision = predict_multi(
+            terms, n, min_share_fraction=config.cpu_only_threshold
+        )
+        acc_shares = {
+            acc.device_id: decision.shares.get(acc.device_id, 0)
+            for acc in platform.accelerators
+        }
+        m = config.threads(platform)
+        graph = finalize_graph(
+            program,
+            lambda inv: multi_static_chunks(
+                inv, acc_shares, platform=platform, m=m
+            ),
+        )
+        gpu_fraction = sum(acc_shares.values()) / n
+        return ExecutionPlan(
+            graph=graph,
+            scheduler=StaticScheduler(),
+            decision=StrategyDecision(
+                strategy=self.name,
+                # devices actually used, host first (e.g. "cpu+gpu0+gpu1")
+                hardware_config="+".join(
+                    sorted(
+                        decision.active,
+                        key=lambda d: d != platform.host.device_id,
+                    )
+                ),
+                gpu_fraction_by_kernel={kernel.name: gpu_fraction},
+                notes={"multi": decision},
+            ),
+        )
+
+
+register_strategy(SPSingle.name, SPSingle)

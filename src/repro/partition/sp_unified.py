@@ -1,0 +1,135 @@
+"""SP-Unified: one static split shared by all kernels (paper §III-C).
+
+Designed for MK-Seq and MK-Loop.  All kernels are regarded as a single,
+fused kernel: the fused per-index execution time is the sum over kernels,
+and one partitioning point serves every kernel.  Without inter-kernel
+synchronization the data stays resident on each device — one host-to-device
+transfer before the first kernel, one device-to-host after the last — so
+the fused transfer model counts only first reads and final writes.
+
+When the program *does* carry synchronization, the paper still evaluates
+SP-Unified with the partitioning obtained for the no-sync case ("we use the
+partitioning obtained in the case without synchronization"), which is what
+this implementation does: the split is always computed from the sync-free
+view, while the plan executes whatever sync the program prescribes.
+"""
+
+from __future__ import annotations
+
+from repro.partition._static_common import (
+    decision_chunker,
+    glinda_kwargs,
+    require_multi_kernel,
+    uniform_problem_size,
+)
+from repro.partition.base import (
+    ExecutionPlan,
+    PlanConfig,
+    Strategy,
+    StrategyDecision,
+    finalize_graph,
+    register_strategy,
+)
+from repro.partition.glinda import GlindaModel, TransferModel
+from repro.partition.profiling import profile_kernel
+from repro.platform.topology import Platform
+from repro.runtime.graph import Program
+from repro.runtime.kernels import AccessPattern
+from repro.runtime.schedulers.base import StaticScheduler
+
+
+def fused_transfer_model(program: Program, n: int, *, looped: bool) -> TransferModel:
+    """Transfer model of the fused kernel.
+
+    A single pass moves each partitioned array at most twice: in if it is
+    read before being written (program order), out if any kernel writes
+    it.  FULL inputs move once.  In a loop without synchronization the
+    boundary transfers amortize to nothing over the iterations.
+    """
+    if looped:
+        return TransferModel.amortized()
+    written: set[str] = set()
+    first_read_b = 0.0
+    final_write_b = 0.0
+    full_b = 0
+    seen_out: set[str] = set()
+    seen_full: set[str] = set()
+    for inv in program.invocations:
+        for acc in inv.kernel.accesses:
+            name = acc.array.name
+            if acc.pattern is AccessPattern.FULL:
+                if acc.mode.reads and name not in written and name not in seen_full:
+                    full_b += acc.array.nbytes
+                    seen_full.add(name)
+                continue
+            per_index = acc.elems_per_index * acc.array.elem_bytes
+            if acc.mode.reads and name not in written:
+                first_read_b += per_index
+                written.add(name)  # count an array's first read only once
+            if acc.mode.writes and name not in seen_out:
+                final_write_b += per_index
+                seen_out.add(name)
+                written.add(name)
+    return TransferModel(gpu_share_b=first_read_b + final_write_b, fixed_b=full_b)
+
+
+class SPUnified(Strategy):
+    """Unified static partitioning for multi-kernel applications."""
+
+    name = "SP-Unified"
+    static = True
+
+    def plan(
+        self, program: Program, platform: Platform, config: PlanConfig | None = None
+    ) -> ExecutionPlan:
+        config = config or PlanConfig()
+        require_multi_kernel(program, self.name)
+        n = uniform_problem_size(program, self.name)
+
+        # fused throughput: per-index time adds up across the kernels of
+        # one pass (weighted by how often each kernel appears)
+        kernels = program.kernels
+        counts = {k.name: 0 for k in kernels}
+        for inv in program.invocations:
+            counts[inv.kernel.name] += 1
+        passes = max(counts.values())
+        profiles = {k.name: profile_kernel(k, platform, n) for k in kernels}
+        t_cpu = sum(
+            counts[name] / passes / p.cpu_throughput for name, p in profiles.items()
+        )
+        t_gpu = sum(
+            counts[name] / passes / p.gpu_throughput for name, p in profiles.items()
+        )
+
+        looped = passes > 1
+        transfer = fused_transfer_model(program, n, looped=looped)
+
+        model = GlindaModel(**glinda_kwargs(config))
+        decision = model.predict(
+            kernel="<fused>",
+            n=n,
+            theta_gpu=1.0 / t_gpu,
+            theta_cpu=1.0 / t_cpu,
+            link=platform.link_for(platform.gpu.device_id),
+            transfer=transfer,
+        )
+
+        m = config.threads(platform)
+        graph = finalize_graph(
+            program, decision_chunker(lambda inv: decision, platform=platform, m=m)
+        )
+        return ExecutionPlan(
+            graph=graph,
+            scheduler=StaticScheduler(),
+            decision=StrategyDecision(
+                strategy=self.name,
+                hardware_config=decision.config.value,
+                gpu_fraction_by_kernel={
+                    k.name: decision.gpu_fraction for k in kernels
+                },
+                notes={"glinda": decision, "fused": True, "passes": passes},
+            ),
+        )
+
+
+register_strategy(SPUnified.name, SPUnified)

@@ -1,0 +1,90 @@
+"""SP-Varied: per-kernel static splits with inter-kernel sync (paper §III-C).
+
+Designed for MK-Seq and MK-Loop applications that *need* (or already use)
+global synchronization between kernels.  SP-Single's model is applied
+kernel by kernel, so the partitioning point varies per kernel and each
+kernel runs at its own optimum.  Using the strategy **requires** a
+``taskwait`` after every kernel — the partitioning point moves between
+kernels, so the output of one kernel produced on the two processors must be
+assembled at the host before the next kernel starts.  The plan therefore
+forces synchronization into the program (the paper: "we need to add extra
+global synchronization points between kernels"), which is exactly why the
+strategy ranks last when the application did not need synchronization.
+"""
+
+from __future__ import annotations
+
+from repro.partition._static_common import (
+    decision_chunker,
+    glinda_kwargs,
+    require_multi_kernel,
+)
+from repro.partition.base import (
+    ExecutionPlan,
+    PlanConfig,
+    Strategy,
+    StrategyDecision,
+    finalize_graph,
+    force_sync,
+    register_strategy,
+)
+from repro.partition.glinda import GlindaDecision, GlindaModel, TransferModel
+from repro.partition.profiling import profile_kernel
+from repro.platform.topology import Platform
+from repro.runtime.graph import KernelInvocation, Program
+from repro.runtime.schedulers.base import StaticScheduler
+
+
+class SPVaried(Strategy):
+    """Per-kernel static partitioning with global synchronization."""
+
+    name = "SP-Varied"
+    static = True
+
+    def plan(
+        self, program: Program, platform: Platform, config: PlanConfig | None = None
+    ) -> ExecutionPlan:
+        config = config or PlanConfig()
+        require_multi_kernel(program, self.name)
+        synced = force_sync(program)
+
+        model = GlindaModel(**glinda_kwargs(config))
+        link = platform.link_for(platform.gpu.device_id)
+        decisions: dict[str, GlindaDecision] = {}
+        for kernel in synced.kernels:
+            n = next(
+                inv.n for inv in synced.invocations if inv.kernel.name == kernel.name
+            )
+            profile = profile_kernel(kernel, platform, n)
+            decisions[kernel.name] = model.predict(
+                kernel=kernel.name,
+                n=n,
+                theta_gpu=profile.gpu_throughput,
+                theta_cpu=profile.cpu_throughput,
+                link=link,
+                transfer=TransferModel.single_pass(profile),
+            )
+
+        m = config.threads(platform)
+
+        def decision_for(inv: KernelInvocation) -> GlindaDecision:
+            return decisions[inv.kernel.name]
+
+        graph = finalize_graph(
+            synced, decision_chunker(decision_for, platform=platform, m=m)
+        )
+        return ExecutionPlan(
+            graph=graph,
+            scheduler=StaticScheduler(),
+            decision=StrategyDecision(
+                strategy=self.name,
+                hardware_config="cpu+gpu",
+                gpu_fraction_by_kernel={
+                    name: d.gpu_fraction for name, d in decisions.items()
+                },
+                notes={"glinda": decisions, "forced_sync": True},
+            ),
+        )
+
+
+register_strategy(SPVaried.name, SPVaried)

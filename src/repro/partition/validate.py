@@ -1,0 +1,144 @@
+"""Plan validation: structural invariants every execution plan must hold.
+
+Strategies are easy to get subtly wrong (a chunker that drops a warp, a
+pin to a thread that does not exist, overlapping writes).  This validator
+checks a plan against its platform *before* execution:
+
+* every invocation's index space is covered exactly once by its compute
+  instances (no gaps, no overlaps);
+* every pin names a real device/resource of the platform;
+* static plans are fully pinned; barriers appear exactly where the
+  program's sync markers say;
+* the dependence graph is acyclic.
+
+``run_plan`` stays fast by not validating implicitly; tests and the CLI
+call :func:`validate_plan` explicitly, and strategy unit tests assert
+every bundled strategy always produces valid plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.partition.base import ExecutionPlan
+from repro.platform.topology import Platform
+from repro.runtime.graph import InstanceKind
+
+
+@dataclass
+class PlanValidation:
+    """Validation outcome; ``problems`` is empty for a valid plan."""
+
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def raise_if_invalid(self) -> None:
+        if self.problems:
+            from repro.errors import PartitioningError
+
+            raise PartitioningError(
+                "invalid execution plan:\n  " + "\n  ".join(self.problems)
+            )
+
+
+def validate_plan(
+    plan: ExecutionPlan,
+    platform: Platform,
+    *,
+    cpu_threads: int | None = None,
+) -> PlanValidation:
+    """Check a plan's structural invariants against a platform."""
+    v = PlanValidation()
+    graph = plan.graph
+    program = graph.program
+
+    device_ids = {d.device_id for d in platform.devices}
+    resource_ids = {
+        r.resource_id
+        for r in platform.compute_resources(cpu_threads=cpu_threads)
+    }
+
+    # --- per-invocation coverage
+    by_invocation: dict[int, list] = {}
+    for inst in graph.instances:
+        if inst.kind is InstanceKind.COMPUTE:
+            by_invocation.setdefault(
+                inst.invocation.invocation_id, []
+            ).append(inst)
+
+    for inv in program.invocations:
+        chunks = sorted(
+            ((i.lo, i.hi) for i in by_invocation.get(inv.invocation_id, [])),
+        )
+        if not chunks:
+            v.problems.append(
+                f"invocation {inv.invocation_id} ({inv.kernel.name}) has "
+                "no task instances"
+            )
+            continue
+        if chunks[0][0] != 0:
+            v.problems.append(
+                f"invocation {inv.invocation_id}: indices "
+                f"[0, {chunks[0][0]}) uncovered"
+            )
+        for (a, b), (c, d) in zip(chunks, chunks[1:]):
+            if b < c:
+                v.problems.append(
+                    f"invocation {inv.invocation_id}: gap [{b}, {c})"
+                )
+            elif b > c:
+                v.problems.append(
+                    f"invocation {inv.invocation_id}: overlap [{c}, {b})"
+                )
+        if chunks[-1][1] != inv.n:
+            v.problems.append(
+                f"invocation {inv.invocation_id}: indices "
+                f"[{chunks[-1][1]}, {inv.n}) uncovered"
+            )
+
+    # --- pin validity
+    for inst in graph.instances:
+        if inst.pinned_device and inst.pinned_device not in device_ids:
+            v.problems.append(
+                f"instance {inst.instance_id}: unknown device "
+                f"{inst.pinned_device!r}"
+            )
+        if inst.pinned_resource and inst.pinned_resource not in resource_ids:
+            v.problems.append(
+                f"instance {inst.instance_id}: unknown resource "
+                f"{inst.pinned_resource!r}"
+            )
+
+    # --- static plans are fully pinned
+    if not plan.scheduler.dynamic:
+        for inst in graph.instances:
+            if (
+                inst.kind is InstanceKind.COMPUTE
+                and inst.pinned_device is None
+                and inst.pinned_resource is None
+            ):
+                v.problems.append(
+                    f"static plan leaves instance {inst.instance_id} unpinned"
+                )
+
+    # --- barrier placement matches the program's sync markers
+    expected_barriers = sum(
+        1 for inv in program.invocations if inv.sync_after
+    )
+    actual_barriers = sum(1 for i in graph.instances if i.is_barrier)
+    if expected_barriers != actual_barriers:
+        v.problems.append(
+            f"program declares {expected_barriers} taskwaits but the plan "
+            f"has {actual_barriers} barriers"
+        )
+
+    # --- acyclicity
+    try:
+        graph.validate_acyclic()
+    except Exception as exc:  # DependenceError
+        v.problems.append(str(exc))
+
+    return v

@@ -1,0 +1,47 @@
+"""Heterogeneous platform model.
+
+This package substitutes the paper's physical testbed (Intel Xeon E5-2620 +
+Nvidia Tesla K20m, Table III) with an analytic model:
+
+* :mod:`repro.platform.device` — device specifications and the roofline-style
+  per-kernel execution-time model,
+* :mod:`repro.platform.interconnect` — the PCIe-like host<->device link,
+* :mod:`repro.platform.topology` — the :class:`Platform` (host + accelerators
+  + links) and its compute-resource view,
+* :mod:`repro.platform.presets` — ready-made platforms, including the exact
+  configuration of the paper's Table III.
+"""
+
+from repro.platform.device import (
+    CostModel,
+    Device,
+    DeviceKind,
+    DeviceSpec,
+    RooflineCostModel,
+)
+from repro.platform.interconnect import Link, TransferDirection
+from repro.platform.topology import ComputeResource, Platform
+from repro.platform.presets import (
+    balanced_platform,
+    dual_gpu_platform,
+    fusion_platform,
+    phi_platform,
+    shen_icpp15_platform,
+)
+
+__all__ = [
+    "CostModel",
+    "Device",
+    "DeviceKind",
+    "DeviceSpec",
+    "RooflineCostModel",
+    "Link",
+    "TransferDirection",
+    "ComputeResource",
+    "Platform",
+    "balanced_platform",
+    "dual_gpu_platform",
+    "fusion_platform",
+    "phi_platform",
+    "shen_icpp15_platform",
+]

@@ -1,0 +1,242 @@
+"""Device specifications and execution-time cost models.
+
+A :class:`Device` is one processor of the heterogeneous platform (the
+multi-core CPU or the GPU).  Timing follows a roofline model: a kernel of
+``s`` elements is limited either by arithmetic throughput or by memory
+bandwidth, whichever bound is tighter, plus a fixed per-launch overhead:
+
+``t = max(flops / (peak_flops * eff_c),  bytes / (mem_bw * eff_m)) + launch``
+
+The per-kernel efficiency factors ``eff_c``/``eff_m`` come from the kernel's
+:class:`~repro.runtime.kernels.KernelCostModel` and encode how well each
+kernel maps to each device kind (e.g. a PCIe-bound stencil runs at a lower
+effective rate on the GPU than dense GEMM does).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import gflops_to_flops, gbs_to_bytes_per_s, gb_to_bytes
+
+
+class DeviceKind(enum.Enum):
+    """Processor family; kernels specialize their efficiency per kind."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    ACCELERATOR = "accelerator"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static hardware description of one processor (cf. paper Table III).
+
+    Parameters
+    ----------
+    name:
+        Human-readable device name (e.g. ``"Intel Xeon E5-2620"``).
+    kind:
+        :class:`DeviceKind` of the processor.
+    cores:
+        Number of hardware execution contexts usable by the runtime.  For
+        the CPU this is the number of SMP threads (12 with Hyper-Threading
+        on the paper's Xeon); the GPU counts as a single schedulable
+        resource whose internal parallelism is folded into its peak rates.
+    frequency_ghz:
+        Core clock in GHz (informational; timing uses peak rates).
+    peak_gflops_sp / peak_gflops_dp:
+        Peak single/double-precision arithmetic throughput, GFLOP/s,
+        aggregated over the whole device.
+    mem_bandwidth_gbs:
+        Peak device-memory bandwidth in GB/s.
+    mem_capacity_gb:
+        Device memory capacity in (decimal) GB.
+    launch_overhead_s:
+        Fixed cost of launching one task instance on this device (kernel
+        launch + driver/runtime bookkeeping).  This is the per-chunk
+        overhead that makes fine-grained dynamic partitioning pay a price
+        that static partitioning avoids.
+    """
+
+    name: str
+    kind: DeviceKind
+    cores: int
+    frequency_ghz: float
+    peak_gflops_sp: float
+    peak_gflops_dp: float
+    mem_bandwidth_gbs: float
+    mem_capacity_gb: float
+    launch_overhead_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"{self.name}: cores must be positive")
+        for attr in ("peak_gflops_sp", "peak_gflops_dp",
+                     "mem_bandwidth_gbs", "mem_capacity_gb"):
+            if getattr(self, attr) <= 0:
+                raise ConfigurationError(f"{self.name}: {attr} must be positive")
+        if self.launch_overhead_s < 0:
+            raise ConfigurationError(f"{self.name}: launch overhead must be >= 0")
+
+    @property
+    def peak_flops_sp(self) -> float:
+        """Peak SP throughput in FLOP/s."""
+        return gflops_to_flops(self.peak_gflops_sp)
+
+    @property
+    def peak_flops_dp(self) -> float:
+        """Peak DP throughput in FLOP/s."""
+        return gflops_to_flops(self.peak_gflops_dp)
+
+    @property
+    def mem_bandwidth(self) -> float:
+        """Peak memory bandwidth in bytes/s."""
+        return gbs_to_bytes_per_s(self.mem_bandwidth_gbs)
+
+    @property
+    def mem_capacity_bytes(self) -> float:
+        """Device memory capacity in bytes."""
+        return gb_to_bytes(self.mem_capacity_gb)
+
+
+class CostModel:
+    """Interface for computing a kernel chunk's execution time on a device.
+
+    Concrete cost models receive *kernel work descriptors* — the FLOP count
+    and the bytes touched in device memory — rather than kernel objects, so
+    the platform layer stays independent of the runtime layer.
+    """
+
+    def compute_time(
+        self,
+        spec: DeviceSpec,
+        *,
+        flops: float,
+        mem_bytes: float,
+        compute_eff: float = 1.0,
+        mem_eff: float = 1.0,
+        double_precision: bool = False,
+    ) -> float:
+        """Return execution time in seconds for one task instance."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RooflineCostModel(CostModel):
+    """Roofline execution-time model with per-launch overhead.
+
+    ``include_launch_overhead`` can be disabled to model a *fused* view of
+    several chunks launched as one (used by static partitioning where each
+    device receives a single task instance per kernel).
+    """
+
+    include_launch_overhead: bool = True
+
+    def compute_time(
+        self,
+        spec: DeviceSpec,
+        *,
+        flops: float,
+        mem_bytes: float,
+        compute_eff: float = 1.0,
+        mem_eff: float = 1.0,
+        double_precision: bool = False,
+    ) -> float:
+        if flops < 0 or mem_bytes < 0:
+            raise ConfigurationError("flops and mem_bytes must be >= 0")
+        if not (0 < compute_eff <= 1.0) or not (0 < mem_eff <= 1.0):
+            raise ConfigurationError(
+                f"efficiencies must be in (0, 1], got {compute_eff}, {mem_eff}"
+            )
+        peak = spec.peak_flops_dp if double_precision else spec.peak_flops_sp
+        t_compute = flops / (peak * compute_eff) if flops else 0.0
+        t_memory = mem_bytes / (spec.mem_bandwidth * mem_eff) if mem_bytes else 0.0
+        t = max(t_compute, t_memory)
+        if self.include_launch_overhead:
+            t += spec.launch_overhead_s
+        return t
+
+
+@dataclass
+class Device:
+    """A schedulable processor instance on a platform.
+
+    Combines the immutable :class:`DeviceSpec` with platform-level identity
+    (a unique ``device_id``) and the cost model used for timing.
+    """
+
+    device_id: str
+    spec: DeviceSpec
+    cost_model: CostModel = field(default_factory=RooflineCostModel)
+
+    @property
+    def kind(self) -> DeviceKind:
+        return self.spec.kind
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def kernel_time(
+        self,
+        *,
+        flops: float,
+        mem_bytes: float,
+        compute_eff: float = 1.0,
+        mem_eff: float = 1.0,
+        double_precision: bool = False,
+        include_launch: bool = True,
+    ) -> float:
+        """Execution time (seconds) of one task instance on this device.
+
+        ``include_launch=False`` skips the per-launch overhead regardless of
+        the cost model's default — static partitioning uses it to time the
+        body of an already-launched task when fusing chunks.
+        """
+        t = self.cost_model.compute_time(
+            self.spec,
+            flops=flops,
+            mem_bytes=mem_bytes,
+            compute_eff=compute_eff,
+            mem_eff=mem_eff,
+            double_precision=double_precision,
+        )
+        if not include_launch and isinstance(self.cost_model, RooflineCostModel) \
+                and self.cost_model.include_launch_overhead:
+            t -= self.spec.launch_overhead_s
+        return t
+
+    def throughput(
+        self,
+        *,
+        flops_per_elem: float,
+        bytes_per_elem: float,
+        compute_eff: float = 1.0,
+        mem_eff: float = 1.0,
+        double_precision: bool = False,
+    ) -> float:
+        """Sustained elements/second for a kernel with the given intensity.
+
+        This is the quantity Glinda's profiling step estimates: the device's
+        effective processing rate for a *specific* kernel, combining the
+        compute and memory roofs.
+        """
+        t = self.kernel_time(
+            flops=flops_per_elem,
+            mem_bytes=bytes_per_elem,
+            compute_eff=compute_eff,
+            mem_eff=mem_eff,
+            double_precision=double_precision,
+            include_launch=False,
+        )
+        if t <= 0:
+            raise ConfigurationError(
+                "kernel with zero per-element work has unbounded throughput"
+            )
+        return 1.0 / t
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Device({self.device_id!r}, {self.spec.name!r}, {self.kind.value})"

@@ -1,0 +1,77 @@
+"""Host <-> device interconnect (PCIe-like link) model.
+
+The paper's platform moves data between CPU (host) memory and GPU (device)
+memory over PCIe.  Transfer cost is the dominant force behind several of the
+paper's findings (BlackScholes' 41/59 split, HotSpot's CPU win, STREAM's
+88%-transfer Only-GPU profile), so the link is a first-class simulated
+resource: transfers serialize per direction and pay a per-message latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import gbs_to_bytes_per_s
+
+
+class TransferDirection(enum.Enum):
+    """Direction of a host<->device transfer."""
+
+    HOST_TO_DEVICE = "h2d"
+    DEVICE_TO_HOST = "d2h"
+
+    @property
+    def short(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Link:
+    """A bidirectional host<->device link with per-direction channels.
+
+    Parameters
+    ----------
+    name:
+        Link label, e.g. ``"pcie2-x16"``.
+    bandwidth_gbs:
+        Effective (not theoretical) per-direction bandwidth in GB/s.  The
+        paper's K20m sits on PCIe 2.0 x16; ~6 GB/s effective is typical.
+    latency_s:
+        Per-message setup latency (driver call + DMA setup).  Charged once
+        per transfer, which is why many small transfers (dynamic
+        partitioning, SP-Varied's per-kernel flushes) cost more than one
+        large transfer of the same volume.
+    duplex:
+        If ``True`` the two directions are independent channels; if
+        ``False`` they share one channel (modelled by the simulator mapping
+        both directions to the same resource).
+    """
+
+    name: str
+    bandwidth_gbs: float
+    latency_s: float = 10e-6
+    duplex: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ConfigurationError(f"{self.name}: latency must be >= 0")
+
+    @property
+    def bandwidth(self) -> float:
+        """Per-direction bandwidth in bytes/s."""
+        return gbs_to_bytes_per_s(self.bandwidth_gbs)
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """Time in seconds to move ``n_bytes`` in one direction.
+
+        A zero-byte transfer costs nothing (no message is issued).
+        """
+        if n_bytes < 0:
+            raise ConfigurationError("transfer size must be >= 0")
+        if n_bytes == 0:
+            return 0.0
+        return self.latency_s + n_bytes / self.bandwidth

@@ -1,0 +1,167 @@
+"""Ready-made platform configurations.
+
+:func:`shen_icpp15_platform` reproduces the paper's Table III testbed.  Peak
+rates are taken verbatim from the table; the PCIe link bandwidth is not given
+in the paper, so we use the effective rate typical of the K20m's PCIe 2.0 x16
+slot (~6 GB/s per direction), which reproduces the paper's transfer-bound
+behaviours (BlackScholes' 37.5x transfer/compute ratio, STREAM's 88% transfer
+share on Only-GPU, HotSpot's CPU win).
+
+The other presets exist for the "future work" exploration benchmarks: how the
+strategy ranking shifts when the platform balance changes.
+"""
+
+from __future__ import annotations
+
+from repro.platform.device import Device, DeviceKind, DeviceSpec
+from repro.platform.interconnect import Link
+from repro.platform.topology import Platform
+
+#: Per-task-instance launch overhead observed for OmpSs SMP tasks (~5 us)
+CPU_LAUNCH_OVERHEAD_S = 5e-6
+#: OpenCL kernel launch + runtime bookkeeping on the GPU (~30 us)
+GPU_LAUNCH_OVERHEAD_S = 30e-6
+
+XEON_E5_2620 = DeviceSpec(
+    name="Intel Xeon E5-2620",
+    kind=DeviceKind.CPU,
+    cores=12,  # 6 physical, 12 with Hyper-Threading (Table III)
+    frequency_ghz=2.0,
+    peak_gflops_sp=384.0,
+    peak_gflops_dp=192.0,
+    mem_bandwidth_gbs=42.6,
+    mem_capacity_gb=64.0,
+    launch_overhead_s=CPU_LAUNCH_OVERHEAD_S,
+)
+
+TESLA_K20M = DeviceSpec(
+    name="Nvidia Tesla K20m",
+    kind=DeviceKind.GPU,
+    cores=2496,  # CUDA cores across 13 SMXs (Table III)
+    frequency_ghz=0.705,
+    peak_gflops_sp=3519.3,
+    peak_gflops_dp=1173.1,
+    mem_bandwidth_gbs=208.0,
+    mem_capacity_gb=5.0,
+    launch_overhead_s=GPU_LAUNCH_OVERHEAD_S,
+)
+
+PCIE2_X16 = Link(name="pcie2-x16", bandwidth_gbs=6.0, latency_s=10e-6)
+
+
+def shen_icpp15_platform() -> Platform:
+    """The paper's evaluation platform (Table III): Xeon E5-2620 + Tesla K20m."""
+    return Platform(
+        host=Device("cpu", XEON_E5_2620),
+        accelerators=[Device("gpu0", TESLA_K20M)],
+        links={"gpu0": PCIE2_X16},
+    )
+
+
+GTX_680 = DeviceSpec(
+    name="Nvidia GTX 680",
+    kind=DeviceKind.GPU,
+    cores=1536,
+    frequency_ghz=1.006,
+    peak_gflops_sp=3090.4,
+    peak_gflops_dp=128.8,
+    mem_bandwidth_gbs=192.2,
+    mem_capacity_gb=2.0,
+    launch_overhead_s=GPU_LAUNCH_OVERHEAD_S,
+)
+
+PCIE3_X16 = Link(name="pcie3-x16", bandwidth_gbs=11.0, latency_s=8e-6)
+
+
+def dual_gpu_platform() -> Platform:
+    """A non-identical two-accelerator platform (Glinda's general case).
+
+    The paper's Glinda approach "supports various platforms, with one or
+    more accelerators, identical or non-identical"; this preset pairs the
+    Table III machine with a consumer GTX 680 on a faster slot, so the
+    two GPUs differ in throughput, DP capability, and link bandwidth.
+    """
+    return Platform(
+        host=Device("cpu", XEON_E5_2620),
+        accelerators=[Device("gpu0", TESLA_K20M), Device("gpu1", GTX_680)],
+        links={"gpu0": PCIE2_X16, "gpu1": PCIE3_X16},
+    )
+
+
+def balanced_platform() -> Platform:
+    """A platform where CPU and GPU are closely matched.
+
+    Useful for probing partitioning behaviour near 50/50 splits, where
+    rounding and scheduling-overhead effects are most visible.
+    """
+    cpu = DeviceSpec(
+        name="balanced-cpu", kind=DeviceKind.CPU, cores=16,
+        frequency_ghz=2.5, peak_gflops_sp=800.0, peak_gflops_dp=400.0,
+        mem_bandwidth_gbs=80.0, mem_capacity_gb=128.0,
+        launch_overhead_s=CPU_LAUNCH_OVERHEAD_S,
+    )
+    gpu = DeviceSpec(
+        name="balanced-gpu", kind=DeviceKind.GPU, cores=1024,
+        frequency_ghz=1.0, peak_gflops_sp=1000.0, peak_gflops_dp=500.0,
+        mem_bandwidth_gbs=160.0, mem_capacity_gb=8.0,
+        launch_overhead_s=GPU_LAUNCH_OVERHEAD_S,
+    )
+    return Platform(
+        host=Device("cpu", cpu),
+        accelerators=[Device("gpu0", gpu)],
+        links={"gpu0": Link(name="pcie3-x16", bandwidth_gbs=12.0)},
+    )
+
+
+XEON_PHI_5110P = DeviceSpec(
+    name="Intel Xeon Phi 5110P",
+    kind=DeviceKind.ACCELERATOR,
+    cores=60,
+    frequency_ghz=1.053,
+    peak_gflops_sp=2021.8,
+    peak_gflops_dp=1010.9,
+    mem_bandwidth_gbs=320.0,
+    mem_capacity_gb=8.0,
+    launch_overhead_s=GPU_LAUNCH_OVERHEAD_S * 2,  # offload runtime setup
+)
+
+
+def phi_platform() -> Platform:
+    """Xeon CPU + Xeon Phi — the paper's other named accelerator (§I/§VII).
+
+    The Phi sits on the same PCIe generation as the K20m but offers higher
+    memory bandwidth and lower effective arithmetic throughput for naive
+    offload code; the analyzer pipeline is accelerator-agnostic, so the
+    same matchmaking applies unchanged.
+    """
+    return Platform(
+        host=Device("cpu", XEON_E5_2620),
+        accelerators=[Device("phi0", XEON_PHI_5110P)],
+        links={"phi0": PCIE2_X16},
+    )
+
+
+def fusion_platform() -> Platform:
+    """An APU-like platform with a very fast host<->device link.
+
+    The paper's future work asks how rankings change with other
+    accelerators; with near-free transfers the transfer-bound effects
+    (HotSpot's CPU win, STREAM's CPU-heavy splits) should invert or vanish.
+    """
+    cpu = DeviceSpec(
+        name="fusion-cpu", kind=DeviceKind.CPU, cores=8,
+        frequency_ghz=3.0, peak_gflops_sp=400.0, peak_gflops_dp=200.0,
+        mem_bandwidth_gbs=50.0, mem_capacity_gb=32.0,
+        launch_overhead_s=CPU_LAUNCH_OVERHEAD_S,
+    )
+    gpu = DeviceSpec(
+        name="fusion-gpu", kind=DeviceKind.GPU, cores=512,
+        frequency_ghz=1.2, peak_gflops_sp=1600.0, peak_gflops_dp=400.0,
+        mem_bandwidth_gbs=100.0, mem_capacity_gb=8.0,
+        launch_overhead_s=GPU_LAUNCH_OVERHEAD_S / 3,
+    )
+    return Platform(
+        host=Device("cpu", cpu),
+        accelerators=[Device("gpu0", gpu)],
+        links={"gpu0": Link(name="on-die", bandwidth_gbs=50.0, latency_s=1e-6)},
+    )

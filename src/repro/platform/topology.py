@@ -1,0 +1,167 @@
+"""Platform topology: host + accelerators + links, and the resource view.
+
+The runtime schedules work onto *compute resources* (OmpSs terminology): each
+CPU core backed by an SMP thread is one resource, and each accelerator is one
+resource.  :class:`Platform` owns the devices and exposes that flattened
+resource list, plus the link lookup needed to price host<->device transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlatformError
+from repro.platform.device import Device, DeviceKind
+from repro.platform.interconnect import Link
+
+#: Resource id of the host memory space (not a compute resource).
+HOST_SPACE = "host"
+
+
+@dataclass(frozen=True)
+class ComputeResource:
+    """One schedulable execution context.
+
+    ``resource_id`` is globally unique on the platform (``"cpu:3"``,
+    ``"gpu0"``).  ``share`` is the fraction of the owning device's peak
+    rates this resource provides: ``1 / cores`` for a CPU core, ``1.0`` for
+    an accelerator scheduled as a whole.
+    """
+
+    resource_id: str
+    device: Device
+    share: float
+
+    @property
+    def kind(self) -> DeviceKind:
+        return self.device.kind
+
+    @property
+    def is_accelerator(self) -> bool:
+        return self.device.kind is not DeviceKind.CPU
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ComputeResource({self.resource_id!r})"
+
+
+@dataclass
+class Platform:
+    """A heterogeneous platform: one host CPU plus zero or more accelerators.
+
+    Parameters
+    ----------
+    host:
+        The CPU device.  Its memory is the *host memory space*; ``taskwait``
+        flushes all device data back to it.
+    accelerators:
+        Accelerator devices (GPUs in the paper), each with its own memory
+        space connected to the host by a :class:`Link`.
+    links:
+        Mapping from accelerator ``device_id`` to the link connecting it to
+        the host.  Every accelerator must have a link.
+    """
+
+    host: Device
+    accelerators: list[Device] = field(default_factory=list)
+    links: dict[str, Link] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.host.kind is not DeviceKind.CPU:
+            raise PlatformError("platform host must be a CPU device")
+        seen = {self.host.device_id}
+        for acc in self.accelerators:
+            if acc.kind is DeviceKind.CPU:
+                raise PlatformError(
+                    f"accelerator {acc.device_id} must not be a CPU device"
+                )
+            if acc.device_id in seen:
+                raise PlatformError(f"duplicate device id {acc.device_id!r}")
+            seen.add(acc.device_id)
+            if acc.device_id not in self.links:
+                raise PlatformError(
+                    f"accelerator {acc.device_id} has no host link configured"
+                )
+        for link_dev in self.links:
+            if link_dev not in seen or link_dev == self.host.device_id:
+                raise PlatformError(f"link references unknown device {link_dev!r}")
+
+    # -- device queries ------------------------------------------------
+
+    @property
+    def devices(self) -> list[Device]:
+        """All devices, host first."""
+        return [self.host, *self.accelerators]
+
+    def device(self, device_id: str) -> Device:
+        """Look up a device by id; raises :class:`PlatformError` if absent."""
+        for dev in self.devices:
+            if dev.device_id == device_id:
+                return dev
+        raise PlatformError(f"unknown device {device_id!r}")
+
+    def link_for(self, device_id: str) -> Link:
+        """The host link of accelerator ``device_id``."""
+        try:
+            return self.links[device_id]
+        except KeyError:
+            raise PlatformError(
+                f"device {device_id!r} has no host link (is it the host?)"
+            ) from None
+
+    @property
+    def gpu(self) -> Device:
+        """Convenience accessor for single-accelerator platforms."""
+        if len(self.accelerators) != 1:
+            raise PlatformError(
+                f"platform has {len(self.accelerators)} accelerators; "
+                "use .accelerators explicitly"
+            )
+        return self.accelerators[0]
+
+    # -- resource view ---------------------------------------------------
+
+    def compute_resources(self, *, cpu_threads: int | None = None) -> list[ComputeResource]:
+        """Flatten the platform into schedulable resources.
+
+        Parameters
+        ----------
+        cpu_threads:
+            Number of SMP threads to create on the host (the paper's ``m``).
+            Defaults to the host core count.  Each thread is modelled as an
+            equal ``1/cpu_threads`` share of the CPU's aggregate rates,
+            which matches the paper's setup of ``m`` equal task instances.
+        """
+        m = self.host.spec.cores if cpu_threads is None else cpu_threads
+        if m <= 0:
+            raise PlatformError(f"cpu_threads must be positive, got {m}")
+        resources = [
+            ComputeResource(f"{self.host.device_id}:{i}", self.host, 1.0 / m)
+            for i in range(m)
+        ]
+        resources.extend(
+            ComputeResource(acc.device_id, acc, 1.0) for acc in self.accelerators
+        )
+        return resources
+
+    def memory_spaces(self) -> list[str]:
+        """Identifiers of all memory spaces (host space first)."""
+        return [HOST_SPACE, *(acc.device_id for acc in self.accelerators)]
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (cf. paper Table III)."""
+        lines = [f"Platform: {self.host.name} + "
+                 f"{', '.join(a.name for a in self.accelerators) or '(no accelerator)'}"]
+        for dev in self.devices:
+            s = dev.spec
+            lines.append(
+                f"  {dev.device_id:<6} {s.name:<24} {s.kind.value:<4} "
+                f"cores={s.cores:<5} {s.frequency_ghz:g} GHz  "
+                f"SP={s.peak_gflops_sp:g} GFLOPS  DP={s.peak_gflops_dp:g} GFLOPS  "
+                f"BW={s.mem_bandwidth_gbs:g} GB/s  mem={s.mem_capacity_gb:g} GB"
+            )
+        for dev_id, link in self.links.items():
+            lines.append(
+                f"  link {dev_id}: {link.name} {link.bandwidth_gbs:g} GB/s/dir, "
+                f"latency {link.latency_s * 1e6:g} us"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Critical-path analysis: dependence-imposed lower bounds on makespan.
+
+For any task graph, no schedule — on any number of devices — can beat the
+longest dependence chain when every instance runs at its best possible
+speed.  Two bounds are computed:
+
+* :func:`critical_path_s` — the classic longest path over per-instance
+  *best-device* times (transfers and overheads ignored: a true lower
+  bound);
+* :func:`work_bound_s` — total best-device work divided by the platform's
+  aggregate best-case throughput (the "perfect parallelism" bound).
+
+``max`` of the two bounds a schedule's makespan from below; the executor's
+results are asserted against it in the property tests, and
+``efficiency()`` expresses a measured run relative to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.topology import Platform
+from repro.runtime.graph import InstanceKind, TaskGraph
+
+
+def _best_time(inst, platform: Platform) -> float:
+    """The instance's fastest possible execution on any whole device."""
+    kernel = inst.kernel
+    work = kernel.work_units(inst.lo, inst.hi)
+    return min(
+        kernel.chunk_time(
+            device, work, inst.invocation.n, include_launch=False
+        )
+        for device in platform.devices
+    )
+
+
+def critical_path_s(graph: TaskGraph, platform: Platform) -> float:
+    """Longest dependence chain at best-device speeds (seconds)."""
+    finish: dict[int, float] = {}
+    longest = 0.0
+    for inst in graph.instances:  # creation order is topological
+        start = max((finish[d] for d in inst.deps), default=0.0)
+        duration = (
+            0.0 if inst.kind is not InstanceKind.COMPUTE
+            else _best_time(inst, platform)
+        )
+        finish[inst.instance_id] = start + duration
+        longest = max(longest, finish[inst.instance_id])
+    return longest
+
+
+def work_bound_s(graph: TaskGraph, platform: Platform) -> float:
+    """Total best-device work over aggregate capacity (seconds).
+
+    Uses each instance's best-device time as its irreducible work and the
+    device count as the parallelism cap — loose, but schedule-free.
+    """
+    total = sum(
+        _best_time(inst, platform)
+        for inst in graph.instances
+        if inst.kind is InstanceKind.COMPUTE
+    )
+    return total / max(1, len(platform.devices))
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """A measured makespan against its lower bounds."""
+
+    makespan_s: float
+    critical_path_s: float
+    work_bound_s: float
+
+    @property
+    def lower_bound_s(self) -> float:
+        return max(self.critical_path_s, self.work_bound_s)
+
+    @property
+    def efficiency(self) -> float:
+        """lower bound / measured (1.0 = provably optimal)."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.lower_bound_s / self.makespan_s
+
+
+def bound_report(
+    graph: TaskGraph, platform: Platform, makespan_s: float
+) -> BoundReport:
+    """Bundle a measured makespan with its dependence/work bounds."""
+    return BoundReport(
+        makespan_s=makespan_s,
+        critical_path_s=critical_path_s(graph, platform),
+        work_bound_s=work_bound_s(graph, platform),
+    )

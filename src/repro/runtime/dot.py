@@ -1,0 +1,97 @@
+"""Graphviz DOT export of task graphs (no graphviz dependency).
+
+``to_dot`` renders a dependence-annotated task graph as DOT text —
+instances grouped by invocation, barriers as diamonds, device pins as
+colors — so a graph can be eyeballed with any DOT viewer.  Intended for
+debugging strategy chunkers and for documentation figures.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.graph import InstanceKind, TaskGraph
+
+#: fill colors per pin kind
+_COLORS = {
+    "gpu": "#79b6f2",
+    "cpu": "#f2c879",
+    "none": "#dddddd",
+    "barrier": "#e0a0a0",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', r"\"")
+
+
+def _fill(inst) -> str:
+    if inst.kind is InstanceKind.BARRIER:
+        return _COLORS["barrier"]
+    if inst.pinned_device and not inst.pinned_device.startswith("cpu"):
+        return _COLORS["gpu"]
+    if inst.pinned_resource or (
+        inst.pinned_device and inst.pinned_device.startswith("cpu")
+    ):
+        return _COLORS["cpu"]
+    return _COLORS["none"]
+
+
+def to_dot(graph: TaskGraph, *, name: str = "taskgraph",
+           max_instances: int = 400) -> str:
+    """Render ``graph`` as DOT text.
+
+    Graphs larger than ``max_instances`` are truncated (with a marker
+    node) — DOT layouts of thousand-node graphs are unreadable anyway.
+    """
+    lines = [
+        f'digraph "{_escape(name)}" {{',
+        "  rankdir=TB;",
+        '  node [fontname="monospace", fontsize=9, style=filled];',
+    ]
+    shown = graph.instances[:max_instances]
+    shown_ids = {i.instance_id for i in shown}
+
+    # group compute instances per invocation
+    by_invocation: dict[int, list] = {}
+    barriers = []
+    for inst in shown:
+        if inst.kind is InstanceKind.COMPUTE:
+            by_invocation.setdefault(
+                inst.invocation.invocation_id, []
+            ).append(inst)
+        else:
+            barriers.append(inst)
+
+    for inv_id, instances in by_invocation.items():
+        kernel = instances[0].kernel.name
+        lines.append(f"  subgraph cluster_inv{inv_id} {{")
+        lines.append(f'    label="inv {inv_id}: {_escape(kernel)}";')
+        lines.append("    color=gray;")
+        for inst in instances:
+            label = f"{inst.instance_id}\\n[{inst.lo}:{inst.hi})"
+            pin = inst.pinned_resource or inst.pinned_device
+            if pin:
+                label += f"\\n@{pin}"
+            lines.append(
+                f'    n{inst.instance_id} [label="{label}", shape=box, '
+                f'fillcolor="{_fill(inst)}"];'
+            )
+        lines.append("  }")
+
+    for inst in barriers:
+        lines.append(
+            f'  n{inst.instance_id} [label="taskwait {inst.instance_id}", '
+            f'shape=diamond, fillcolor="{_fill(inst)}"];'
+        )
+
+    for inst in shown:
+        for dep in sorted(inst.deps):
+            if dep in shown_ids:
+                lines.append(f"  n{dep} -> n{inst.instance_id};")
+
+    if len(graph.instances) > max_instances:
+        lines.append(
+            f'  truncated [label="... {len(graph.instances) - max_instances}'
+            ' more instances", shape=plaintext];'
+        )
+    lines.append("}")
+    return "\n".join(lines)

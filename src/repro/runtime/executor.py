@@ -1,0 +1,584 @@
+"""The runtime engine: replays a task graph on the simulated platform.
+
+The engine wires everything together:
+
+* compute resources and link channels become serial
+  :class:`~repro.sim.resources.SimResource` objects;
+* an instance's lifecycle is *ready -> assigned -> transfers -> compute ->
+  complete*; transfers serialize on the link channel of the target device
+  and may overlap other instances' compute (dual-stream style pipelining);
+* ``taskwait`` barriers flush dirty device data back to the host over the
+  D2H channel before unblocking their successors;
+* per-instance runtime costs: task creation overhead for every instance,
+  plus a dynamic-decision overhead for dynamically scheduled ones — the
+  "runtime scheduling overhead" the paper attributes to dynamic
+  partitioning;
+* optionally, a final flush returns all results to host memory at program
+  end (end-to-end timing, like the paper's measurements that include
+  getting results back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError, SimulationError
+from repro.platform.topology import HOST_SPACE, ComputeResource, Platform
+from repro.runtime.graph import TaskGraph, TaskInstance
+from repro.runtime.memory import MemoryManager, TransferOp
+from repro.runtime.schedulers.base import Scheduler, SchedulingContext
+from repro.sim.engine import Simulator
+from repro.sim.resources import SimResource
+from repro.sim.trace import ExecutionTrace
+
+
+@dataclass
+class _InflightTransfer:
+    """A transfer on the wire; readers of the overlapping region wait."""
+
+    start: int
+    end: int
+    done: bool = False
+    waiters: list = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Tunable runtime parameters.
+
+    Parameters
+    ----------
+    cpu_threads:
+        Number of SMP threads ``m`` (``None`` = host core count).  The
+        paper uses the same ``m`` for Only-CPU, static, and dynamic runs.
+    task_creation_overhead_s:
+        Host-side cost of creating/bookkeeping one task instance (charged
+        on the executing resource, all strategies).
+    dynamic_decision_overhead_s:
+        Extra per-instance cost of a runtime scheduling decision plus the
+        device-side task management it triggers — dependence resolution,
+        cache-directory lookups, OpenCL command construction (dynamic
+        schedulers only).  The default (~0.3 ms) matches the per-task
+        overheads reported for the 2014-era Nanos++ accelerator support
+        and is the "runtime scheduling overhead" the paper's Propositions
+        charge dynamic partitioning with.
+    barrier_invalidates_devices:
+        Whether ``taskwait`` empties the device caches after flushing
+        (OmpSs-0.7 behaviour; see
+        :meth:`repro.runtime.memory.MemoryManager.flush_to_host`).
+    final_flush:
+        Whether to flush all device data to the host at program end and
+        include it in the makespan (end-to-end timing).
+    eager_writeback:
+        When an instance belongs to an invocation followed by a
+        ``taskwait``, copy its device-written regions back to the host as
+        soon as it completes, overlapping the flush with the rest of the
+        iteration's compute (the producing task knows a synchronization
+        follows, so it issues its own read-back — as the OpenCL-side
+        tasks of the paper's synchronized loops do).  Instances without a
+        following ``taskwait`` stay lazy, preserving device residency
+        (SP-Unified's single-transfer property).
+    barrier_overhead_s:
+        Fixed cost of one ``taskwait``: quiescing the thread team,
+        draining device command queues, and tearing down/rebuilding the
+        cache directory.  Paid by every OmpSs-managed execution (static
+        and dynamic alike); the Only-GPU baseline is plain OpenCL and
+        overrides it to zero.  This calibrated lump is what makes adding
+        synchronization an application never needed expensive — the
+        paper's SP-Varied-without-sync penalty.
+    """
+
+    cpu_threads: int | None = None
+    task_creation_overhead_s: float = 5e-6
+    dynamic_decision_overhead_s: float = 700e-6
+    final_flush: bool = True
+    eager_writeback: bool = True
+    barrier_invalidates_devices: bool = True
+    barrier_overhead_s: float = 11e-3
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one simulated run."""
+
+    makespan_s: float
+    trace: ExecutionTrace
+    scheduler_name: str
+    instance_count: int
+    #: kernel indices executed per device kind ("cpu"/"gpu")
+    elements_by_device: dict[str, int] = field(default_factory=dict)
+    #: task instances per device kind
+    instances_by_device: dict[str, int] = field(default_factory=dict)
+    #: transferred bytes per direction ("h2d"/"d2h")
+    transfer_bytes: dict[str, int] = field(default_factory=dict)
+    #: seconds the link channels were occupied, per direction
+    transfer_time_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def makespan_ms(self) -> float:
+        return self.makespan_s * 1e3
+
+    def device_fraction(self, kind: str) -> float:
+        """Fraction of kernel indices executed on ``kind`` ("gpu"/"cpu")."""
+        total = sum(self.elements_by_device.values())
+        if total == 0:
+            return 0.0
+        return self.elements_by_device.get(kind, 0) / total
+
+    @property
+    def gpu_fraction(self) -> float:
+        return self.device_fraction("gpu")
+
+    @property
+    def cpu_fraction(self) -> float:
+        return self.device_fraction("cpu")
+
+    @property
+    def accelerator_fraction(self) -> float:
+        """Fraction executed on any non-CPU device (GPU, Phi, ...)."""
+        total = sum(self.elements_by_device.values())
+        if total == 0:
+            return 0.0
+        return 1.0 - self.elements_by_device.get("cpu", 0) / total
+
+    def ratio_by_kernel(self) -> dict[str, dict[str, int]]:
+        """Kernel name -> device kind -> indices (per-kernel split ratios)."""
+        out: dict[str, dict[str, int]] = {}
+        for rec in self.trace.by_category("compute"):
+            kernel = rec.meta.get("kernel")
+            kind = rec.meta.get("device_kind")
+            size = rec.meta.get("size")
+            if kernel is None or kind is None or size is None:
+                continue
+            out.setdefault(str(kernel), {}).setdefault(str(kind), 0)
+            out[str(kernel)][str(kind)] += int(size)
+        return out
+
+    @property
+    def total_transfer_time_s(self) -> float:
+        return sum(self.transfer_time_s.values())
+
+
+class RuntimeEngine:
+    """Executes task graphs on a platform under a given scheduler."""
+
+    def __init__(self, platform: Platform, *, config: RuntimeConfig | None = None) -> None:
+        self.platform = platform
+        self.config = config or RuntimeConfig()
+
+    # -- public API ---------------------------------------------------------
+
+    def execute(self, graph: TaskGraph, scheduler: Scheduler) -> ExecutionResult:
+        """Simulate ``graph`` under ``scheduler``; returns the result."""
+        run = _Run(self.platform, self.config, graph, scheduler)
+        return run.go()
+
+
+class _Run:
+    """Single-use execution state (the engine itself stays reusable)."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        config: RuntimeConfig,
+        graph: TaskGraph,
+        scheduler: Scheduler,
+    ) -> None:
+        self.platform = platform
+        self.config = config
+        self.graph = graph
+        self.scheduler = scheduler
+
+        self.sim = Simulator()
+        self.trace = ExecutionTrace()
+        self.memory = MemoryManager(platform, graph.program.arrays)
+
+        self.resources: list[ComputeResource] = platform.compute_resources(
+            cpu_threads=config.cpu_threads
+        )
+        self.sim_resources: dict[str, SimResource] = {
+            r.resource_id: SimResource(self.sim, r.resource_id, self.trace)
+            for r in self.resources
+        }
+        self.links: dict[str, SimResource] = {}
+        for acc in platform.accelerators:
+            link = platform.link_for(acc.device_id)
+            if link.duplex:
+                self.links[f"{acc.device_id}:h2d"] = SimResource(
+                    self.sim, f"link:{acc.device_id}:h2d", self.trace
+                )
+                self.links[f"{acc.device_id}:d2h"] = SimResource(
+                    self.sim, f"link:{acc.device_id}:d2h", self.trace
+                )
+            else:
+                shared = SimResource(self.sim, f"link:{acc.device_id}", self.trace)
+                self.links[f"{acc.device_id}:h2d"] = shared
+                self.links[f"{acc.device_id}:d2h"] = shared
+
+        self.remaining = {
+            inst.instance_id: len(inst.deps) for inst in graph.instances
+        }
+        self._last_invocation_id = (
+            graph.program.invocations[-1].invocation_id
+            if graph.program.invocations else -1
+        )
+        self.ready: list[TaskInstance] = []
+        self.inflight: dict[str, int] = {r.resource_id: 0 for r in self.resources}
+        self.done: set[int] = set()
+        self.transfer_bytes = {"h2d": 0, "d2h": 0}
+        self._pumping = False
+        self._finalized = False
+        self._static = None
+        #: eager write-backs still on the link; barriers wait for them
+        self._pending_writebacks = 0
+        self._wb_waiters: list[TaskInstance] = []
+        #: in-flight transfers per (array, destination space): readers of a
+        #: region being transferred must wait for the wire, not just for
+        #: the (optimistically updated) directory
+        self._inflight: dict[tuple[str, str], list[_InflightTransfer]] = {}
+
+    # -- helpers --------------------------------------------------------------
+
+    def _ctx(self) -> SchedulingContext:
+        return SchedulingContext(
+            now=self.sim.now,
+            resources=self.resources,
+            inflight=self.inflight,
+            platform=self.platform,
+        )
+
+    def _resource_obj(self, resource_id: str) -> ComputeResource:
+        for r in self.resources:
+            if r.resource_id == resource_id:
+                return r
+        raise SchedulingError(f"scheduler chose unknown resource {resource_id!r}")
+
+    def _link_channel(self, op: TransferOp) -> SimResource:
+        direction = "h2d" if op.is_h2d else "d2h"
+        return self.links[f"{op.device_space}:{direction}"]
+
+    def _transfer_duration(self, op: TransferOp) -> float:
+        link = self.platform.link_for(op.device_space)
+        return link.transfer_time(op.nbytes)
+
+    # -- main loop --------------------------------------------------------------
+
+    def go(self) -> ExecutionResult:
+        self.scheduler.start(self.graph, self._ctx())
+        for inst in self.graph.instances:
+            if self.remaining[inst.instance_id] == 0:
+                self.ready.append(inst)
+        self._pump()
+        self.sim.run()
+        if len(self.done) != len(self.graph.instances):
+            stuck = [
+                i.label() for i in self.graph.instances
+                if i.instance_id not in self.done
+            ]
+            raise SimulationError(
+                f"deadlock: {len(stuck)} instances never ran, e.g. {stuck[:5]}"
+            )
+        if self.config.final_flush:
+            self._final_flush()
+            self.sim.run()
+        return self._result()
+
+    def _pump(self) -> None:
+        """Dispatch ready work; safe against reentrant completion events."""
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            progress = True
+            while progress:
+                progress = False
+                # barriers run outside the scheduler
+                for inst in list(self.ready):
+                    if inst.is_barrier:
+                        self.ready.remove(inst)
+                        self._run_barrier(inst)
+                        progress = True
+                pinned = [i for i in self.ready if i.pinned_resource or i.pinned_device]
+                unpinned = [
+                    i for i in self.ready
+                    if not (i.pinned_resource or i.pinned_device)
+                ]
+                assignments: list[tuple[TaskInstance, str]] = []
+                if pinned:
+                    from repro.runtime.schedulers.base import StaticScheduler
+
+                    if self._static is None:
+                        self._static = StaticScheduler()
+                    assignments.extend(self._static.assign(pinned, self._ctx()))
+                if unpinned:
+                    assignments.extend(self.scheduler.assign(unpinned, self._ctx()))
+                seen_ids: set[int] = set()
+                for inst, rid in assignments:
+                    if inst.instance_id in seen_ids or inst not in self.ready:
+                        raise SchedulingError(
+                            f"scheduler assigned instance "
+                            f"{inst.instance_id} twice or out of the "
+                            "ready set"
+                        )
+                    seen_ids.add(inst.instance_id)
+                    self.ready.remove(inst)
+                    self._dispatch(inst, rid)
+                    progress = True
+        finally:
+            self._pumping = False
+
+    # -- instance lifecycle ----------------------------------------------------
+
+    def _pending_overlaps(
+        self, inst: TaskInstance, space: str
+    ) -> list[_InflightTransfer]:
+        """In-flight transfers the instance's reads must wait for."""
+        found: list[_InflightTransfer] = []
+        for region, mode in inst.regions():
+            if not mode.reads:
+                continue
+            for entry in self._inflight.get((region.array, space), ()):
+                if (
+                    not entry.done
+                    and entry.start < region.end
+                    and region.start < entry.end
+                    and entry not in found
+                ):
+                    found.append(entry)
+        return found
+
+    def _dispatch(self, inst: TaskInstance, resource_id: str) -> None:
+        resource = self._resource_obj(resource_id)
+        self.inflight[resource_id] += 1
+        space = (
+            HOST_SPACE
+            if resource.device.device_id == self.platform.host.device_id
+            else resource.device.device_id
+        )
+        # collect transfers already on the wire BEFORE issuing our own
+        waits = self._pending_overlaps(inst, space)
+        ops: list[TransferOp] = []
+        for region, mode in inst.regions():
+            if mode.reads:
+                ops.extend(self.memory.ensure(region, space))
+        transfer_total = sum(self._transfer_duration(op) for op in ops)
+        pending = len(ops) + len(waits)
+        if pending == 0:
+            self._start_compute(inst, resource, space, 0.0)
+            return
+
+        def arm_compute() -> None:
+            nonlocal pending
+            pending -= 1
+            if pending == 0:
+                self._start_compute(inst, resource, space, transfer_total)
+
+        for entry in waits:
+            entry.waiters.append(arm_compute)
+        for op in ops:
+            self._issue_transfer(op, on_complete=arm_compute)
+
+    def _issue_transfer(self, op: TransferOp, *, on_complete=None) -> None:
+        duration = self._transfer_duration(op)
+        direction = "h2d" if op.is_h2d else "d2h"
+        self.transfer_bytes[direction] += op.nbytes
+        # source-side hazard: data still being staged INTO the source space
+        # (device -> host -> device chains) must land before this leg reads
+        # it off
+        src_waits = [
+            e for e in self._inflight.get((op.array, op.src_space), ())
+            if not e.done and e.start < op.end and op.start < e.end
+        ]
+        entry = _InflightTransfer(start=op.start, end=op.end)
+        key = (op.array, op.dst_space)
+        self._inflight.setdefault(key, []).append(entry)
+
+        def finish() -> None:
+            entry.done = True
+            self._inflight[key].remove(entry)
+            for waiter in entry.waiters:
+                waiter()
+            if on_complete is not None:
+                on_complete()
+
+        def start() -> None:
+            self._link_channel(op).occupy(
+                duration,
+                label=f"{op.array}[{op.start}:{op.end}) {direction}",
+                category="transfer",
+                on_complete=finish,
+                meta={
+                    "array": op.array,
+                    "bytes": op.nbytes,
+                    "direction": direction,
+                    "device": op.device_space,
+                },
+            )
+
+        if not src_waits:
+            start()
+            return
+        pending = len(src_waits)
+
+        def arm() -> None:
+            nonlocal pending
+            pending -= 1
+            if pending == 0:
+                start()
+
+        for upstream in src_waits:
+            upstream.waiters.append(arm)
+
+    def _start_compute(
+        self,
+        inst: TaskInstance,
+        resource: ComputeResource,
+        space: str,
+        transfer_total: float,
+    ) -> None:
+        kernel = inst.kernel
+        duration = kernel.chunk_time(
+            resource.device,
+            kernel.work_units(inst.lo, inst.hi),
+            inst.invocation.n,
+            share=resource.share,
+        )
+        duration += self.config.task_creation_overhead_s
+        if self.scheduler.dynamic and inst.pinned_resource is None \
+                and inst.pinned_device is None:
+            duration += self.config.dynamic_decision_overhead_s
+
+        def on_complete() -> None:
+            self._complete(inst, resource, space, duration, transfer_total)
+
+        self.sim_resources[resource.resource_id].occupy(
+            duration,
+            label=inst.label(),
+            category="compute",
+            on_complete=on_complete,
+            meta={
+                "kernel": kernel.name,
+                "size": inst.size,
+                "device_kind": resource.device.kind.value,
+                "device": resource.device.device_id,
+                "invocation": inst.invocation.invocation_id,
+                "iteration": inst.invocation.iteration,
+            },
+        )
+
+    def _complete(
+        self,
+        inst: TaskInstance,
+        resource: ComputeResource,
+        space: str,
+        compute_time: float,
+        transfer_time: float,
+    ) -> None:
+        for region, mode in inst.regions():
+            if mode.writes:
+                self.memory.write(region, space)
+        # an instance followed by a taskwait — explicit, or the program's
+        # implicit final sync after the last invocation (only when the run
+        # accounts for end-to-end readback at all) — reads its own results
+        # back immediately, overlapping the flush with the other
+        # processor's remaining compute
+        faces_sync = inst.invocation is not None and (
+            inst.invocation.sync_after
+            or (
+                self.config.final_flush
+                and inst.invocation.invocation_id == self._last_invocation_id
+            )
+        )
+        if (
+            self.config.eager_writeback
+            and faces_sync
+            and space != HOST_SPACE
+        ):
+            for region, mode in inst.regions():
+                if mode.writes:
+                    for op in self.memory.writeback(region, space):
+                        self._pending_writebacks += 1
+                        self._issue_transfer(op, on_complete=self._writeback_done)
+        self.inflight[resource.resource_id] -= 1
+        self.scheduler.on_complete(
+            inst,
+            resource.resource_id,
+            compute_time=compute_time,
+            transfer_time=transfer_time,
+        )
+        self._mark_done(inst)
+
+    def _writeback_done(self) -> None:
+        self._pending_writebacks -= 1
+        if self._pending_writebacks == 0 and self._wb_waiters:
+            waiters, self._wb_waiters = self._wb_waiters, []
+            for barrier in waiters:
+                self._mark_done(barrier)
+
+    def _run_barrier(self, inst: TaskInstance) -> None:
+        ops = self.memory.flush_to_host(
+            invalidate=self.config.barrier_invalidates_devices
+        )
+        # the quiescence overhead and the flush transfers proceed in
+        # parallel; the barrier completes when both are over (and all
+        # eager write-backs have landed on the host).  A trailing barrier
+        # (no successors) is the program's exit sync: the thread team is
+        # torn down rather than restarted, so no quiescence is charged.
+        overhead = self.config.barrier_overhead_s if inst.succs else 0.0
+        pending = len(ops) + 1
+
+        def arm() -> None:
+            nonlocal pending
+            pending -= 1
+            if pending == 0:
+                if self._pending_writebacks:
+                    self._wb_waiters.append(inst)
+                else:
+                    self._mark_done(inst)
+
+        self.sim.after(overhead, arm)
+        for op in ops:
+            self._issue_transfer(op, on_complete=arm)
+
+    def _mark_done(self, inst: TaskInstance) -> None:
+        self.done.add(inst.instance_id)
+        for succ in sorted(inst.succs):
+            self.remaining[succ] -= 1
+            if self.remaining[succ] == 0:
+                self.ready.append(self.graph.instances[succ])
+        self._pump()
+
+    def _final_flush(self) -> None:
+        if self._finalized:
+            return
+        self._finalized = True
+        for op in self.memory.flush_to_host():
+            self._issue_transfer(op)
+
+    # -- result assembly --------------------------------------------------------
+
+    def _result(self) -> ExecutionResult:
+        transfer_time = {
+            "h2d": sum(
+                r.duration
+                for r in self.trace.by_category("transfer")
+                if r.meta.get("direction") == "h2d"
+            ),
+            "d2h": sum(
+                r.duration
+                for r in self.trace.by_category("transfer")
+                if r.meta.get("direction") == "d2h"
+            ),
+        }
+        return ExecutionResult(
+            # a trailing barrier's quiescence is a pure event (no resource
+            # occupation), so the clock — not just the trace — bounds the run
+            makespan_s=max(self.trace.makespan(), self.sim.now),
+            trace=self.trace,
+            scheduler_name=self.scheduler.name,
+            instance_count=len(self.graph.instances),
+            elements_by_device=self.trace.elements_by_device(),
+            instances_by_device=self.trace.instance_count_by_device(),
+            transfer_bytes=dict(self.transfer_bytes),
+            transfer_time_s=transfer_time,
+        )

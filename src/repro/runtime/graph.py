@@ -1,0 +1,297 @@
+"""Programs, kernel invocations, task instances and the task graph.
+
+A data-parallel application is represented at two levels:
+
+* **Program level** — an ordered list of :class:`KernelInvocation` (one per
+  kernel execution in the unrolled execution flow: loops are unrolled into
+  one invocation per iteration) interleaved with ``taskwait`` markers.
+* **Task level** — each invocation is *chunked* into one or more
+  :class:`TaskInstance` (the OmpSs task instances the paper schedules).
+  Static strategies pin instances to devices/resources; dynamic strategies
+  leave them unpinned for the scheduler.
+
+The :class:`TaskGraph` holds the instances plus the dependence edges added
+by :func:`repro.runtime.dependence.build_dependences`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError, DependenceError
+from repro.runtime.kernels import Kernel
+from repro.runtime.regions import ArraySpec, Region
+
+
+class InstanceKind(enum.Enum):
+    """Kind of node in the task graph."""
+
+    COMPUTE = "compute"
+    #: ``taskwait``: waits for all prior instances and flushes device data
+    #: to host memory.
+    BARRIER = "barrier"
+
+
+@dataclass(frozen=True)
+class KernelInvocation:
+    """One execution of a kernel in the (unrolled) program flow.
+
+    Parameters
+    ----------
+    invocation_id:
+        Unique id within the program, in program order.
+    kernel:
+        The invoked kernel.
+    n:
+        Problem size — number of kernel indices of this invocation.
+    iteration:
+        Loop iteration this invocation belongs to (0 for non-loop code).
+    sync_after:
+        Whether a ``taskwait`` follows this invocation.
+    """
+
+    invocation_id: int
+    kernel: Kernel
+    n: int
+    iteration: int = 0
+    sync_after: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ConfigurationError(
+                f"invocation {self.invocation_id} of {self.kernel.name!r}: "
+                f"problem size must be positive, got {self.n}"
+            )
+
+
+@dataclass
+class Program:
+    """An ordered sequence of kernel invocations plus the data arrays."""
+
+    invocations: list[KernelInvocation]
+    arrays: dict[str, ArraySpec]
+
+    def __post_init__(self) -> None:
+        ids = [inv.invocation_id for inv in self.invocations]
+        if ids != sorted(set(ids)):
+            raise ConfigurationError("invocation ids must be unique and ordered")
+        for inv in self.invocations:
+            for acc in inv.kernel.accesses:
+                known = self.arrays.get(acc.array.name)
+                if known is None or known != acc.array:
+                    raise ConfigurationError(
+                        f"kernel {inv.kernel.name!r} accesses array "
+                        f"{acc.array.name!r} not declared (or mismatched) in "
+                        "the program"
+                    )
+
+    @property
+    def kernels(self) -> list[Kernel]:
+        """Distinct kernels in first-appearance order."""
+        seen: dict[str, Kernel] = {}
+        for inv in self.invocations:
+            seen.setdefault(inv.kernel.name, inv.kernel)
+        return list(seen.values())
+
+    def total_indices(self) -> int:
+        """Sum of problem sizes over all invocations (workload proxy)."""
+        return sum(inv.n for inv in self.invocations)
+
+
+@dataclass
+class TaskInstance:
+    """One schedulable chunk of one kernel invocation.
+
+    ``pinned_device``/``pinned_resource`` implement static partitioning:
+    a device pin restricts the instance to any resource of that device, a
+    resource pin nails it to one specific resource (one CPU thread).
+    Unpinned instances are the dynamic scheduler's to place.
+    """
+
+    instance_id: int
+    kind: InstanceKind
+    invocation: KernelInvocation | None = None
+    lo: int = 0
+    hi: int = 0
+    pinned_device: str | None = None
+    pinned_resource: str | None = None
+    #: instance ids this instance depends on (filled by dependence analysis)
+    deps: set[int] = field(default_factory=set)
+    #: instance ids depending on this instance
+    succs: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.kind is InstanceKind.COMPUTE:
+            if self.invocation is None:
+                raise ConfigurationError("compute instance needs an invocation")
+            if not (0 <= self.lo < self.hi <= self.invocation.n):
+                raise ConfigurationError(
+                    f"instance {self.instance_id}: chunk [{self.lo}, {self.hi}) "
+                    f"outside invocation size {self.invocation.n}"
+                )
+
+    @property
+    def size(self) -> int:
+        """Number of kernel indices in this chunk (0 for barriers)."""
+        return self.hi - self.lo if self.kind is InstanceKind.COMPUTE else 0
+
+    @property
+    def kernel(self) -> Kernel:
+        if self.invocation is None:
+            raise ConfigurationError(f"instance {self.instance_id} has no kernel")
+        return self.invocation.kernel
+
+    @property
+    def is_barrier(self) -> bool:
+        return self.kind is InstanceKind.BARRIER
+
+    def regions(self) -> list[tuple[Region, "object"]]:
+        """``(region, mode)`` pairs this instance touches (compute only)."""
+        if self.kind is not InstanceKind.COMPUTE:
+            return []
+        return [
+            (acc.region(self.lo, self.hi), acc.mode)
+            for acc in self.kernel.accesses
+        ]
+
+    def label(self) -> str:
+        """Short display label for traces."""
+        if self.is_barrier:
+            return f"taskwait#{self.instance_id}"
+        return f"{self.kernel.name}[{self.lo}:{self.hi})#{self.instance_id}"
+
+
+@dataclass
+class TaskGraph:
+    """The fully expanded, dependence-annotated set of task instances."""
+
+    program: Program
+    instances: list[TaskInstance] = field(default_factory=list)
+
+    def instance(self, instance_id: int) -> TaskInstance:
+        inst = self.instances[instance_id]
+        if inst.instance_id != instance_id:
+            raise DependenceError("task graph instance ids out of order")
+        return inst
+
+    @property
+    def compute_instances(self) -> list[TaskInstance]:
+        return [i for i in self.instances if i.kind is InstanceKind.COMPUTE]
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(i.deps) for i in self.instances)
+
+    def roots(self) -> list[TaskInstance]:
+        """Instances with no dependences (ready at time zero)."""
+        return [i for i in self.instances if not i.deps]
+
+    def validate_acyclic(self) -> None:
+        """Raise :class:`DependenceError` when the graph has a cycle.
+
+        Dependences are built from program order so cycles indicate a bug;
+        the integration tests call this on every constructed graph.
+        """
+        state = [0] * len(self.instances)  # 0 new, 1 visiting, 2 done
+        for start in range(len(self.instances)):
+            if state[start]:
+                continue
+            stack: list[tuple[int, Iterable[int]]] = [
+                (start, iter(self.instances[start].succs))
+            ]
+            state[start] = 1
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if state[succ] == 1:
+                        raise DependenceError(
+                            f"dependence cycle through instances {node} -> {succ}"
+                        )
+                    if state[succ] == 0:
+                        state[succ] = 1
+                        stack.append((succ, iter(self.instances[succ].succs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    state[node] = 2
+                    stack.pop()
+
+
+def chunk_ranges(n: int, n_chunks: int) -> list[tuple[int, int]]:
+    """Split ``[0, n)`` into ``n_chunks`` contiguous near-equal ranges.
+
+    The first ``n % n_chunks`` chunks get one extra index.  When
+    ``n_chunks > n`` only ``n`` single-index chunks are produced (a task
+    instance cannot be empty).
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    if n_chunks <= 0:
+        raise ConfigurationError(f"n_chunks must be positive, got {n_chunks}")
+    n_chunks = min(n_chunks, n)
+    base, extra = divmod(n, n_chunks)
+    ranges = []
+    lo = 0
+    for i in range(n_chunks):
+        hi = lo + base + (1 if i < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def split_sizes(n: int, sizes: Sequence[int]) -> list[tuple[int, int]]:
+    """Split ``[0, n)`` into contiguous ranges of the given ``sizes``.
+
+    Zero sizes are skipped (producing no range); sizes must sum to ``n``.
+    """
+    if sum(sizes) != n:
+        raise ConfigurationError(
+            f"split sizes {list(sizes)} do not sum to problem size {n}"
+        )
+    ranges = []
+    lo = 0
+    for size in sizes:
+        if size < 0:
+            raise ConfigurationError("split sizes must be >= 0")
+        if size:
+            ranges.append((lo, lo + size))
+            lo += size
+    return ranges
+
+
+def expand_program(
+    program: Program,
+    chunker,
+) -> TaskGraph:
+    """Expand a program into a :class:`TaskGraph` (without dependences).
+
+    ``chunker(invocation)`` returns a list of
+    ``(lo, hi, pinned_device, pinned_resource)`` tuples describing this
+    invocation's task instances.  A barrier instance is appended after
+    every invocation whose ``sync_after`` flag is set.
+    """
+    graph = TaskGraph(program=program)
+    next_id = 0
+    for inv in program.invocations:
+        for lo, hi, dev, res in chunker(inv):
+            graph.instances.append(
+                TaskInstance(
+                    instance_id=next_id,
+                    kind=InstanceKind.COMPUTE,
+                    invocation=inv,
+                    lo=lo,
+                    hi=hi,
+                    pinned_device=dev,
+                    pinned_resource=res,
+                )
+            )
+            next_id += 1
+        if inv.sync_after:
+            graph.instances.append(
+                TaskInstance(instance_id=next_id, kind=InstanceKind.BARRIER)
+            )
+            next_id += 1
+    return graph

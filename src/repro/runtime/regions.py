@@ -1,0 +1,213 @@
+"""Arrays, regions and interval arithmetic for dependence & coherence.
+
+The runtime reasons about data at the granularity of *element ranges* of
+named 1-D arrays (2-D data is linearized row-wise, matching the paper's
+row-wise partitioning).  Two pieces of machinery live here:
+
+* :class:`Region` — a half-open element range ``[start, end)`` of one array,
+  used by dependence analysis (overlap tests) and the memory model.
+* :class:`IntervalSet` — a set of disjoint sorted intervals with union /
+  subtraction / intersection, used by the coherence directory to track which
+  parts of an array are valid in which memory space.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import DependenceError
+
+
+class AccessMode(enum.Enum):
+    """Data-access direction of a task on a region (OmpSs in/out/inout)."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.IN, AccessMode.INOUT)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.OUT, AccessMode.INOUT)
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """A named data array of ``n_elems`` elements of ``elem_bytes`` bytes."""
+
+    name: str
+    n_elems: int
+    elem_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_elems < 0:
+            raise DependenceError(f"array {self.name}: n_elems must be >= 0")
+        if self.elem_bytes <= 0:
+            raise DependenceError(f"array {self.name}: elem_bytes must be > 0")
+
+    @property
+    def nbytes(self) -> int:
+        return self.n_elems * self.elem_bytes
+
+    def full_region(self) -> "Region":
+        """The region covering the whole array."""
+        return Region(self.name, 0, self.n_elems)
+
+
+@dataclass(frozen=True, slots=True)
+class Region:
+    """Half-open element range ``[start, end)`` of array ``array``."""
+
+    array: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise DependenceError(
+                f"invalid region [{self.start}, {self.end}) of {self.array!r}"
+            )
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    @property
+    def empty(self) -> bool:
+        return self.end <= self.start
+
+    def overlaps(self, other: "Region") -> bool:
+        """True when the two regions share at least one element."""
+        return (
+            self.array == other.array
+            and self.start < other.end
+            and other.start < self.end
+        )
+
+    def intersection(self, other: "Region") -> "Region | None":
+        """The overlapping sub-region, or ``None`` when disjoint."""
+        if not self.overlaps(other):
+            return None
+        return Region(self.array, max(self.start, other.start), min(self.end, other.end))
+
+    def nbytes(self, elem_bytes: int) -> int:
+        return self.size * elem_bytes
+
+
+class IntervalSet:
+    """A set of disjoint, sorted half-open integer intervals.
+
+    Supports the operations the coherence directory needs.  Intervals are
+    normalized on every mutation: sorted, non-empty, non-adjacent (adjacent
+    intervals are merged), so equality of contents implies equality of
+    representation.
+    """
+
+    __slots__ = ("_ivals",)
+
+    def __init__(self, intervals: Iterable[tuple[int, int]] = ()) -> None:
+        self._ivals: list[tuple[int, int]] = []
+        for lo, hi in intervals:
+            self.add(lo, hi)
+
+    # -- basics -----------------------------------------------------------
+
+    def __bool__(self) -> bool:
+        return bool(self._ivals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._ivals == other._ivals
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self._ivals)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IntervalSet({self._ivals!r})"
+
+    @property
+    def intervals(self) -> list[tuple[int, int]]:
+        """The disjoint sorted intervals (copy)."""
+        return list(self._ivals)
+
+    @property
+    def total(self) -> int:
+        """Total number of covered elements."""
+        return sum(hi - lo for lo, hi in self._ivals)
+
+    def copy(self) -> "IntervalSet":
+        out = IntervalSet()
+        out._ivals = list(self._ivals)
+        return out
+
+    # -- mutations ---------------------------------------------------------
+
+    def add(self, lo: int, hi: int) -> None:
+        """Union ``[lo, hi)`` into the set."""
+        if hi <= lo:
+            return
+        out: list[tuple[int, int]] = []
+        placed = False
+        for a, b in self._ivals:
+            if b < lo or a > hi:  # disjoint and non-adjacent
+                if a > hi and not placed:
+                    out.append((lo, hi))
+                    placed = True
+                out.append((a, b))
+            else:  # overlapping or adjacent: merge
+                lo, hi = min(lo, a), max(hi, b)
+        if not placed:
+            out.append((lo, hi))
+        out.sort()
+        self._ivals = out
+
+    def remove(self, lo: int, hi: int) -> None:
+        """Subtract ``[lo, hi)`` from the set."""
+        if hi <= lo:
+            return
+        out: list[tuple[int, int]] = []
+        for a, b in self._ivals:
+            if b <= lo or a >= hi:
+                out.append((a, b))
+                continue
+            if a < lo:
+                out.append((a, lo))
+            if b > hi:
+                out.append((hi, b))
+        self._ivals = out
+
+    def clear(self) -> None:
+        self._ivals = []
+
+    # -- queries ------------------------------------------------------------
+
+    def contains(self, lo: int, hi: int) -> bool:
+        """True when ``[lo, hi)`` is fully covered."""
+        if hi <= lo:
+            return True
+        for a, b in self._ivals:
+            if a <= lo and hi <= b:
+                return True
+        return False
+
+    def intersect(self, lo: int, hi: int) -> "IntervalSet":
+        """The covered portions of ``[lo, hi)``."""
+        out = IntervalSet()
+        for a, b in self._ivals:
+            x, y = max(a, lo), min(b, hi)
+            if x < y:
+                out.add(x, y)
+        return out
+
+    def missing(self, lo: int, hi: int) -> "IntervalSet":
+        """The portions of ``[lo, hi)`` NOT covered by the set."""
+        out = IntervalSet([(lo, hi)]) if hi > lo else IntervalSet()
+        for a, b in self._ivals:
+            out.remove(a, b)
+        return out

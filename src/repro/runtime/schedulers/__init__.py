@@ -1,0 +1,26 @@
+"""Task schedulers.
+
+* :class:`~repro.runtime.schedulers.base.StaticScheduler` dispatches pinned
+  instances as soon as their dependences are met (static partitioning).
+* :class:`~repro.runtime.schedulers.breadth_first.BreadthFirstScheduler` is
+  the OmpSs default policy used by **DP-Dep**: FIFO over ready instances,
+  idle resources self-serve, dependence chains stay on the device that
+  started them.
+* :class:`~repro.runtime.schedulers.perf_aware.PerfAwareScheduler` is the
+  Planas-style policy used by **DP-Perf**: per-device performance estimates
+  (seeded by a profiling phase, refined online) drive earliest-finish-time
+  assignment.
+"""
+
+from repro.runtime.schedulers.base import Scheduler, SchedulingContext, StaticScheduler
+from repro.runtime.schedulers.breadth_first import BreadthFirstScheduler
+from repro.runtime.schedulers.perf_aware import PerfAwareScheduler, ProfileTable
+
+__all__ = [
+    "Scheduler",
+    "SchedulingContext",
+    "StaticScheduler",
+    "BreadthFirstScheduler",
+    "PerfAwareScheduler",
+    "ProfileTable",
+]

@@ -1,0 +1,36 @@
+"""Deterministic discrete-event simulation engine.
+
+The runtime replays task execution on the simulated platform through this
+engine: compute resources and interconnect channels are serial
+:class:`~repro.sim.resources.SimResource` objects, the
+:class:`~repro.sim.engine.Simulator` advances virtual time through an event
+heap, and every occupation of a resource is recorded as a
+:class:`~repro.sim.trace.TraceRecord` for later analysis (partitioning
+ratios, Gantt charts, transfer accounting).
+"""
+
+from repro.sim.analysis import (
+    ResourceStats,
+    TraceStats,
+    analyze_trace,
+    compute_overlap_fraction,
+    format_stats,
+)
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.resources import SimResource
+from repro.sim.trace import ExecutionTrace, TraceRecord, render_gantt
+
+__all__ = [
+    "ResourceStats",
+    "TraceStats",
+    "analyze_trace",
+    "compute_overlap_fraction",
+    "format_stats",
+    "Simulator",
+    "Event",
+    "SimResource",
+    "ExecutionTrace",
+    "TraceRecord",
+    "render_gantt",
+]

@@ -1,0 +1,103 @@
+"""The event-loop core of the simulator."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+#: priority for resource-completion events (fire before scheduler ticks)
+PRIORITY_COMPLETION = 0
+#: priority for scheduler decision points
+PRIORITY_SCHEDULE = 10
+
+
+class Simulator:
+    """A minimal, deterministic discrete-event simulator.
+
+    Usage: schedule callbacks with :meth:`at` / :meth:`after`, then call
+    :meth:`run`.  Callbacks may schedule further events.  Virtual time only
+    moves forward; scheduling into the past is an error.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def at(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = PRIORITY_SCHEDULE,
+    ) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now - 1e-15:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self._now}"
+            )
+        event = Event(max(time, self._now), priority, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = PRIORITY_SCHEDULE,
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be >= 0, got {delay}")
+        return self.at(self._now + delay, callback, priority=priority)
+
+    def run(self, *, until: float | None = None, max_events: int = 50_000_000) -> float:
+        """Drain the event heap; returns the final virtual time.
+
+        Parameters
+        ----------
+        until:
+            Optional horizon; events after it remain queued.
+        max_events:
+            Safety valve against runaway self-scheduling loops.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; runaway simulation?"
+                    )
+        finally:
+            self._running = False
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._heap)

@@ -1,0 +1,122 @@
+"""Serial simulated resources (compute contexts and link channels).
+
+A :class:`SimResource` executes one occupation at a time.  Occupations are
+either started immediately (if the resource is idle) or queued FIFO.  Each
+occupation produces a :class:`~repro.sim.trace.TraceRecord` and fires a
+completion callback through the owning :class:`~repro.sim.engine.Simulator`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.engine import PRIORITY_COMPLETION, Simulator
+from repro.sim.trace import ExecutionTrace, TraceRecord
+
+
+@dataclass(slots=True)
+class _Occupation:
+    duration: float
+    label: str
+    category: str
+    on_complete: Callable[[], Any] | None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class SimResource:
+    """A serial resource bound to a simulator and a shared trace.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    resource_id:
+        Unique identifier; appears in trace records.
+    trace:
+        Shared :class:`ExecutionTrace` that collects occupation records.
+    """
+
+    def __init__(self, sim: Simulator, resource_id: str, trace: ExecutionTrace) -> None:
+        self.sim = sim
+        self.resource_id = resource_id
+        self.trace = trace
+        self._queue: deque[_Occupation] = deque()
+        self._busy = False
+        self._busy_until = 0.0
+
+    @property
+    def busy(self) -> bool:
+        """Whether an occupation is currently executing."""
+        return self._busy
+
+    @property
+    def busy_until(self) -> float:
+        """Virtual time at which the current work (incl. queue) finishes.
+
+        For an idle resource this is the current time.
+        """
+        if not self._busy and not self._queue:
+            return self.sim.now
+        return self._busy_until
+
+    @property
+    def queued(self) -> int:
+        """Number of occupations waiting behind the current one."""
+        return len(self._queue)
+
+    def occupy(
+        self,
+        duration: float,
+        *,
+        label: str,
+        category: str,
+        on_complete: Callable[[], Any] | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> None:
+        """Enqueue an occupation of ``duration`` seconds.
+
+        ``category`` tags the record for trace analysis (``"compute"``,
+        ``"transfer"``, ``"overhead"`` ...).  ``on_complete`` fires at the
+        occupation's end time, *after* the resource is marked free.
+        """
+        if duration < 0:
+            raise SimulationError(
+                f"{self.resource_id}: occupation duration must be >= 0"
+            )
+        occ = _Occupation(duration, label, category, on_complete, meta or {})
+        if self._busy:
+            self._queue.append(occ)
+            self._busy_until += duration
+        else:
+            self._start(occ)
+
+    def _start(self, occ: _Occupation) -> None:
+        self._busy = True
+        start = self.sim.now
+        end = start + occ.duration
+        if not self._queue:
+            self._busy_until = end
+        self.trace.add(
+            TraceRecord(
+                resource_id=self.resource_id,
+                label=occ.label,
+                category=occ.category,
+                start=start,
+                end=end,
+                meta=occ.meta,
+            )
+        )
+        self.sim.at(end, lambda: self._finish(occ), priority=PRIORITY_COMPLETION)
+
+    def _finish(self, occ: _Occupation) -> None:
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._start(nxt)
+        else:
+            self._busy = False
+            self._busy_until = self.sim.now
+        if occ.on_complete is not None:
+            occ.on_complete()

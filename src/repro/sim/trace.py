@@ -1,0 +1,145 @@
+"""Execution traces: the simulator's flight recorder.
+
+Every resource occupation (kernel chunk, data transfer, runtime overhead) is
+recorded with its resource, time interval, category, and free-form metadata.
+The experiment harness derives everything it reports from the trace:
+partitioning ratios (Figs. 6, 8, 10), transfer shares (STREAM's 88%
+observation), device busy times, and ASCII Gantt charts for debugging.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One contiguous occupation of one resource."""
+
+    resource_id: str
+    label: str
+    category: str
+    start: float
+    end: float
+    meta: dict[str, Any] = field(default_factory=dict, hash=False, compare=False)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class ExecutionTrace:
+    """An append-only collection of :class:`TraceRecord` with query helpers."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+
+    def add(self, record: TraceRecord) -> None:
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """All records in insertion order (do not mutate)."""
+        return self._records
+
+    # -- queries ---------------------------------------------------------
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        """Records with the given category tag."""
+        return [r for r in self._records if r.category == category]
+
+    def by_resource(self, resource_id: str) -> list[TraceRecord]:
+        """Records on the given resource."""
+        return [r for r in self._records if r.resource_id == resource_id]
+
+    def makespan(self) -> float:
+        """Latest end time across all records (0.0 for an empty trace)."""
+        return max((r.end for r in self._records), default=0.0)
+
+    def busy_time(self, resource_id: str, *, category: str | None = None) -> float:
+        """Total occupied seconds on a resource, optionally per category."""
+        return sum(
+            r.duration
+            for r in self._records
+            if r.resource_id == resource_id
+            and (category is None or r.category == category)
+        )
+
+    def total_time(self, *, category: str) -> float:
+        """Total occupied seconds across all resources for a category."""
+        return sum(r.duration for r in self._records if r.category == category)
+
+    def elements_by_device(
+        self, *, category: str = "compute", key: str = "device_kind"
+    ) -> dict[str, int]:
+        """Sum the ``size`` metadata of compute records grouped by ``key``.
+
+        This is how partitioning ratios are computed: each compute record
+        carries the number of data elements it processed and the device
+        kind it ran on.
+        """
+        out: dict[str, int] = defaultdict(int)
+        for r in self._records:
+            if r.category != category:
+                continue
+            group = r.meta.get(key)
+            size = r.meta.get("size")
+            if group is None or size is None:
+                continue
+            out[str(group)] += int(size)
+        return dict(out)
+
+    def instance_count_by_device(self, *, key: str = "device_kind") -> dict[str, int]:
+        """Number of compute task instances per device group."""
+        out: dict[str, int] = defaultdict(int)
+        for r in self._records:
+            if r.category == "compute" and key in r.meta:
+                out[str(r.meta[key])] += 1
+        return dict(out)
+
+
+def render_gantt(
+    trace: ExecutionTrace,
+    *,
+    width: int = 80,
+    resources: Iterable[str] | None = None,
+) -> str:
+    """Render an ASCII Gantt chart of the trace.
+
+    Each resource gets one row; compute occupations draw ``#``, transfers
+    ``=``, everything else ``+``.  Intended for eyeballing overlap during
+    development, not for exact reading.
+    """
+    records = trace.records
+    if not records:
+        return "(empty trace)"
+    if resources is None:
+        seen: dict[str, None] = {}
+        for r in records:
+            seen.setdefault(r.resource_id, None)
+        resources = list(seen)
+    span = trace.makespan()
+    if span <= 0:
+        return "(zero-length trace)"
+    glyph = {"compute": "#", "transfer": "="}
+    name_w = max(len(r) for r in resources)
+    lines = []
+    for rid in resources:
+        row = [" "] * width
+        for rec in trace.by_resource(rid):
+            lo = int(rec.start / span * (width - 1))
+            hi = max(lo, int(rec.end / span * (width - 1)))
+            ch = glyph.get(rec.category, "+")
+            for i in range(lo, hi + 1):
+                row[i] = ch
+        lines.append(f"{rid:<{name_w}} |{''.join(row)}|")
+    lines.append(f"{'':<{name_w}}  0{'':<{width - 12}}{span * 1e3:10.3f} ms")
+    return "\n".join(lines)

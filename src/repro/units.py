@@ -1,0 +1,74 @@
+"""Unit constants and conversion helpers.
+
+The simulator keeps all quantities in SI base units internally:
+
+* time in **seconds**
+* data sizes in **bytes**
+* rates in **bytes/second** and **FLOP/second**
+
+The paper (and our reports) quote milliseconds, GB, GB/s and GFLOPS, so this
+module centralizes the conversions to keep magic numbers out of the models.
+"""
+
+from __future__ import annotations
+
+# -- scale factors ----------------------------------------------------------
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+#: bytes in one kibibyte / mebibyte / gibibyte (binary, used for capacities)
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+#: single-precision float size in bytes (the paper's kernels are SP)
+FLOAT32_BYTES = 4
+#: double-precision float size in bytes
+FLOAT64_BYTES = 8
+
+#: CUDA warp size; Glinda rounds the GPU partition up to a warp multiple
+WARP_SIZE = 32
+
+
+def ms_to_s(milliseconds: float) -> float:
+    """Convert milliseconds to seconds."""
+    return milliseconds / KILO
+
+
+def s_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return seconds * KILO
+
+
+def gb_to_bytes(gigabytes: float) -> float:
+    """Convert decimal gigabytes to bytes."""
+    return gigabytes * GIGA
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert bytes to decimal gigabytes."""
+    return n_bytes / GIGA
+
+
+def gbs_to_bytes_per_s(gb_per_s: float) -> float:
+    """Convert GB/s to bytes/s."""
+    return gb_per_s * GIGA
+
+
+def gflops_to_flops(gflops: float) -> float:
+    """Convert GFLOP/s to FLOP/s."""
+    return gflops * GIGA
+
+
+def round_up(value: int, multiple: int) -> int:
+    """Round ``value`` up to the nearest multiple of ``multiple``.
+
+    ``round_up(0, m) == 0``; ``multiple`` must be positive.
+    """
+    if multiple <= 0:
+        raise ValueError(f"multiple must be positive, got {multiple}")
+    if value <= 0:
+        return 0
+    return ((value + multiple - 1) // multiple) * multiple

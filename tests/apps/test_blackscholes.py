@@ -1,0 +1,83 @@
+"""BlackScholes: pricing correctness and transfer-boundedness."""
+
+import numpy as np
+import pytest
+
+from repro.apps.blackscholes import BlackScholes, RISKFREE
+from repro.runtime.functional import run_chunked, run_sequential
+from repro.units import gb_to_bytes
+
+
+@pytest.fixture
+def app():
+    return BlackScholes()
+
+
+class TestMetadata:
+    def test_table2_row(self, app):
+        assert app.paper_class == "SK-One"
+        assert app.paper_n == 80_530_632
+
+    def test_dataset_is_15gb(self, app):
+        program = app.program()
+        total = sum(spec.nbytes for spec in program.arrays.values())
+        assert total == pytest.approx(gb_to_bytes(1.5), rel=0.1)
+
+
+class TestNumerics:
+    def test_put_call_parity(self, app):
+        n = 5000
+        arrays = app.arrays(n, seed=7)
+        out = run_sequential(app.program(n), arrays)
+        gap = app.put_call_parity_gap(out)
+        assert np.abs(gap).max() < 1e-2  # float32 storage of the prices
+
+    def test_prices_nonnegative(self, app):
+        n = 5000
+        out = run_sequential(app.program(n), app.arrays(n, seed=8))
+        assert (out["call"] >= -1e-5).all()
+        assert (out["put"] >= -1e-5).all()
+
+    def test_call_below_spot(self, app):
+        # a call is never worth more than the underlying
+        n = 5000
+        arrays = app.arrays(n, seed=9)
+        out = run_sequential(app.program(n), arrays)
+        assert (out["call"] <= arrays["S"] + 1e-4).all()
+
+    def test_deep_in_the_money_call(self, app):
+        # S >> K, short expiry: call ~ S - K e^{-rT}
+        arrays = {
+            "S": np.full(4, 100.0, dtype=np.float32),
+            "K": np.full(4, 1.0, dtype=np.float32),
+            "T": np.full(4, 0.25, dtype=np.float32),
+            "call": np.zeros(4, dtype=np.float32),
+            "put": np.zeros(4, dtype=np.float32),
+        }
+        out = run_sequential(app.program(4), arrays)
+        expected = 100.0 - 1.0 * np.exp(-RISKFREE * 0.25)
+        np.testing.assert_allclose(out["call"], expected, rtol=1e-3)
+
+    @pytest.mark.parametrize("chunks", [3, 11])
+    def test_partitioning_is_exact(self, app, chunks):
+        n = 4096
+        arrays = app.arrays(n, seed=10)
+        whole = run_sequential(app.program(n), arrays)
+        parts = run_chunked(app.program(n), arrays, n_chunks=chunks)
+        np.testing.assert_array_equal(whole["call"], parts["call"])
+        np.testing.assert_array_equal(whole["put"], parts["put"])
+
+
+class TestTransferBoundedness:
+    def test_gpu_transfer_dwarfs_kernel(self, app, paper_platform):
+        """Paper: transfers take ~37.5x the GPU kernel time."""
+        program = app.program()
+        kernel = program.kernels[0]
+        n = program.invocations[0].n
+        gpu = paper_platform.gpu
+        t_kernel = kernel.chunk_time(gpu, n, n, include_launch=False)
+        link = paper_platform.link_for("gpu0")
+        t_transfer = link.transfer_time(kernel.input_bytes(0, n)) + \
+            link.transfer_time(kernel.output_bytes(0, n))
+        ratio = t_transfer / t_kernel
+        assert 20 <= ratio <= 55  # paper: 37.5x

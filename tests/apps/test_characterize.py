@@ -1,0 +1,74 @@
+"""Application characterization."""
+
+import pytest
+
+from repro.apps import get_application, paper_applications
+from repro.apps.characterize import (
+    characterize,
+    format_characterization,
+)
+
+
+@pytest.fixture(scope="module")
+def chars(request):
+    from repro.platform import shen_icpp15_platform
+
+    platform = shen_icpp15_platform()
+    return {
+        app.name: characterize(app, platform)
+        for app in paper_applications()
+    }
+
+
+class TestKernelCharacter:
+    def test_matrixmul_is_compute_intense(self, chars):
+        gemm = chars["MatrixMul"].kernels[0]
+        stream = chars["STREAM-Seq"].kernels[0]
+        assert gemm.arithmetic_intensity > 100 * stream.arithmetic_intensity
+
+    def test_blackscholes_is_transfer_bound(self, chars):
+        bs = chars["BlackScholes"].kernels[0]
+        assert bs.transfer_bound
+        assert bs.compute_transfer_gap > 10
+
+    def test_matrixmul_not_transfer_bound(self, chars):
+        assert not chars["MatrixMul"].kernels[0].transfer_bound
+
+    def test_hotspot_cpu_competitive(self, chars):
+        hs = chars["HotSpot"].kernels[0]
+        # per pass (with transfers) the CPU side wins, the Fig. 7b setup
+        assert hs.cpu_time_s < hs.acc_time_s
+
+    def test_nbody_gpu_dominant(self, chars):
+        nb = chars["Nbody"].kernels[0]
+        assert nb.relative_capability > 10
+        assert nb.acc_time_s < nb.cpu_time_s
+
+    def test_stream_has_four_kernels(self, chars):
+        assert len(chars["STREAM-Seq"].kernels) == 4
+
+
+class TestAppCharacter:
+    def test_class_and_strategy_match_analyzer(self, chars):
+        for app in paper_applications():
+            char = chars[app.name]
+            assert char.app_class.value == app.paper_class
+
+    def test_dominant_kernel(self, chars):
+        stream = chars["STREAM-Seq"]
+        dom = stream.dominant_kernel
+        assert dom.kernel in {"add", "triad"}  # the 3-array kernels
+
+    def test_format_renders_all_apps(self, chars):
+        text = format_characterization(list(chars.values()))
+        for app in paper_applications():
+            assert app.name in text
+        assert "AI F/B" in text
+
+    def test_imbalanced_app_uses_work_units(self):
+        from repro.platform import shen_icpp15_platform
+
+        platform = shen_icpp15_platform()
+        char = characterize(get_application("SpMV"), platform, n=4096)
+        k = char.kernels[0]
+        assert k.cpu_time_s > 0 and k.acc_time_s > 0

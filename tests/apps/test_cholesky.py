@@ -1,0 +1,92 @@
+"""Blocked Cholesky (the MK-DAG extension workload)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cholesky import Cholesky
+from repro.core.classifier import classify_program
+from repro.core.classes import AppClass
+from repro.errors import ConfigurationError
+from repro.runtime.dependence import build_dependences
+from repro.runtime.functional import run_chunked
+from repro.runtime.graph import expand_program
+
+
+@pytest.fixture
+def app():
+    return Cholesky(tile_size=24)
+
+
+class TestStructure:
+    def test_classified_mk_dag(self, app):
+        assert classify_program(app.program(4)) is AppClass.MK_DAG
+
+    def test_task_counts(self, app):
+        # t potrf + t(t-1)/2 trsm + t(t-1)/2 syrk + t(t-1)(t-2)/6 gemm
+        t = 5
+        program = app.program(t)
+        names = [inv.kernel.name for inv in program.invocations]
+        assert names.count("potrf") == t
+        assert names.count("trsm") == t * (t - 1) // 2
+        assert names.count("syrk") == t * (t - 1) // 2
+        assert names.count("gemm") == t * (t - 1) * (t - 2) // 6
+
+    def test_dag_has_parallelism(self, app):
+        # some invocations must be mutually unordered (that's the point)
+        graph = expand_program(app.program(4),
+                               lambda inv: [(0, inv.n, None, None)])
+        build_dependences(graph)
+        graph.validate_acyclic()
+        roots = graph.roots()
+        assert len(roots) == 1  # only potrf(0) is initially ready
+
+    def test_rejects_iterations(self, app):
+        with pytest.raises(ConfigurationError):
+            app.program(4, iterations=3)
+
+    def test_rejects_bad_tile_size(self):
+        with pytest.raises(ConfigurationError):
+            Cholesky(tile_size=0)
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("t", [2, 4])
+    def test_factorization_correct(self, app, t):
+        b = app.tile_size
+        arrays = app.arrays(t, seed=30)
+        original = Cholesky.assemble_lower(arrays, t, b)
+        full = original + np.tril(original, -1).T  # symmetrize
+        out = run_chunked(app.program(t), arrays, n_chunks=1)
+        L = Cholesky.assemble_lower(out, t, b)
+        rel_err = np.abs(L @ L.T - full).max() / np.abs(full).max()
+        assert rel_err < 1e-5
+
+    def test_matches_numpy_cholesky(self, app):
+        t, b = 3, app.tile_size
+        arrays = app.arrays(t, seed=31)
+        original = Cholesky.assemble_lower(arrays, t, b)
+        full = original + np.tril(original, -1).T
+        out = run_chunked(app.program(t), arrays, n_chunks=1)
+        L = Cholesky.assemble_lower(out, t, b)
+        ref = np.linalg.cholesky(full.astype(np.float64))
+        np.testing.assert_allclose(L, ref, rtol=5e-3, atol=5e-3)
+
+
+class TestScheduling:
+    def test_dynamic_strategies_execute_dag(self, app, paper_platform):
+        from repro.partition import get_strategy
+
+        program = app.program(4)
+        for name in ("DP-Perf", "DP-Dep"):
+            result = get_strategy(name).run(program, paper_platform)
+            computes = result.trace.by_category("compute")
+            assert len(computes) == len(program.invocations)
+
+    def test_dp_perf_not_worse_than_dp_dep_at_scale(self, paper_platform):
+        """Proposition 1 on the MK-DAG class (cf. paper ref [20])."""
+        from repro.partition import get_strategy
+
+        program = Cholesky(tile_size=1024).program(8)
+        t_perf = get_strategy("DP-Perf").run(program, paper_platform)
+        t_dep = get_strategy("DP-Dep").run(program, paper_platform)
+        assert t_perf.makespan_s <= t_dep.makespan_s * 1.12

@@ -1,0 +1,98 @@
+"""HotSpot: stencil correctness and thermal behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hotspot import AMBIENT_TEMP, HotSpot
+from repro.runtime.functional import run_chunked, run_sequential
+from repro.units import gb_to_bytes
+
+
+@pytest.fixture
+def app():
+    return HotSpot()
+
+
+class TestMetadata:
+    def test_table2_row(self, app):
+        assert app.paper_class == "SK-Loop"
+        assert app.origin == "Rodinia benchmark suite"
+        assert app.needs_sync
+        assert app.paper_n == 8192
+
+    def test_grid_is_075gb(self, app):
+        program = app.program()
+        total = sum(spec.nbytes for spec in program.arrays.values())
+        assert total == pytest.approx(gb_to_bytes(0.8), rel=0.1)
+
+    def test_row_wise_partitioning(self, app):
+        program = app.program(64)
+        kernel = program.kernels[0]
+        partitioned = [a for a in kernel.accesses
+                       if a.pattern.name == "PARTITIONED"]
+        assert all(a.elems_per_index == 64 for a in partitioned)
+
+
+class TestNumerics:
+    def test_uniform_grid_without_power_relaxes_to_ambient(self, app):
+        n = 16
+        arrays = {
+            "temp_a": np.full(n * n, 100.0, dtype=np.float32),
+            "temp_b": np.zeros(n * n, dtype=np.float32),
+            "power": np.zeros(n * n, dtype=np.float32),
+        }
+        out = run_sequential(app.program(n, iterations=40), arrays)
+        # temperatures decay toward the ambient coupling point
+        assert abs(out["temp_a"].mean() - AMBIENT_TEMP) < \
+            abs(100.0 - AMBIENT_TEMP)
+
+    def test_powered_cell_heats_up(self, app):
+        n = 16
+        arrays = {
+            "temp_a": np.full(n * n, AMBIENT_TEMP, dtype=np.float32),
+            "temp_b": np.zeros(n * n, dtype=np.float32),
+            "power": np.zeros(n * n, dtype=np.float32),
+        }
+        arrays["power"][n * 8 + 8] = 10.0  # a hot transistor
+        out = run_sequential(app.program(n, iterations=4), arrays)
+        assert out["temp_a"][n * 8 + 8] > AMBIENT_TEMP
+
+    def test_heat_diffuses_to_neighbours(self, app):
+        n = 16
+        arrays = {
+            "temp_a": np.full(n * n, AMBIENT_TEMP, dtype=np.float32),
+            "temp_b": np.zeros(n * n, dtype=np.float32),
+            "power": np.zeros(n * n, dtype=np.float32),
+        }
+        centre = n * 8 + 8
+        arrays["temp_a"][centre] = 200.0
+        out = run_sequential(app.program(n, iterations=2), arrays)
+        assert out["temp_a"][centre - 1] > AMBIENT_TEMP + 0.5
+        assert out["temp_a"][centre + n] > AMBIENT_TEMP + 0.5
+
+    @pytest.mark.parametrize("chunks", [2, 5])
+    def test_partitioning_is_exact(self, app, chunks):
+        # per-iteration sync makes halo reads safe for any chunking
+        n = 24
+        arrays = app.arrays(n, seed=14)
+        whole = run_sequential(app.program(n, iterations=3), arrays)
+        parts = run_chunked(app.program(n, iterations=3), arrays,
+                            n_chunks=chunks)
+        np.testing.assert_array_equal(whole["temp_a"], parts["temp_a"])
+        np.testing.assert_array_equal(whole["temp_b"], parts["temp_b"])
+
+
+class TestPlatformBehaviour:
+    def test_memory_bound_kernel(self, app, paper_platform):
+        # HotSpot's roofline is the memory side on both devices
+        program = app.program(512)
+        kernel = program.kernels[0]
+        for device in paper_platform.devices:
+            ce, me = kernel.cost.effs(device.kind)
+            t_flops = kernel.cost.flops(512, 512) / (
+                device.spec.peak_flops_sp * ce
+            )
+            t_mem = kernel.cost.mem_bytes(512, 512) / (
+                device.spec.mem_bandwidth * me
+            )
+            assert t_mem > t_flops

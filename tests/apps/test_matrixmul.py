@@ -1,0 +1,77 @@
+"""MatrixMul: kernel correctness and structure."""
+
+import numpy as np
+import pytest
+
+from repro.apps.matrixmul import MatrixMul
+from repro.runtime.functional import run_chunked, run_sequential
+from repro.runtime.kernels import AccessPattern
+from repro.units import gb_to_bytes
+
+
+@pytest.fixture
+def app():
+    return MatrixMul()
+
+
+class TestMetadata:
+    def test_table2_row(self, app):
+        assert app.paper_class == "SK-One"
+        assert app.origin == "Nvidia OpenCL SDK"
+        assert not app.needs_sync
+
+    def test_paper_size_matches_04gb(self, app):
+        program = app.program()
+        total = sum(spec.nbytes for spec in program.arrays.values())
+        assert total == pytest.approx(gb_to_bytes(0.45), rel=0.1)  # ~0.4 GB
+
+    def test_b_is_full_access(self, app):
+        program = app.program(64)
+        kernel = program.kernels[0]
+        patterns = {a.array.name: a.pattern for a in kernel.accesses}
+        assert patterns["B"] is AccessPattern.FULL
+        assert patterns["A"] is AccessPattern.PARTITIONED
+
+
+class TestNumerics:
+    def test_matches_numpy(self, app):
+        n = 32
+        arrays = app.arrays(n, seed=3)
+        out = run_sequential(app.program(n), arrays)
+        np.testing.assert_allclose(
+            out["C"], app.reference(arrays, n), rtol=1e-4, atol=1e-4
+        )
+
+    @pytest.mark.parametrize("chunks", [2, 5, 32])
+    def test_row_partitioning_is_exact(self, app, chunks):
+        # row-chunked GEMM must be bit-identical to whole GEMM
+        n = 32
+        arrays = app.arrays(n, seed=4)
+        whole = run_sequential(app.program(n), arrays)
+        parts = run_chunked(app.program(n), arrays, n_chunks=chunks)
+        np.testing.assert_array_equal(whole["C"], parts["C"])
+
+    def test_inputs_not_modified(self, app):
+        n = 16
+        arrays = app.arrays(n)
+        before = arrays["A"].copy()
+        run_sequential(app.program(n), arrays)
+        np.testing.assert_array_equal(arrays["A"], before)
+
+
+class TestCostModel:
+    def test_compute_dominates_on_paper_platform(self, app, paper_platform):
+        # dense GEMM at N=6144 is compute-bound on both devices
+        program = app.program()
+        kernel = program.kernels[0]
+        n = program.invocations[0].n
+        for device in paper_platform.devices:
+            ce, me = kernel.cost.effs(device.kind)
+            t_flops = kernel.cost.flops(n, n) / (device.spec.peak_flops_sp * ce)
+            t_mem = kernel.cost.mem_bytes(n, n) / (device.spec.mem_bandwidth * me)
+            assert t_flops > t_mem
+
+    def test_flops_are_2n3(self, app):
+        program = app.program(100)
+        kernel = program.kernels[0]
+        assert kernel.cost.flops(100, 100) == pytest.approx(2 * 100**3)

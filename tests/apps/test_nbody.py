@@ -1,0 +1,81 @@
+"""Nbody: physics sanity and double-buffered structure."""
+
+import numpy as np
+import pytest
+
+from repro.apps.nbody import Nbody
+from repro.runtime.functional import run_chunked, run_sequential
+from repro.units import gb_to_bytes
+
+
+@pytest.fixture
+def app():
+    return Nbody()
+
+
+class TestMetadata:
+    def test_table2_row(self, app):
+        assert app.paper_class == "SK-Loop"
+        assert app.needs_sync  # per-iteration combination at the host
+        assert app.paper_n == 1_048_576
+
+    def test_state_is_64mb_per_buffer_pair(self, app):
+        program = app.program()
+        pos_vel = sum(
+            spec.nbytes for name, spec in program.arrays.items()
+            if name.endswith("_a")
+        )
+        assert pos_vel == pytest.approx(64 * 2**20 / 2, rel=0.05)
+
+    def test_single_kernel_despite_double_buffering(self, app):
+        program = app.program(64, iterations=4)
+        assert len(program.kernels) == 1
+
+    def test_buffers_alternate_per_iteration(self, app):
+        program = app.program(64, iterations=2)
+        k_even = program.invocations[0].kernel
+        k_odd = program.invocations[1].kernel
+        writes_even = {a.array.name for a in k_even.accesses if a.mode.writes}
+        writes_odd = {a.array.name for a in k_odd.accesses if a.mode.writes}
+        assert writes_even == {"pos_b", "vel_b"}
+        assert writes_odd == {"pos_a", "vel_a"}
+
+
+class TestPhysics:
+    def test_momentum_conserved(self, app):
+        # symmetric pairwise forces conserve total momentum
+        n = 64
+        arrays = app.arrays(n, seed=11)
+        out = run_sequential(app.program(n, iterations=2), arrays)
+        p0 = Nbody.momentum(arrays, n, "a")
+        p2 = Nbody.momentum(out, n, "a")  # after 2 steps state is back in a
+        np.testing.assert_allclose(p2, p0, atol=5e-2)
+
+    def test_bodies_attract(self, app):
+        # two bodies at rest drift toward each other
+        arrays = {
+            "pos_a": np.array([[-1, 0, 0, 1], [1, 0, 0, 1]],
+                              dtype=np.float32).ravel(),
+            "vel_a": np.zeros(8, dtype=np.float32),
+            "pos_b": np.zeros(8, dtype=np.float32),
+            "vel_b": np.zeros(8, dtype=np.float32),
+        }
+        out = run_sequential(app.program(2, iterations=1), arrays)
+        pos = out["pos_b"].reshape(2, 4)
+        assert pos[0, 0] > -1.0  # moved right
+        assert pos[1, 0] < 1.0   # moved left
+
+    @pytest.mark.parametrize("chunks", [2, 7])
+    def test_partitioning_is_exact(self, app, chunks):
+        n = 48
+        arrays = app.arrays(n, seed=12)
+        whole = run_sequential(app.program(n, iterations=3), arrays)
+        parts = run_chunked(app.program(n, iterations=3), arrays,
+                            n_chunks=chunks)
+        for name in ("pos_a", "vel_a", "pos_b", "vel_b"):
+            np.testing.assert_array_equal(whole[name], parts[name])
+
+    def test_masses_positive(self, app):
+        arrays = app.arrays(100, seed=13)
+        masses = arrays["pos_a"].reshape(100, 4)[:, 3]
+        assert (masses > 0).all()

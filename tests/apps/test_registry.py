@@ -1,0 +1,51 @@
+"""Application registry and the synthetic structure suite."""
+
+import pytest
+
+from repro.apps import all_applications, get_application, paper_applications
+from repro.apps.registry import PAPER_ORDER
+from repro.apps.suite import SUITES, realize_program, synthetic_suite
+from repro.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_paper_order_matches_table2(self):
+        assert PAPER_ORDER == (
+            "MatrixMul", "BlackScholes", "Nbody", "HotSpot",
+            "STREAM-Seq", "STREAM-Loop",
+        )
+
+    def test_paper_applications(self):
+        apps = paper_applications()
+        assert [a.name for a in apps] == list(PAPER_ORDER)
+
+    def test_all_applications_superset(self):
+        names = {a.name for a in all_applications()}
+        assert set(PAPER_ORDER) <= names
+        assert "Cholesky" in names
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_application("FizzBuzz")
+
+    def test_fresh_instances(self):
+        assert get_application("Nbody") is not get_application("Nbody")
+
+
+class TestSyntheticSuite:
+    def test_deterministic(self):
+        assert synthetic_suite() == synthetic_suite()
+
+    def test_names_unique(self):
+        names = [d.name for d in synthetic_suite()]
+        assert len(names) == len(set(names))
+
+    def test_suites_constant(self):
+        assert set(d.suite for d in synthetic_suite()) == set(SUITES)
+
+    def test_realized_programs_valid(self):
+        # every descriptor realizes into a structurally valid program
+        for desc in synthetic_suite()[::9]:  # sample
+            program = realize_program(desc, n=128)
+            assert program.invocations
+            assert len(program.kernels) == desc.n_kernels or desc.flow == "dag"

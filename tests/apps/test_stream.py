@@ -1,0 +1,87 @@
+"""STREAM-Seq and STREAM-Loop."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stream import SCALAR, StreamLoop, StreamSeq
+from repro.runtime.functional import run_chunked, run_sequential
+from repro.units import gb_to_bytes
+
+
+class TestMetadata:
+    def test_table2_rows(self):
+        assert StreamSeq().paper_class == "MK-Seq"
+        assert StreamLoop().paper_class == "MK-Loop"
+        assert StreamSeq().paper_n == 62_914_560
+
+    def test_dataset_is_07gb(self):
+        program = StreamSeq().program()
+        total = sum(spec.nbytes for spec in program.arrays.values())
+        assert total == pytest.approx(gb_to_bytes(0.755), rel=0.05)
+
+    def test_four_kernels_in_order(self):
+        program = StreamSeq().program(1024)
+        assert [k.name for k in program.kernels] == [
+            "copy", "scale", "add", "triad"
+        ]
+
+    def test_seq_is_one_pass(self):
+        assert len(StreamSeq().program(1024).invocations) == 4
+
+    def test_loop_iterates(self):
+        program = StreamLoop().program(1024, iterations=5)
+        assert len(program.invocations) == 20
+
+    def test_sync_optional_and_off_by_default(self):
+        assert not StreamSeq().needs_sync
+        program = StreamSeq().program(1024)
+        assert not any(inv.sync_after for inv in program.invocations)
+        synced = StreamSeq().program(1024, sync=True)
+        assert all(inv.sync_after for inv in synced.invocations)
+
+
+class TestNumerics:
+    def test_one_pass_matches_reference(self):
+        app = StreamSeq()
+        n = 1000
+        arrays = app.arrays(n, seed=20)
+        out = run_sequential(app.program(n), arrays)
+        ref = app.reference_pass(arrays)
+        for name in ("a", "b", "c"):
+            np.testing.assert_allclose(out[name], ref[name], rtol=1e-6)
+
+    def test_kernel_semantics(self):
+        app = StreamSeq()
+        n = 100
+        arrays = app.arrays(n, seed=21)
+        out = run_sequential(app.program(n), arrays)
+        a0 = arrays["a"]
+        # copy: c=a0 ; scale: b=k*a0 ; add: c=a0+k*a0 ; triad: a=k*a0+k*c
+        expected_b = (SCALAR * a0).astype(np.float32)
+        expected_c = a0 + expected_b
+        expected_a = (expected_b + SCALAR * expected_c).astype(np.float32)
+        np.testing.assert_allclose(out["b"], expected_b, rtol=1e-6)
+        np.testing.assert_allclose(out["c"], expected_c, rtol=1e-6)
+        np.testing.assert_allclose(out["a"], expected_a, rtol=1e-6)
+
+    @pytest.mark.parametrize("chunks", [2, 9])
+    @pytest.mark.parametrize("sync", [False, True])
+    def test_partitioning_exact_with_and_without_sync(self, chunks, sync):
+        app = StreamLoop()
+        n = 512
+        arrays = app.arrays(n, seed=22)
+        whole = run_sequential(app.program(n, iterations=3, sync=sync), arrays)
+        parts = run_chunked(app.program(n, iterations=3, sync=sync), arrays,
+                            n_chunks=chunks)
+        for name in ("a", "b", "c"):
+            np.testing.assert_array_equal(whole[name], parts[name])
+
+    def test_loop_applies_pass_repeatedly(self):
+        app = StreamLoop()
+        n = 100
+        arrays = app.arrays(n, seed=23)
+        once = run_sequential(app.program(n, iterations=1), arrays)
+        twice = run_sequential(app.program(n, iterations=2), arrays)
+        again = run_sequential(app.program(n, iterations=1), once)
+        for name in ("a", "b", "c"):
+            np.testing.assert_allclose(twice[name], again[name], rtol=1e-5)

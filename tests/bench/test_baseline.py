@@ -1,0 +1,80 @@
+"""Regression-baseline snapshots."""
+
+import json
+
+import pytest
+
+from repro.bench.baseline import (
+    BaselineDiff,
+    check_baseline,
+    compare,
+    save_baseline,
+    snapshot,
+)
+
+
+def fake_snapshot(**overrides):
+    base = {
+        "version": 1,
+        "scenarios": {
+            "AppA": {
+                "SP-Single": {"makespan_ms": 100.0, "gpu_fraction": 0.9},
+                "DP-Perf": {"makespan_ms": 120.0, "gpu_fraction": 1.0},
+            },
+        },
+    }
+    base.update(overrides)
+    return base
+
+
+class TestCompare:
+    def test_identical_snapshots_clean(self):
+        assert compare(fake_snapshot(), fake_snapshot()).ok
+
+    def test_within_tolerance_clean(self):
+        fresh = fake_snapshot()
+        fresh["scenarios"]["AppA"]["SP-Single"]["makespan_ms"] = 100.5
+        assert compare(fake_snapshot(), fresh, rtol=0.01).ok
+
+    def test_time_drift_detected(self):
+        fresh = fake_snapshot()
+        fresh["scenarios"]["AppA"]["SP-Single"]["makespan_ms"] = 115.0
+        diff = compare(fake_snapshot(), fresh, rtol=0.01)
+        assert not diff.ok
+        assert any("makespan" in c for c in diff.changes)
+        assert "drift" in diff.summary()
+
+    def test_ratio_drift_detected(self):
+        fresh = fake_snapshot()
+        fresh["scenarios"]["AppA"]["SP-Single"]["gpu_fraction"] = 0.80
+        diff = compare(fake_snapshot(), fresh)
+        assert any("gpu fraction" in c for c in diff.changes)
+
+    def test_missing_and_new_entries(self):
+        fresh = fake_snapshot()
+        del fresh["scenarios"]["AppA"]["DP-Perf"]
+        fresh["scenarios"]["AppB"] = {}
+        diff = compare(fake_snapshot(), fresh)
+        assert any("missing strategy" in c for c in diff.changes)
+        assert any("new scenario" in c for c in diff.changes)
+
+    def test_version_mismatch(self):
+        diff = compare(fake_snapshot(), fake_snapshot(version=2))
+        assert any("version" in c for c in diff.changes)
+
+
+class TestRoundTrip:
+    def test_save_then_check_is_clean(self, paper_platform, tmp_path):
+        path = save_baseline(paper_platform, tmp_path / "base.json")
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert "MatrixMul" in data["scenarios"]
+        diff = check_baseline(paper_platform, path)
+        assert diff.ok, diff.summary()
+
+    def test_snapshot_covers_all_strategies(self, paper_platform, tmp_path):
+        path = save_baseline(paper_platform, tmp_path / "base.json")
+        data = json.loads(path.read_text())
+        assert set(data["scenarios"]["MatrixMul"]) == {
+            "Only-GPU", "Only-CPU", "SP-Single", "DP-Perf", "DP-Dep",
+        }

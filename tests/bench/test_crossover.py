@@ -1,0 +1,69 @@
+"""Crossover-analysis machinery."""
+
+import pytest
+
+from repro.bench.crossover import (
+    CrossoverPoint,
+    format_crossover,
+    hotspot_bandwidth_crossover,
+    stream_iteration_crossover,
+    with_link_bandwidth,
+)
+from repro.errors import ExperimentError
+
+
+class TestWithLinkBandwidth:
+    def test_replaces_all_links(self, paper_platform):
+        fast = with_link_bandwidth(paper_platform, 48.0)
+        assert fast.link_for("gpu0").bandwidth_gbs == 48.0
+        # original untouched
+        assert paper_platform.link_for("gpu0").bandwidth_gbs == 6.0
+
+    def test_preserves_devices(self, paper_platform):
+        fast = with_link_bandwidth(paper_platform, 48.0)
+        assert fast.host.spec == paper_platform.host.spec
+        assert fast.gpu.spec == paper_platform.gpu.spec
+
+    def test_rejects_nonpositive(self, paper_platform):
+        with pytest.raises(ExperimentError):
+            with_link_bandwidth(paper_platform, 0.0)
+
+
+class TestCrossoverPoint:
+    def test_winner_at(self):
+        point = CrossoverPoint(
+            parameter="x", values=(1.0, 2.0), a="A", b="B",
+            ratios=(0.5, 2.0), crossover=2.0,
+        )
+        assert point.winner_at(1.0) == "A"
+        assert point.winner_at(2.0) == "B"
+
+    def test_format(self):
+        point = CrossoverPoint(
+            parameter="x", values=(1.0, 2.0), a="A", b="B",
+            ratios=(0.5, 2.0), crossover=2.0,
+        )
+        text = format_crossover(point)
+        assert "crossover" in text and "x=2" in text
+
+    def test_format_no_crossover(self):
+        point = CrossoverPoint(
+            parameter="x", values=(1.0,), a="A", b="B",
+            ratios=(0.5,), crossover=None,
+        )
+        assert "never wins" in format_crossover(point)
+
+
+class TestSweeps:
+    def test_stream_sweep_scaled(self, paper_platform):
+        point = stream_iteration_crossover(
+            paper_platform, iterations=(1, 8), n=1 << 20
+        )
+        assert len(point.ratios) == 2
+        assert point.ratios[1] > point.ratios[0]  # iterations favour the GPU
+
+    def test_hotspot_sweep_scaled(self, paper_platform):
+        point = hotspot_bandwidth_crossover(
+            paper_platform, bandwidths_gbs=(6.0, 96.0), n=1024, iterations=2,
+        )
+        assert point.ratios[1] > point.ratios[0]  # bandwidth favours the GPU

@@ -1,0 +1,91 @@
+"""Experiment drivers (one per table/figure)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    RankingComparison,
+    empirical_ranking,
+    run_experiment,
+    scaled_size,
+)
+from repro.errors import ExperimentError
+
+SCALE = 1 / 64  # quick problem sizes for unit tests
+
+
+class TestExperimentCatalog:
+    def test_every_paper_artifact_covered(self):
+        artifacts = {e.paper_artifact for e in EXPERIMENTS.values()}
+        for fig in (5, 6, 7, 8, 9, 10, 11):
+            assert any(f"Figure {fig}" in a for a in artifacts)
+
+    def test_labels(self):
+        assert "Figure 5" in EXPERIMENTS["fig5"].label()
+
+    def test_unknown_key(self, paper_platform):
+        with pytest.raises(ExperimentError):
+            run_experiment("fig99", paper_platform)
+
+
+class TestScaledSize:
+    def test_full_scale_is_paper_size(self):
+        from repro.apps import get_application
+
+        assert scaled_size("MatrixMul", 1.0) == 6144
+
+    def test_scaled_down_warp_aligned(self):
+        n = scaled_size("BlackScholes", 0.001)
+        assert n % 32 == 0
+        assert n >= 256
+
+    def test_invalid_scale(self):
+        with pytest.raises(ExperimentError):
+            scaled_size("MatrixMul", 0.0)
+
+
+class TestRunExperiment:
+    def test_fig5_two_scenarios(self, paper_platform):
+        results = run_experiment("fig5", paper_platform, scale=SCALE)
+        assert [r.application for r in results] == ["MatrixMul", "BlackScholes"]
+        for scenario in results:
+            assert len(scenario.outcomes) == 5
+
+    def test_fig9_sync_variants(self, paper_platform):
+        results = run_experiment("fig9", paper_platform, scale=SCALE,
+                                 iterations=1)
+        assert [r.label for r in results] == [
+            "STREAM-Seq-w/o", "STREAM-Seq-w",
+        ]
+
+    def test_mkdag_runs_dynamic_only(self, paper_platform):
+        results = run_experiment("mkdag", paper_platform, scale=1.0)
+        strategies = {o.strategy for o in results[0].outcomes}
+        assert strategies == {"Only-GPU", "Only-CPU", "DP-Perf", "DP-Dep"}
+
+
+class TestEmpiricalRanking:
+    def test_comparison_structure(self, paper_platform):
+        rc = empirical_ranking("MatrixMul", paper_platform, scale=1 / 8)
+        assert rc.theoretical == ("SP-Single", "DP-Perf", "DP-Dep")
+        assert set(rc.empirical) == set(rc.theoretical)
+        assert set(rc.times_ms) == set(rc.theoretical)
+
+    def test_matches_handles_ties(self):
+        rc = RankingComparison(
+            scenario="s",
+            theoretical=("A", "B", "C"),
+            empirical=("B", "A", "C"),
+            times_ms={"A": 100.0, "B": 98.0, "C": 200.0},
+        )
+        assert rc.matches(tie_tolerance=1.05)
+        assert not rc.matches(tie_tolerance=1.0)
+
+    def test_matches_rejects_wrong_winner(self):
+        rc = RankingComparison(
+            scenario="s",
+            theoretical=("A", "B"),
+            empirical=("B", "A"),
+            times_ms={"A": 200.0, "B": 100.0},
+        )
+        assert not rc.matches(tie_tolerance=1.1)

@@ -1,0 +1,76 @@
+"""Result export (CSV/JSON)."""
+
+import json
+
+import pytest
+
+from repro.apps import get_application
+from repro.bench.export import (
+    scenario_rows,
+    speedup_rows,
+    to_csv,
+    to_json,
+    write_records,
+)
+from repro.bench.harness import run_scenario
+from repro.bench.speedup import SpeedupRow
+
+
+@pytest.fixture
+def scenario(paper_platform):
+    return run_scenario(
+        get_application("MatrixMul"), paper_platform,
+        ("Only-CPU", "SP-Single"), n=512,
+    )
+
+
+class TestScenarioRows:
+    def test_one_record_per_strategy(self, scenario):
+        rows = scenario_rows([scenario])
+        assert [r["strategy"] for r in rows] == ["Only-CPU", "SP-Single"]
+
+    def test_fields_present(self, scenario):
+        row = scenario_rows([scenario])[0]
+        for key in ("scenario", "makespan_ms", "gpu_fraction",
+                    "h2d_bytes", "instances"):
+            assert key in row
+
+    def test_fractions_consistent(self, scenario):
+        for row in scenario_rows([scenario]):
+            assert row["gpu_fraction"] + row["cpu_fraction"] == \
+                pytest.approx(1.0, abs=1e-3)
+
+
+class TestSpeedupRows:
+    def test_flattening(self):
+        rows = speedup_rows([
+            SpeedupRow("X", "SP-Single", 10.0, 20.0, 50.0)
+        ])
+        assert rows[0]["speedup_vs_only_gpu"] == pytest.approx(2.0)
+        assert rows[0]["speedup_vs_only_cpu"] == pytest.approx(5.0)
+
+
+class TestWriters:
+    def test_csv_roundtrip(self, scenario):
+        text = to_csv(scenario_rows([scenario]))
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("scenario,")
+        assert len(lines) == 3
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""
+
+    def test_json_roundtrip(self, scenario):
+        records = scenario_rows([scenario])
+        assert json.loads(to_json(records)) == records
+
+    def test_write_by_suffix(self, scenario, tmp_path):
+        records = scenario_rows([scenario])
+        csv_path = write_records(records, tmp_path / "out.csv")
+        json_path = write_records(records, tmp_path / "out.json")
+        assert csv_path.read_text().startswith("scenario,")
+        assert json.loads(json_path.read_text())
+
+    def test_unknown_suffix_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_records([{"a": 1}], tmp_path / "out.xlsx")

@@ -1,0 +1,51 @@
+"""Scenario harness."""
+
+import pytest
+
+from repro.apps import get_application
+from repro.bench.harness import mk_strategies, run_scenario, sk_strategies
+
+
+class TestRunScenario:
+    def test_all_strategies_present(self, paper_platform):
+        scenario = run_scenario(
+            get_application("MatrixMul"), paper_platform, sk_strategies(),
+            n=512,
+        )
+        assert [o.strategy for o in scenario.outcomes] == list(sk_strategies())
+
+    def test_label_encodes_sync(self, paper_platform):
+        scenario = run_scenario(
+            get_application("STREAM-Seq"), paper_platform,
+            ("Only-CPU",), n=65536, sync=True,
+        )
+        assert scenario.label == "STREAM-Seq-w"
+
+    def test_makespan_lookup(self, paper_platform):
+        scenario = run_scenario(
+            get_application("MatrixMul"), paper_platform,
+            ("Only-CPU", "Only-GPU"), n=512,
+        )
+        assert scenario.makespan_ms("Only-CPU") > 0
+        with pytest.raises(KeyError):
+            scenario.makespan_ms("SP-Single")
+
+    def test_best_strategy_excludes_baselines(self, paper_platform):
+        scenario = run_scenario(
+            get_application("MatrixMul"), paper_platform, sk_strategies(),
+            n=2048,
+        )
+        assert not scenario.best_strategy().startswith("Only-")
+
+    def test_ordered_fastest_first(self, paper_platform):
+        scenario = run_scenario(
+            get_application("MatrixMul"), paper_platform, sk_strategies(),
+            n=2048,
+        )
+        order = scenario.ordered()
+        times = [scenario.makespan_ms(s) for s in order]
+        assert times == sorted(times)
+
+    def test_strategy_sets(self):
+        assert "SP-Single" in sk_strategies()
+        assert "SP-Unified" in mk_strategies() and "SP-Varied" in mk_strategies()

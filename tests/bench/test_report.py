@@ -1,0 +1,41 @@
+"""Markdown report generation."""
+
+import pytest
+
+from repro.bench.report import generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text(request):
+    from repro.platform import shen_icpp15_platform
+
+    return generate_report(shen_icpp15_platform())
+
+
+class TestGenerateReport:
+    def test_contains_platform(self, report_text):
+        assert "Xeon E5-2620" in report_text
+        assert "Tesla K20m" in report_text
+
+    def test_contains_all_scenarios(self, report_text):
+        for label in ("MatrixMul", "HotSpot", "STREAM-Seq-w/o",
+                      "STREAM-Loop-w"):
+            assert label in report_text
+
+    def test_reports_shape_outcome(self, report_text):
+        assert "49 checks passed, 0 failed" in report_text
+
+    def test_speedup_table_with_average(self, report_text):
+        assert "| **average** |" in report_text
+        assert "vs Only-GPU" in report_text
+
+    def test_valid_markdown_tables(self, report_text):
+        for line in report_text.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+    def test_write_report(self, tmp_path):
+        from repro.platform import shen_icpp15_platform
+
+        path = write_report(shen_icpp15_platform(), tmp_path / "r.md")
+        assert path.read_text().startswith("# Live evaluation report")

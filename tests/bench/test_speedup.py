@@ -1,0 +1,50 @@
+"""Figure 12 machinery."""
+
+import pytest
+
+from repro.bench.speedup import (
+    FIG12_CONFIGS,
+    SpeedupRow,
+    average_speedups,
+    figure12,
+    format_figure12,
+)
+
+SCALE = 1 / 64
+
+
+class TestSpeedupRow:
+    def test_ratios(self):
+        row = SpeedupRow(
+            scenario="X", best_strategy="SP-Single",
+            best_ms=10.0, only_gpu_ms=30.0, only_cpu_ms=50.0,
+        )
+        assert row.vs_only_gpu == pytest.approx(3.0)
+        assert row.vs_only_cpu == pytest.approx(5.0)
+
+
+class TestFigure12:
+    def test_eight_configurations(self):
+        assert len(FIG12_CONFIGS) == 8
+
+    def test_rows_scaled_run(self, paper_platform):
+        rows = figure12(paper_platform, scale=SCALE, iterations=2)
+        assert len(rows) == 8
+        for row in rows:
+            assert row.best_ms > 0
+            assert row.vs_only_cpu > 0
+
+    def test_average_speedups(self):
+        rows = [
+            SpeedupRow("a", "s", 1.0, 2.0, 4.0),
+            SpeedupRow("b", "s", 1.0, 4.0, 6.0),
+        ]
+        avg_og, avg_oc = average_speedups(rows)
+        assert avg_og == pytest.approx(3.0)
+        assert avg_oc == pytest.approx(5.0)
+
+    def test_format_contains_average(self):
+        rows = [SpeedupRow("a", "s", 1.0, 2.0, 4.0)]
+        text = format_figure12(rows)
+        assert "average" in text
+        assert "2.00x" in text

@@ -1,0 +1,45 @@
+"""Table formatting."""
+
+from repro.apps import get_application
+from repro.bench.harness import run_scenario, sk_strategies
+from repro.bench.tables import format_ratio_table, format_time_table
+
+
+def scenario(paper_platform):
+    return run_scenario(
+        get_application("MatrixMul"), paper_platform, sk_strategies(), n=512
+    )
+
+
+class TestTimeTable:
+    def test_contains_all_strategies_and_scenario(self, paper_platform):
+        text = format_time_table([scenario(paper_platform)], title="Fig X")
+        assert "Fig X" in text
+        for name in sk_strategies():
+            assert name in text
+        assert "MatrixMul" in text
+
+    def test_missing_strategy_shown_as_dash(self, paper_platform):
+        s1 = scenario(paper_platform)
+        s2 = run_scenario(
+            get_application("BlackScholes"), paper_platform, ("Only-CPU",),
+            n=65536,
+        )
+        text = format_time_table([s1, s2])
+        assert "-" in text
+
+
+class TestRatioTable:
+    def test_aggregate_ratios(self, paper_platform):
+        text = format_ratio_table([scenario(paper_platform)])
+        assert "GPU" in text and "CPU" in text
+        assert "%" in text
+
+    def test_per_kernel_ratios(self, paper_platform):
+        s = run_scenario(
+            get_application("STREAM-Seq"), paper_platform,
+            ("SP-Varied",), n=65536, sync=True,
+        )
+        text = format_ratio_table([s], per_kernel=True)
+        for kernel in ("copy", "scale", "add", "triad"):
+            assert kernel in text

@@ -1,0 +1,65 @@
+"""The analyzer: program/application -> class -> ranked strategies."""
+
+import pytest
+
+from repro.apps import get_application
+from repro.core.analyzer import analyze, analyze_program
+from repro.core.classes import AppClass
+
+from tests.conftest import chain_program, single_kernel_program
+
+
+class TestAnalyzeProgram:
+    def test_single_kernel(self):
+        report = analyze_program(single_kernel_program(), name="toy")
+        assert report.application == "toy"
+        assert report.app_class is AppClass.SK_ONE
+        assert report.best_strategy == "SP-Single"
+
+    def test_sync_inferred_from_program(self):
+        report = analyze_program(chain_program(3, sync=True))
+        assert report.needs_sync
+        assert report.best_strategy == "SP-Varied"
+
+    def test_sync_override_wins(self):
+        # the code has no taskwaits yet, but the analyst knows the app
+        # needs host-side post-processing between kernels
+        report = analyze_program(chain_program(3), needs_sync=True)
+        assert report.best_strategy == "SP-Varied"
+
+    def test_no_sync_gives_unified(self):
+        report = analyze_program(chain_program(3))
+        assert report.best_strategy == "SP-Unified"
+
+
+class TestAnalyzeApplication:
+    @pytest.mark.parametrize(
+        "name,expected_class,expected_best",
+        [
+            ("MatrixMul", AppClass.SK_ONE, "SP-Single"),
+            ("BlackScholes", AppClass.SK_ONE, "SP-Single"),
+            ("Nbody", AppClass.SK_LOOP, "SP-Single"),
+            ("HotSpot", AppClass.SK_LOOP, "SP-Single"),
+            ("STREAM-Seq", AppClass.MK_SEQ, "SP-Unified"),
+            ("STREAM-Loop", AppClass.MK_LOOP, "SP-Unified"),
+            ("Cholesky", AppClass.MK_DAG, "DP-Perf"),
+        ],
+    )
+    def test_matchmaking_table(self, name, expected_class, expected_best):
+        app = get_application(name)
+        n = max(64, min(app.paper_n, 1024))
+        if name == "Cholesky":
+            n = 4
+        report = analyze(app, n=n)
+        assert report.app_class is expected_class
+        assert report.best_strategy == expected_best
+
+    def test_stream_with_sync_prefers_varied(self):
+        report = analyze(get_application("STREAM-Seq"), n=1024, sync=True)
+        assert report.needs_sync
+        assert report.best_strategy == "SP-Varied"
+
+    def test_report_carries_structure(self):
+        report = analyze(get_application("STREAM-Seq"), n=1024)
+        assert report.structure.n_kernels == 4
+        assert report.structure.kernel_names == ("copy", "scale", "add", "triad")

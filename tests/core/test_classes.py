@@ -1,0 +1,29 @@
+"""The five application classes."""
+
+import pytest
+
+from repro.core.classes import AppClass
+
+
+class TestAppClass:
+    def test_labels(self):
+        assert AppClass.SK_ONE.value == "SK-One"
+        assert AppClass.MK_DAG.value == "MK-DAG"
+
+    def test_roman_numerals(self):
+        assert [c.roman for c in AppClass] == ["I", "II", "III", "IV", "V"]
+
+    def test_single_vs_multi(self):
+        assert AppClass.SK_ONE.single_kernel
+        assert AppClass.SK_LOOP.single_kernel
+        assert AppClass.MK_SEQ.multi_kernel
+        assert AppClass.MK_LOOP.multi_kernel
+        assert AppClass.MK_DAG.multi_kernel
+
+    def test_from_label_roundtrip(self):
+        for member in AppClass:
+            assert AppClass.from_label(member.value) is member
+
+    def test_from_label_unknown(self):
+        with pytest.raises(ValueError):
+            AppClass.from_label("SK-Two")

@@ -1,0 +1,67 @@
+"""Classification of programs into the five classes (Table II + suite)."""
+
+import pytest
+
+from repro.apps import paper_applications
+from repro.apps.cholesky import Cholesky
+from repro.apps.suite import realize_program, synthetic_suite
+from repro.core.classes import AppClass
+from repro.core.classifier import classify_program
+
+from tests.conftest import chain_program, single_kernel_program
+
+
+class TestBasicClassification:
+    def test_sk_one(self):
+        assert classify_program(single_kernel_program()) is AppClass.SK_ONE
+
+    def test_sk_loop(self):
+        assert (
+            classify_program(single_kernel_program(iterations=4))
+            is AppClass.SK_LOOP
+        )
+
+    def test_mk_seq(self):
+        assert classify_program(chain_program(3)) is AppClass.MK_SEQ
+
+    def test_mk_dag(self):
+        assert (
+            classify_program(Cholesky(tile_size=32).program(3))
+            is AppClass.MK_DAG
+        )
+
+
+class TestTableII:
+    """Every evaluation application classifies as the paper's Table II says."""
+
+    @pytest.mark.parametrize(
+        "app", paper_applications(), ids=lambda a: a.name
+    )
+    def test_paper_class(self, app):
+        # small problem sizes: classification is structural, not size-based
+        program = app.program(max(64, app.paper_n // 1024))
+        assert classify_program(program) is AppClass.from_label(app.paper_class)
+
+
+class TestSyntheticSuite:
+    """The [18]-style coverage study: all 86 applications classify."""
+
+    def test_suite_has_86_applications(self):
+        assert len(synthetic_suite()) == 86
+
+    def test_five_suites_represented(self):
+        assert len({d.suite for d in synthetic_suite()}) == 5
+
+    def test_all_five_classes_present(self):
+        assert {d.expected_class for d in synthetic_suite()} == {
+            "SK-One", "SK-Loop", "MK-Seq", "MK-Loop", "MK-DAG",
+        }
+
+    @pytest.mark.parametrize(
+        "desc", synthetic_suite(), ids=lambda d: f"{d.suite}:{d.name}"
+    )
+    def test_every_descriptor_classifies_as_expected(self, desc):
+        program = realize_program(desc, n=256)
+        assert classify_program(program) is AppClass.from_label(
+            desc.expected_class
+        )

@@ -1,0 +1,76 @@
+"""Table I: suitable strategies and performance rankings."""
+
+import pytest
+
+from repro.core.classes import AppClass
+from repro.core.ranking import (
+    PROPOSITIONS,
+    best_strategy,
+    ranking,
+    suitable_strategies,
+)
+
+
+class TestTableI:
+    def test_sk_classes(self):
+        for cls in (AppClass.SK_ONE, AppClass.SK_LOOP):
+            assert ranking(cls) == ("SP-Single", "DP-Perf", "DP-Dep")
+
+    def test_mk_without_sync(self):
+        for cls in (AppClass.MK_SEQ, AppClass.MK_LOOP):
+            assert ranking(cls, needs_sync=False) == (
+                "SP-Unified", "DP-Perf", "DP-Dep", "SP-Varied"
+            )
+
+    def test_mk_with_sync(self):
+        for cls in (AppClass.MK_SEQ, AppClass.MK_LOOP):
+            assert ranking(cls, needs_sync=True) == (
+                "SP-Varied", "DP-Perf", "DP-Dep", "SP-Unified"
+            )
+
+    def test_mk_dag(self):
+        assert ranking(AppClass.MK_DAG) == ("DP-Perf", "DP-Dep")
+        # sync is irrelevant for the DAG class
+        assert ranking(AppClass.MK_DAG, needs_sync=True) == (
+            "DP-Perf", "DP-Dep"
+        )
+
+    def test_sync_irrelevant_for_sk(self):
+        assert ranking(AppClass.SK_LOOP, needs_sync=True) == ranking(
+            AppClass.SK_LOOP, needs_sync=False
+        )
+
+
+class TestDerivedHelpers:
+    def test_best_strategy(self):
+        assert best_strategy(AppClass.SK_ONE) == "SP-Single"
+        assert best_strategy(AppClass.MK_SEQ, needs_sync=True) == "SP-Varied"
+        assert best_strategy(AppClass.MK_DAG) == "DP-Perf"
+
+    def test_suitable_strategies_ignore_sync_order(self):
+        mk = set(suitable_strategies(AppClass.MK_LOOP))
+        assert mk == {"SP-Unified", "SP-Varied", "DP-Perf", "DP-Dep"}
+
+    def test_static_never_suitable_for_dag(self):
+        dag = suitable_strategies(AppClass.MK_DAG)
+        assert all(not s.startswith("SP-") for s in dag)
+
+    def test_dp_perf_always_outranks_dp_dep(self):
+        # Proposition 1 holds in every ranking row
+        for cls in AppClass:
+            for sync in (False, True):
+                row = ranking(cls, needs_sync=sync)
+                assert row.index("DP-Perf") < row.index("DP-Dep")
+
+    def test_dynamic_strategies_in_every_row(self):
+        # wide applicability: DP-Perf/DP-Dep appear for every class
+        for cls in AppClass:
+            row = ranking(cls)
+            assert "DP-Perf" in row and "DP-Dep" in row
+
+
+def test_three_propositions_documented():
+    assert set(PROPOSITIONS) == {1, 2, 3}
+    assert "DP-Perf" in PROPOSITIONS[1]
+    assert "SP-Single" in PROPOSITIONS[2]
+    assert "SP-Unified" in PROPOSITIONS[3] and "SP-Varied" in PROPOSITIONS[3]

@@ -1,0 +1,38 @@
+"""Human-readable reports."""
+
+from repro.apps import get_application
+from repro.core.analyzer import analyze
+from repro.core.matchmaker import match
+from repro.core.report import format_analysis, format_match
+
+
+class TestFormatAnalysis:
+    def test_mentions_class_and_ranking(self):
+        report = analyze(get_application("STREAM-Seq"), n=1024)
+        text = format_analysis(report)
+        assert "MK-Seq" in text
+        assert "Class III" in text
+        assert "SP-Unified" in text
+        assert "copy" in text
+
+    def test_loop_iterations_shown(self):
+        report = analyze(get_application("HotSpot"), n=128, iterations=3)
+        text = format_analysis(report)
+        assert "3 iterations" in text
+
+
+class TestFormatMatch:
+    def test_includes_execution_outcome(self, paper_platform):
+        outcome = match(get_application("BlackScholes"), paper_platform,
+                        n=65536)
+        text = format_match(outcome)
+        assert "simulated makespan" in text
+        assert "GPU" in text and "CPU" in text
+        assert "H2D" in text
+
+    def test_plan_only_shows_decision(self, paper_platform):
+        outcome = match(get_application("BlackScholes"), paper_platform,
+                        n=65536, execute=False)
+        text = format_match(outcome)
+        assert "planned split" in text
+        assert "simulated makespan" not in text

@@ -1,0 +1,111 @@
+"""Kernel-structure derivation from programs."""
+
+import pytest
+
+from repro.core.structure import FlowType, derive_structure
+from repro.errors import ClassificationError
+from repro.runtime.graph import KernelInvocation, Program
+
+from tests.conftest import chain_program, make_kernel, single_kernel_program
+
+
+class TestSingleKernel:
+    def test_one_invocation_is_sequence(self):
+        s = derive_structure(single_kernel_program())
+        assert s.n_kernels == 1
+        assert s.flow is FlowType.SEQUENCE
+        assert s.iterations == 1
+
+    def test_repeated_invocations_are_a_loop(self):
+        s = derive_structure(single_kernel_program(iterations=5))
+        assert s.flow is FlowType.LOOP
+        assert s.iterations == 5
+
+    def test_sync_detected(self):
+        s = derive_structure(single_kernel_program(iterations=3, sync=True))
+        assert s.has_inter_kernel_sync
+
+    def test_trailing_sync_only_not_inter_kernel(self):
+        # a taskwait after the LAST invocation is not inter-kernel sync
+        kernel, specs = make_kernel(n=10)
+        program = Program(
+            invocations=[
+                KernelInvocation(invocation_id=0, kernel=kernel, n=10,
+                                 sync_after=True)
+            ],
+            arrays=specs,
+        )
+        assert not derive_structure(program).has_inter_kernel_sync
+
+
+class TestMultiKernel:
+    def test_chain_is_sequence(self):
+        s = derive_structure(chain_program(3))
+        assert s.n_kernels == 3
+        assert s.flow is FlowType.SEQUENCE
+
+    def test_iterated_chain_is_loop(self):
+        kernel_names = 2
+        specs = None
+        from repro.runtime.graph import Program as P
+
+        # build a 2-kernel chain iterated twice using iteration tags
+        k0, arrays = make_kernel("k0", reads=("a",), writes=("b",), n=10)
+        k1, arrays = make_kernel("k1", arrays=arrays, reads=("b",),
+                                 writes=("a",), n=10)
+        invs = []
+        for it in range(2):
+            for j, k in enumerate((k0, k1)):
+                invs.append(KernelInvocation(
+                    invocation_id=len(invs), kernel=k, n=10, iteration=it,
+                ))
+        s = derive_structure(P(invocations=invs, arrays=arrays))
+        assert s.flow is FlowType.LOOP
+        assert s.iterations == 2
+
+    def test_fork_join_is_dag(self):
+        # k0 -> (k1 || k2) -> k3
+        k0, arrays = make_kernel("k0", reads=("a",), writes=("x",), n=10)
+        k1, arrays = make_kernel("k1", arrays=arrays, reads=("x",),
+                                 writes=("y1",), n=10)
+        k2, arrays = make_kernel("k2", arrays=arrays, reads=("x",),
+                                 writes=("y2",), n=10)
+        k3, arrays = make_kernel("k3", arrays=arrays, reads=("y1", "y2"),
+                                 writes=("z",), n=10)
+        program = Program(
+            invocations=[
+                KernelInvocation(invocation_id=i, kernel=k, n=10)
+                for i, k in enumerate((k0, k1, k2, k3))
+            ],
+            arrays=arrays,
+        )
+        s = derive_structure(program)
+        assert s.flow is FlowType.DAG
+
+    def test_inner_loop_does_not_change_sequence(self):
+        # k0, k0, k0, k1 — k0 iterated in an inner loop, still a sequence
+        # of two kernels (paper §III-B)
+        k0, arrays = make_kernel("k0", reads=("a",), writes=("a2",), n=10)
+        k1, arrays = make_kernel("k1", arrays=arrays, reads=("a2",),
+                                 writes=("b",), n=10)
+        invs = []
+        for i in range(3):
+            invs.append(KernelInvocation(invocation_id=i, kernel=k0, n=10))
+        invs.append(KernelInvocation(invocation_id=3, kernel=k1, n=10))
+        s = derive_structure(Program(invocations=invs, arrays=arrays))
+        assert s.n_kernels == 2
+        assert s.flow is FlowType.SEQUENCE
+
+    def test_double_buffered_variants_count_once(self):
+        # two Kernel objects sharing a name (ping-pong buffers) stay one
+        # kernel, like the Nbody/HotSpot implementations
+        from repro.apps import Nbody
+
+        structure = derive_structure(Nbody().program(64, iterations=4))
+        assert structure.n_kernels == 1
+        assert structure.flow is FlowType.LOOP
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ClassificationError):
+        derive_structure(Program(invocations=[], arrays={}))

@@ -1,0 +1,42 @@
+"""Every bundled example must run and produce its headline output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", [], ["best strategy: SP-Single", "SP-Varied"]),
+    ("matchmaking_survey.py", ["--quick"], ["average", "vs OG"]),
+    ("custom_application.py", [], ["MK-Loop", "analyzer's choice"]),
+    ("stream_sync_study.py", [], ["SP-Unified", "SP-Varied", "ranking"]),
+    ("dag_scheduling.py", [], ["MK-DAG", "DP-Perf"]),
+    ("dynamic_to_static.py", [], ["static optimum", "auto-tuned"]),
+    ("multi_gpu.py", [], ["gpu0", "gpu1", "2 GPUs"]),
+    ("imbalanced_spmv.py", [], ["work-balanced", "of the work"]),
+]
+
+
+@pytest.mark.parametrize("script,args,expected", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, args, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for needle in expected:
+        assert needle in result.stdout, (
+            f"{script}: {needle!r} missing from output"
+        )
+
+
+def test_examples_directory_is_covered():
+    """Every example script has a smoke test above."""
+    scripts = {p.name for p in EXAMPLES.glob("*.py")}
+    assert scripts == {c[0] for c in CASES}

@@ -1,0 +1,71 @@
+"""End-to-end matchmaking across platforms (incl. the future-work probe)."""
+
+import pytest
+
+from repro import (
+    analyze,
+    format_match,
+    fusion_platform,
+    get_application,
+    match,
+    paper_applications,
+    shen_icpp15_platform,
+)
+
+
+class TestFullPipeline:
+    def test_match_every_paper_application(self):
+        platform = shen_icpp15_platform()
+        for app in paper_applications():
+            outcome = match(app, platform)
+            report = outcome.report
+            assert outcome.strategy == report.best_strategy
+            assert outcome.result is not None
+            assert outcome.result.makespan_s > 0
+
+    def test_matched_strategy_beats_both_baselines_on_average(self):
+        """The paper's bottom line: matchmaking pays off."""
+        from repro.partition import get_strategy
+
+        platform = shen_icpp15_platform()
+        wins_gpu = wins_cpu = 0
+        apps = paper_applications()
+        for app in apps:
+            program = app.program()
+            best = match(app, platform).result.makespan_s
+            og = get_strategy("Only-GPU").run(program, platform).makespan_s
+            oc = get_strategy("Only-CPU").run(program, platform).makespan_s
+            wins_gpu += og / best
+            wins_cpu += oc / best
+        assert wins_gpu / len(apps) > 1.2
+        assert wins_cpu / len(apps) > 2.0
+
+    def test_report_renders_for_every_application(self):
+        platform = shen_icpp15_platform()
+        for app in paper_applications():
+            outcome = match(app, platform, execute=True)
+            text = format_match(outcome)
+            assert app.name in text
+            assert "best strategy" in text
+
+
+class TestFutureWorkPlatform:
+    """Paper §VII: apply the analyzer to other accelerator balances."""
+
+    def test_fusion_platform_shifts_hotspot_to_gpu(self):
+        # with a near-free link the transfer-bound crossover disappears:
+        # HotSpot's GPU share grows substantially
+        app = get_application("HotSpot")
+        shen = match(app, shen_icpp15_platform(), execute=False)
+        fusion = match(app, fusion_platform(), execute=False)
+        share = lambda m: next(
+            iter(m.plan.decision.gpu_fraction_by_kernel.values())
+        )
+        assert share(fusion) > share(shen)
+
+    def test_classification_is_platform_independent(self):
+        app = get_application("STREAM-Seq")
+        assert (
+            analyze(app, n=65536).app_class
+            is analyze(app, n=65536).app_class
+        )

@@ -1,0 +1,45 @@
+"""The paper's evaluation, end to end, at paper problem sizes.
+
+Every qualitative claim of Section IV is validated by
+:mod:`repro.bench.validation`; this test runs the whole matrix once and
+asserts everything at once (the failure message lists every violated
+claim).  See EXPERIMENTS.md for the paper-vs-measured numbers.
+"""
+
+import pytest
+
+from repro.bench.speedup import figure12
+from repro.bench.validation import run_full_matrix, validate_shapes
+from repro.platform import shen_icpp15_platform
+
+
+@pytest.fixture(scope="module")
+def full_run():
+    platform = shen_icpp15_platform()
+    matrix = run_full_matrix(platform)
+    rows = figure12(platform)
+    return matrix, rows
+
+
+class TestPaperShapes:
+    def test_all_shape_constraints(self, full_run):
+        matrix, rows = full_run
+        report = validate_shapes(matrix, rows=rows)
+        assert report.ok, "\n" + report.summary()
+
+    def test_average_speedups_in_band(self, full_run):
+        matrix, rows = full_run
+        report = validate_shapes(matrix, rows=rows)
+        # paper: 3.0x vs Only-GPU, 5.3x vs Only-CPU
+        assert 1.5 <= report.avg_speedup_vs_gpu <= 5.0
+        assert 3.0 <= report.avg_speedup_vs_cpu <= 9.0
+
+    def test_max_speedup_order_of_magnitude(self, full_run):
+        matrix, rows = full_run
+        report = validate_shapes(matrix, rows=rows)
+        assert report.max_speedup >= 12  # paper: 22.2x
+
+    def test_every_scenario_has_six_or_five_strategies(self, full_run):
+        matrix, _ = full_run
+        for label, scenario in matrix.items():
+            assert len(scenario.outcomes) in (5, 6), label

@@ -1,0 +1,67 @@
+"""The headline claim: the empirical ranking matches Table I.
+
+"The performance ranking of different partitioning strategies in our
+empirical evaluation matches the theoretical ranking we have proposed in
+Table I."  (paper §IV-B5)
+"""
+
+import pytest
+
+from repro.bench.experiments import empirical_ranking
+from repro.bench.validation import TIE
+from repro.platform import shen_icpp15_platform
+
+SCENARIOS = [
+    ("MatrixMul", None),
+    ("BlackScholes", None),
+    ("Nbody", None),
+    ("HotSpot", None),
+    ("STREAM-Seq", False),
+    ("STREAM-Seq", True),
+    ("STREAM-Loop", False),
+    ("STREAM-Loop", True),
+]
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return shen_icpp15_platform()
+
+
+@pytest.mark.parametrize(
+    "app_name,sync", SCENARIOS,
+    ids=[f"{a}{'' if s is None else ('-w' if s else '-wo')}"
+         for a, s in SCENARIOS],
+)
+def test_empirical_ranking_matches_table1(platform, app_name, sync):
+    comparison = empirical_ranking(app_name, platform, sync=sync)
+    assert comparison.matches(tie_tolerance=TIE), (
+        f"{comparison.scenario}: theoretical {comparison.theoretical} "
+        f"vs empirical {comparison.empirical} "
+        f"({ {k: round(v, 1) for k, v in comparison.times_ms.items()} })"
+    )
+
+
+def test_best_strategy_always_the_top_ranked(platform):
+    """Matchmaking actually picks the empirically fastest strategy."""
+    for app_name, sync in SCENARIOS:
+        comparison = empirical_ranking(app_name, platform, sync=sync)
+        best_measured = comparison.empirical[0]
+        top_ranked = comparison.theoretical[0]
+        t_best = comparison.times_ms[best_measured]
+        t_top = comparison.times_ms[top_ranked]
+        assert t_top <= t_best * TIE, (
+            f"{comparison.scenario}: {top_ranked}={t_top:.1f}ms not within "
+            f"tolerance of measured best {best_measured}={t_best:.1f}ms"
+        )
+
+
+def test_mk_dag_ranking(platform):
+    """Proposition 1 on the MK-DAG class (blocked Cholesky)."""
+    from repro.apps.cholesky import Cholesky
+    from repro.partition import get_strategy
+
+    program = Cholesky(tile_size=1024).program(8)
+    t_perf = get_strategy("DP-Perf").run(program, platform).makespan_s
+    t_dep = get_strategy("DP-Dep").run(program, platform).makespan_s
+    assert t_perf <= t_dep * TIE

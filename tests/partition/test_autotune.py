@@ -1,0 +1,65 @@
+"""Task-size auto-tuning (paper §V)."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partition import DPPerf, SPSingle, autotune_task_count
+from repro.partition.autotune import AutotuneResult
+
+from tests.conftest import single_kernel_program
+
+
+class TestAutotune:
+    def test_sweeps_requested_multipliers(self, tiny_platform):
+        program = single_kernel_program(n=100_000, flops=50.0, mem_bytes=0.0)
+        result = autotune_task_count(
+            DPPerf(), program, tiny_platform, multipliers=(1, 2, 4)
+        )
+        assert set(result.sweep) == {4, 8, 16}  # 4 threads x multipliers
+
+    def test_best_is_minimum(self, tiny_platform):
+        program = single_kernel_program(n=100_000, flops=50.0, mem_bytes=0.0)
+        result = autotune_task_count(
+            DPPerf(), program, tiny_platform, multipliers=(1, 2, 4, 8)
+        )
+        assert result.best_makespan_s == min(result.sweep.values())
+        assert result.sweep[result.best_task_count] == result.best_makespan_s
+
+    def test_speedup_over_worst(self, tiny_platform):
+        program = single_kernel_program(n=100_000, flops=50.0, mem_bytes=0.0)
+        result = autotune_task_count(
+            DPPerf(), program, tiny_platform, multipliers=(1, 8)
+        )
+        assert result.speedup_over_worst >= 1.0
+
+    def test_task_size_matters(self, tiny_platform):
+        # with per-decision overhead, more chunks must cost more once the
+        # workload is fully GPU-resident
+        program = single_kernel_program(n=1_000_000, flops=500.0, mem_bytes=0.0)
+        result = autotune_task_count(
+            DPPerf(), program, tiny_platform, multipliers=(1, 16)
+        )
+        assert result.sweep[4] != result.sweep[64]
+
+    def test_rejects_static_strategy(self, tiny_platform):
+        program = single_kernel_program(n=1000)
+        with pytest.raises(PartitioningError):
+            autotune_task_count(SPSingle(), program, tiny_platform)
+
+    def test_rejects_empty_multipliers(self, tiny_platform):
+        program = single_kernel_program(n=1000)
+        with pytest.raises(PartitioningError):
+            autotune_task_count(DPPerf(), program, tiny_platform,
+                                multipliers=())
+
+    def test_rejects_nonpositive_multiplier(self, tiny_platform):
+        program = single_kernel_program(n=1000)
+        with pytest.raises(PartitioningError):
+            autotune_task_count(DPPerf(), program, tiny_platform,
+                                multipliers=(0,))
+
+    def test_result_type(self, tiny_platform):
+        program = single_kernel_program(n=10_000)
+        result = autotune_task_count(DPPerf(), program, tiny_platform,
+                                     multipliers=(1,))
+        assert isinstance(result, AutotuneResult)

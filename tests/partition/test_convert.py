@@ -1,0 +1,73 @@
+"""The dynamic-behaves-like-static conversion (paper §V)."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partition import (
+    PlanConfig,
+    SPSingle,
+    dynamic_as_static_plan,
+    run_plan,
+    static_assignment_counts,
+)
+from repro.runtime.graph import InstanceKind
+
+from tests.conftest import single_kernel_program
+
+
+class TestAssignmentCounts:
+    def test_exact_ratio(self):
+        counts = static_assignment_counts(0.25, 12)
+        assert counts.gpu_instances == 3
+        assert counts.cpu_instances == 9
+        assert counts.gpu_fraction == pytest.approx(0.25)
+
+    def test_rounding_to_nearest(self):
+        assert static_assignment_counts(0.9, 12).gpu_instances == 11
+        assert static_assignment_counts(0.99, 12).gpu_instances == 12
+
+    def test_extremes(self):
+        assert static_assignment_counts(0.0, 8).gpu_instances == 0
+        assert static_assignment_counts(1.0, 8).cpu_instances == 0
+
+    def test_validation(self):
+        with pytest.raises(PartitioningError):
+            static_assignment_counts(1.5, 8)
+        with pytest.raises(PartitioningError):
+            static_assignment_counts(0.5, 0)
+
+
+class TestDynamicAsStaticPlan:
+    def test_pins_follow_counts(self, tiny_platform):
+        program = single_kernel_program(n=12_000)
+        plan = dynamic_as_static_plan(
+            program, tiny_platform, 0.5, config=PlanConfig(cpu_threads=4)
+        )
+        computes = [i for i in plan.graph.instances
+                    if i.kind is InstanceKind.COMPUTE]
+        gpu = [i for i in computes if i.pinned_device == "gpu0"]
+        cpu = [i for i in computes if i.pinned_resource]
+        assert len(gpu) == 2 and len(cpu) == 2  # 4 chunks, 50/50
+
+    def test_runs_and_matches_ratio(self, tiny_platform):
+        program = single_kernel_program(n=12_000, flops=50.0, mem_bytes=0.0)
+        plan = dynamic_as_static_plan(
+            program, tiny_platform, 0.75, config=PlanConfig(cpu_threads=4)
+        )
+        result = run_plan(plan, tiny_platform)
+        assert result.gpu_fraction == pytest.approx(0.75)
+
+    def test_close_to_optimal_static(self, tiny_platform):
+        # converting SP-Single's ratio through task counts lands close to
+        # SP-Single itself (the paper's "close-to-optimal partitioning
+        # with minimal manual effort")
+        program = single_kernel_program(n=1_000_000, flops=50.0, mem_bytes=0.0)
+        config = PlanConfig(cpu_threads=4, task_count=16)
+        sp = SPSingle().plan(program, tiny_platform, config)
+        ratio = next(iter(sp.decision.gpu_fraction_by_kernel.values()))
+        t_static = run_plan(sp, tiny_platform).makespan_s
+        converted = dynamic_as_static_plan(
+            program, tiny_platform, ratio, config=config
+        )
+        t_converted = run_plan(converted, tiny_platform).makespan_s
+        assert t_converted <= t_static * 1.25

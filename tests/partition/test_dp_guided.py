@@ -1,0 +1,92 @@
+"""DP-Guided (adaptive chunking, related work [11])."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partition import DPGuided, PlanConfig, get_strategy
+from repro.partition.dp_guided import geometric_chunks
+from repro.runtime.graph import InstanceKind
+
+from tests.conftest import single_kernel_program
+
+
+class TestGeometricChunks:
+    def test_partitions_exactly(self):
+        for n in (100, 1000, 12345):
+            chunks = geometric_chunks(n, initial=10, growth=1.5)
+            assert chunks[0][0] == 0 and chunks[-1][1] == n
+            for (a, b), (c, _) in zip(chunks, chunks[1:]):
+                assert b == c
+
+    def test_sizes_grow(self):
+        chunks = geometric_chunks(10_000, initial=100, growth=2.0)
+        sizes = [hi - lo for lo, hi in chunks]
+        # growing until the cap kicks in
+        head = sizes[:3]
+        assert head == sorted(head)
+        assert head[1] >= 2 * head[0] * 0.99
+
+    def test_cap_limits_chunk_size(self):
+        chunks = geometric_chunks(10_000, initial=10, growth=4.0,
+                                  cap_fraction=0.1)
+        sizes = [hi - lo for lo, hi in chunks[:-1]]  # final absorbs tail
+        assert max(sizes) <= 1000
+
+    def test_no_dust_tail(self):
+        chunks = geometric_chunks(1001, initial=100, growth=2.0)
+        assert chunks[-1][1] - chunks[-1][0] >= 50
+
+    def test_validation(self):
+        with pytest.raises(PartitioningError):
+            geometric_chunks(0, initial=10, growth=2.0)
+        with pytest.raises(PartitioningError):
+            geometric_chunks(100, initial=0, growth=2.0)
+        with pytest.raises(PartitioningError):
+            geometric_chunks(100, initial=10, growth=0.5)
+
+
+class TestDPGuided:
+    def test_registered(self):
+        assert isinstance(get_strategy("DP-Guided"), DPGuided)
+
+    def test_chunks_unpinned_and_growing(self, tiny_platform):
+        program = single_kernel_program(n=100_000)
+        plan = DPGuided().plan(program, tiny_platform, PlanConfig())
+        computes = [i for i in plan.graph.instances
+                    if i.kind is InstanceKind.COMPUTE]
+        assert all(i.pinned_device is None for i in computes)
+        sizes = [i.size for i in computes]
+        assert sizes[1] > sizes[0]
+
+    def test_constructor_validation(self):
+        with pytest.raises(PartitioningError):
+            DPGuided(growth=0.9)
+        with pytest.raises(PartitioningError):
+            DPGuided(probes_per_thread=0)
+
+    def test_self_scheduling_balances_capability(self, tiny_platform):
+        # unlike fixed-size DP-Dep, the fast device comes back for more
+        # chunks: the GPU ends up with the lion's share of a compute-bound
+        # kernel
+        program = single_kernel_program(n=4_000_000, flops=200.0,
+                                        mem_bytes=0.0)
+        result = DPGuided().run(program, tiny_platform)
+        assert result.gpu_fraction > 0.5
+
+    def test_beats_fixed_chunk_dp_dep_when_gpu_dominant(self, paper_platform):
+        from repro.apps import get_application
+
+        program = get_application("MatrixMul").program()
+        guided = DPGuided().run(program, paper_platform)
+        fixed = get_strategy("DP-Dep").run(program, paper_platform)
+        assert guided.makespan_s < fixed.makespan_s * 0.5
+
+    def test_but_static_still_wins(self, paper_platform):
+        """The paper's related-work claim (ref [11] discussion)."""
+        from repro.apps import get_application
+
+        for app_name in ("MatrixMul", "BlackScholes"):
+            program = get_application(app_name).program()
+            guided = DPGuided().run(program, paper_platform)
+            static = get_strategy("SP-Single").run(program, paper_platform)
+            assert static.makespan_s <= guided.makespan_s

@@ -1,0 +1,157 @@
+"""The Glinda partitioning model: analytics, rounding, decision step."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partition.glinda import (
+    GlindaModel,
+    HardwareConfig,
+    TransferModel,
+)
+from repro.platform.interconnect import Link
+
+LINK = Link(name="l", bandwidth_gbs=10.0, latency_s=0.0)
+
+
+def predict(theta_gpu, theta_cpu, *, n=10_000, transfer=TransferModel(),
+            model=None):
+    model = model or GlindaModel(warp_size=1, gpu_only_threshold=0.999,
+                                 cpu_only_threshold=0.001)
+    return model.predict(
+        kernel="k", n=n, theta_gpu=theta_gpu, theta_cpu=theta_cpu,
+        link=LINK, transfer=transfer,
+    )
+
+
+class TestOptimalSplit:
+    def test_no_transfers_split_by_throughput_ratio(self):
+        # r = 3: beta* = r / (r + 1) = 0.75
+        d = predict(3e6, 1e6)
+        assert d.gpu_fraction == pytest.approx(0.75, abs=1e-4)
+
+    def test_equal_devices_split_in_half(self):
+        d = predict(1e6, 1e6)
+        assert d.gpu_fraction == pytest.approx(0.5, abs=1e-4)
+
+    def test_transfers_shift_work_to_cpu(self):
+        base = predict(3e6, 1e6)
+        with_tx = predict(3e6, 1e6,
+                          transfer=TransferModel(gpu_share_b=1000.0))
+        assert with_tx.gpu_fraction < base.gpu_fraction
+
+    def test_metric_formula_beta_r_over_r_plus_1_plus_g(self):
+        # beta* = r / (r + 1 + g) with q = D = 0
+        theta_g, theta_c, p = 4e6, 1e6, 500.0
+        d = predict(theta_g, theta_c, transfer=TransferModel(gpu_share_b=p))
+        r = theta_g / theta_c
+        g = theta_g * p / LINK.bandwidth
+        assert d.gpu_fraction == pytest.approx(r / (r + 1 + g), abs=1e-3)
+
+    def test_fixed_bytes_reduce_gpu_share(self):
+        base = predict(3e6, 1e6)
+        with_fixed = predict(3e6, 1e6,
+                             transfer=TransferModel(fixed_b=1e9))
+        assert with_fixed.gpu_fraction < base.gpu_fraction
+
+    def test_metrics_reported(self):
+        d = predict(4e6, 1e6, transfer=TransferModel(gpu_share_b=100.0))
+        assert d.metrics.relative_capability == pytest.approx(4.0)
+        assert d.metrics.compute_transfer_gap == pytest.approx(
+            4e6 * 100.0 / 10e9
+        )
+
+    def test_perfect_overlap_at_predicted_split(self):
+        # T_gpu(n_g*) == T_cpu(n_g*) by construction
+        theta_g, theta_c = 5e6, 2e6
+        transfer = TransferModel(gpu_share_b=200.0, fixed_b=1e6)
+        d = predict(theta_g, theta_c, transfer=transfer)
+        t_gpu = d.n_gpu / theta_g + transfer.bytes_for(d.n_gpu, d.n) / LINK.bandwidth
+        t_cpu = d.n_cpu / theta_c
+        assert t_gpu == pytest.approx(t_cpu, rel=1e-2)
+
+    def test_split_partitions_exactly(self):
+        d = predict(3.7e6, 1.3e6)
+        assert d.n_gpu + d.n_cpu == d.n
+
+
+class TestWarpRounding:
+    def test_gpu_share_rounded_up_to_warp(self):
+        model = GlindaModel(warp_size=32, gpu_only_threshold=0.999,
+                            cpu_only_threshold=0.001)
+        d = predict(3e6, 1e6, n=1000, model=model)
+        assert d.n_gpu % 32 == 0
+        assert d.n_gpu >= 0.75 * 1000  # rounded UP
+
+    def test_rounding_never_exceeds_n(self):
+        model = GlindaModel(warp_size=512, gpu_only_threshold=0.999,
+                            cpu_only_threshold=0.001)
+        d = predict(100e6, 1e3, n=600, model=model)
+        assert d.n_gpu <= 600
+
+
+class TestHardwareConfigDecision:
+    def test_only_gpu_when_cpu_share_negligible(self):
+        model = GlindaModel(gpu_only_threshold=0.95)
+        d = predict(100e6, 1e6, model=model)
+        assert d.config is HardwareConfig.ONLY_GPU
+        assert d.n_cpu == 0
+
+    def test_only_cpu_when_gpu_share_negligible(self):
+        model = GlindaModel(cpu_only_threshold=0.05)
+        d = predict(
+            1e6, 1e6,
+            transfer=TransferModel(gpu_share_b=1_000_000.0),
+            model=model,
+        )
+        assert d.config is HardwareConfig.ONLY_CPU
+        assert d.n_gpu == 0
+
+    def test_partition_between_thresholds(self):
+        model = GlindaModel()
+        d = predict(3e6, 1e6, model=model)
+        assert d.config is HardwareConfig.CPU_GPU
+        assert d.n_gpu > 0 and d.n_cpu > 0
+
+    def test_negative_model_optimum_clamps_to_only_cpu(self):
+        # a huge fixed transfer makes any GPU use counterproductive
+        d = predict(
+            1e6, 1e6,
+            transfer=TransferModel(fixed_b=1e12),
+            model=GlindaModel(),
+        )
+        assert d.config is HardwareConfig.ONLY_CPU
+
+
+class TestPredictedTime:
+    def test_zero_gpu_is_pure_cpu_time(self):
+        t = GlindaModel.predicted_time(
+            n=1000, n_gpu=0, theta_gpu=1e6, theta_cpu=1e6, link=LINK,
+            transfer=TransferModel(fixed_b=1e9),
+        )
+        assert t == pytest.approx(1000 / 1e6)
+
+    def test_all_gpu_includes_transfers(self):
+        t = GlindaModel.predicted_time(
+            n=1000, n_gpu=1000, theta_gpu=1e6, theta_cpu=1e6, link=LINK,
+            transfer=TransferModel(gpu_share_b=10.0),
+        )
+        assert t == pytest.approx(1000 / 1e6 + 10_000 / 10e9)
+
+    def test_invalid_split_rejected(self):
+        with pytest.raises(PartitioningError):
+            GlindaModel.predicted_time(
+                n=10, n_gpu=11, theta_gpu=1e6, theta_cpu=1e6, link=LINK,
+                transfer=TransferModel(),
+            )
+
+
+class TestValidation:
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(PartitioningError):
+            predict(1e6, 1e6, n=0)
+
+    def test_rejects_nonpositive_throughput(self):
+        with pytest.raises(PartitioningError):
+            predict(0.0, 1e6)
+        with pytest.raises(PartitioningError):
+            predict(1e6, -1.0)

@@ -1,0 +1,167 @@
+"""Multi-accelerator Glinda: the perfect-overlap system over N devices."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partition.glinda_multi import (
+    DeviceTerm,
+    predict_multi,
+    solve_overlap,
+)
+
+
+def term(device_id, throughput, *, tx=0.0, fixed=0.0, gran=1):
+    return DeviceTerm(
+        device_id=device_id, throughput=throughput,
+        per_index_transfer_s=tx, fixed_transfer_s=fixed, granularity=gran,
+    )
+
+
+class TestSolveOverlap:
+    def test_two_equal_devices_split_in_half(self):
+        t_star, shares = solve_overlap(
+            [term("a", 1e6), term("b", 1e6)], 10_000
+        )
+        assert shares["a"] == pytest.approx(5000)
+        assert shares["b"] == pytest.approx(5000)
+        assert t_star == pytest.approx(5000 / 1e6)
+
+    def test_shares_proportional_to_throughput(self):
+        _, shares = solve_overlap(
+            [term("a", 3e6), term("b", 1e6)], 8000
+        )
+        assert shares["a"] == pytest.approx(6000)
+        assert shares["b"] == pytest.approx(2000)
+
+    def test_matches_single_gpu_formula(self):
+        # cpu + gpu with per-index transfer must reduce to the 1-GPU model
+        theta_c, theta_g = 1e6, 4e6
+        tx = 2.5e-7  # seconds per index over the link
+        _, shares = solve_overlap(
+            [term("cpu", theta_c), term("gpu", theta_g, tx=tx)], 10_000
+        )
+        c_g = 1 / theta_g + tx
+        beta = (1 / theta_c) / (c_g + 1 / theta_c)
+        assert shares["gpu"] / 10_000 == pytest.approx(beta, rel=1e-6)
+
+    def test_all_devices_finish_together(self):
+        terms = [
+            term("cpu", 2e6),
+            term("g0", 8e6, tx=1e-7, fixed=1e-3),
+            term("g1", 5e6, tx=2e-7),
+        ]
+        t_star, shares = solve_overlap(terms, 1_000_000)
+        for t in terms:
+            finish = shares[t.device_id] * t.index_cost_s + t.fixed_transfer_s
+            assert finish == pytest.approx(t_star, rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(PartitioningError):
+            solve_overlap([], 100)
+        with pytest.raises(PartitioningError):
+            solve_overlap([term("a", 1e6)], 0)
+        with pytest.raises(PartitioningError):
+            term("a", 0.0)
+        with pytest.raises(PartitioningError):
+            term("a", 1e6, tx=-1.0)
+        with pytest.raises(PartitioningError):
+            term("a", 1e6, gran=0)
+
+
+class TestPredictMulti:
+    def test_shares_partition_exactly(self):
+        d = predict_multi(
+            [term("cpu", 1e6), term("g0", 4e6, gran=32),
+             term("g1", 2e6, gran=32)],
+            100_000,
+        )
+        assert sum(d.shares.values()) == 100_000
+
+    def test_granularity_respected(self):
+        d = predict_multi(
+            [term("cpu", 1e6), term("g0", 4e6, gran=32)], 100_000
+        )
+        assert d.shares["g0"] % 32 == 0
+
+    def test_weak_device_dropped(self):
+        # a device 1000x slower than the others gets below the threshold
+        d = predict_multi(
+            [term("cpu", 1e6), term("g0", 1e6), term("slow", 1e3)],
+            100_000,
+            min_share_fraction=0.03,
+        )
+        assert d.shares["slow"] == 0
+        assert "slow" not in d.active
+        assert sum(d.shares.values()) == 100_000
+
+    def test_device_with_huge_fixed_cost_dropped(self):
+        d = predict_multi(
+            [term("cpu", 1e6), term("g0", 1e6, fixed=1e6)], 1000
+        )
+        assert d.shares["g0"] == 0
+        assert d.shares["cpu"] == 1000
+
+    def test_identical_accelerators_get_equal_shares(self):
+        d = predict_multi(
+            [term("cpu", 1e6), term("g0", 4e6, tx=1e-7, gran=32),
+             term("g1", 4e6, tx=1e-7, gran=32)],
+            1_000_000,
+        )
+        assert d.shares["g0"] == pytest.approx(d.shares["g1"], rel=0.01)
+
+    def test_predicted_time_close_to_balanced(self):
+        terms = [term("cpu", 1e6), term("g0", 4e6, gran=32)]
+        d = predict_multi(terms, 1_000_000)
+        t_star, _ = solve_overlap(terms, 1_000_000)
+        assert d.predicted_time_s == pytest.approx(t_star, rel=0.01)
+
+
+class TestOnPlatform:
+    def test_sp_single_uses_both_gpus(self):
+        from repro import get_application
+        from repro.partition import get_strategy
+        from repro.platform import dual_gpu_platform
+
+        platform = dual_gpu_platform()
+        program = get_application("MatrixMul").program(2048)
+        result = get_strategy("SP-Single").run(program, platform)
+        by_device = result.trace.elements_by_device(key="device")
+        assert by_device.get("gpu0", 0) > 0
+        assert by_device.get("gpu1", 0) > 0
+
+    def test_dual_gpu_beats_single_gpu_static(self):
+        from repro import get_application, shen_icpp15_platform
+        from repro.partition import get_strategy
+        from repro.platform import dual_gpu_platform
+
+        program = get_application("MatrixMul").program(4096)
+        single = get_strategy("SP-Single").run(
+            program, shen_icpp15_platform()
+        )
+        dual = get_strategy("SP-Single").run(program, dual_gpu_platform())
+        assert dual.makespan_s < single.makespan_s * 0.75
+
+    def test_dp_perf_exploits_both_gpus(self):
+        from repro import get_application
+        from repro.partition import get_strategy
+        from repro.platform import dual_gpu_platform
+
+        program = get_application("MatrixMul").program(4096)
+        result = get_strategy("DP-Perf").run(program, dual_gpu_platform())
+        by_device = result.trace.elements_by_device(key="device")
+        assert by_device.get("gpu0", 0) > 0
+        assert by_device.get("gpu1", 0) > 0
+
+    def test_transfer_bound_app_drops_second_gpu_or_not_worse(self):
+        # HotSpot on two PCIe GPUs: splitting across both must not lose
+        # to the single-GPU platform's static plan
+        from repro import get_application, shen_icpp15_platform
+        from repro.partition import get_strategy
+        from repro.platform import dual_gpu_platform
+
+        program = get_application("HotSpot").program(2048, iterations=2)
+        single = get_strategy("SP-Single").run(
+            program, shen_icpp15_platform()
+        )
+        dual = get_strategy("SP-Single").run(program, dual_gpu_platform())
+        assert dual.makespan_s <= single.makespan_s * 1.05

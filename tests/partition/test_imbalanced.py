@@ -1,0 +1,168 @@
+"""Imbalanced-workload partitioning (ref [9] extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partition.glinda import TransferModel
+from repro.partition.imbalanced import imbalanced_split, weighted_ranges
+from repro.platform.interconnect import Link
+from repro.runtime.kernels import AccessSpec, Kernel, KernelCostModel
+from repro.runtime.regions import AccessMode, ArraySpec
+
+LINK = Link(name="l", bandwidth_gbs=10.0, latency_s=0.0)
+
+
+def weighted_kernel(weights) -> Kernel:
+    weights = np.asarray(weights, dtype=np.float64)
+    n = len(weights)
+    prefix = np.concatenate([[0.0], np.cumsum(weights)])
+    spec_x = ArraySpec("x", n, 4)
+    spec_y = ArraySpec("y", n, 4)
+    return Kernel(
+        "wk",
+        KernelCostModel(flops_per_elem=2.0),
+        (AccessSpec(spec_x, AccessMode.IN), AccessSpec(spec_y, AccessMode.OUT)),
+        work_prefix=prefix,
+    )
+
+
+class TestWorkUnits:
+    def test_uniform_kernel_counts_indices(self):
+        kernel = weighted_kernel([1.0] * 10)
+        assert kernel.work_units(2, 7) == 5.0
+
+    def test_weighted_kernel_sums_weights(self):
+        kernel = weighted_kernel([1, 10, 1, 10, 1])
+        assert kernel.work_units(0, 2) == 11.0
+        assert kernel.total_work == 23.0
+
+    def test_imbalanced_flag(self):
+        from tests.conftest import make_kernel
+
+        uniform, _ = make_kernel()
+        assert not uniform.imbalanced
+        assert weighted_kernel([1, 2]).imbalanced
+
+    def test_bad_prefix_rejected(self):
+        from repro.errors import ConfigurationError
+
+        spec_x = ArraySpec("x", 2, 4)
+        spec_y = ArraySpec("y", 2, 4)
+        with pytest.raises(ConfigurationError):
+            Kernel(
+                "bad", KernelCostModel(flops_per_elem=1),
+                (AccessSpec(spec_x, AccessMode.IN),
+                 AccessSpec(spec_y, AccessMode.OUT)),
+                work_prefix=np.array([1.0, 2.0, 3.0]),  # must start at 0
+            )
+        with pytest.raises(ConfigurationError):
+            Kernel(
+                "bad2", KernelCostModel(flops_per_elem=1),
+                (AccessSpec(spec_x, AccessMode.IN),
+                 AccessSpec(spec_y, AccessMode.OUT)),
+                work_prefix=np.array([0.0, 5.0, 3.0]),  # decreasing
+            )
+
+
+class TestWeightedRanges:
+    def test_equal_work_not_equal_indices(self):
+        # front-loaded work: the first range must be much shorter
+        kernel = weighted_kernel([100, 1, 1, 1, 1, 1, 1, 1])
+        ranges = weighted_ranges(kernel, 0, 8, 2)
+        assert ranges[0] == (0, 1)
+        assert ranges[1] == (1, 8)
+
+    def test_ranges_partition_span(self):
+        kernel = weighted_kernel(np.arange(1, 21))
+        ranges = weighted_ranges(kernel, 3, 17, 4)
+        assert ranges[0][0] == 3 and ranges[-1][1] == 17
+        for (a, b), (c, _) in zip(ranges, ranges[1:]):
+            assert b == c
+
+    def test_never_empty_ranges(self):
+        kernel = weighted_kernel([0, 0, 1000, 0, 0, 0])
+        ranges = weighted_ranges(kernel, 0, 6, 4)
+        assert all(hi > lo for lo, hi in ranges)
+
+    def test_uniform_fallback(self):
+        from tests.conftest import make_kernel
+
+        kernel, _ = make_kernel(n=10)
+        assert weighted_ranges(kernel, 0, 10, 2) == [(0, 5), (5, 10)]
+
+    def test_work_balance_quality(self):
+        rng = np.random.default_rng(1)
+        weights = rng.pareto(1.5, 1000) + 1
+        kernel = weighted_kernel(weights)
+        ranges = weighted_ranges(kernel, 0, 1000, 8)
+        works = [kernel.work_units(lo, hi) for lo, hi in ranges]
+        # each range within 2x of the mean (heavy tails allow one huge
+        # single-index range)
+        mean = sum(works) / len(works)
+        assert max(works) <= max(2 * mean, max(weights))
+
+
+class TestImbalancedSplit:
+    def test_balances_work_not_indices(self):
+        # work concentrated at the front; equal devices -> the boundary
+        # sits where HALF THE WORK is, far left of the index midpoint
+        weights = np.concatenate([np.full(100, 99.0), np.full(900, 1.0)])
+        kernel = weighted_kernel(weights)
+        d = imbalanced_split(
+            kernel, 1000, theta_gpu=1e6, theta_cpu=1e6, link=LINK,
+            transfer=TransferModel(), warp_size=1,
+        )
+        assert d.gpu_fraction == pytest.approx(0.5, abs=0.05)
+        assert d.gpu_index_fraction < 0.2
+
+    def test_transfers_shift_boundary_left(self):
+        weights = np.full(1000, 10.0)
+        kernel = weighted_kernel(weights)
+        base = imbalanced_split(
+            kernel, 1000, theta_gpu=4e6, theta_cpu=1e6, link=LINK,
+            transfer=TransferModel(), warp_size=1,
+        )
+        taxed = imbalanced_split(
+            kernel, 1000, theta_gpu=4e6, theta_cpu=1e6, link=LINK,
+            transfer=TransferModel(gpu_share_b=5000.0), warp_size=1,
+        )
+        assert taxed.boundary < base.boundary
+
+    def test_uniform_weights_match_glinda(self):
+        from repro.partition.glinda import GlindaModel
+
+        kernel = weighted_kernel(np.ones(10_000))
+        d = imbalanced_split(
+            kernel, 10_000, theta_gpu=3e6, theta_cpu=1e6, link=LINK,
+            transfer=TransferModel(), warp_size=1,
+        )
+        g = GlindaModel(warp_size=1, gpu_only_threshold=0.999,
+                        cpu_only_threshold=0.001).predict(
+            kernel="k", n=10_000, theta_gpu=3e6, theta_cpu=1e6,
+            link=LINK, transfer=TransferModel(),
+        )
+        assert d.boundary == pytest.approx(g.n_gpu, abs=2)
+
+    def test_rejects_uniform_kernel(self):
+        from tests.conftest import make_kernel
+
+        kernel, _ = make_kernel(n=100)
+        with pytest.raises(PartitioningError):
+            imbalanced_split(
+                kernel, 100, theta_gpu=1e6, theta_cpu=1e6, link=LINK,
+                transfer=TransferModel(),
+            )
+
+    def test_predicted_time_is_balanced(self):
+        rng = np.random.default_rng(2)
+        kernel = weighted_kernel(rng.pareto(1.5, 5000) + 1)
+        d = imbalanced_split(
+            kernel, 5000, theta_gpu=4e6, theta_cpu=1e6, link=LINK,
+            transfer=TransferModel(gpu_share_b=8.0), warp_size=1,
+        )
+        t_gpu = d.gpu_work / 4e6 + 8.0 * d.boundary / LINK.bandwidth
+        t_cpu = d.cpu_work / 1e6
+        assert d.predicted_time_s == pytest.approx(max(t_gpu, t_cpu))
+        # within one index weight of perfect balance
+        assert abs(t_gpu - t_cpu) <= d.predicted_time_s * 0.05

@@ -1,0 +1,73 @@
+"""Kernel profiling (Glinda step 2 + DP-Perf seeding)."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partition.profiling import (
+    build_profile_table,
+    profile_kernel,
+    transfer_footprint,
+)
+
+from tests.conftest import chain_program, make_kernel, single_kernel_program
+
+
+class TestTransferFootprint:
+    def test_partitioned_in_out_split(self):
+        kernel, _ = make_kernel(reads=("x",), writes=("y",), n=100)
+        total, inp, out, full = transfer_footprint(kernel)
+        assert (total, inp, out, full) == (8.0, 4.0, 4.0, 0)
+
+    def test_full_reads_counted_whole(self):
+        kernel, _ = make_kernel(
+            reads=("x",), writes=("y",), full_reads=("z",), n=100
+        )
+        total, inp, out, full = transfer_footprint(kernel)
+        assert full == 400  # the whole z array
+        assert total == 8.0  # partitioned only
+
+    def test_elems_per_index_scales(self):
+        kernel, _ = make_kernel(
+            reads=("x",), writes=("y",), n=10, elems_per_index=16
+        )
+        total, inp, out, _ = transfer_footprint(kernel)
+        assert inp == 64.0 and out == 64.0
+
+
+class TestProfileKernel:
+    def test_throughputs_match_device_model(self, tiny_platform):
+        kernel, _ = make_kernel(flops=2.0, mem_bytes=0.0, n=100_000)
+        profile = profile_kernel(kernel, tiny_platform, 100_000)
+        # tiny platform: CPU 100 GFLOPS, GPU 1000 GFLOPS, eff 1.0
+        assert profile.cpu_throughput == pytest.approx(50e9, rel=1e-6)
+        assert profile.gpu_throughput == pytest.approx(500e9, rel=1e-6)
+
+    def test_footprint_fields(self, tiny_platform):
+        kernel, _ = make_kernel(full_reads=("z",), n=1000)
+        profile = profile_kernel(kernel, tiny_platform, 1000)
+        assert profile.partitioned_bytes_per_index == 8.0
+        assert profile.full_bytes == 4000
+
+    def test_rejects_nonpositive_size(self, tiny_platform):
+        kernel, _ = make_kernel()
+        with pytest.raises(PartitioningError):
+            profile_kernel(kernel, tiny_platform, 0)
+
+
+class TestBuildProfileTable:
+    def test_rates_for_every_kernel_device_pair(self, tiny_platform):
+        program = chain_program(3, n=10_000)
+        table = build_profile_table(program, tiny_platform)
+        for kernel in ("k0", "k1", "k2"):
+            assert table.get(kernel, "cpu") is not None
+            assert table.get(kernel, "gpu0") is not None
+
+    def test_transfer_cost_from_link(self, tiny_platform):
+        program = single_kernel_program(n=10_000)
+        table = build_profile_table(program, tiny_platform)
+        assert table.transfer_s_per_byte["gpu0"] == pytest.approx(1e-10)
+
+    def test_rates_are_seconds_per_index(self, tiny_platform):
+        program = single_kernel_program(n=100_000, flops=2.0, mem_bytes=0.0)
+        table = build_profile_table(program, tiny_platform)
+        assert table.get("k", "cpu") == pytest.approx(1 / 50e9, rel=1e-6)

@@ -1,0 +1,71 @@
+"""Glinda prediction robustness under profiling error."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partition.glinda import GlindaModel, TransferModel
+from repro.partition.sensitivity import (
+    format_sensitivity,
+    profiling_sensitivity,
+)
+from repro.platform.interconnect import Link
+
+LINK = Link(name="l", bandwidth_gbs=10.0, latency_s=0.0)
+
+
+def sweep(**kwargs):
+    defaults = dict(
+        n=1_000_000,
+        theta_gpu=4e8,
+        theta_cpu=1e8,
+        link=LINK,
+        transfer=TransferModel(gpu_share_b=8.0),
+        model=GlindaModel(gpu_only_threshold=0.999,
+                          cpu_only_threshold=0.001),
+    )
+    defaults.update(kwargs)
+    return profiling_sensitivity(**defaults)
+
+
+class TestSensitivity:
+    def test_zero_regret_at_truth(self):
+        report = sweep(errors=(1e-9,))
+        assert report.max_regret < 1e-3
+
+    def test_regret_nonnegative_everywhere(self):
+        report = sweep()
+        for p in report.points:
+            assert p.regret >= -1e-9  # the true optimum is optimal
+
+    def test_overestimating_gpu_oversizes_its_share(self):
+        report = sweep(errors=(0.3,))
+        gpu_over = next(p for p in report.points if p.gpu_error > 0)
+        assert gpu_over.predicted_fraction > report.optimal_fraction
+
+    def test_underestimating_gpu_undersizes_its_share(self):
+        report = sweep(errors=(-0.3,))
+        gpu_under = next(p for p in report.points if p.gpu_error < 0)
+        assert gpu_under.predicted_fraction < report.optimal_fraction
+
+    def test_prediction_is_robust(self):
+        """The paper's profiling is 'low-cost' because it can afford to be
+        imprecise: 20% throughput error costs well under 20% time."""
+        report = sweep(errors=(-0.2, 0.2))
+        assert report.max_regret < 0.20
+
+    def test_regret_grows_with_error(self):
+        small = sweep(errors=(0.1,)).max_regret
+        large = sweep(errors=(0.3,)).max_regret
+        assert large >= small
+
+    def test_worst_point_is_max_regret(self):
+        report = sweep()
+        assert report.worst().regret == report.max_regret
+
+    def test_format(self):
+        text = format_sensitivity(sweep(errors=(0.2,)))
+        assert "regret" in text and "%" in text
+
+    def test_requires_perturbations(self):
+        with pytest.raises(PartitioningError):
+            sweep(errors=())

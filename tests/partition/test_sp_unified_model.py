@@ -1,0 +1,63 @@
+"""SP-Unified's fused transfer model (first reads + final writes)."""
+
+import pytest
+
+from repro.partition.sp_unified import fused_transfer_model
+
+from tests.conftest import chain_program, make_kernel
+from repro.runtime.graph import KernelInvocation, Program
+
+
+class TestFusedTransferModel:
+    def test_chain_counts_head_input_and_all_outputs(self):
+        # k0: x0->x1, k1: x1->x2, k2: x2->x3 (4-byte elements)
+        program = chain_program(3, n=100)
+        model = fused_transfer_model(program, 100, looped=False)
+        # in: x0 (4 B/idx); out: x1, x2, x3 (12 B/idx)
+        assert model.gpu_share_b == pytest.approx(16.0)
+        assert model.fixed_b == 0
+        assert model.cpu_share_b == 0
+
+    def test_intermediate_arrays_not_counted_as_inputs(self):
+        program = chain_program(2, n=100)
+        model = fused_transfer_model(program, 100, looped=False)
+        # x1 is produced on-device before it is read: not an input
+        assert model.gpu_share_b == pytest.approx(4.0 + 8.0)
+
+    def test_stream_footprint(self):
+        from repro.apps import StreamSeq
+
+        program = StreamSeq().program(1000)
+        model = fused_transfer_model(program, 1000, looped=False)
+        # first read: a (4 B); final writes: a, b, c (12 B)
+        assert model.gpu_share_b == pytest.approx(16.0)
+
+    def test_full_inputs_counted_once(self):
+        k0, specs = make_kernel("k0", reads=("x",), writes=("y",),
+                                full_reads=("t",), n=100)
+        k1, specs = make_kernel("k1", arrays=specs, reads=("y",),
+                                writes=("z",), full_reads=("t",), n=100)
+        program = Program(
+            invocations=[
+                KernelInvocation(invocation_id=0, kernel=k0, n=100),
+                KernelInvocation(invocation_id=1, kernel=k1, n=100),
+            ],
+            arrays=specs,
+        )
+        model = fused_transfer_model(program, 100, looped=False)
+        assert model.fixed_b == 400  # t counted once, not twice
+
+    def test_looped_amortizes_to_zero(self):
+        program = chain_program(3, n=100)
+        model = fused_transfer_model(program, 100, looped=True)
+        assert model.gpu_share_b == 0
+        assert model.fixed_b == 0
+
+    def test_rereads_after_write_not_counted(self):
+        # k0 writes b; k1 reads b: b never crosses the link inbound
+        from repro.apps import StreamSeq
+
+        program = StreamSeq().program(1000)
+        model = fused_transfer_model(program, 1000, looped=False)
+        # b and c are produced before read: only `a` is a true input
+        assert model.gpu_share_b - 12.0 == pytest.approx(4.0)

@@ -1,0 +1,121 @@
+"""Shared static-strategy machinery (_static_common)."""
+
+import pytest
+
+from repro.errors import PartitioningError, StrategyInapplicableError
+from repro.partition._static_common import (
+    cpu_thread_ranges,
+    multi_static_chunks,
+    single_kernel_of,
+    static_chunks,
+    uniform_problem_size,
+)
+from repro.runtime.graph import KernelInvocation
+
+from tests.conftest import chain_program, make_kernel, single_kernel_program
+
+
+def invocation(n=100):
+    kernel, _ = make_kernel(n=n)
+    return KernelInvocation(invocation_id=0, kernel=kernel, n=n)
+
+
+class TestCpuThreadRanges:
+    def test_partitions_span(self):
+        ranges = cpu_thread_ranges(10, 110, 4)
+        assert ranges == [(10, 35), (35, 60), (60, 85), (85, 110)]
+
+    def test_empty_span(self):
+        assert cpu_thread_ranges(50, 50, 4) == []
+
+    def test_more_threads_than_indices(self):
+        ranges = cpu_thread_ranges(0, 3, 8)
+        assert len(ranges) == 3
+        assert all(hi - lo == 1 for lo, hi in ranges)
+
+
+class TestStaticChunks:
+    def test_gpu_plus_m_cpu(self, tiny_platform):
+        chunks = static_chunks(invocation(), 40, platform=tiny_platform, m=4)
+        assert chunks[0] == (0, 40, "gpu0", None)
+        cpu = chunks[1:]
+        assert len(cpu) == 4
+        assert cpu[0][0] == 40 and cpu[-1][1] == 100
+        assert {c[3] for c in cpu} == {"cpu:0", "cpu:1", "cpu:2", "cpu:3"}
+
+    def test_all_cpu(self, tiny_platform):
+        chunks = static_chunks(invocation(), 0, platform=tiny_platform, m=4)
+        assert all(c[2] is None for c in chunks)
+        assert len(chunks) == 4
+
+    def test_all_gpu(self, tiny_platform):
+        chunks = static_chunks(invocation(), 100, platform=tiny_platform, m=4)
+        assert chunks == [(0, 100, "gpu0", None)]
+
+    def test_invalid_share(self, tiny_platform):
+        with pytest.raises(PartitioningError):
+            static_chunks(invocation(), 101, platform=tiny_platform, m=4)
+
+
+class TestMultiStaticChunks:
+    def test_lays_out_accelerators_then_cpu(self):
+        from repro.platform import dual_gpu_platform
+
+        platform = dual_gpu_platform()
+        chunks = multi_static_chunks(
+            invocation(1000), {"gpu0": 500, "gpu1": 300},
+            platform=platform, m=3,
+        )
+        assert chunks[0] == (0, 500, "gpu0", None)
+        assert chunks[1] == (500, 800, "gpu1", None)
+        cpu = chunks[2:]
+        assert cpu[0][0] == 800 and cpu[-1][1] == 1000
+        assert len(cpu) == 3
+
+    def test_zero_share_skipped(self):
+        from repro.platform import dual_gpu_platform
+
+        platform = dual_gpu_platform()
+        chunks = multi_static_chunks(
+            invocation(1000), {"gpu0": 0, "gpu1": 600},
+            platform=platform, m=2,
+        )
+        devices = [c[2] for c in chunks]
+        assert "gpu0" not in devices and "gpu1" in devices
+
+    def test_oversubscription_rejected(self):
+        from repro.platform import dual_gpu_platform
+
+        platform = dual_gpu_platform()
+        with pytest.raises(PartitioningError):
+            multi_static_chunks(
+                invocation(1000), {"gpu0": 800, "gpu1": 300},
+                platform=platform, m=2,
+            )
+
+
+class TestProgramPredicates:
+    def test_single_kernel_of(self):
+        program = single_kernel_program()
+        assert single_kernel_of(program, "X").name == "k"
+        with pytest.raises(StrategyInapplicableError):
+            single_kernel_of(chain_program(2), "X")
+
+    def test_uniform_problem_size(self):
+        assert uniform_problem_size(chain_program(2, n=512), "X") == 512
+
+    def test_nonuniform_rejected(self):
+        from repro.runtime.graph import Program
+
+        k0, specs = make_kernel("k0", reads=("a",), writes=("b",), n=100)
+        k1, specs = make_kernel("k1", arrays=specs, reads=("b",),
+                                writes=("c",), n=100)
+        program = Program(
+            invocations=[
+                KernelInvocation(invocation_id=0, kernel=k0, n=100),
+                KernelInvocation(invocation_id=1, kernel=k1, n=50),
+            ],
+            arrays=specs,
+        )
+        with pytest.raises(StrategyInapplicableError):
+            uniform_problem_size(program, "X")

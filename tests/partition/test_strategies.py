@@ -1,0 +1,213 @@
+"""The five strategies + baselines: plan structure and applicability."""
+
+import pytest
+
+from repro.errors import SchedulingError, StrategyInapplicableError
+from repro.partition import (
+    DPDep,
+    DPPerf,
+    OnlyCPU,
+    OnlyGPU,
+    PlanConfig,
+    SPSingle,
+    SPUnified,
+    SPVaried,
+    get_strategy,
+    list_strategies,
+    run_plan,
+)
+from repro.partition.base import has_inter_kernel_sync
+from repro.runtime.graph import InstanceKind
+
+from tests.conftest import chain_program, single_kernel_program
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(list_strategies()) == {
+            "SP-Single", "SP-Unified", "SP-Varied",
+            "DP-Perf", "DP-Dep", "DP-Guided", "Only-CPU", "Only-GPU",
+        }
+
+    def test_get_by_name(self):
+        assert isinstance(get_strategy("SP-Single"), SPSingle)
+
+    def test_unknown_name(self):
+        from repro.errors import PartitioningError
+
+        with pytest.raises(PartitioningError):
+            get_strategy("SP-Magic")
+
+
+class TestSPSingle:
+    def test_single_gpu_task_m_cpu_tasks(self, tiny_platform):
+        program = single_kernel_program(n=10_000, flops=50.0, mem_bytes=0.0)
+        plan = SPSingle().plan(program, tiny_platform, PlanConfig(cpu_threads=4))
+        computes = [i for i in plan.graph.instances
+                    if i.kind is InstanceKind.COMPUTE]
+        gpu = [i for i in computes if i.pinned_device == "gpu0"]
+        cpu = [i for i in computes if i.pinned_resource]
+        assert len(gpu) == 1
+        assert len(cpu) == 4
+        assert {i.pinned_resource for i in cpu} == {
+            "cpu:0", "cpu:1", "cpu:2", "cpu:3"
+        }
+
+    def test_split_covers_whole_problem(self, tiny_platform):
+        program = single_kernel_program(n=10_000, flops=50.0, mem_bytes=0.0)
+        plan = SPSingle().plan(program, tiny_platform, PlanConfig())
+        computes = [i for i in plan.graph.instances
+                    if i.kind is InstanceKind.COMPUTE]
+        assert sum(i.size for i in computes) == 10_000
+
+    def test_rejects_multi_kernel(self, tiny_platform):
+        with pytest.raises(StrategyInapplicableError):
+            SPSingle().plan(chain_program(2), tiny_platform, PlanConfig())
+
+    def test_loop_reuses_one_partitioning(self, tiny_platform):
+        program = single_kernel_program(
+            n=10_000, iterations=3, flops=50.0, mem_bytes=0.0
+        )
+        plan = SPSingle().plan(program, tiny_platform, PlanConfig())
+        splits = set()
+        for inst in plan.graph.instances:
+            if inst.kind is InstanceKind.COMPUTE and inst.pinned_device:
+                splits.add((inst.lo, inst.hi))
+        assert len(splits) == 1  # same GPU range every iteration
+
+    def test_decision_reported(self, tiny_platform):
+        program = single_kernel_program(n=10_000, flops=50.0, mem_bytes=0.0)
+        plan = SPSingle().plan(program, tiny_platform, PlanConfig())
+        assert plan.decision.strategy == "SP-Single"
+        assert "k" in plan.decision.gpu_fraction_by_kernel
+        assert "relative_capability" in plan.decision.notes
+
+
+class TestSPUnified:
+    def test_same_split_for_all_kernels(self, tiny_platform):
+        program = chain_program(3, n=10_000)
+        plan = SPUnified().plan(program, tiny_platform, PlanConfig())
+        fractions = set(plan.decision.gpu_fraction_by_kernel.values())
+        assert len(fractions) == 1
+
+    def test_preserves_program_sync(self, tiny_platform):
+        synced = chain_program(3, n=10_000, sync=True)
+        plan = SPUnified().plan(synced, tiny_platform, PlanConfig())
+        barriers = [i for i in plan.graph.instances if i.is_barrier]
+        assert len(barriers) == 3
+
+    def test_rejects_single_kernel(self, tiny_platform):
+        with pytest.raises(StrategyInapplicableError):
+            SPUnified().plan(
+                single_kernel_program(n=100), tiny_platform, PlanConfig()
+            )
+
+    def test_single_boundary_transfers_when_unsynced(self, tiny_platform):
+        # data stays on the device between kernels: H2D for the chain head
+        # only, D2H at the end
+        program = chain_program(3, n=100_000)
+        plan = SPUnified().plan(program, tiny_platform, PlanConfig(cpu_threads=4))
+        result = run_plan(plan, tiny_platform)
+        h2d = [t for t in result.trace.by_category("transfer")
+               if t.meta["direction"] == "h2d"]
+        arrays_moved_in = {t.meta["array"] for t in h2d}
+        assert arrays_moved_in == {"x0"}  # only the first kernel's input
+
+
+class TestSPVaried:
+    def test_forces_sync_between_kernels(self, tiny_platform):
+        program = chain_program(3, n=10_000)  # no sync declared
+        assert not has_inter_kernel_sync(program)
+        plan = SPVaried().plan(program, tiny_platform, PlanConfig())
+        barriers = [i for i in plan.graph.instances if i.is_barrier]
+        assert len(barriers) == 3
+
+    def test_per_kernel_splits_may_differ(self, tiny_platform):
+        # kernels with very different intensity get different splits
+        from repro.runtime.graph import KernelInvocation, Program
+        from tests.conftest import make_kernel
+
+        k0, specs = make_kernel("k0", reads=("a",), writes=("b",),
+                                flops=500.0, mem_bytes=0.0, n=10_000)
+        k1, specs = make_kernel("k1", arrays=specs, reads=("b",), writes=("c",),
+                                flops=0.1, mem_bytes=8.0, n=10_000)
+        program = Program(
+            invocations=[
+                KernelInvocation(invocation_id=0, kernel=k0, n=10_000),
+                KernelInvocation(invocation_id=1, kernel=k1, n=10_000),
+            ],
+            arrays=specs,
+        )
+        plan = SPVaried().plan(program, tiny_platform, PlanConfig())
+        fracs = plan.decision.gpu_fraction_by_kernel
+        assert fracs["k0"] > fracs["k1"]
+
+    def test_rejects_single_kernel(self, tiny_platform):
+        with pytest.raises(StrategyInapplicableError):
+            SPVaried().plan(
+                single_kernel_program(n=100), tiny_platform, PlanConfig()
+            )
+
+
+class TestDynamicStrategies:
+    @pytest.mark.parametrize("cls", [DPDep, DPPerf])
+    def test_m_unpinned_instances_per_invocation(self, tiny_platform, cls):
+        program = chain_program(2, n=10_000)
+        plan = cls().plan(program, tiny_platform, PlanConfig(cpu_threads=4))
+        computes = [i for i in plan.graph.instances
+                    if i.kind is InstanceKind.COMPUTE]
+        assert len(computes) == 8  # 2 kernels x 4 chunks
+        assert all(i.pinned_device is None and i.pinned_resource is None
+                   for i in computes)
+
+    @pytest.mark.parametrize("cls", [DPDep, DPPerf])
+    def test_task_count_override(self, tiny_platform, cls):
+        program = single_kernel_program(n=10_000)
+        plan = cls().plan(
+            program, tiny_platform, PlanConfig(cpu_threads=4, task_count=16)
+        )
+        computes = [i for i in plan.graph.instances
+                    if i.kind is InstanceKind.COMPUTE]
+        assert len(computes) == 16
+
+    def test_dp_perf_carries_profile(self, tiny_platform):
+        program = single_kernel_program(n=10_000)
+        plan = DPPerf().plan(program, tiny_platform, PlanConfig())
+        assert plan.decision.notes["profile"].get("k", "gpu0") is not None
+
+    @pytest.mark.parametrize("cls", [DPDep, DPPerf])
+    def test_applicable_to_any_class(self, tiny_platform, cls):
+        for program in (single_kernel_program(n=1000), chain_program(3)):
+            plan = cls().plan(program, tiny_platform, PlanConfig())
+            assert plan.graph.instances
+
+
+class TestBaselines:
+    def test_only_cpu_uses_no_gpu(self, tiny_platform):
+        program = chain_program(2, n=10_000)
+        result = OnlyCPU().run(program, tiny_platform)
+        assert result.gpu_fraction == 0.0
+        assert result.transfer_bytes == {"h2d": 0, "d2h": 0}
+
+    def test_only_gpu_uses_no_cpu(self, tiny_platform):
+        program = chain_program(2, n=10_000)
+        result = OnlyGPU().run(program, tiny_platform)
+        assert result.gpu_fraction == 1.0
+
+    def test_only_gpu_zeroes_runtime_overheads(self, tiny_platform):
+        program = single_kernel_program(n=10_000)
+        plan = OnlyGPU().plan(program, tiny_platform, PlanConfig())
+        assert plan.runtime_overrides["barrier_overhead_s"] == 0.0
+        assert plan.runtime_overrides["task_creation_overhead_s"] == 0.0
+
+    def test_only_gpu_honours_program_sync(self, tiny_platform):
+        program = single_kernel_program(n=10_000, iterations=2, sync=True)
+        plan = OnlyGPU().plan(program, tiny_platform, PlanConfig())
+        assert sum(1 for i in plan.graph.instances if i.is_barrier) == 2
+
+    def test_only_cpu_round_robin_pinning(self, tiny_platform):
+        program = single_kernel_program(n=10_000)
+        plan = OnlyCPU().plan(program, tiny_platform, PlanConfig(cpu_threads=4))
+        pins = [i.pinned_resource for i in plan.graph.instances
+                if i.kind is InstanceKind.COMPUTE]
+        assert pins == ["cpu:0", "cpu:1", "cpu:2", "cpu:3"]

@@ -1,0 +1,127 @@
+"""Plan validation."""
+
+import pytest
+
+from repro.apps import all_applications, get_application
+from repro.errors import PartitioningError
+from repro.partition import (
+    PlanConfig,
+    get_strategy,
+    list_strategies,
+    validate_plan,
+)
+from repro.runtime.graph import InstanceKind, TaskInstance
+
+from tests.conftest import chain_program, single_kernel_program
+
+
+def plan_of(strategy, program, platform, **kwargs):
+    return get_strategy(strategy).plan(program, platform,
+                                       PlanConfig(**kwargs))
+
+
+class TestValidPlans:
+    @pytest.mark.parametrize("strategy", sorted(list_strategies()))
+    def test_every_strategy_produces_valid_plans(self, tiny_platform,
+                                                 strategy):
+        program = (
+            single_kernel_program(n=10_000)
+            if strategy == "SP-Single"
+            else chain_program(3, n=10_000)
+        )
+        plan = plan_of(strategy, program, tiny_platform)
+        result = validate_plan(plan, tiny_platform)
+        assert result.ok, result.problems
+
+    def test_every_application_best_plan_valid(self, paper_platform):
+        from repro.core.matchmaker import match
+
+        for app in all_applications():
+            n = 4 if app.name == "Cholesky" else None
+            outcome = match(app, paper_platform, n=n, execute=False)
+            result = validate_plan(outcome.plan, paper_platform)
+            assert result.ok, (app.name, result.problems)
+
+    def test_multi_gpu_plan_valid(self):
+        from repro.platform import dual_gpu_platform
+
+        platform = dual_gpu_platform()
+        program = get_application("MatrixMul").program(2048)
+        plan = plan_of("SP-Single", program, platform)
+        assert validate_plan(plan, platform).ok
+
+
+class TestInvalidPlans:
+    def test_gap_detected(self, tiny_platform):
+        plan = plan_of("DP-Dep", single_kernel_program(n=100), tiny_platform)
+        doomed = [
+            i for i in plan.graph.instances
+            if i.kind is InstanceKind.COMPUTE
+        ][1]
+        doomed.lo += 5
+        result = validate_plan(plan, tiny_platform)
+        assert not result.ok
+        assert any("gap" in p for p in result.problems)
+
+    def test_overlap_detected(self, tiny_platform):
+        plan = plan_of("DP-Dep", single_kernel_program(n=100), tiny_platform)
+        inst = [
+            i for i in plan.graph.instances
+            if i.kind is InstanceKind.COMPUTE
+        ][0]
+        inst.hi += 3
+        result = validate_plan(plan, tiny_platform)
+        assert any("overlap" in p for p in result.problems)
+
+    def test_unknown_resource_detected(self, tiny_platform):
+        plan = plan_of("SP-Single", single_kernel_program(n=10_000),
+                       tiny_platform)
+        pinned = next(
+            i for i in plan.graph.instances if i.pinned_resource
+        )
+        pinned.pinned_resource = "cpu:99"
+        result = validate_plan(plan, tiny_platform)
+        assert any("unknown resource" in p for p in result.problems)
+
+    def test_unknown_device_detected(self, tiny_platform):
+        plan = plan_of("SP-Single", single_kernel_program(n=10_000),
+                       tiny_platform)
+        pinned = next(i for i in plan.graph.instances if i.pinned_device)
+        pinned.pinned_device = "gpu7"
+        result = validate_plan(plan, tiny_platform)
+        assert any("unknown device" in p for p in result.problems)
+
+    def test_unpinned_static_detected(self, tiny_platform):
+        plan = plan_of("SP-Single", single_kernel_program(n=10_000),
+                       tiny_platform)
+        pinned = next(i for i in plan.graph.instances if i.pinned_resource)
+        pinned.pinned_resource = None
+        result = validate_plan(plan, tiny_platform)
+        assert any("unpinned" in p for p in result.problems)
+
+    def test_missing_barrier_detected(self, tiny_platform):
+        plan = plan_of(
+            "DP-Dep", single_kernel_program(n=100, iterations=2, sync=True),
+            tiny_platform,
+        )
+        plan.graph.instances = [
+            i for i in plan.graph.instances if not i.is_barrier
+        ]
+        result = validate_plan(plan, tiny_platform)
+        assert any("taskwait" in p for p in result.problems)
+
+    def test_raise_if_invalid(self, tiny_platform):
+        plan = plan_of("DP-Dep", single_kernel_program(n=100), tiny_platform)
+        plan.graph.instances[0].hi += 1
+        with pytest.raises(PartitioningError):
+            validate_plan(plan, tiny_platform).raise_if_invalid()
+
+    def test_cycle_detected(self, tiny_platform):
+        plan = plan_of("DP-Dep", chain_program(2, n=100), tiny_platform)
+        a, b = plan.graph.instances[0], plan.graph.instances[1]
+        a.deps.add(b.instance_id)
+        b.succs.add(a.instance_id)
+        b.deps.add(a.instance_id)
+        a.succs.add(b.instance_id)
+        result = validate_plan(plan, tiny_platform)
+        assert any("cycle" in p for p in result.problems)

@@ -1,0 +1,141 @@
+"""Device specs and the roofline cost model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.device import (
+    Device,
+    DeviceKind,
+    DeviceSpec,
+    RooflineCostModel,
+)
+
+
+def spec(**overrides) -> DeviceSpec:
+    base = dict(
+        name="dev", kind=DeviceKind.CPU, cores=4, frequency_ghz=2.0,
+        peak_gflops_sp=100.0, peak_gflops_dp=50.0,
+        mem_bandwidth_gbs=40.0, mem_capacity_gb=8.0,
+        launch_overhead_s=0.0,
+    )
+    base.update(overrides)
+    return DeviceSpec(**base)
+
+
+class TestDeviceSpec:
+    def test_unit_conversions(self):
+        s = spec()
+        assert s.peak_flops_sp == 100e9
+        assert s.peak_flops_dp == 50e9
+        assert s.mem_bandwidth == 40e9
+        assert s.mem_capacity_bytes == 8e9
+
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(ConfigurationError):
+            spec(cores=0)
+
+    def test_rejects_nonpositive_rates(self):
+        for attr in ("peak_gflops_sp", "peak_gflops_dp",
+                     "mem_bandwidth_gbs", "mem_capacity_gb"):
+            with pytest.raises(ConfigurationError):
+                spec(**{attr: 0.0})
+
+    def test_rejects_negative_launch_overhead(self):
+        with pytest.raises(ConfigurationError):
+            spec(launch_overhead_s=-1e-6)
+
+
+class TestRooflineCostModel:
+    def test_compute_bound(self):
+        model = RooflineCostModel()
+        # 100 GFLOP at 100 GFLOPS -> 1 s; memory side is negligible
+        t = model.compute_time(spec(), flops=100e9, mem_bytes=1.0)
+        assert t == pytest.approx(1.0)
+
+    def test_memory_bound(self):
+        model = RooflineCostModel()
+        # 40 GB at 40 GB/s -> 1 s; compute side negligible
+        t = model.compute_time(spec(), flops=1.0, mem_bytes=40e9)
+        assert t == pytest.approx(1.0)
+
+    def test_takes_the_max_of_both_roofs(self):
+        model = RooflineCostModel()
+        t = model.compute_time(spec(), flops=50e9, mem_bytes=40e9)
+        assert t == pytest.approx(1.0)  # memory roof dominates 0.5 s compute
+
+    def test_efficiency_scales_time(self):
+        model = RooflineCostModel()
+        t_full = model.compute_time(spec(), flops=100e9, mem_bytes=0.0)
+        t_half = model.compute_time(
+            spec(), flops=100e9, mem_bytes=0.0, compute_eff=0.5
+        )
+        assert t_half == pytest.approx(2 * t_full)
+
+    def test_double_precision_uses_dp_peak(self):
+        model = RooflineCostModel()
+        t_sp = model.compute_time(spec(), flops=50e9, mem_bytes=0.0)
+        t_dp = model.compute_time(
+            spec(), flops=50e9, mem_bytes=0.0, double_precision=True
+        )
+        assert t_dp == pytest.approx(2 * t_sp)
+
+    def test_launch_overhead_added_once(self):
+        model = RooflineCostModel()
+        t = model.compute_time(
+            spec(launch_overhead_s=1e-3), flops=100e9, mem_bytes=0.0
+        )
+        assert t == pytest.approx(1.0 + 1e-3)
+
+    def test_launch_overhead_can_be_excluded_at_model_level(self):
+        model = RooflineCostModel(include_launch_overhead=False)
+        t = model.compute_time(
+            spec(launch_overhead_s=1e-3), flops=100e9, mem_bytes=0.0
+        )
+        assert t == pytest.approx(1.0)
+
+    def test_rejects_negative_work(self):
+        model = RooflineCostModel()
+        with pytest.raises(ConfigurationError):
+            model.compute_time(spec(), flops=-1.0, mem_bytes=0.0)
+
+    def test_rejects_bad_efficiency(self):
+        model = RooflineCostModel()
+        for eff in (0.0, 1.5, -0.1):
+            with pytest.raises(ConfigurationError):
+                model.compute_time(
+                    spec(), flops=1.0, mem_bytes=0.0, compute_eff=eff
+                )
+
+    def test_zero_work_costs_only_launch(self):
+        model = RooflineCostModel()
+        t = model.compute_time(
+            spec(launch_overhead_s=5e-6), flops=0.0, mem_bytes=0.0
+        )
+        assert t == pytest.approx(5e-6)
+
+
+class TestDevice:
+    def test_kernel_time_exclude_launch(self):
+        dev = Device("d0", spec(launch_overhead_s=1e-3))
+        with_launch = dev.kernel_time(flops=100e9, mem_bytes=0.0)
+        without = dev.kernel_time(
+            flops=100e9, mem_bytes=0.0, include_launch=False
+        )
+        assert with_launch - without == pytest.approx(1e-3)
+
+    def test_throughput_inverse_of_per_element_time(self):
+        dev = Device("d0", spec())
+        # 2 flops/elem at 100 GFLOPS -> 50e9 elems/s
+        thr = dev.throughput(flops_per_elem=2.0, bytes_per_elem=0.0)
+        assert thr == pytest.approx(50e9)
+
+    def test_throughput_memory_limited(self):
+        dev = Device("d0", spec())
+        # 8 B/elem at 40 GB/s -> 5e9 elems/s
+        thr = dev.throughput(flops_per_elem=0.0, bytes_per_elem=8.0)
+        assert thr == pytest.approx(5e9)
+
+    def test_throughput_rejects_zero_work(self):
+        dev = Device("d0", spec())
+        with pytest.raises(ConfigurationError):
+            dev.throughput(flops_per_elem=0.0, bytes_per_elem=0.0)

@@ -1,0 +1,44 @@
+"""PCIe link model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.interconnect import Link, TransferDirection
+
+
+class TestLink:
+    def test_transfer_time_bandwidth(self):
+        link = Link(name="l", bandwidth_gbs=10.0, latency_s=0.0)
+        assert link.transfer_time(10e9) == pytest.approx(1.0)
+
+    def test_latency_charged_per_message(self):
+        link = Link(name="l", bandwidth_gbs=10.0, latency_s=1e-5)
+        one_big = link.transfer_time(10e9)
+        many = sum(link.transfer_time(1e9) for _ in range(10))
+        assert many == pytest.approx(one_big + 9e-5)
+
+    def test_zero_bytes_is_free(self):
+        link = Link(name="l", bandwidth_gbs=10.0, latency_s=1e-5)
+        assert link.transfer_time(0) == 0.0
+
+    def test_bandwidth_property_in_bytes(self):
+        assert Link(name="l", bandwidth_gbs=6.0).bandwidth == 6e9
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            Link(name="l", bandwidth_gbs=0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigurationError):
+            Link(name="l", bandwidth_gbs=1.0, latency_s=-1.0)
+
+    def test_rejects_negative_size(self):
+        link = Link(name="l", bandwidth_gbs=1.0)
+        with pytest.raises(ConfigurationError):
+            link.transfer_time(-1)
+
+
+class TestTransferDirection:
+    def test_short_labels(self):
+        assert TransferDirection.HOST_TO_DEVICE.short == "h2d"
+        assert TransferDirection.DEVICE_TO_HOST.short == "d2h"

@@ -1,0 +1,61 @@
+"""Xeon Phi preset: the analyzer is accelerator-agnostic (§I/§VII)."""
+
+import pytest
+
+from repro.apps import get_application, paper_applications
+from repro.core.analyzer import analyze
+from repro.core.matchmaker import match
+from repro.partition import get_strategy
+from repro.platform import phi_platform, shen_icpp15_platform
+from repro.platform.device import DeviceKind
+
+
+class TestPhiPreset:
+    def test_kind_is_accelerator_not_gpu(self):
+        platform = phi_platform()
+        assert platform.accelerators[0].kind is DeviceKind.ACCELERATOR
+
+    def test_resource_view(self):
+        platform = phi_platform()
+        resources = platform.compute_resources()
+        assert len(resources) == 13  # 12 SMP threads + the Phi
+        assert resources[-1].resource_id == "phi0"
+
+    def test_memory_spaces(self):
+        assert phi_platform().memory_spaces() == ["host", "phi0"]
+
+
+class TestAnalyzerOnPhi:
+    def test_classification_is_platform_independent(self):
+        # the class depends on kernel structure only
+        for app in paper_applications():
+            n = max(256, app.paper_n // 512)
+            assert analyze(app, n=n).app_class.value == app.paper_class
+
+    def test_matchmaking_runs_end_to_end(self):
+        platform = phi_platform()
+        outcome = match(get_application("MatrixMul"), platform, n=2048)
+        assert outcome.strategy == "SP-Single"
+        assert outcome.result.makespan_s > 0
+        # the Phi receives a share: ratios count any accelerator
+        assert outcome.result.accelerator_fraction > 0
+
+    def test_every_strategy_executes_on_phi(self):
+        platform = phi_platform()
+        program = get_application("STREAM-Seq").program(1 << 20)
+        for name in ("Only-GPU", "Only-CPU", "SP-Unified", "SP-Varied",
+                     "DP-Perf", "DP-Dep"):
+            result = get_strategy(name).run(program, platform)
+            assert result.makespan_s > 0
+
+    def test_decision_step_collapses_to_phi_only(self):
+        # at default accelerator efficiency the Phi is so far ahead of the
+        # sequential CPU code that Glinda's decision step picks Only-GPU
+        # (the Phi); the plan then matches the baseline up to OmpSs
+        # task-management costs
+        platform = phi_platform()
+        program = get_application("MatrixMul").program()
+        sp = get_strategy("SP-Single").run(program, platform)
+        acc_only = get_strategy("Only-GPU").run(program, platform)
+        assert sp.accelerator_fraction == 1.0
+        assert sp.makespan_s <= acc_only.makespan_s * 1.02

@@ -1,0 +1,60 @@
+"""Platform presets — Table III fidelity."""
+
+import pytest
+
+from repro.platform.device import DeviceKind
+from repro.platform.presets import (
+    balanced_platform,
+    fusion_platform,
+    shen_icpp15_platform,
+)
+
+
+class TestShenPlatform:
+    """The preset must match the paper's Table III verbatim."""
+
+    def test_cpu_table3(self):
+        cpu = shen_icpp15_platform().host.spec
+        assert cpu.name == "Intel Xeon E5-2620"
+        assert cpu.cores == 12  # 6 physical, HT enabled
+        assert cpu.frequency_ghz == 2.0
+        assert cpu.peak_gflops_sp == 384.0
+        assert cpu.peak_gflops_dp == 192.0
+        assert cpu.mem_bandwidth_gbs == 42.6
+        assert cpu.mem_capacity_gb == 64.0
+
+    def test_gpu_table3(self):
+        gpu = shen_icpp15_platform().gpu.spec
+        assert gpu.name == "Nvidia Tesla K20m"
+        assert gpu.kind is DeviceKind.GPU
+        assert gpu.cores == 2496
+        assert gpu.frequency_ghz == 0.705
+        assert gpu.peak_gflops_sp == 3519.3
+        assert gpu.peak_gflops_dp == 1173.1
+        assert gpu.mem_bandwidth_gbs == 208.0
+        assert gpu.mem_capacity_gb == 5.0
+
+    def test_pcie2_effective_bandwidth(self):
+        link = shen_icpp15_platform().link_for("gpu0")
+        assert link.bandwidth_gbs == pytest.approx(6.0)
+
+    def test_resource_view(self):
+        resources = shen_icpp15_platform().compute_resources()
+        assert len(resources) == 13  # 12 SMP threads + 1 GPU
+
+
+@pytest.mark.parametrize("factory", [balanced_platform, fusion_platform])
+def test_other_presets_are_valid_platforms(factory):
+    p = factory()
+    assert p.host.kind is DeviceKind.CPU
+    assert len(p.accelerators) == 1
+    assert p.link_for(p.gpu.device_id).bandwidth_gbs > 0
+
+
+def test_fusion_platform_has_fast_link():
+    fusion = fusion_platform()
+    shen = shen_icpp15_platform()
+    assert (
+        fusion.link_for("gpu0").bandwidth_gbs
+        > 5 * shen.link_for("gpu0").bandwidth_gbs
+    )

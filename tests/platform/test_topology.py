@@ -1,0 +1,136 @@
+"""Platform topology and the compute-resource view."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.device import Device, DeviceKind, DeviceSpec
+from repro.platform.interconnect import Link
+from repro.platform.topology import HOST_SPACE, Platform
+
+
+def cpu_spec(cores=4) -> DeviceSpec:
+    return DeviceSpec(
+        name="c", kind=DeviceKind.CPU, cores=cores, frequency_ghz=2.0,
+        peak_gflops_sp=100.0, peak_gflops_dp=50.0,
+        mem_bandwidth_gbs=40.0, mem_capacity_gb=8.0,
+    )
+
+
+def gpu_spec() -> DeviceSpec:
+    return DeviceSpec(
+        name="g", kind=DeviceKind.GPU, cores=512, frequency_ghz=1.0,
+        peak_gflops_sp=1000.0, peak_gflops_dp=500.0,
+        mem_bandwidth_gbs=200.0, mem_capacity_gb=4.0,
+    )
+
+
+def make_platform(accelerators=1) -> Platform:
+    accs = [Device(f"gpu{i}", gpu_spec()) for i in range(accelerators)]
+    return Platform(
+        host=Device("cpu", cpu_spec()),
+        accelerators=accs,
+        links={a.device_id: Link(name="l", bandwidth_gbs=10.0) for a in accs},
+    )
+
+
+class TestPlatformValidation:
+    def test_host_must_be_cpu(self):
+        with pytest.raises(PlatformError):
+            Platform(host=Device("x", gpu_spec()))
+
+    def test_accelerator_must_not_be_cpu(self):
+        with pytest.raises(PlatformError):
+            Platform(
+                host=Device("cpu", cpu_spec()),
+                accelerators=[Device("cpu2", cpu_spec())],
+                links={"cpu2": Link(name="l", bandwidth_gbs=1.0)},
+            )
+
+    def test_accelerator_needs_link(self):
+        with pytest.raises(PlatformError):
+            Platform(
+                host=Device("cpu", cpu_spec()),
+                accelerators=[Device("gpu0", gpu_spec())],
+                links={},
+            )
+
+    def test_duplicate_device_ids_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform(
+                host=Device("cpu", cpu_spec()),
+                accelerators=[
+                    Device("gpu0", gpu_spec()), Device("gpu0", gpu_spec())
+                ],
+                links={"gpu0": Link(name="l", bandwidth_gbs=1.0)},
+            )
+
+    def test_link_to_unknown_device_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform(
+                host=Device("cpu", cpu_spec()),
+                accelerators=[Device("gpu0", gpu_spec())],
+                links={
+                    "gpu0": Link(name="l", bandwidth_gbs=1.0),
+                    "nope": Link(name="l2", bandwidth_gbs=1.0),
+                },
+            )
+
+
+class TestPlatformQueries:
+    def test_devices_host_first(self):
+        p = make_platform()
+        assert [d.device_id for d in p.devices] == ["cpu", "gpu0"]
+
+    def test_device_lookup(self):
+        p = make_platform()
+        assert p.device("gpu0").kind is DeviceKind.GPU
+        with pytest.raises(PlatformError):
+            p.device("missing")
+
+    def test_gpu_shortcut_single_accelerator_only(self):
+        assert make_platform(1).gpu.device_id == "gpu0"
+        with pytest.raises(PlatformError):
+            make_platform(2).gpu
+
+    def test_link_for(self):
+        p = make_platform()
+        assert p.link_for("gpu0").bandwidth_gbs == 10.0
+        with pytest.raises(PlatformError):
+            p.link_for("cpu")
+
+    def test_memory_spaces(self):
+        assert make_platform(2).memory_spaces() == [HOST_SPACE, "gpu0", "gpu1"]
+
+    def test_describe_mentions_devices(self):
+        text = make_platform().describe()
+        assert "cpu" in text and "gpu0" in text and "GB/s" in text
+
+
+class TestComputeResources:
+    def test_default_thread_count_is_core_count(self):
+        p = make_platform()
+        resources = p.compute_resources()
+        cpu_res = [r for r in resources if not r.is_accelerator]
+        assert len(cpu_res) == 4
+        assert all(r.share == pytest.approx(0.25) for r in cpu_res)
+
+    def test_explicit_thread_count(self):
+        p = make_platform()
+        resources = p.compute_resources(cpu_threads=8)
+        cpu_res = [r for r in resources if not r.is_accelerator]
+        assert len(cpu_res) == 8
+        assert all(r.share == pytest.approx(1 / 8) for r in cpu_res)
+
+    def test_accelerator_is_one_whole_resource(self):
+        p = make_platform(2)
+        accs = [r for r in p.compute_resources() if r.is_accelerator]
+        assert [r.resource_id for r in accs] == ["gpu0", "gpu1"]
+        assert all(r.share == 1.0 for r in accs)
+
+    def test_resource_ids_unique(self):
+        ids = [r.resource_id for r in make_platform(2).compute_resources()]
+        assert len(ids) == len(set(ids))
+
+    def test_rejects_nonpositive_threads(self):
+        with pytest.raises(PlatformError):
+            make_platform().compute_resources(cpu_threads=0)

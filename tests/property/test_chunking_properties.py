@@ -1,0 +1,52 @@
+"""Property-based tests of chunking and split helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.graph import chunk_ranges, split_sizes
+from repro.units import round_up
+
+
+@given(st.integers(1, 100_000), st.integers(1, 64))
+def test_chunk_ranges_partition_exactly(n, k):
+    ranges = chunk_ranges(n, k)
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == n
+    for (a, b), (c, d) in zip(ranges, ranges[1:]):
+        assert b == c
+    assert sum(hi - lo for lo, hi in ranges) == n
+
+
+@given(st.integers(1, 100_000), st.integers(1, 64))
+def test_chunk_ranges_balanced(n, k):
+    sizes = [hi - lo for lo, hi in chunk_ranges(n, k)]
+    assert max(sizes) - min(sizes) <= 1
+    assert all(s >= 1 for s in sizes)
+
+
+@given(st.integers(1, 10_000), st.lists(st.integers(0, 500), min_size=1,
+                                        max_size=10))
+def test_split_sizes_partition(n, sizes):
+    total = sum(sizes)
+    if total == 0:
+        sizes = [n]
+    else:
+        # rescale the last entry so the sizes sum to n
+        sizes = list(sizes)
+        diff = n - total
+        if diff >= -sizes[-1]:
+            sizes[-1] += diff
+        else:
+            sizes = [n]
+    ranges = split_sizes(n, sizes)
+    assert sum(hi - lo for lo, hi in ranges) == n
+    for (a, b), (c, d) in zip(ranges, ranges[1:]):
+        assert b == c
+
+
+@given(st.integers(0, 1_000_000), st.integers(1, 4096))
+def test_round_up_properties(value, multiple):
+    result = round_up(value, multiple)
+    assert result % multiple == 0
+    assert result >= max(value, 0)
+    assert result - max(value, 0) < multiple

@@ -1,0 +1,137 @@
+"""Differential testing over randomly generated programs.
+
+For hundreds of random program shapes — kernel counts, loops, halos, FULL
+reads, INOUT updates, sync markers — the runtime must uphold its contracts:
+acyclic dependences, chunking-invariant numerics, work conservation, and
+stable classification.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import classify_program
+from repro.runtime.dependence import build_dependences
+from repro.runtime.executor import RuntimeConfig, RuntimeEngine
+from repro.runtime.functional import (
+    assert_equivalent,
+    run_chunked,
+    run_sequential,
+)
+from repro.runtime.generate import GeneratorConfig, random_arrays, random_program
+from repro.runtime.graph import chunk_ranges, expand_program
+from repro.runtime.schedulers.breadth_first import BreadthFirstScheduler
+from repro.runtime.schedulers.perf_aware import PerfAwareScheduler
+
+from tests.conftest import tiny_platform
+
+PLATFORM = tiny_platform.__wrapped__()
+EXACT = RuntimeConfig(
+    task_creation_overhead_s=0.0,
+    dynamic_decision_overhead_s=0.0,
+    barrier_overhead_s=0.0,
+)
+
+SEEDS = list(range(40))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_generated_program_contracts(seed):
+    rng = np.random.default_rng(seed)
+    program = random_program(rng, GeneratorConfig(n=128))
+    chunks = int(rng.integers(1, 9))
+
+    # 1. dependences are acyclic and the graph is orderable
+    graph = expand_program(
+        program,
+        lambda inv: [
+            (lo, hi, None, None) for lo, hi in chunk_ranges(inv.n, chunks)
+        ],
+    )
+    build_dependences(graph)
+    graph.validate_acyclic()
+
+    # 2. chunked numerics equal sequential numerics
+    arrays = random_arrays(program, rng)
+    sequential = run_sequential(program, arrays)
+    chunked = run_chunked(program, arrays, n_chunks=chunks)
+    assert_equivalent(sequential, chunked, rtol=1e-9, atol=1e-9)
+
+    # 3. the simulated executor conserves work and terminates
+    scheduler = (
+        BreadthFirstScheduler() if seed % 2 else PerfAwareScheduler()
+    )
+    result = RuntimeEngine(PLATFORM, config=EXACT).execute(graph, scheduler)
+    per_invocation = {}
+    for rec in result.trace.by_category("compute"):
+        inv = rec.meta["invocation"]
+        per_invocation[inv] = per_invocation.get(inv, 0) + rec.meta["size"]
+    for inv in program.invocations:
+        assert per_invocation[inv.invocation_id] == inv.n
+
+    # 4. classification is deterministic
+    assert classify_program(program) is classify_program(program)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:10])
+def test_generated_program_two_chunkings_agree(seed):
+    """Any two chunkings agree with each other, not just with sequential."""
+    rng = np.random.default_rng(1000 + seed)
+    program = random_program(rng, GeneratorConfig(n=96))
+    arrays = random_arrays(program, rng)
+    a = run_chunked(program, arrays, n_chunks=3)
+    b = run_chunked(program, arrays, n_chunks=8)
+    assert_equivalent(a, b, rtol=1e-9, atol=1e-9)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:10])
+def test_generated_program_strategies_run(seed):
+    """Every applicable registered strategy executes generated programs."""
+    from repro.core.analyzer import analyze_program
+    from repro.partition import get_strategy
+
+    rng = np.random.default_rng(2000 + seed)
+    program = random_program(rng, GeneratorConfig(n=256))
+    report = analyze_program(program)
+    for name in report.ranked_strategies:
+        result = get_strategy(name).run(program, PLATFORM)
+        assert result.makespan_s > 0
+        total = sum(result.elements_by_device.values())
+        assert total == program.total_indices()
+
+
+@pytest.mark.parametrize("seed", SEEDS[:15])
+def test_generated_plans_validate(seed):
+    """Every strategy's plan passes structural validation on any program."""
+    from repro.core.analyzer import analyze_program
+    from repro.partition import get_strategy, validate_plan
+
+    rng = np.random.default_rng(3000 + seed)
+    program = random_program(rng, GeneratorConfig(n=512))
+    report = analyze_program(program)
+    for name in (*report.ranked_strategies, "Only-CPU", "Only-GPU"):
+        plan = get_strategy(name).plan(program, PLATFORM)
+        check = validate_plan(plan, PLATFORM)
+        assert check.ok, (name, check.problems)
+
+
+@pytest.mark.parametrize("seed", SEEDS[:10])
+def test_generated_makespan_respects_critical_path(seed):
+    """No schedule beats the dependence lower bound."""
+    from repro.runtime.critical_path import bound_report
+
+    rng = np.random.default_rng(4000 + seed)
+    program = random_program(rng, GeneratorConfig(n=512))
+    chunks = int(rng.integers(1, 9))
+    graph = expand_program(
+        program,
+        lambda inv: [
+            (lo, hi, None, None) for lo, hi in chunk_ranges(inv.n, chunks)
+        ],
+    )
+    build_dependences(graph)
+    result = RuntimeEngine(PLATFORM, config=EXACT).execute(
+        graph, PerfAwareScheduler()
+    )
+    report = bound_report(graph, PLATFORM, result.makespan_s)
+    assert report.makespan_s >= report.lower_bound_s * 0.999
+    assert report.efficiency <= 1.001

@@ -1,0 +1,83 @@
+"""Property-based tests of the Glinda partitioning model."""
+
+import pytest
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.partition.glinda import GlindaModel, HardwareConfig, TransferModel
+from repro.platform.interconnect import Link
+
+LINK = Link(name="l", bandwidth_gbs=10.0, latency_s=0.0)
+
+throughputs = st.floats(1e3, 1e12, allow_nan=False, allow_infinity=False)
+sizes = st.integers(64, 10_000_000)
+per_index_bytes = st.floats(0.0, 1e4, allow_nan=False)
+
+MODEL = GlindaModel(warp_size=32)
+
+
+def predict(theta_g, theta_c, n, transfer=TransferModel()):
+    return MODEL.predict(
+        kernel="k", n=n, theta_gpu=theta_g, theta_cpu=theta_c,
+        link=LINK, transfer=transfer,
+    )
+
+
+@given(throughputs, throughputs, sizes)
+def test_split_is_exact_partition(theta_g, theta_c, n):
+    d = predict(theta_g, theta_c, n)
+    assert d.n_gpu + d.n_cpu == n
+    assert 0 <= d.n_gpu <= n
+
+
+@given(throughputs, throughputs, sizes)
+def test_warp_rounding_when_partitioned(theta_g, theta_c, n):
+    d = predict(theta_g, theta_c, n)
+    if d.config is HardwareConfig.CPU_GPU:
+        assert d.n_gpu % 32 == 0 or d.n_gpu == n
+
+
+@given(throughputs, throughputs, sizes)
+def test_gpu_share_monotone_in_gpu_throughput(theta_g, theta_c, n):
+    d1 = predict(theta_g, theta_c, n)
+    d2 = predict(theta_g * 2, theta_c, n)
+    assert d2.gpu_fraction >= d1.gpu_fraction - 1e-9
+
+
+@given(throughputs, throughputs, sizes, per_index_bytes)
+def test_transfers_never_increase_gpu_share(theta_g, theta_c, n, p):
+    base = predict(theta_g, theta_c, n)
+    taxed = predict(theta_g, theta_c, n, TransferModel(gpu_share_b=p))
+    assert taxed.gpu_fraction <= base.gpu_fraction + 1e-9
+
+
+@given(throughputs, throughputs, sizes)
+def test_predicted_time_at_optimum_not_above_single_device(
+    theta_g, theta_c, n
+):
+    """The predicted split never loses to the better single device."""
+    d = predict(theta_g, theta_c, n)
+    t_cpu_only = n / theta_c
+    t_gpu_only = n / theta_g
+    best_single = min(t_cpu_only, t_gpu_only)
+    # warp rounding may cost at most one warp's worth of imbalance
+    slack = 1.05 * best_single + 64 / min(theta_g, theta_c)
+    assert d.predicted_time_s <= slack
+
+
+@given(throughputs, throughputs, sizes)
+def test_decision_consistent_with_fraction(theta_g, theta_c, n):
+    d = predict(theta_g, theta_c, n)
+    if d.config is HardwareConfig.ONLY_GPU:
+        assert d.n_cpu == 0
+    elif d.config is HardwareConfig.ONLY_CPU:
+        assert d.n_gpu == 0
+    else:
+        assert d.n_gpu > 0 and d.n_cpu > 0
+
+
+@given(throughputs, sizes)
+def test_equal_devices_near_half(theta, n):
+    assume(n >= 1024)
+    d = predict(theta, theta, n)
+    assert d.gpu_fraction == pytest.approx(0.5, abs=0.1)

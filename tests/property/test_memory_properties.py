@@ -1,0 +1,124 @@
+"""Property-based tests of the coherence directory (memory model)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.topology import HOST_SPACE
+from repro.runtime.memory import MemoryManager
+from repro.runtime.regions import ArraySpec, Region
+
+from tests.conftest import tiny_platform
+
+N = 200
+
+region = st.tuples(st.integers(0, N), st.integers(0, N)).map(
+    lambda t: (min(t), max(t))
+).filter(lambda t: t[0] < t[1])
+
+#: a random coherence action: (op, lo, hi, space)
+action = st.tuples(
+    st.sampled_from(["ensure_gpu", "ensure_host", "write_gpu",
+                     "write_host", "writeback", "flush", "flush_inval"]),
+    region,
+)
+actions = st.lists(action, min_size=1, max_size=25)
+
+
+def fresh_mm():
+    platform = tiny_platform.__wrapped__()
+    return MemoryManager(platform, {"a": ArraySpec("a", N, 4)})
+
+
+def apply(mm: MemoryManager, op: str, lo: int, hi: int) -> list:
+    r = Region("a", lo, hi)
+    if op == "ensure_gpu":
+        return mm.ensure(r, "gpu0")
+    if op == "ensure_host":
+        return mm.ensure(r, HOST_SPACE)
+    if op == "write_gpu":
+        mm.write(r, "gpu0")
+        return []
+    if op == "write_host":
+        mm.write(r, HOST_SPACE)
+        return []
+    if op == "writeback":
+        return mm.writeback(r, "gpu0")
+    if op == "flush":
+        return mm.flush_to_host()
+    return mm.flush_to_host(invalidate=True)
+
+
+@settings(max_examples=150, deadline=None)
+@given(actions)
+def test_no_data_is_ever_lost(ops):
+    """Every element is always valid in at least one space."""
+    mm = fresh_mm()
+    for op, (lo, hi) in ops:
+        apply(mm, op, lo, hi)
+        union = mm.valid_intervals("a", HOST_SPACE)
+        for a, b in mm.valid_intervals("a", "gpu0"):
+            union.add(a, b)
+        assert union.contains(0, N), f"hole after {op}[{lo}:{hi})"
+
+
+@settings(max_examples=150, deadline=None)
+@given(actions)
+def test_ensure_establishes_validity(ops):
+    """After ensure(r, s), r is valid in s — regardless of history."""
+    mm = fresh_mm()
+    for op, (lo, hi) in ops:
+        apply(mm, op, lo, hi)
+    mm.ensure(Region("a", 10, 60), "gpu0")
+    assert mm.is_valid("a", "gpu0", 10, 60)
+    mm.ensure(Region("a", 0, N), HOST_SPACE)
+    assert mm.is_valid("a", HOST_SPACE, 0, N)
+
+
+@settings(max_examples=150, deadline=None)
+@given(actions)
+def test_flush_always_restores_host(ops):
+    """flush_to_host leaves the host fully valid and nothing dirty."""
+    mm = fresh_mm()
+    for op, (lo, hi) in ops:
+        apply(mm, op, lo, hi)
+    mm.flush_to_host()
+    assert mm.is_valid("a", HOST_SPACE, 0, N)
+    assert mm.dirty_bytes() == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(actions)
+def test_transfers_only_move_missing_data(ops):
+    """ensure never transfers bytes already valid at the destination."""
+    mm = fresh_mm()
+    for op, (lo, hi) in ops:
+        apply(mm, op, lo, hi)
+    valid_before = mm.valid_intervals("a", "gpu0")
+    transfers = mm.ensure(Region("a", 0, N), "gpu0")
+    moved_to_gpu = sum(
+        op.end - op.start for op in transfers if op.dst_space == "gpu0"
+    )
+    assert moved_to_gpu == N - valid_before.total
+
+
+@settings(max_examples=100, deadline=None)
+@given(actions)
+def test_idempotence_of_ensure(ops):
+    mm = fresh_mm()
+    for op, (lo, hi) in ops:
+        apply(mm, op, lo, hi)
+    mm.ensure(Region("a", 0, N), "gpu0")
+    assert mm.ensure(Region("a", 0, N), "gpu0") == []
+
+
+@settings(max_examples=100, deadline=None)
+@given(actions)
+def test_invalidating_flush_empties_devices(ops):
+    mm = fresh_mm()
+    for op, (lo, hi) in ops:
+        apply(mm, op, lo, hi)
+    mm.flush_to_host(invalidate=True)
+    assert not mm.valid_intervals("a", "gpu0")
+    assert mm.is_valid("a", HOST_SPACE, 0, N)

@@ -1,0 +1,130 @@
+"""Hypothesis properties of the multi-device and imbalanced solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.partition.glinda import TransferModel
+from repro.partition.glinda_multi import DeviceTerm, predict_multi, solve_overlap
+from repro.partition.imbalanced import imbalanced_split, weighted_ranges
+from repro.platform.interconnect import Link
+from repro.runtime.kernels import AccessSpec, Kernel, KernelCostModel
+from repro.runtime.regions import AccessMode, ArraySpec
+
+LINK = Link(name="l", bandwidth_gbs=10.0, latency_s=0.0)
+
+throughput = st.floats(1e3, 1e12, allow_nan=False, allow_infinity=False)
+device_terms = st.lists(
+    st.tuples(
+        throughput,
+        st.floats(0.0, 1e-6),   # per-index transfer seconds
+        st.floats(0.0, 1e-2),   # fixed transfer seconds
+    ),
+    min_size=1,
+    max_size=5,
+).map(
+    lambda rows: [
+        DeviceTerm(
+            device_id=f"d{i}", throughput=t,
+            per_index_transfer_s=tx, fixed_transfer_s=fx,
+            granularity=1,
+        )
+        for i, (t, tx, fx) in enumerate(rows)
+    ]
+)
+
+
+class TestSolveOverlapProperties:
+    @settings(max_examples=200)
+    @given(device_terms, st.integers(100, 10_000_000))
+    def test_shares_sum_to_n(self, terms, n):
+        _, shares = solve_overlap(terms, n)
+        # wide throughput ranges (1e3..1e12) limit attainable precision
+        assert sum(shares.values()) == pytest.approx(n, rel=1e-6)
+
+    @settings(max_examples=200)
+    @given(device_terms, st.integers(100, 10_000_000))
+    def test_all_devices_finish_at_t_star(self, terms, n):
+        t_star, shares = solve_overlap(terms, n)
+        for t in terms:
+            finish = shares[t.device_id] * t.index_cost_s + t.fixed_transfer_s
+            assert finish == pytest.approx(t_star, rel=1e-5, abs=1e-9)
+
+    @settings(max_examples=200)
+    @given(device_terms, st.integers(100, 10_000_000))
+    def test_predict_partitions_exactly(self, terms, n):
+        decision = predict_multi(terms, n)
+        assert sum(decision.shares.values()) == n
+        assert all(s >= 0 for s in decision.shares.values())
+
+    @settings(max_examples=100)
+    @given(device_terms, st.integers(1000, 1_000_000))
+    def test_faster_device_never_gets_less(self, terms, n):
+        assume(len(terms) >= 2)
+        # strip fixed costs so ordering is purely by index cost
+        terms = [
+            DeviceTerm(device_id=t.device_id, throughput=t.throughput,
+                       per_index_transfer_s=t.per_index_transfer_s)
+            for t in terms
+        ]
+        _, shares = solve_overlap(terms, n)
+        by_cost = sorted(terms, key=lambda t: t.index_cost_s)
+        for a, b in zip(by_cost, by_cost[1:]):
+            assert shares[a.device_id] >= shares[b.device_id] - 1e-6
+
+
+weights = st.lists(st.floats(0.0, 100.0), min_size=8, max_size=200)
+
+
+def kernel_with(ws) -> Kernel:
+    prefix = np.concatenate([[0.0], np.cumsum(np.asarray(ws))])
+    x = ArraySpec("x", len(ws), 4)
+    y = ArraySpec("y", len(ws), 4)
+    return Kernel(
+        "wk", KernelCostModel(flops_per_elem=2.0),
+        (AccessSpec(x, AccessMode.IN), AccessSpec(y, AccessMode.OUT)),
+        work_prefix=prefix,
+    )
+
+
+class TestImbalancedProperties:
+    @settings(max_examples=150)
+    @given(weights, st.integers(1, 12))
+    def test_weighted_ranges_partition_exactly(self, ws, k):
+        kernel = kernel_with(ws)
+        ranges = weighted_ranges(kernel, 0, len(ws), k)
+        assert ranges[0][0] == 0 and ranges[-1][1] == len(ws)
+        for (a, b), (c, _) in zip(ranges, ranges[1:]):
+            assert b == c
+        assert all(hi > lo for lo, hi in ranges)
+
+    @settings(max_examples=150)
+    @given(weights, throughput, throughput)
+    def test_split_boundary_in_range_and_near_balanced(self, ws, tg, tc):
+        assume(sum(ws) > 0)
+        kernel = kernel_with(ws)
+        n = len(ws)
+        d = imbalanced_split(
+            kernel, n, theta_gpu=tg, theta_cpu=tc, link=LINK,
+            transfer=TransferModel(), warp_size=1,
+        )
+        assert 0 <= d.boundary <= n
+        assert d.gpu_work + d.cpu_work == pytest.approx(kernel.total_work)
+        # no single-index move can improve the balance by more than the
+        # heaviest index's own weight
+        t_g = d.gpu_work / tg
+        t_c = d.cpu_work / tc
+        heaviest = max(ws)
+        assert abs(t_g - t_c) <= heaviest / min(tg, tc) + 1e-12
+
+    @settings(max_examples=100)
+    @given(weights)
+    def test_equal_devices_split_work_in_half(self, ws):
+        assume(sum(ws) > 0 and max(ws) < 0.2 * sum(ws))
+        kernel = kernel_with(ws)
+        d = imbalanced_split(
+            kernel, len(ws), theta_gpu=1e6, theta_cpu=1e6, link=LINK,
+            transfer=TransferModel(), warp_size=1,
+        )
+        assert d.gpu_fraction == pytest.approx(0.5, abs=0.25)

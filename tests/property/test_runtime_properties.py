@@ -1,0 +1,125 @@
+"""Property-based tests of dependence analysis and the executor."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.dependence import build_dependences
+from repro.runtime.executor import RuntimeConfig, RuntimeEngine
+from repro.runtime.functional import topological_order
+from repro.runtime.graph import chunk_ranges, expand_program
+from repro.runtime.schedulers.breadth_first import BreadthFirstScheduler
+from repro.runtime.schedulers.perf_aware import PerfAwareScheduler
+
+from tests.conftest import chain_program, single_kernel_program, tiny_platform
+
+EXACT = RuntimeConfig(
+    task_creation_overhead_s=0.0,
+    dynamic_decision_overhead_s=0.0,
+    barrier_overhead_s=0.0,
+)
+
+
+def make_platform():
+    # call the fixture function body directly (hypothesis can't use fixtures)
+    return tiny_platform.__wrapped__()
+
+
+PLATFORM = make_platform()
+
+
+def build(program, chunks):
+    graph = expand_program(
+        program,
+        lambda inv: [
+            (lo, hi, None, None) for lo, hi in chunk_ranges(inv.n, chunks)
+        ],
+    )
+    build_dependences(graph)
+    graph.validate_acyclic()
+    return graph
+
+
+program_params = st.tuples(
+    st.integers(1, 4),      # kernels in the chain
+    st.integers(100, 5000),  # problem size
+    st.integers(1, 9),      # chunks
+    st.booleans(),          # sync
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(program_params)
+def test_dependences_always_acyclic_and_orderable(params):
+    kernels, n, chunks, sync = params
+    graph = build(chain_program(kernels, n=n, sync=sync), chunks)
+    order = topological_order(graph)
+    position = {iid: k for k, iid in enumerate(order)}
+    for inst in graph.instances:
+        for dep in inst.deps:
+            assert position[dep] < position[inst.instance_id]
+
+
+@settings(max_examples=20, deadline=None)
+@given(program_params, st.sampled_from(["bf", "perf"]))
+def test_every_instance_executes_exactly_once(params, policy):
+    kernels, n, chunks, sync = params
+    graph = build(chain_program(kernels, n=n, sync=sync), chunks)
+    scheduler = (
+        BreadthFirstScheduler() if policy == "bf" else PerfAwareScheduler()
+    )
+    result = RuntimeEngine(PLATFORM, config=EXACT).execute(graph, scheduler)
+    computes = result.trace.by_category("compute")
+    expected = sum(
+        1 for i in graph.instances if not i.is_barrier
+    )
+    assert len(computes) == expected
+    # every chunk of every kernel appears once
+    labels = sorted(r.label for r in computes)
+    assert len(labels) == len(set(labels))
+
+
+@settings(max_examples=20, deadline=None)
+@given(program_params)
+def test_makespan_at_least_critical_path_compute(params):
+    """The simulated makespan can never beat the dependence-chain bound."""
+    kernels, n, chunks, sync = params
+    program = chain_program(kernels, n=n)
+    graph = build(program, chunks)
+    result = RuntimeEngine(PLATFORM, config=EXACT).execute(
+        graph, PerfAwareScheduler()
+    )
+    # lower bound: every kernel's fastest possible chunk on the fastest
+    # device, chained (kernels depend on each other chunk-wise)
+    gpu = PLATFORM.gpu
+    chunk = max(1, n // chunks)
+    bound = sum(
+        inv.kernel.chunk_time(gpu, chunk, inv.n, include_launch=False)
+        for inv in program.invocations
+    )
+    assert result.makespan_s >= bound * 0.999
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(100, 5000), st.integers(1, 13))
+def test_work_conservation(n, chunks):
+    """All kernel indices execute, none twice (by element accounting)."""
+    graph = build(single_kernel_program(n=n), chunks)
+    result = RuntimeEngine(PLATFORM, config=EXACT).execute(
+        graph, BreadthFirstScheduler()
+    )
+    assert sum(result.elements_by_device.values()) == n
+
+
+@settings(max_examples=15, deadline=None)
+@given(program_params)
+def test_simulation_deterministic(params):
+    kernels, n, chunks, sync = params
+    program = chain_program(kernels, n=n, sync=sync)
+    results = []
+    for _ in range(2):
+        graph = build(program, chunks)
+        r = RuntimeEngine(PLATFORM, config=EXACT).execute(
+            graph, PerfAwareScheduler()
+        )
+        results.append(r.makespan_s)
+    assert results[0] == results[1]

@@ -1,0 +1,96 @@
+"""Critical-path and work lower bounds."""
+
+import pytest
+
+from repro.runtime.critical_path import (
+    bound_report,
+    critical_path_s,
+    work_bound_s,
+)
+from repro.runtime.dependence import build_dependences
+from repro.runtime.executor import RuntimeConfig, RuntimeEngine
+from repro.runtime.graph import chunk_ranges, expand_program
+from repro.runtime.schedulers.perf_aware import PerfAwareScheduler
+
+from tests.conftest import chain_program, single_kernel_program
+
+EXACT = RuntimeConfig(
+    task_creation_overhead_s=0.0,
+    dynamic_decision_overhead_s=0.0,
+    barrier_overhead_s=0.0,
+)
+
+
+def build(program, chunks=4):
+    graph = expand_program(
+        program,
+        lambda inv: [
+            (lo, hi, None, None) for lo, hi in chunk_ranges(inv.n, chunks)
+        ],
+    )
+    build_dependences(graph)
+    return graph
+
+
+class TestCriticalPath:
+    def test_independent_chunks_path_is_one_chunk(self, tiny_platform):
+        # 4 independent chunks: the path is a single chunk at GPU speed
+        program = single_kernel_program(n=4_000_000, flops=100.0,
+                                        mem_bytes=0.0)
+        graph = build(program)
+        expected = 1_000_000 * 100.0 / 1e12  # GPU: 1 TFLOPS
+        assert critical_path_s(graph, tiny_platform) == pytest.approx(expected)
+
+    def test_chain_accumulates(self, tiny_platform):
+        program = chain_program(3, n=1_000_000)
+        graph = build(program, chunks=1)
+        single = critical_path_s(build(chain_program(1, n=1_000_000),
+                                       chunks=1), tiny_platform)
+        assert critical_path_s(graph, tiny_platform) == pytest.approx(
+            3 * single
+        )
+
+    def test_barriers_do_not_add_time(self, tiny_platform):
+        free = build(single_kernel_program(n=1000, iterations=2))
+        synced = build(single_kernel_program(n=1000, iterations=2, sync=True))
+        assert critical_path_s(synced, tiny_platform) == pytest.approx(
+            critical_path_s(free, tiny_platform)
+        )
+
+    def test_work_bound_divides_by_device_count(self, tiny_platform):
+        program = single_kernel_program(n=4_000_000, flops=100.0,
+                                        mem_bytes=0.0)
+        graph = build(program)
+        total_best = 4_000_000 * 100.0 / 1e12
+        assert work_bound_s(graph, tiny_platform) == pytest.approx(
+            total_best / 2
+        )
+
+
+class TestBounds:
+    @pytest.mark.parametrize("kernels,chunks", [(1, 4), (3, 2), (2, 8)])
+    def test_simulated_makespan_respects_bounds(self, tiny_platform,
+                                                kernels, chunks):
+        program = chain_program(kernels, n=2_000_000)
+        graph = build(program, chunks=chunks)
+        result = RuntimeEngine(tiny_platform, config=EXACT).execute(
+            graph, PerfAwareScheduler()
+        )
+        report = bound_report(graph, tiny_platform, result.makespan_s)
+        assert report.makespan_s >= report.lower_bound_s * 0.999
+        assert 0.0 < report.efficiency <= 1.001
+
+    def test_weighted_kernels_use_work_units(self, tiny_platform):
+        import numpy as np
+        from repro.apps.spmv import SpMV
+
+        app = SpMV()
+        graph = build(app.program(1024), chunks=4)
+        # the heaviest chunk (first rows, degree-ordered) dominates the path
+        cp = critical_path_s(graph, tiny_platform)
+        assert cp > 0
+        first = graph.instances[0]
+        others = graph.instances[1:4]
+        assert first.kernel.work_units(first.lo, first.hi) > max(
+            i.kernel.work_units(i.lo, i.hi) for i in others
+        )

@@ -1,0 +1,158 @@
+"""Region-based dependence analysis: RAW, WAW, WAR, barriers, chains."""
+
+from repro.runtime.dependence import build_dependences, dependence_chains
+from repro.runtime.graph import InstanceKind, chunk_ranges, expand_program
+
+from tests.conftest import chain_program, single_kernel_program
+
+
+def expanded(program, n_chunks=1):
+    graph = expand_program(
+        program,
+        lambda inv: [
+            (lo, hi, None, None) for lo, hi in chunk_ranges(inv.n, n_chunks)
+        ],
+    )
+    return build_dependences(graph)
+
+
+class TestEdgeKinds:
+    def test_raw_across_kernels(self):
+        # k0 writes x1; k1 reads x1 -> RAW edge
+        graph = expanded(chain_program(2))
+        k0, k1 = graph.instances
+        assert k0.instance_id in k1.deps
+
+    def test_same_invocation_chunks_independent(self):
+        graph = expanded(single_kernel_program(n=100), n_chunks=4)
+        assert graph.n_edges == 0
+
+    def test_waw_between_invocations(self):
+        # same kernel twice: second write to y depends on first (WAW),
+        # plus WAR against nothing (reads of x don't conflict)
+        graph = expanded(single_kernel_program(n=100, iterations=2))
+        first, second = graph.instances
+        assert first.instance_id in second.deps
+
+    def test_war_edge(self):
+        from tests.conftest import make_kernel
+        from repro.runtime.graph import KernelInvocation, Program
+
+        # k0 reads a, writes b ; k1 writes a -> WAR on a
+        k0, specs = make_kernel("k0", reads=("a",), writes=("b",), n=10)
+        k1, _ = make_kernel("k1", arrays=specs, reads=("b",), writes=("a",), n=10)
+        program = Program(
+            invocations=[
+                KernelInvocation(invocation_id=0, kernel=k0, n=10),
+                KernelInvocation(invocation_id=1, kernel=k1, n=10),
+            ],
+            arrays=specs,
+        )
+        graph = expanded(program)
+        assert graph.instances[0].instance_id in graph.instances[1].deps
+
+    def test_disjoint_chunks_no_cross_edges(self):
+        # chunk i of k1 depends only on chunk i of k0 (regions align)
+        graph = expanded(chain_program(2, n=100), n_chunks=4)
+        k0 = graph.instances[:4]
+        k1 = graph.instances[4:]
+        for i, inst in enumerate(k1):
+            assert inst.deps == {k0[i].instance_id}
+
+    def test_full_read_depends_on_all_writer_chunks(self):
+        from tests.conftest import make_kernel
+        from repro.runtime.graph import KernelInvocation, Program
+
+        k0, specs = make_kernel("k0", reads=("a",), writes=("b",), n=100)
+        k1, specs = make_kernel(
+            "k1", arrays=specs, reads=(), full_reads=("b",), writes=("c",), n=100
+        )
+        program = Program(
+            invocations=[
+                KernelInvocation(invocation_id=0, kernel=k0, n=100),
+                KernelInvocation(invocation_id=1, kernel=k1, n=100),
+            ],
+            arrays=specs,
+        )
+        graph = expanded(program, n_chunks=4)
+        writers = {i.instance_id for i in graph.instances[:4]}
+        for reader in graph.instances[4:]:
+            assert writers <= reader.deps
+
+
+class TestBarriers:
+    def test_barrier_joins_and_anchors(self):
+        graph = expanded(single_kernel_program(n=100, iterations=2, sync=True),
+                         n_chunks=3)
+        computes = [i for i in graph.instances if i.kind is InstanceKind.COMPUTE]
+        barriers = [i for i in graph.instances if i.kind is InstanceKind.BARRIER]
+        assert len(barriers) == 2
+        first_iter = computes[:3]
+        second_iter = computes[3:]
+        b0 = barriers[0]
+        # barrier depends on all earlier computes
+        assert {i.instance_id for i in first_iter} <= b0.deps
+        # all later computes depend on the barrier
+        for inst in second_iter:
+            assert b0.instance_id in inst.deps
+
+    def test_barrier_resets_analysis_state(self):
+        graph = expanded(single_kernel_program(n=100, iterations=2, sync=True),
+                         n_chunks=2)
+        computes = [i for i in graph.instances if i.kind is InstanceKind.COMPUTE]
+        # iteration-2 chunks depend ONLY on the barrier, not directly on
+        # iteration-1 chunks (the barrier subsumes the WAW edges)
+        for inst in computes[2:]:
+            assert all(
+                graph.instances[d].kind is InstanceKind.BARRIER
+                for d in inst.deps
+            )
+
+    def test_consecutive_barriers_chained(self):
+        from tests.conftest import make_kernel
+        from repro.runtime.graph import (
+            InstanceKind as IK, Program, KernelInvocation, TaskGraph, TaskInstance,
+        )
+
+        kernel, specs = make_kernel(n=10)
+        program = Program(
+            invocations=[KernelInvocation(invocation_id=0, kernel=kernel,
+                                          n=10, sync_after=True)],
+            arrays=specs,
+        )
+        graph = TaskGraph(program=program)
+        graph.instances = [
+            TaskInstance(instance_id=0, kind=IK.BARRIER),
+            TaskInstance(instance_id=1, kind=IK.BARRIER),
+        ]
+        build_dependences(graph)
+        assert 0 in graph.instances[1].deps
+
+
+class TestChains:
+    def test_chain_ids_follow_dependences(self):
+        graph = expanded(chain_program(3, n=100), n_chunks=4)
+        chains = dependence_chains(graph)
+        # chunk i of every kernel shares chain i
+        for kernel_idx in range(3):
+            for chunk in range(4):
+                assert chains[kernel_idx * 4 + chunk] == chains[chunk]
+
+    def test_independent_instances_get_distinct_chains(self):
+        graph = expanded(single_kernel_program(n=100), n_chunks=4)
+        chains = dependence_chains(graph)
+        assert len(set(chains.values())) == 4
+
+    def test_chains_reset_at_barriers(self):
+        graph = expanded(single_kernel_program(n=100, iterations=2, sync=True),
+                         n_chunks=2)
+        chains = dependence_chains(graph)
+        computes = [
+            i.instance_id for i in graph.instances
+            if i.kind is InstanceKind.COMPUTE
+        ]
+        # iteration-2 chunks depend on the barrier only, so they start
+        # fresh chains
+        first = {chains[c] for c in computes[:2]}
+        second = {chains[c] for c in computes[2:]}
+        assert first.isdisjoint(second)

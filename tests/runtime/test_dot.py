@@ -1,0 +1,68 @@
+"""DOT export of task graphs."""
+
+import pytest
+
+from repro.runtime.dependence import build_dependences
+from repro.runtime.dot import to_dot
+from repro.runtime.graph import chunk_ranges, expand_program
+
+from tests.conftest import chain_program, single_kernel_program
+
+
+def graph_of(program, chunks=3, pins=None):
+    def chunker(inv):
+        ranges = chunk_ranges(inv.n, chunks)
+        return [
+            (lo, hi, *(pins or (None, None))) for lo, hi in ranges
+        ]
+
+    graph = expand_program(program, chunker)
+    return build_dependences(graph)
+
+
+class TestToDot:
+    def test_valid_digraph_skeleton(self):
+        dot = to_dot(graph_of(chain_program(2)))
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_one_node_per_instance(self):
+        graph = graph_of(chain_program(2), chunks=3)
+        dot = to_dot(graph)
+        for inst in graph.instances:
+            assert f"n{inst.instance_id} [" in dot
+
+    def test_edges_rendered(self):
+        graph = graph_of(chain_program(2), chunks=2)
+        dot = to_dot(graph)
+        assert "->" in dot
+        # k1 chunk 0 depends on k0 chunk 0
+        assert "n0 -> n2;" in dot
+
+    def test_invocation_clusters(self):
+        dot = to_dot(graph_of(chain_program(3)))
+        assert dot.count("subgraph cluster_inv") == 3
+        assert "k0" in dot and "k2" in dot
+
+    def test_barriers_are_diamonds(self):
+        dot = to_dot(graph_of(single_kernel_program(iterations=2, sync=True)))
+        assert "taskwait" in dot
+        assert "diamond" in dot
+
+    def test_pins_colored_and_labelled(self):
+        graph = graph_of(single_kernel_program(), chunks=1,
+                         pins=("gpu0", None))
+        dot = to_dot(graph)
+        assert "@gpu0" in dot
+        assert "#79b6f2" in dot
+
+    def test_truncation(self):
+        graph = graph_of(single_kernel_program(n=1000), chunks=500)
+        dot = to_dot(graph, max_instances=10)
+        assert "more instances" in dot
+        assert dot.count("shape=box") == 10
+
+    def test_quotes_escaped(self):
+        dot = to_dot(graph_of(chain_program(1)), name='my "graph"')
+        assert 'digraph "my \\"graph\\""' in dot

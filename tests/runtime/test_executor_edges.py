@@ -1,0 +1,124 @@
+"""Executor edge cases: non-duplex links, multi-accelerator traffic."""
+
+import pytest
+
+from repro.platform.device import Device, DeviceKind, DeviceSpec
+from repro.platform.interconnect import Link
+from repro.platform.topology import Platform
+from repro.runtime.dependence import build_dependences
+from repro.runtime.executor import RuntimeConfig, RuntimeEngine
+from repro.runtime.graph import expand_program
+from repro.runtime.schedulers.base import StaticScheduler
+
+from tests.conftest import chain_program, single_kernel_program
+
+EXACT = RuntimeConfig(
+    task_creation_overhead_s=0.0,
+    dynamic_decision_overhead_s=0.0,
+    barrier_overhead_s=0.0,
+)
+
+
+def platform_with(duplex: bool) -> Platform:
+    cpu = DeviceSpec(
+        name="c", kind=DeviceKind.CPU, cores=2, frequency_ghz=2.0,
+        peak_gflops_sp=100.0, peak_gflops_dp=50.0,
+        mem_bandwidth_gbs=40.0, mem_capacity_gb=8.0,
+    )
+    gpu = DeviceSpec(
+        name="g", kind=DeviceKind.GPU, cores=128, frequency_ghz=1.0,
+        peak_gflops_sp=1000.0, peak_gflops_dp=500.0,
+        mem_bandwidth_gbs=200.0, mem_capacity_gb=4.0,
+    )
+    return Platform(
+        host=Device("cpu", cpu),
+        accelerators=[Device("gpu0", gpu)],
+        links={"gpu0": Link(name="l", bandwidth_gbs=10.0, latency_s=0.0,
+                            duplex=duplex)},
+    )
+
+
+def run_on(platform, program, chunker):
+    graph = expand_program(program, chunker)
+    build_dependences(graph)
+    return RuntimeEngine(platform, config=EXACT).execute(
+        graph, StaticScheduler()
+    )
+
+
+    # 4 GPU chunks under per-iteration sync: chunk write-backs (d2h)
+    # overlap later chunks' uploads (h2d) only when the link is duplex
+def four_chunks(inv):
+    quarter = inv.n // 4
+    return [
+        (i * quarter, (i + 1) * quarter if i < 3 else inv.n, "gpu0", None)
+        for i in range(4)
+    ]
+
+
+class TestDuplex:
+    def test_half_duplex_serializes_directions(self):
+        program = single_kernel_program(
+            n=2_000_000, iterations=2, sync=True, flops=1.0, mem_bytes=0.0
+        )
+        full = run_on(platform_with(True), program, four_chunks)
+        half = run_on(platform_with(False), program, four_chunks)
+        assert half.makespan_s > full.makespan_s
+
+    def test_same_bytes_either_way(self):
+        program = single_kernel_program(
+            n=1_000_000, iterations=2, sync=True, flops=1.0, mem_bytes=0.0
+        )
+        full = run_on(platform_with(True), program, four_chunks)
+        half = run_on(platform_with(False), program, four_chunks)
+        assert full.transfer_bytes == half.transfer_bytes
+
+
+class TestMultiAcceleratorTraffic:
+    def test_each_gpu_pays_its_own_link(self):
+        from repro.platform import dual_gpu_platform
+
+        platform = dual_gpu_platform()
+        program = single_kernel_program(n=1_000_000, flops=1.0, mem_bytes=0.0)
+
+        def chunker(inv):
+            return [(0, inv.n // 2, "gpu0", None),
+                    (inv.n // 2, inv.n, "gpu1", None)]
+
+        graph = expand_program(program, chunker)
+        build_dependences(graph)
+        result = RuntimeEngine(platform, config=EXACT).execute(
+            graph, StaticScheduler()
+        )
+        devices = {
+            t.meta["device"] for t in result.trace.by_category("transfer")
+        }
+        assert devices == {"gpu0", "gpu1"}
+
+    def test_cross_gpu_chain_stages_through_host(self):
+        from repro.platform import dual_gpu_platform
+
+        platform = dual_gpu_platform()
+        program = chain_program(2, n=1_000_000)
+
+        def chunker(inv):
+            device = "gpu0" if inv.kernel.name == "k0" else "gpu1"
+            return [(0, inv.n, device, None)]
+
+        graph = expand_program(program, chunker)
+        build_dependences(graph)
+        result = RuntimeEngine(platform, config=EXACT).execute(
+            graph, StaticScheduler()
+        )
+        transfers = result.trace.by_category("transfer")
+        # x1 leaves gpu0 (d2h) and enters gpu1 (h2d): host staging
+        d2h_gpu0 = [t for t in transfers
+                    if t.meta["device"] == "gpu0"
+                    and t.meta["direction"] == "d2h"
+                    and t.meta["array"] == "x1"]
+        h2d_gpu1 = [t for t in transfers
+                    if t.meta["device"] == "gpu1"
+                    and t.meta["direction"] == "h2d"
+                    and t.meta["array"] == "x1"]
+        assert d2h_gpu0 and h2d_gpu1
+        assert min(t.start for t in h2d_gpu1) >= max(t.end for t in d2h_gpu0) - 1e-12

@@ -1,0 +1,119 @@
+"""Functional (NumPy) execution: ordering and numerical equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DependenceError
+from repro.runtime.dependence import build_dependences
+from repro.runtime.functional import (
+    assert_equivalent,
+    run_chunked,
+    run_functional,
+    run_sequential,
+    topological_order,
+)
+from repro.runtime.graph import (
+    KernelInvocation,
+    Program,
+    chunk_ranges,
+    expand_program,
+)
+from repro.runtime.kernels import AccessSpec, Kernel, KernelCostModel
+from repro.runtime.regions import AccessMode, ArraySpec
+
+
+def saxpy_program(n=100, *, chunks_mutate_scale=2.0) -> tuple[Program, dict]:
+    specs = {"x": ArraySpec("x", n, 8), "y": ArraySpec("y", n, 8)}
+
+    def impl(arrays, lo, hi, total, *, scale):
+        arrays["y"][lo:hi] += scale * arrays["x"][lo:hi]
+
+    kernel = Kernel(
+        "saxpy", KernelCostModel(flops_per_elem=2),
+        (AccessSpec(specs["x"], AccessMode.IN),
+         AccessSpec(specs["y"], AccessMode.INOUT)),
+        impl=impl, params={"scale": chunks_mutate_scale},
+    )
+    program = Program(
+        invocations=[KernelInvocation(invocation_id=0, kernel=kernel, n=n)],
+        arrays=specs,
+    )
+    arrays = {
+        "x": np.arange(n, dtype=np.float64),
+        "y": np.ones(n, dtype=np.float64),
+    }
+    return program, arrays
+
+
+class TestTopologicalOrder:
+    def test_respects_dependences(self):
+        program, _ = saxpy_program()
+        graph = expand_program(
+            program,
+            lambda inv: [
+                (lo, hi, None, None) for lo, hi in chunk_ranges(inv.n, 4)
+            ],
+        )
+        # fabricate a reversed dependency: 3 -> 0
+        graph.instances[0].deps.add(3)
+        graph.instances[3].succs.add(0)
+        order = topological_order(graph)
+        assert order.index(3) < order.index(0)
+
+    def test_detects_cycles(self):
+        program, _ = saxpy_program()
+        graph = expand_program(program, lambda inv: [(0, inv.n, None, None)])
+        graph.instances[0].deps.add(0)
+        graph.instances[0].succs.add(0)
+        with pytest.raises(DependenceError):
+            topological_order(graph)
+
+
+class TestRunFunctional:
+    def test_computes_correct_result(self):
+        program, arrays = saxpy_program(50)
+        out = run_sequential(program, arrays)
+        np.testing.assert_allclose(out["y"], 1.0 + 2.0 * np.arange(50))
+
+    def test_inputs_untouched_by_default(self):
+        program, arrays = saxpy_program(50)
+        run_sequential(program, arrays)
+        np.testing.assert_allclose(arrays["y"], np.ones(50))
+
+    def test_copy_false_mutates_in_place(self):
+        program, arrays = saxpy_program(50)
+        graph = expand_program(program, lambda inv: [(0, inv.n, None, None)])
+        run_functional(graph, arrays, copy=False)
+        assert arrays["y"][10] == 21.0
+
+    def test_size_mismatch_rejected(self):
+        program, arrays = saxpy_program(50)
+        arrays["x"] = arrays["x"][:10]
+        with pytest.raises(DependenceError):
+            run_sequential(program, arrays)
+
+    def test_missing_array_rejected(self):
+        program, arrays = saxpy_program(50)
+        del arrays["x"]
+        with pytest.raises(DependenceError):
+            run_sequential(program, arrays)
+
+    @pytest.mark.parametrize("n_chunks", [1, 2, 3, 7, 50])
+    def test_chunked_equivalent_to_sequential(self, n_chunks):
+        program, arrays = saxpy_program(50)
+        a = run_sequential(program, arrays)
+        b = run_chunked(program, arrays, n_chunks=n_chunks)
+        assert_equivalent(a, b)
+
+
+class TestAssertEquivalent:
+    def test_detects_difference(self):
+        a = {"x": np.zeros(5)}
+        b = {"x": np.ones(5)}
+        with pytest.raises(AssertionError):
+            assert_equivalent(a, b)
+
+    def test_array_subset(self):
+        a = {"x": np.zeros(5), "y": np.zeros(5)}
+        b = {"x": np.zeros(5), "y": np.ones(5)}
+        assert_equivalent(a, b, arrays=["x"])  # y ignored

@@ -1,0 +1,129 @@
+"""Kernel access specs and cost models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.device import Device, DeviceKind, DeviceSpec
+from repro.runtime.kernels import AccessPattern, AccessSpec, Kernel, KernelCostModel
+from repro.runtime.regions import AccessMode, ArraySpec
+
+from tests.conftest import make_kernel
+
+
+def device(kind=DeviceKind.CPU, gflops=100.0, bw=40.0, cores=4):
+    return Device(
+        "d0",
+        DeviceSpec(
+            name="d", kind=kind, cores=cores, frequency_ghz=2.0,
+            peak_gflops_sp=gflops, peak_gflops_dp=gflops / 2,
+            mem_bandwidth_gbs=bw, mem_capacity_gb=8.0,
+        ),
+    )
+
+
+class TestAccessSpec:
+    def test_partitioned_region_scales_with_chunk(self):
+        spec = AccessSpec(ArraySpec("a", 1000, 4), AccessMode.IN,
+                          AccessPattern.PARTITIONED, 10)
+        region = spec.region(3, 7)
+        assert (region.start, region.end) == (30, 70)
+
+    def test_partitioned_region_clamped_to_array(self):
+        spec = AccessSpec(ArraySpec("a", 55, 4), AccessMode.IN,
+                          AccessPattern.PARTITIONED, 10)
+        assert spec.region(4, 6).end == 55
+
+    def test_full_region_ignores_chunk(self):
+        spec = AccessSpec(ArraySpec("a", 1000, 4), AccessMode.IN,
+                          AccessPattern.FULL)
+        assert spec.region(3, 7) == ArraySpec("a", 1000, 4).full_region()
+
+    def test_full_writes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccessSpec(ArraySpec("a", 10, 4), AccessMode.OUT, AccessPattern.FULL)
+
+    def test_nonpositive_elems_per_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AccessSpec(ArraySpec("a", 10, 4), AccessMode.IN,
+                       AccessPattern.PARTITIONED, 0)
+
+
+class TestKernelCostModel:
+    def test_flops_linear_in_chunk(self):
+        cost = KernelCostModel(flops_per_elem=3.0)
+        assert cost.flops(100, 1000) == pytest.approx(300.0)
+
+    def test_flops_per_n_term(self):
+        # O(n^2) kernels: per-element flops grow with the problem size
+        cost = KernelCostModel(flops_per_elem=0.0, flops_per_elem_per_n=2.0)
+        assert cost.flops(10, 1000) == pytest.approx(20_000.0)
+
+    def test_mem_bytes(self):
+        cost = KernelCostModel(mem_bytes_per_elem=8.0, mem_bytes_per_elem_per_n=1.0)
+        assert cost.mem_bytes(10, 100) == pytest.approx(1080.0)
+
+    def test_effs_default(self):
+        cost = KernelCostModel()
+        ce, me = cost.effs(DeviceKind.ACCELERATOR)
+        assert (ce, me) == (0.5, 0.6)
+
+
+class TestKernel:
+    def test_requires_accesses(self):
+        with pytest.raises(ConfigurationError):
+            Kernel("k", KernelCostModel(), ())
+
+    def test_requires_a_write(self):
+        spec = ArraySpec("a", 10, 4)
+        with pytest.raises(ConfigurationError):
+            Kernel("k", KernelCostModel(flops_per_elem=1),
+                   (AccessSpec(spec, AccessMode.IN),))
+
+    def test_chunk_time_scales_with_share(self):
+        kernel, _ = make_kernel(flops=2.0, mem_bytes=0.0)
+        dev = device()
+        whole = kernel.chunk_time(dev, 1000, 1000)
+        quarter = kernel.chunk_time(dev, 1000, 1000, share=0.25)
+        assert quarter == pytest.approx(4 * whole)
+
+    def test_chunk_time_zero_chunk(self):
+        kernel, _ = make_kernel()
+        assert kernel.chunk_time(device(), 0, 1000) == 0.0
+
+    def test_device_throughput(self):
+        kernel, _ = make_kernel(flops=2.0, mem_bytes=0.0)
+        # 2 flops/elem on 100 GFLOPS at eff 1.0 -> 50e9 elems/s
+        assert kernel.device_throughput(device(), 1000) == pytest.approx(50e9)
+
+    def test_input_output_bytes(self):
+        kernel, _ = make_kernel(reads=("x",), writes=("y",), full_reads=("z",),
+                                n=100)
+        # chunk of 10 indices: x 40 B partitioned + z 400 B full
+        assert kernel.input_bytes(0, 10) == 40 + 400
+        assert kernel.output_bytes(0, 10) == 40
+
+    def test_run_impl_without_body_raises(self):
+        kernel, _ = make_kernel()
+        with pytest.raises(ConfigurationError):
+            kernel.run_impl({}, 0, 10, 100)
+
+    def test_run_impl_invokes_body_with_params(self):
+        calls = []
+
+        def body(arrays, lo, hi, n, *, scale):
+            calls.append((lo, hi, n, scale))
+            arrays["y"][lo:hi] = scale * arrays["x"][lo:hi]
+
+        spec_x = ArraySpec("x", 10, 4)
+        spec_y = ArraySpec("y", 10, 4)
+        kernel = Kernel(
+            "k", KernelCostModel(flops_per_elem=1),
+            (AccessSpec(spec_x, AccessMode.IN),
+             AccessSpec(spec_y, AccessMode.OUT)),
+            impl=body, params={"scale": 3.0},
+        )
+        arrays = {"x": np.arange(10.0), "y": np.zeros(10)}
+        kernel.run_impl(arrays, 2, 5, 10)
+        assert calls == [(2, 5, 10, 3.0)]
+        assert arrays["y"][2:5].tolist() == [6.0, 9.0, 12.0]

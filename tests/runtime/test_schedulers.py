@@ -1,0 +1,184 @@
+"""Scheduler policies: static pinning, breadth-first, perf-aware EFT."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.runtime.dependence import build_dependences
+from repro.runtime.executor import RuntimeConfig, RuntimeEngine
+from repro.runtime.graph import chunk_ranges, expand_program
+from repro.runtime.schedulers.base import (
+    Scheduler,
+    SchedulingContext,
+    StaticScheduler,
+)
+from repro.runtime.schedulers.breadth_first import BreadthFirstScheduler
+from repro.runtime.schedulers.perf_aware import PerfAwareScheduler, ProfileTable
+
+from tests.conftest import chain_program, single_kernel_program
+
+EXACT = RuntimeConfig(
+    task_creation_overhead_s=0.0,
+    dynamic_decision_overhead_s=0.0,
+    barrier_overhead_s=0.0,
+)
+
+
+def run(platform, program, scheduler, *, n_chunks=4, config=EXACT):
+    graph = expand_program(
+        program,
+        lambda inv: [
+            (lo, hi, None, None) for lo, hi in chunk_ranges(inv.n, n_chunks)
+        ],
+    )
+    build_dependences(graph)
+    return RuntimeEngine(platform, config=config).execute(graph, scheduler)
+
+
+class TestStaticScheduler:
+    def test_rejects_unpinned(self, tiny_platform):
+        program = single_kernel_program(n=100)
+        with pytest.raises(SchedulingError):
+            run(tiny_platform, program, StaticScheduler(), n_chunks=1)
+
+    def test_device_pin_spreads_over_cores(self, tiny_platform):
+        program = single_kernel_program(n=100, flops=2.0, mem_bytes=0.0)
+        graph = expand_program(
+            program,
+            lambda inv: [
+                (lo, hi, "cpu", None) for lo, hi in chunk_ranges(inv.n, 4)
+            ],
+        )
+        build_dependences(graph)
+        result = RuntimeEngine(tiny_platform, config=EXACT).execute(
+            graph, StaticScheduler()
+        )
+        used = {r.resource_id for r in result.trace.by_category("compute")}
+        assert used == {"cpu:0", "cpu:1", "cpu:2", "cpu:3"}
+
+    def test_is_not_dynamic(self):
+        assert StaticScheduler.dynamic is False
+
+
+class TestBreadthFirst:
+    def test_accelerator_served_first(self, tiny_platform):
+        # m chunks over m cpu threads + 1 gpu: GPU gets exactly one
+        program = single_kernel_program(n=400, flops=2.0, mem_bytes=8.0)
+        result = run(tiny_platform, program, BreadthFirstScheduler(), n_chunks=4)
+        assert result.instances_by_device.get("gpu") == 1
+        assert result.instances_by_device.get("cpu") == 3
+
+    def test_capability_blind_imbalance(self, tiny_platform):
+        # GPU is 10x the CPU, yet BF leaves most work on the CPU cores —
+        # makespan tracks a CPU core's single chunk, like Only-CPU
+        program = single_kernel_program(n=4_000_000, flops=100.0, mem_bytes=0.0)
+        result = run(tiny_platform, program, BreadthFirstScheduler(), n_chunks=4)
+        core_chunk = 1_000_000 * 100.0 / 25e9
+        assert result.makespan_s >= core_chunk * 0.99
+
+    def test_chain_affinity_keeps_device(self, tiny_platform):
+        # 3-kernel chain, 4 chunks: each chunk's chain stays on one device
+        program = chain_program(3, n=400)
+        result = run(tiny_platform, program, BreadthFirstScheduler(), n_chunks=4)
+        chain_devices: dict[int, set[str]] = {}
+        for rec in result.trace.by_category("compute"):
+            lo = int(rec.label.split("[")[1].split(":")[0])
+            chain_devices.setdefault(lo, set()).add(rec.meta["device"])
+        for devices in chain_devices.values():
+            assert len(devices) == 1
+
+    def test_all_instances_complete(self, tiny_platform):
+        program = chain_program(4, n=1000)
+        result = run(tiny_platform, program, BreadthFirstScheduler(), n_chunks=5)
+        assert len(result.trace.by_category("compute")) == 20
+
+
+class TestPerfAware:
+    def test_eft_prefers_fast_device_for_compute_bound(self, tiny_platform):
+        # compute-heavy kernel, tiny transfers: everything lands on the GPU
+        program = single_kernel_program(n=4_000_000, flops=1000.0, mem_bytes=0.0)
+        result = run(tiny_platform, program, PerfAwareScheduler(), n_chunks=4)
+        assert result.gpu_fraction == pytest.approx(1.0)
+
+    def test_eft_avoids_gpu_for_transfer_bound(self, tiny_platform):
+        # ~zero flops, three arrays crossing the link per index: the
+        # billed transfers make the GPU unattractive; most work stays on
+        # the CPU
+        program = single_kernel_program(
+            n=4_000_000, flops=0.001, mem_bytes=8.0,
+            reads=("x", "z"), writes=("y",),
+        )
+        result = run(tiny_platform, program, PerfAwareScheduler(), n_chunks=8)
+        assert result.gpu_fraction < 0.5
+
+    def test_profile_seeding_used(self, tiny_platform):
+        # seed a profile claiming the GPU is 1000x slower than reality:
+        # EFT must then keep everything on the CPU
+        program = single_kernel_program(n=4_000_000, flops=1000.0, mem_bytes=0.0)
+        table = ProfileTable()
+        table.set("k", "gpu0", 1.0)      # 1 s per index: terrible
+        table.set("k", "cpu", 1e-9)
+        scheduler = PerfAwareScheduler(table, ewma_alpha=0.0)  # never learn
+        result = run(tiny_platform, program, scheduler, n_chunks=4)
+        assert result.gpu_fraction == 0.0
+
+    def test_ewma_learning_corrects_bad_seed(self, tiny_platform):
+        # same terrible GPU seed, but with learning enabled and many
+        # sequential rounds the estimates converge back to reality
+        program = chain_program(6, n=4_000_000)
+        table = ProfileTable()
+        table.set("k0", "gpu0", 1e-3)  # pessimistic but not absurd
+        scheduler = PerfAwareScheduler(table, ewma_alpha=0.9)
+        run(tiny_platform, program, scheduler, n_chunks=4)
+        # after the run, the learned gpu rate is far below the seed
+        learned = min(
+            rate for (kernel, dev), rate
+            in scheduler.profile.rate_s_per_index.items()
+            if dev == "gpu0"
+        )
+        assert learned < 1e-3
+
+    def test_rate_table_validation(self):
+        table = ProfileTable()
+        with pytest.raises(SchedulingError):
+            table.set("k", "gpu0", 0.0)
+
+    def test_alpha_validation(self):
+        with pytest.raises(SchedulingError):
+            PerfAwareScheduler(ewma_alpha=1.5)
+
+    def test_assignment_immediate_queues_on_busy_device(self, tiny_platform):
+        # all chunks assigned at t=0; GPU executes them back-to-back
+        program = single_kernel_program(n=4_000_000, flops=1000.0, mem_bytes=0.0)
+        result = run(tiny_platform, program, PerfAwareScheduler(), n_chunks=4)
+        gpu_recs = sorted(
+            result.trace.by_resource("gpu0"), key=lambda r: r.start
+        )
+        computes = [r for r in gpu_recs if r.category == "compute"]
+        assert len(computes) == 4
+        for earlier, later in zip(computes, computes[1:]):
+            assert later.start == pytest.approx(earlier.end)
+
+
+class TestSchedulingContext:
+    def test_idle_resources(self, tiny_platform):
+        resources = tiny_platform.compute_resources(cpu_threads=2)
+        ctx = SchedulingContext(
+            now=0.0, resources=resources,
+            inflight={"cpu:0": 1, "cpu:1": 0, "gpu0": 0},
+        )
+        idle = {r.resource_id for r in ctx.idle_resources()}
+        assert idle == {"cpu:1", "gpu0"}
+
+    def test_resource_lookup(self, tiny_platform):
+        resources = tiny_platform.compute_resources()
+        ctx = SchedulingContext(now=0.0, resources=resources, inflight={})
+        assert ctx.resource("gpu0").is_accelerator
+        with pytest.raises(SchedulingError):
+            ctx.resource("nope")
+
+
+def test_base_scheduler_assign_abstract(tiny_platform):
+    with pytest.raises(NotImplementedError):
+        Scheduler().assign([], SchedulingContext(
+            now=0.0, resources=tiny_platform.compute_resources(), inflight={}
+        ))

@@ -1,0 +1,122 @@
+"""Discrete-event engine semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import PRIORITY_COMPLETION, PRIORITY_SCHEDULE, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(2.0, lambda: log.append("b"))
+        sim.at(1.0, lambda: log.append("a"))
+        sim.at(3.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_simultaneous_events_break_ties_by_priority(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append("sched"), priority=PRIORITY_SCHEDULE)
+        sim.at(1.0, lambda: log.append("done"), priority=PRIORITY_COMPLETION)
+        sim.run()
+        assert log == ["done", "sched"]
+
+    def test_same_priority_preserves_insertion_order(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.at(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_after_is_relative_to_now(self):
+        sim = Simulator()
+        times = []
+
+        def first():
+            sim.after(0.5, lambda: times.append(sim.now))
+
+        sim.at(1.0, first)
+        sim.run()
+        assert times == [pytest.approx(1.5)]
+
+    def test_cannot_schedule_into_the_past(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: sim.at(1.0, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.after(-1.0, lambda: None)
+
+
+class TestRun:
+    def test_run_returns_final_time(self):
+        sim = Simulator()
+        sim.at(3.5, lambda: None)
+        assert sim.run() == pytest.approx(3.5)
+
+    def test_empty_run_stays_at_zero(self):
+        assert Simulator().run() == 0.0
+
+    def test_until_horizon_leaves_later_events_queued(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, lambda: log.append(1))
+        sim.at(10.0, lambda: log.append(10))
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.now == pytest.approx(5.0)
+        assert sim.pending == 1
+        sim.run()
+        assert log == [1, 10]
+
+    def test_cancelled_events_do_not_fire(self):
+        sim = Simulator()
+        log = []
+        event = sim.at(1.0, lambda: log.append("x"))
+        event.cancel()
+        sim.run()
+        assert log == []
+
+    def test_events_may_schedule_events(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10:
+                sim.after(1.0, tick)
+
+        sim.after(1.0, tick)
+        assert sim.run() == pytest.approx(10.0)
+        assert count[0] == 10
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def forever():
+            sim.after(0.0, forever)
+
+        sim.after(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=1000)
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def inner():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.at(1.0, inner)
+        sim.run()
+        assert len(errors) == 1

@@ -1,0 +1,80 @@
+"""Execution trace queries and Gantt rendering."""
+
+import pytest
+
+from repro.sim.trace import ExecutionTrace, TraceRecord, render_gantt
+
+
+def rec(resource, start, end, *, category="compute", label="t", **meta):
+    return TraceRecord(
+        resource_id=resource, label=label, category=category,
+        start=start, end=end, meta=meta,
+    )
+
+
+@pytest.fixture
+def trace():
+    t = ExecutionTrace()
+    t.add(rec("cpu:0", 0.0, 1.0, size=100, device_kind="cpu", kernel="k"))
+    t.add(rec("gpu0", 0.0, 0.5, size=300, device_kind="gpu", kernel="k"))
+    t.add(rec("link", 0.5, 0.8, category="transfer", direction="h2d"))
+    t.add(rec("gpu0", 0.8, 1.4, size=200, device_kind="gpu", kernel="j"))
+    return t
+
+
+class TestQueries:
+    def test_len_and_iter(self, trace):
+        assert len(trace) == 4
+        assert len(list(trace)) == 4
+
+    def test_makespan(self, trace):
+        assert trace.makespan() == pytest.approx(1.4)
+
+    def test_makespan_empty(self):
+        assert ExecutionTrace().makespan() == 0.0
+
+    def test_by_category(self, trace):
+        assert len(trace.by_category("compute")) == 3
+        assert len(trace.by_category("transfer")) == 1
+
+    def test_by_resource(self, trace):
+        assert len(trace.by_resource("gpu0")) == 2
+
+    def test_busy_time(self, trace):
+        assert trace.busy_time("gpu0") == pytest.approx(1.1)
+        assert trace.busy_time("gpu0", category="compute") == pytest.approx(1.1)
+        assert trace.busy_time("link", category="transfer") == pytest.approx(0.3)
+
+    def test_total_time_per_category(self, trace):
+        assert trace.total_time(category="compute") == pytest.approx(2.1)
+
+    def test_elements_by_device(self, trace):
+        assert trace.elements_by_device() == {"cpu": 100, "gpu": 500}
+
+    def test_instance_count_by_device(self, trace):
+        assert trace.instance_count_by_device() == {"cpu": 1, "gpu": 2}
+
+    def test_duration_property(self):
+        r = rec("x", 1.0, 3.5)
+        assert r.duration == pytest.approx(2.5)
+
+
+class TestGantt:
+    def test_empty_trace(self):
+        assert render_gantt(ExecutionTrace()) == "(empty trace)"
+
+    def test_rows_per_resource(self, trace):
+        out = render_gantt(trace, width=40)
+        lines = out.splitlines()
+        assert any(line.startswith("cpu:0") for line in lines)
+        assert any(line.startswith("gpu0") for line in lines)
+        assert any(line.startswith("link") for line in lines)
+
+    def test_glyphs(self, trace):
+        out = render_gantt(trace, width=40)
+        assert "#" in out  # compute
+        assert "=" in out  # transfer
+
+    def test_resource_filter(self, trace):
+        out = render_gantt(trace, width=40, resources=["gpu0"])
+        assert "cpu:0" not in out

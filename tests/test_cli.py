@@ -1,0 +1,154 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for expected in ("MatrixMul", "SP-Single", "shen", "fig5"):
+            assert expected in out
+
+
+class TestPlatform:
+    def test_default_preset(self, capsys):
+        assert main(["platform"]) == 0
+        assert "Xeon E5-2620" in capsys.readouterr().out
+
+    def test_other_preset(self, capsys):
+        assert main(["platform", "--preset", "dual-gpu"]) == 0
+        out = capsys.readouterr().out
+        assert "GTX 680" in out
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["platform", "--preset", "laptop"])
+
+
+class TestAnalyze:
+    def test_analyze_app(self, capsys):
+        assert main(["analyze", "HotSpot", "-n", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "SK-Loop" in out and "SP-Single" in out
+
+    def test_sync_flag_changes_ranking(self, capsys):
+        main(["analyze", "STREAM-Seq", "-n", "4096", "--sync"])
+        assert "SP-Varied" in capsys.readouterr().out.splitlines()[-1]
+        main(["analyze", "STREAM-Seq", "-n", "4096", "--no-sync"])
+        assert "SP-Unified" in capsys.readouterr().out.splitlines()[-1]
+
+
+class TestRun:
+    def test_matchmade_run(self, capsys):
+        assert main(["run", "MatrixMul", "-n", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "best strategy: SP-Single" in out
+        assert "simulated makespan" in out
+
+    def test_explicit_strategy(self, capsys):
+        assert main(
+            ["run", "MatrixMul", "-n", "512", "--strategy", "Only-CPU"]
+        ) == 0
+        assert "Only-CPU" in capsys.readouterr().out
+
+    def test_stats_and_gantt(self, capsys):
+        assert main(
+            ["run", "BlackScholes", "-n", "65536", "--stats", "--gantt"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "compute overlap" in out
+        assert "|" in out  # gantt rows
+
+    def test_thread_override(self, capsys):
+        assert main(
+            ["run", "MatrixMul", "-n", "512", "--strategy", "Only-CPU",
+             "--threads", "3"]
+        ) == 0
+
+
+class TestExperiment:
+    def test_time_experiment(self, capsys):
+        assert main(["experiment", "fig5", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "SP-Single" in out
+
+    def test_ratio_experiment(self, capsys):
+        assert main(["experiment", "fig8", "--scale", "0.02"]) == 0
+        assert "%" in capsys.readouterr().out
+
+    def test_csv_export(self, tmp_path, capsys):
+        target = tmp_path / "fig5.csv"
+        assert main(
+            ["experiment", "fig5", "--scale", "0.02", "-o", str(target)]
+        ) == 0
+        text = target.read_text()
+        assert text.startswith("scenario,application")
+        assert "SP-Single" in text
+
+    def test_json_export(self, tmp_path, capsys):
+        target = tmp_path / "fig5.json"
+        main(["experiment", "fig5", "--scale", "0.02", "-o", str(target)])
+        records = json.loads(target.read_text())
+        assert records[0]["application"] == "MatrixMul"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestRegenerate:
+    def test_writes_all_experiment_files(self, tmp_path, capsys):
+        assert main(
+            ["regenerate", "-o", str(tmp_path), "--scale", "0.02"]
+        ) == 0
+        names = {p.name for p in tmp_path.glob("*.csv")}
+        for key in ("fig5", "fig9", "fig12", "mkdag", "spmv", "fdtd"):
+            assert f"{key}.csv" in names
+
+
+class TestCharacterize:
+    def test_prints_table(self, capsys):
+        assert main(["characterize"]) == 0
+        out = capsys.readouterr().out
+        assert "MatrixMul" in out and "AI F/B" in out
+        assert "SP-Unified" in out  # STREAM row
+
+
+class TestCrossover:
+    def test_stream_sweep(self, capsys):
+        assert main(["crossover", "stream-iterations"]) == 0
+        out = capsys.readouterr().out
+        assert "Only-GPU wins" in out
+
+    def test_invalid_sweep_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["crossover", "nope"])
+
+
+class TestBaseline:
+    def test_save_then_check(self, tmp_path, capsys):
+        path = tmp_path / "base.json"
+        assert main(["baseline", "--save", str(path)]) == 0
+        assert path.exists()
+        assert main(["baseline", "--check", str(path)]) == 0
+        assert "no drift" in capsys.readouterr().out
+
+    def test_requires_mode(self):
+        with pytest.raises(SystemExit):
+            main(["baseline"])
+
+
+class TestSpeedup:
+    def test_speedup_scaled(self, capsys, tmp_path):
+        target = tmp_path / "fig12.json"
+        assert main(
+            ["speedup", "--scale", "0.02", "-o", str(target)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "average" in out
+        assert json.loads(target.read_text())

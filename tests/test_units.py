@@ -1,0 +1,74 @@
+"""Unit constants and conversions."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_time(self):
+        assert units.ms_to_s(1500.0) == 1.5
+        assert units.s_to_ms(1.5) == 1500.0
+        assert units.s_to_ms(units.ms_to_s(42.0)) == pytest.approx(42.0)
+
+    def test_data(self):
+        assert units.gb_to_bytes(1.5) == 1.5e9
+        assert units.bytes_to_gb(3e9) == 3.0
+        assert units.gbs_to_bytes_per_s(6.0) == 6e9
+
+    def test_flops(self):
+        assert units.gflops_to_flops(384.0) == 384e9
+
+    def test_binary_vs_decimal(self):
+        assert units.GIB == 2**30
+        assert units.GIGA == 1e9
+        assert units.GIB != units.GIGA
+
+
+class TestRoundUp:
+    def test_exact_multiple_unchanged(self):
+        assert units.round_up(64, 32) == 64
+
+    def test_rounds_upward(self):
+        assert units.round_up(65, 32) == 96
+        assert units.round_up(1, 32) == 32
+
+    def test_zero_and_negative(self):
+        assert units.round_up(0, 32) == 0
+        assert units.round_up(-5, 32) == 0
+
+    def test_invalid_multiple(self):
+        with pytest.raises(ValueError):
+            units.round_up(10, 0)
+
+
+class TestConstants:
+    def test_warp_size(self):
+        assert units.WARP_SIZE == 32
+
+    def test_float_sizes(self):
+        assert units.FLOAT32_BYTES == 4
+        assert units.FLOAT64_BYTES == 8
+
+
+class TestErrorTaxonomy:
+    def test_all_derive_from_repro_error(self):
+        from repro import errors
+
+        exception_types = [
+            obj for name, obj in vars(errors).items()
+            if isinstance(obj, type) and issubclass(obj, Exception)
+        ]
+        assert len(exception_types) >= 10
+        for exc in exception_types:
+            assert issubclass(exc, errors.ReproError)
+
+    def test_strategy_inapplicable_is_partitioning_error(self):
+        from repro.errors import PartitioningError, StrategyInapplicableError
+
+        assert issubclass(StrategyInapplicableError, PartitioningError)
+
+    def test_platform_error_is_configuration_error(self):
+        from repro.errors import ConfigurationError, PlatformError
+
+        assert issubclass(PlatformError, ConfigurationError)
