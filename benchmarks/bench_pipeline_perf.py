@@ -1,0 +1,160 @@
+"""Pipeline fast-path performance: dependence analysis + memo hit rates.
+
+Times the frontier dependence builder against the reference full-history
+scan on a 5000+-instance single-barrier-window program (the shape the
+O(n^2) scan is worst at), measures the probe/plan cache hit rates across a
+repeated sweep, and records everything to ``BENCH_pipeline.json`` so CI
+can track instances/sec over time.
+
+Runs both under pytest (``pytest benchmarks/bench_pipeline_perf.py``) and
+as a plain script (``python benchmarks/bench_pipeline_perf.py``) for the
+CI perf-smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.apps import get_application
+from repro.bench.harness import SweepCell, run_sweep
+from repro.cache import cache_stats, clear_all
+from repro.platform import shen_icpp15_platform
+from repro.runtime.dependence import (
+    build_dependences,
+    build_dependences_reference,
+)
+from repro.runtime.graph import chunk_ranges, expand_program
+
+#: where the recorded numbers land (repo root, next to ROADMAP.md)
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+#: acceptance floor: the frontier builder must beat the reference by this
+SPEEDUP_FLOOR = 10.0
+#: generous CI floor on the fast builder's throughput (measured ~85k/s)
+INSTANCES_PER_SEC_FLOOR = 2_000.0
+
+#: the adversarial shape: one long barrier-free window of many instances
+N = 1 << 16
+ITERATIONS = 79
+CHUNKS = 16
+
+
+def _graph():
+    app = get_application("STREAM-Loop")
+    program = app.program(N, iterations=ITERATIONS, sync=False)
+    return expand_program(
+        program,
+        lambda inv: [
+            (lo, hi, None, None) for lo, hi in chunk_ranges(inv.n, CHUNKS)
+        ],
+    )
+
+
+def measure_dependence_perf() -> dict:
+    """Time both builders on the same expansion; returns the record."""
+    fast_times = []
+    for _ in range(3):
+        graph = _graph()
+        t0 = time.perf_counter()
+        build_dependences(graph)
+        fast_times.append(time.perf_counter() - t0)
+    instances = len(graph.instances)
+
+    graph = _graph()
+    t0 = time.perf_counter()
+    build_dependences_reference(graph)
+    ref_time = time.perf_counter() - t0
+
+    fast_time = min(fast_times)
+    return {
+        "instances": instances,
+        "fast_s": fast_time,
+        "reference_s": ref_time,
+        "fast_instances_per_sec": instances / fast_time,
+        "reference_instances_per_sec": instances / ref_time,
+        "speedup": ref_time / fast_time,
+    }
+
+
+def measure_cache_hit_rates() -> dict:
+    """Run the same sweep twice; the second pass should replay the memos."""
+    platform = shen_icpp15_platform()
+    cells = [
+        SweepCell(
+            app=app, strategy=strategy, platform=platform,
+            n=4096, iterations=2,
+        )
+        for app in ("STREAM-Loop", "HotSpot")
+        for strategy in ("DP-Perf", "SP-Single" if app == "HotSpot" else "SP-Unified")
+    ]
+    clear_all()
+    run_sweep(cells)  # cold pass populates the stores
+    cold = {name: s.as_dict() for name, s in cache_stats().items()}
+    run_sweep(cells)  # warm pass should be mostly hits
+    warm = {name: s.as_dict() for name, s in cache_stats().items()}
+    return {"cold": cold, "warm": warm}
+
+
+def record() -> dict:
+    payload = {
+        "benchmark": "pipeline_perf",
+        "scenario": {
+            "app": "STREAM-Loop",
+            "n": N,
+            "iterations": ITERATIONS,
+            "chunks": CHUNKS,
+        },
+        "dependence": measure_dependence_perf(),
+        "caches": measure_cache_hit_rates(),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def check(payload: dict) -> None:
+    dep = payload["dependence"]
+    assert dep["instances"] >= 5000, dep
+    assert dep["speedup"] >= SPEEDUP_FLOOR, dep
+    assert dep["fast_instances_per_sec"] >= INSTANCES_PER_SEC_FLOOR, dep
+    warm = payload["caches"]["warm"]
+    # the repeated sweep replays probes and predictions from the memos
+    for store in ("probe", "profile", "glinda"):
+        assert warm[store]["hits"] > 0, warm
+
+
+def test_pipeline_perf(benchmark):
+    payload = benchmark.pedantic(record, rounds=1, iterations=1)
+    check(payload)
+    dep = payload["dependence"]
+    from conftest import emit
+
+    emit(
+        "Pipeline fast path — dependence analysis + memo hit rates",
+        f"instances:            {dep['instances']}\n"
+        f"fast builder:         {dep['fast_s'] * 1e3:9.1f} ms "
+        f"({dep['fast_instances_per_sec']:,.0f} inst/s)\n"
+        f"reference builder:    {dep['reference_s'] * 1e3:9.1f} ms "
+        f"({dep['reference_instances_per_sec']:,.0f} inst/s)\n"
+        f"speedup:              {dep['speedup']:9.1f}x (floor {SPEEDUP_FLOOR:g}x)\n"
+        f"warm probe hit rate:  "
+        f"{payload['caches']['warm']['probe']['hit_rate']:9.1%}\n"
+        f"wrote {OUTPUT.name}",
+    )
+
+
+def main() -> int:
+    payload = record()
+    check(payload)
+    dep = payload["dependence"]
+    print(
+        f"pipeline perf: {dep['instances']} instances, "
+        f"fast {dep['fast_instances_per_sec']:,.0f} inst/s, "
+        f"speedup {dep['speedup']:.1f}x -> {OUTPUT}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,9 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.apps.registry import get_application
+from repro.bench.harness import SweepCell, run_sweep
 from repro.errors import ExperimentError
-from repro.partition.base import get_strategy
 from repro.platform.device import Device
 from repro.platform.interconnect import Link
 from repro.platform.topology import Platform
@@ -54,15 +53,23 @@ def stream_iteration_crossover(
     *,
     iterations: tuple[int, ...] = (1, 2, 3, 4, 6, 8, 10),
     n: int | None = None,
+    jobs: int = 1,
 ) -> CrossoverPoint:
     """Sweep STREAM-Loop iterations: where Only-GPU overtakes Only-CPU."""
-    app = get_application("STREAM-Loop")
+    cells = [
+        SweepCell(
+            app="STREAM-Loop", strategy=strategy, platform=platform,
+            n=n, iterations=it, sync=False,
+        )
+        for it in iterations
+        for strategy in ("Only-CPU", "Only-GPU")
+    ]
+    outcomes = run_sweep(cells, jobs=jobs)
     ratios = []
     crossover = None
-    for it in iterations:
-        program = app.program(n, iterations=it, sync=False)
-        oc = get_strategy("Only-CPU").run(program, platform).makespan_ms
-        og = get_strategy("Only-GPU").run(program, platform).makespan_ms
+    for i, it in enumerate(iterations):
+        oc = outcomes[2 * i].makespan_ms
+        og = outcomes[2 * i + 1].makespan_ms
         ratios.append(_ratio(oc, og))
         if crossover is None and ratios[-1] > 1.0:
             crossover = float(it)
@@ -108,16 +115,24 @@ def hotspot_bandwidth_crossover(
     bandwidths_gbs: tuple[float, ...] = (3.0, 6.0, 12.0, 24.0, 48.0, 96.0),
     n: int | None = None,
     iterations: int | None = None,
+    jobs: int = 1,
 ) -> CrossoverPoint:
     """Sweep link bandwidth: where Only-GPU overtakes Only-CPU on HotSpot."""
-    app = get_application("HotSpot")
+    cells = [
+        SweepCell(
+            app="HotSpot", strategy=strategy,
+            platform=with_link_bandwidth(platform, bw),
+            n=n, iterations=iterations,
+        )
+        for bw in bandwidths_gbs
+        for strategy in ("Only-CPU", "Only-GPU")
+    ]
+    outcomes = run_sweep(cells, jobs=jobs)
     ratios = []
     crossover = None
-    for bw in bandwidths_gbs:
-        plat = with_link_bandwidth(platform, bw)
-        program = app.program(n, iterations=iterations)
-        oc = get_strategy("Only-CPU").run(program, plat).makespan_ms
-        og = get_strategy("Only-GPU").run(program, plat).makespan_ms
+    for i, bw in enumerate(bandwidths_gbs):
+        oc = outcomes[2 * i].makespan_ms
+        og = outcomes[2 * i + 1].makespan_ms
         ratios.append(_ratio(oc, og))
         if crossover is None and ratios[-1] > 1.0:
             crossover = bw

@@ -16,7 +16,10 @@ from repro.bench.harness import (
     SK_STRATEGIES,
     DAG_STRATEGIES,
     ScenarioResult,
+    SweepCell,
+    assemble_scenario,
     run_scenario,
+    run_sweep,
 )
 from repro.core.analyzer import analyze
 from repro.errors import ExperimentError
@@ -153,26 +156,39 @@ def run_experiment(
     *,
     scale: float = 1.0,
     iterations: int | None = None,
+    jobs: int = 1,
 ) -> list[ScenarioResult]:
-    """Run one experiment; returns one :class:`ScenarioResult` per scenario."""
+    """Run one experiment; returns one :class:`ScenarioResult` per scenario.
+
+    All scenario x strategy cells are flattened into one sweep, so
+    ``jobs > 1`` parallelizes across the whole experiment, not just
+    within a scenario.  Results are order-deterministic either way.
+    """
     try:
         experiment = EXPERIMENTS[key]
     except KeyError:
         raise ExperimentError(
             f"unknown experiment {key!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    results = []
+    cells = []
     for scenario in experiment.scenarios:
-        app = get_application(scenario.app)
         n = scaled_size(scenario.app, scale) if scale != 1.0 else None
+        for name in experiment.strategies:
+            cells.append(
+                SweepCell(
+                    app=scenario.app, strategy=name, platform=platform,
+                    n=n, iterations=iterations, sync=scenario.sync,
+                )
+            )
+    outcomes = run_sweep(cells, jobs=jobs)
+    results = []
+    stride = len(experiment.strategies)
+    for i, scenario in enumerate(experiment.scenarios):
+        app = get_application(scenario.app)
         results.append(
-            run_scenario(
-                app,
-                platform,
-                experiment.strategies,
-                n=n,
-                iterations=iterations,
-                sync=scenario.sync,
+            assemble_scenario(
+                app, scenario.sync, experiment.strategies,
+                outcomes[i * stride: (i + 1) * stride],
             )
         )
     return results

@@ -1,10 +1,21 @@
-"""Common machinery for running an application under many strategies."""
+"""Common machinery for running an application under many strategies.
+
+Experiment drivers decompose their work into :class:`SweepCell` units —
+one (application, strategy, platform, size) point each — and hand them to
+:func:`run_sweep`, which runs them serially or fans them out across worker
+processes.  Results always come back in cell order, so parallel runs are
+byte-identical to serial ones.
+"""
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
 from repro.apps.base import Application
+from repro.apps.registry import get_application
 from repro.partition.base import PlanConfig, get_strategy
 from repro.platform.topology import Platform
 from repro.runtime.executor import ExecutionResult, RuntimeConfig
@@ -82,6 +93,90 @@ class ScenarioResult:
         return [o.strategy for o in sorted(candidates, key=lambda o: o.makespan_ms)]
 
 
+@dataclass(frozen=True)
+class SweepCell:
+    """One experiment point: an application under one strategy.
+
+    Cells carry the *names* of the application and strategy (workers
+    rebuild both through the registries) plus everything needed to
+    reconstruct the program deterministically — input arrays are seeded,
+    so a cell re-run in any process yields the same graph and therefore
+    the same simulated trace.
+    """
+
+    app: str
+    strategy: str
+    platform: Platform
+    n: int | None = None
+    iterations: int | None = None
+    sync: bool | None = None
+    config: PlanConfig | None = None
+    runtime_config: RuntimeConfig | None = None
+
+
+def _run_cell(cell: SweepCell) -> ExecutionResult:
+    """Execute one cell (module-level so worker processes can unpickle it)."""
+    app = get_application(cell.app)
+    sync = app.needs_sync if cell.sync is None else cell.sync
+    program = app.program(cell.n, iterations=cell.iterations, sync=sync)
+    strategy = get_strategy(cell.strategy)
+    return strategy.run(
+        program, cell.platform,
+        config=cell.config, runtime_config=cell.runtime_config,
+    )
+
+
+def default_jobs() -> int:
+    """Worker count when the caller asks for 'all cores'."""
+    return max(1, os.cpu_count() or 1)
+
+
+def run_sweep(
+    cells: Iterable[SweepCell], *, jobs: int = 1
+) -> list[ExecutionResult]:
+    """Run every cell; results are returned in cell order.
+
+    ``jobs > 1`` fans the cells out over a :class:`ProcessPoolExecutor`.
+    ``pool.map`` preserves input order, so the output is independent of
+    worker completion order — a parallel sweep is byte-identical to a
+    serial one.  ``jobs <= 0`` means one worker per core.
+    """
+    cells = list(cells)
+    if jobs <= 0:
+        jobs = default_jobs()
+    if jobs == 1 or len(cells) <= 1:
+        return [_run_cell(cell) for cell in cells]
+    workers = min(jobs, len(cells))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_cell, cells))
+
+
+def scenario_label(app: Application, sync: bool | None) -> str:
+    """The figure-row label of a scenario (w/ vs w/o sync variants)."""
+    return app.name if sync is None else (
+        f"{app.name}-{'w' if sync else 'w/o'}"
+    )
+
+
+def assemble_scenario(
+    app: Application,
+    sync: bool | None,
+    strategies: Sequence[str],
+    results: Sequence[ExecutionResult],
+    *,
+    label: str | None = None,
+) -> ScenarioResult:
+    """Zip strategy names with their sweep results into a scenario row."""
+    scenario = ScenarioResult(
+        label=label or scenario_label(app, sync),
+        application=app.name,
+        sync=sync,
+    )
+    for name, result in zip(strategies, results):
+        scenario.outcomes.append(StrategyOutcome(strategy=name, result=result))
+    return scenario
+
+
 def run_scenario(
     app: Application,
     platform: Platform,
@@ -93,19 +188,16 @@ def run_scenario(
     config: PlanConfig | None = None,
     runtime_config: RuntimeConfig | None = None,
     label: str | None = None,
+    jobs: int = 1,
 ) -> ScenarioResult:
     """Run ``app`` under every strategy; returns the scenario row."""
-    effective_sync = app.needs_sync if sync is None else sync
-    program = app.program(n, iterations=iterations, sync=effective_sync)
-    if label is None:
-        label = app.name if sync is None else (
-            f"{app.name}-{'w' if sync else 'w/o'}"
+    cells = [
+        SweepCell(
+            app=app.name, strategy=name, platform=platform,
+            n=n, iterations=iterations, sync=sync,
+            config=config, runtime_config=runtime_config,
         )
-    scenario = ScenarioResult(label=label, application=app.name, sync=sync)
-    for name in strategies:
-        strategy = get_strategy(name)
-        result = strategy.run(
-            program, platform, config=config, runtime_config=runtime_config
-        )
-        scenario.outcomes.append(StrategyOutcome(strategy=name, result=result))
-    return scenario
+        for name in strategies
+    ]
+    results = run_sweep(cells, jobs=jobs)
+    return assemble_scenario(app, sync, strategies, results, label=label)

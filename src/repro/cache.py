@@ -1,0 +1,219 @@
+"""Probe/plan memoization: compute each sweep-invariant result once.
+
+Every experiment sweep re-runs the same Glinda probes and split
+predictions at every sweep point: the simulated platform is deterministic,
+so a probe of the same kernel on the same device at the same size always
+times the same.  This module provides small keyed memo stores —
+*fingerprint* keyed, so a cache entry can never survive a change to the
+platform, the kernel cost model, or the model parameters — used by
+
+* :mod:`repro.partition.profiling` (throughput probes, kernel profiles,
+  DP-Perf profile-table seeding),
+* :mod:`repro.partition.glinda` (split predictions).
+
+Hit/miss counters are kept per store and surfaced
+:class:`~repro.runtime.executor.ExecutionResult`-style via
+:func:`cache_stats` / :meth:`MemoCache.stats`; strategies snapshot them
+into their :class:`~repro.partition.base.StrategyDecision` notes and
+``benchmarks/bench_pipeline_perf.py`` records them in
+``BENCH_pipeline.json``.  Caching is on by default; set the environment
+variable ``REPRO_CACHE=0`` (or call :func:`configure`) to disable it, e.g.
+when ablating cache behaviour.  Keys, invalidation rules, and the
+worker-process caveat are documented in ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+__all__ = [
+    "CacheStats",
+    "MemoCache",
+    "cache_stats",
+    "clear_all",
+    "configure",
+    "device_fingerprint",
+    "get_cache",
+    "kernel_fingerprint",
+    "platform_fingerprint",
+]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one memo store."""
+
+    name: str
+    hits: int = 0
+    misses: int = 0
+    size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def _default_enabled() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") not in ("0", "false", "off")
+
+
+class MemoCache:
+    """A keyed memo store with hit/miss accounting.
+
+    Keys must be hashable; values are returned by reference, so only
+    immutable results (or results the caller copies) belong here.
+    ``max_entries`` bounds memory: when full, the store stops admitting
+    new entries (sweeps revisit a small working set, so eviction churn
+    would cost more than it saves).
+    """
+
+    def __init__(self, name: str, *, max_entries: int = 65536) -> None:
+        self.name = name
+        self.max_entries = max_entries
+        self.enabled = _default_enabled()
+        self._store: dict[Hashable, Any] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, computing it on a miss."""
+        if not self.enabled:
+            return compute()
+        try:
+            value = self._store[key]
+        except KeyError:
+            self._misses += 1
+            value = compute()
+            if len(self._store) < self.max_entries:
+                self._store[key] = value
+            return value
+        self._hits += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._store.clear()
+        self._hits = 0
+        self._misses = 0
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            name=self.name,
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._store),
+        )
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"MemoCache({self.name!r}, hits={s.hits}, misses={s.misses}, "
+            f"size={s.size})"
+        )
+
+
+#: the process-wide named stores (one per cached computation family)
+_CACHES: dict[str, MemoCache] = {}
+
+
+def get_cache(name: str) -> MemoCache:
+    """The process-wide memo store ``name`` (created on first use)."""
+    cache = _CACHES.get(name)
+    if cache is None:
+        cache = _CACHES[name] = MemoCache(name)
+    return cache
+
+
+def cache_stats() -> dict[str, CacheStats]:
+    """Snapshot of every store's counters, keyed by store name."""
+    return {name: cache.stats() for name, cache in sorted(_CACHES.items())}
+
+
+def clear_all() -> None:
+    """Clear every store (tests and ablations)."""
+    for cache in _CACHES.values():
+        cache.clear()
+
+
+def configure(*, enabled: bool) -> None:
+    """Enable or disable all stores (present and future)."""
+    os.environ["REPRO_CACHE"] = "1" if enabled else "0"
+    for cache in _CACHES.values():
+        cache.enabled = enabled
+
+
+# -- fingerprints -----------------------------------------------------------
+#
+# A fingerprint digests everything a cached result depends on, so a cache
+# key built from fingerprints is automatically invalidated by any change
+# to the underlying model — there is no explicit invalidation protocol.
+
+
+def _digest(*parts: object) -> str:
+    h = hashlib.sha1()
+    for part in parts:
+        if isinstance(part, bytes):
+            h.update(part)
+        else:
+            h.update(repr(part).encode())
+        h.update(b"\x00")
+    return h.hexdigest()[:16]
+
+
+def device_fingerprint(device) -> str:
+    """Digest of one device's spec and cost model (timing inputs)."""
+    return _digest(device.device_id, device.spec, device.cost_model)
+
+
+def platform_fingerprint(platform) -> str:
+    """Digest of a whole platform: devices plus host links."""
+    return _digest(
+        tuple(device_fingerprint(d) for d in platform.devices),
+        tuple(sorted(
+            (dev_id, link) for dev_id, link in platform.links.items()
+        )),
+    )
+
+
+def kernel_fingerprint(kernel) -> str:
+    """Digest of a kernel's cost model and access shapes.
+
+    The functional body (``impl``/``params``) is excluded — it never
+    affects simulated timing.  PREFIX extents and imbalanced work weights
+    do affect probe sizes and work units, so their raw bytes are folded in.
+    """
+    access_parts = []
+    for acc in kernel.accesses:
+        access_parts.append((
+            acc.array.name,
+            acc.array.n_elems,
+            acc.array.elem_bytes,
+            acc.mode.value,
+            acc.pattern.value,
+            acc.elems_per_index,
+            acc.halo,
+            None if acc.prefix is None else acc.prefix.tobytes(),
+        ))
+    work = None if kernel.work_prefix is None else kernel.work_prefix.tobytes()
+    return _digest(kernel.name, kernel.cost, tuple(access_parts), work)

@@ -69,6 +69,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (1 = serial, 0 = all cores); "
+             "results are identical regardless of N",
+    )
+
+
 def cmd_list(args) -> int:
     print("applications:")
     for app in all_applications():
@@ -127,7 +135,7 @@ def cmd_run(args) -> int:
 
 def cmd_experiment(args) -> int:
     platform = _platform(args)
-    results = run_experiment(args.key, platform, scale=args.scale)
+    results = run_experiment(args.key, platform, scale=args.scale, jobs=args.jobs)
     if args.key in ("fig6", "fig8", "fig10"):
         print(format_ratio_table(
             results, title=EXPERIMENTS[args.key].label(),
@@ -166,7 +174,7 @@ def cmd_regenerate(args) -> int:
     out.mkdir(parents=True, exist_ok=True)
     written = []
     for key in sorted(EXPERIMENTS):
-        results = run_experiment(key, platform, scale=args.scale)
+        results = run_experiment(key, platform, scale=args.scale, jobs=args.jobs)
         path = write_records(scenario_rows(results), out / f"{key}.csv")
         written.append(path)
     rows = figure12(platform, scale=args.scale)
@@ -199,9 +207,9 @@ def cmd_crossover(args) -> int:
 
     platform = _platform(args)
     if args.sweep == "stream-iterations":
-        point = stream_iteration_crossover(platform)
+        point = stream_iteration_crossover(platform, jobs=args.jobs)
     else:
-        point = hotspot_bandwidth_crossover(platform)
+        point = hotspot_bandwidth_crossover(platform, jobs=args.jobs)
     print(format_crossover(point))
     return 0
 
@@ -272,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     _add_common(p)
+    _add_jobs(p)
     p.add_argument("key", choices=sorted(EXPERIMENTS))
     p.add_argument("--scale", type=float, default=1.0,
                    help="problem-size scale factor (0, 1]")
@@ -294,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="export every table/figure's data to a directory",
     )
     _add_common(p)
+    _add_jobs(p)
     p.add_argument("-o", "--output", default="results")
     p.add_argument("--scale", type=float, default=1.0)
     p.set_defaults(func=cmd_regenerate)
@@ -304,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("crossover", help="run a crossover sweep")
     _add_common(p)
+    _add_jobs(p)
     p.add_argument("sweep", choices=["stream-iterations", "hotspot-bandwidth"])
     p.set_defaults(func=cmd_crossover)
 

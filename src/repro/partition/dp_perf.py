@@ -11,6 +11,7 @@ and the measured run likewise starts with warm estimates).
 
 from __future__ import annotations
 
+from repro.cache import cache_stats
 from repro.partition.base import (
     ExecutionPlan,
     PlanConfig,
@@ -50,7 +51,16 @@ class DPPerf(Strategy):
             decision=StrategyDecision(
                 strategy=self.name,
                 hardware_config="cpu+gpu",
-                notes={"task_count": chunks, "profile": profile},
+                notes={
+                    "task_count": chunks,
+                    "profile": profile,
+                    # probe/plan memo hit rates at planning time, so sweep
+                    # drivers can report how much profiling was replayed
+                    "cache": {
+                        name: stats.as_dict()
+                        for name, stats in cache_stats().items()
+                    },
+                },
             ),
         )
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.cache import get_cache
 from repro.errors import PartitioningError
 from repro.partition.profiling import KernelProfile
 from repro.platform.interconnect import Link
@@ -158,7 +159,35 @@ class GlindaModel:
         link: Link,
         transfer: TransferModel,
     ) -> GlindaDecision:
-        """Predict the optimal split of ``n`` indices."""
+        """Predict the optimal split of ``n`` indices.
+
+        Memoized through :mod:`repro.cache` (store ``"glinda"``): a sweep
+        re-deriving the same split sees a cache hit instead of re-solving
+        the model.  Every model input is part of the key — the model
+        parameters (``self`` is frozen), the throughputs, the link
+        bandwidth, and the transfer coefficients — so a stale prediction
+        cannot be replayed.  :class:`GlindaDecision` is frozen, so the
+        cached instance is shared safely.
+        """
+        key = (self, kernel, n, theta_gpu, theta_cpu, link.bandwidth, transfer)
+        return get_cache("glinda").get_or_compute(
+            key,
+            lambda: self._predict(
+                kernel=kernel, n=n, theta_gpu=theta_gpu,
+                theta_cpu=theta_cpu, link=link, transfer=transfer,
+            ),
+        )
+
+    def _predict(
+        self,
+        *,
+        kernel: str,
+        n: int,
+        theta_gpu: float,
+        theta_cpu: float,
+        link: Link,
+        transfer: TransferModel,
+    ) -> GlindaDecision:
         if n <= 0:
             raise PartitioningError("problem size must be positive")
         if theta_gpu <= 0 or theta_cpu <= 0:

@@ -9,16 +9,32 @@ annotations:
 * **WAR** — a write depends on every earlier overlapping read.
 
 ``taskwait`` barriers join all in-flight instances and anchor everything
-after them; analysis state is reset at each barrier, keeping the edge count
-linear in practice for the paper's loop-structured workloads.
+after them; analysis state is reset at each barrier.
 
 Chunks of the *same* invocation never conflict: the partitioned write ranges
 are disjoint by construction, and FULL-pattern accesses are read-only
 (enforced by :class:`~repro.runtime.kernels.AccessSpec`).
+
+Two builders are provided:
+
+* :func:`build_dependences` — the production **frontier** builder.  Per
+  array it tracks only the *last writer* of every element (a sorted
+  disjoint interval index) plus the *readers since that write* (pruned
+  whenever a write lands), so edge construction is near-linear in the
+  instance count even inside a single barrier window.  The resulting
+  graph is a transitive reduction-compatible subset of the full edge
+  set: every omitted edge is implied by a path, so reachability — and
+  therefore executor readiness times and makespans — are unchanged.
+* :func:`build_dependences_reference` — the original full-history scan
+  (O(n²) between barriers), kept as the oracle for differential tests
+  (``tests/runtime/test_dependence_fastpath.py``).
+
+See ``docs/performance.md`` for the frontier algorithm and its bounds.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.runtime.graph import InstanceKind, TaskGraph
@@ -40,11 +56,15 @@ def _add_edge(graph: TaskGraph, src: int, dst: int) -> None:
     graph.instances[src].succs.add(dst)
 
 
-def build_dependences(graph: TaskGraph) -> TaskGraph:
-    """Populate ``deps``/``succs`` of every instance in ``graph`` in place.
+def build_dependences_reference(graph: TaskGraph) -> TaskGraph:
+    """Populate ``deps``/``succs`` by scanning the full access history.
 
-    Returns the same graph for chaining.  Existing edges are preserved
-    (strategies may add explicit edges before calling this).
+    This is the original quadratic builder: every new access is checked
+    against *every* earlier access of the same array since the last
+    barrier.  It adds one direct edge per conflicting pair, which makes it
+    the most explicit statement of the dependence semantics — and the
+    oracle the frontier builder is differential-tested against.  Returns
+    the same graph for chaining; existing edges are preserved.
     """
     # Per-array log of accesses since the last barrier.
     history: dict[str, list[_Access]] = {}
@@ -93,28 +113,192 @@ def build_dependences(graph: TaskGraph) -> TaskGraph:
     return graph
 
 
+class _ArrayFrontier:
+    """Last-writer interval index + readers-since-last-write of one array.
+
+    The writer frontier is a sorted list of disjoint half-open intervals,
+    each owned by the instance whose write most recently covered it;
+    overlap queries are a bisect plus a walk over the overlapped run.
+    Readers are a flat list of ``(start, end, instance_id)`` entries that
+    a committed write subtracts its range from — so the list holds only
+    reads that some future write could still WAR-depend on.
+    """
+
+    __slots__ = ("wstarts", "wends", "wids", "readers")
+
+    def __init__(self) -> None:
+        self.wstarts: list[int] = []
+        self.wends: list[int] = []
+        self.wids: list[int] = []
+        self.readers: list[tuple[int, int, int]] = []
+
+    def _overlap_range(self, start: int, end: int) -> tuple[int, int]:
+        """Index range of writer entries overlapping ``[start, end)``."""
+        # entries are disjoint and sorted, so both starts and ends are
+        # sorted: the overlapped run begins at the first entry whose end
+        # exceeds ``start`` and continues while entry.start < end.
+        lo = bisect_right(self.wends, start)
+        hi = lo
+        n = len(self.wstarts)
+        while hi < n and self.wstarts[hi] < end:
+            hi += 1
+        return lo, hi
+
+    def writers_overlapping(self, start: int, end: int) -> list[int]:
+        lo, hi = self._overlap_range(start, end)
+        return self.wids[lo:hi]
+
+    def readers_overlapping(self, start: int, end: int) -> list[int]:
+        return [
+            rid for rs, re, rid in self.readers if rs < end and start < re
+        ]
+
+    def commit_write(self, start: int, end: int, instance_id: int) -> None:
+        """Make ``instance_id`` the last writer of ``[start, end)``."""
+        if self.readers:
+            keep: list[tuple[int, int, int]] = []
+            for entry in self.readers:
+                rs, re, rid = entry
+                if re <= start or rs >= end:
+                    keep.append(entry)
+                    continue
+                if rs < start:
+                    keep.append((rs, start, rid))
+                if re > end:
+                    keep.append((end, re, rid))
+            self.readers = keep
+        lo, hi = self._overlap_range(start, end)
+        starts: list[int] = []
+        ends: list[int] = []
+        ids: list[int] = []
+        if lo < hi and self.wstarts[lo] < start:
+            starts.append(self.wstarts[lo])
+            ends.append(start)
+            ids.append(self.wids[lo])
+        starts.append(start)
+        ends.append(end)
+        ids.append(instance_id)
+        if lo < hi and self.wends[hi - 1] > end:
+            starts.append(end)
+            ends.append(self.wends[hi - 1])
+            ids.append(self.wids[hi - 1])
+        self.wstarts[lo:hi] = starts
+        self.wends[lo:hi] = ends
+        self.wids[lo:hi] = ids
+
+    def commit_read(self, start: int, end: int, instance_id: int) -> None:
+        self.readers.append((start, end, instance_id))
+
+
+def build_dependences(graph: TaskGraph) -> TaskGraph:
+    """Populate ``deps``/``succs`` of every instance in ``graph`` in place.
+
+    Frontier fast path: equivalent reachability to
+    :func:`build_dependences_reference` (hence identical executor
+    behaviour), but near-linear in the instance count — a new access only
+    consults the last writer(s) of its range and the reads since, never
+    the full history.  Returns the same graph for chaining.  Existing
+    edges are preserved (strategies may add explicit edges before calling
+    this).
+    """
+    frontiers: dict[str, _ArrayFrontier] = {}
+    in_flight: list[int] = []
+    after_barrier: int | None = None
+
+    instances = graph.instances
+    total = len(instances)
+    i = 0
+    while i < total:
+        inst = instances[i]
+        if inst.kind is InstanceKind.BARRIER:
+            for prior in in_flight:
+                _add_edge(graph, prior, inst.instance_id)
+            if after_barrier is not None and not in_flight:
+                _add_edge(graph, after_barrier, inst.instance_id)
+            frontiers.clear()
+            in_flight.clear()
+            after_barrier = inst.instance_id
+            i += 1
+            continue
+
+        # Chunks of one invocation never conflict, so the whole batch of
+        # consecutive instances of this invocation queries the frontier
+        # first and commits its own accesses only afterwards.
+        inv_id = inst.invocation.invocation_id
+        j = i
+        writes: list[tuple[_ArrayFrontier, int, int, int]] = []
+        reads: list[tuple[_ArrayFrontier, int, int, int]] = []
+        while j < total:
+            member = instances[j]
+            if (
+                member.kind is not InstanceKind.COMPUTE
+                or member.invocation.invocation_id != inv_id
+            ):
+                break
+            member_id = member.instance_id
+            if after_barrier is not None:
+                _add_edge(graph, after_barrier, member_id)
+            for region, mode in member.regions():
+                assert isinstance(mode, AccessMode)
+                if region.end <= region.start:  # empty PREFIX chunk
+                    continue
+                frontier = frontiers.get(region.array)
+                if frontier is None:
+                    frontier = frontiers[region.array] = _ArrayFrontier()
+                # RAW and WAW both look at the write frontier
+                for src in frontier.writers_overlapping(region.start, region.end):
+                    _add_edge(graph, src, member_id)
+                if mode.writes:
+                    for src in frontier.readers_overlapping(
+                        region.start, region.end
+                    ):
+                        _add_edge(graph, src, member_id)  # WAR
+                    writes.append(
+                        (frontier, region.start, region.end, member_id)
+                    )
+                if mode.reads:
+                    reads.append(
+                        (frontier, region.start, region.end, member_id)
+                    )
+            in_flight.append(member_id)
+            j += 1
+        # writes first, then reads: a read of this invocation survives a
+        # sibling chunk's write to the same range, exactly as the
+        # reference builder's same-invocation skip behaves.
+        for frontier, start, end, member_id in writes:
+            frontier.commit_write(start, end, member_id)
+        for frontier, start, end, member_id in reads:
+            frontier.commit_read(start, end, member_id)
+        i = j
+
+    return graph
+
+
 def dependence_chains(graph: TaskGraph) -> dict[int, int]:
     """Assign each compute instance a *chain id* for locality scheduling.
 
     DP-Dep keeps instances of the same dependence chain on the same device
     to minimize transfers.  A chain is the connected component an instance
     belongs to when following single-predecessor links: an instance joins
-    the chain of its first compute dependence; instances without compute
-    dependences start new chains.
+    the chain of its lowest-id compute dependence; instances without
+    compute dependences start new chains.  Only the minimum matters, so
+    the dependence set is scanned once instead of fully sorted.
     """
     chains: dict[int, int] = {}
     next_chain = 0
     for inst in graph.instances:
         if inst.kind is not InstanceKind.COMPUTE:
             continue
-        chain = None
-        for dep in sorted(inst.deps):
-            dep_inst = graph.instances[dep]
-            if dep_inst.kind is InstanceKind.COMPUTE and dep in chains:
-                chain = chains[dep]
-                break
-        if chain is None:
+        # min compute dep without sorting; deps always point backwards in
+        # program order, so every compute dep is already in ``chains``.
+        best = -1
+        for dep in inst.deps:
+            if (best < 0 or dep < best) and dep in chains:
+                best = dep
+        if best < 0:
             chain = next_chain
             next_chain += 1
+        else:
+            chain = chains[best]
         chains[inst.instance_id] = chain
     return chains

@@ -22,11 +22,17 @@ class Simulator:
     moves forward; scheduling into the past is an error.
     """
 
+    #: minimum number of cancelled slots before a heap compaction is
+    #: considered (avoids rebuilding tiny heaps); compaction also requires
+    #: cancelled slots to outnumber live ones
+    _COMPACT_MIN = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: list[Event] = []
         self._seq = 0
         self._running = False
+        self._cancelled = 0  # cancelled events still occupying heap slots
 
     @property
     def now(self) -> float:
@@ -46,9 +52,21 @@ class Simulator:
                 f"cannot schedule event at {time} before now={self._now}"
             )
         event = Event(max(time, self._now), priority, self._seq, callback)
+        event.on_cancel = self._note_cancel
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancel(self) -> None:
+        """Track a cancellation; compact once cancelled slots dominate."""
+        self._cancelled += 1
+        if (
+            self._cancelled >= self._COMPACT_MIN
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
 
     def after(
         self,
@@ -83,14 +101,16 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 if event.cancelled:
+                    if self._cancelled > 0:
+                        self._cancelled -= 1
                     continue
-                self._now = event.time
-                event.callback()
-                processed += 1
-                if processed > max_events:
+                if processed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; runaway simulation?"
                     )
+                self._now = event.time
+                event.callback()
+                processed += 1
         finally:
             self._running = False
         if until is not None and until > self._now:
@@ -99,5 +119,5 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) events."""
-        return len(self._heap)
+        """Number of queued live (non-cancelled) events."""
+        return len(self._heap) - self._cancelled

@@ -36,7 +36,14 @@ class Event:
     seq: int
     callback: Callable[[], Any] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: notification hook set by the owning simulator so it can keep a live
+    #: event count and compact the heap (see ``Simulator.pending``)
+    on_cancel: Callable[[], Any] | None = field(default=None, compare=False)
 
     def cancel(self) -> None:
         """Prevent the callback from running when the event fires."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.apps import get_application
-from repro.bench.harness import mk_strategies, run_scenario, sk_strategies
+from repro.bench.harness import (
+    SweepCell,
+    mk_strategies,
+    run_scenario,
+    run_sweep,
+    sk_strategies,
+)
 
 
 class TestRunScenario:
@@ -49,3 +55,49 @@ class TestRunScenario:
     def test_strategy_sets(self):
         assert "SP-Single" in sk_strategies()
         assert "SP-Unified" in mk_strategies() and "SP-Varied" in mk_strategies()
+
+
+class TestRunSweep:
+    def _cells(self, platform):
+        return [
+            SweepCell(
+                app="STREAM-Loop", strategy=strategy, platform=platform,
+                n=4096, iterations=2, sync=False,
+            )
+            for strategy in ("Only-CPU", "Only-GPU", "DP-Perf")
+        ]
+
+    def test_results_in_cell_order(self, paper_platform):
+        cells = self._cells(paper_platform)
+        results = run_sweep(cells)
+        assert len(results) == len(cells)
+        # Only-CPU runs everything on the host, Only-GPU on the accelerator
+        assert results[0].gpu_fraction == 0.0
+        assert results[1].gpu_fraction == 1.0
+
+    def test_parallel_matches_serial(self, paper_platform):
+        cells = self._cells(paper_platform)
+        serial = run_sweep(cells, jobs=1)
+        parallel = run_sweep(cells, jobs=2)
+        assert [r.makespan_ms for r in serial] == [
+            r.makespan_ms for r in parallel
+        ]
+        for a, b in zip(serial, parallel):
+            assert list(a.trace) == list(b.trace)
+            assert a.elements_by_device == b.elements_by_device
+            assert a.transfer_bytes == b.transfer_bytes
+
+    def test_scenario_matches_sweep(self, paper_platform):
+        scenario = run_scenario(
+            get_application("STREAM-Loop"), paper_platform,
+            ("Only-CPU", "Only-GPU", "DP-Perf"),
+            n=4096, iterations=2, sync=False,
+        )
+        results = run_sweep(self._cells(paper_platform))
+        assert [o.makespan_ms for o in scenario.outcomes] == [
+            r.makespan_ms for r in results
+        ]
+
+    def test_empty_sweep(self, paper_platform):
+        assert run_sweep([]) == []
+        assert run_sweep([], jobs=4) == []

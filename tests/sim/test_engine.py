@@ -107,6 +107,33 @@ class TestRun:
         with pytest.raises(SimulationError):
             sim.run(max_events=1000)
 
+    def test_max_events_allows_exactly_that_many_callbacks(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.at(float(i), lambda i=i: log.append(i))
+        sim.run(max_events=5)
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_max_events_raises_before_the_extra_callback(self):
+        sim = Simulator()
+        log = []
+        for i in range(6):
+            sim.at(float(i), lambda i=i: log.append(i))
+        with pytest.raises(SimulationError):
+            sim.run(max_events=5)
+        # the guard fires *before* event 6 runs, not after
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_cancelled_events_do_not_count_against_max_events(self):
+        sim = Simulator()
+        log = []
+        events = [sim.at(float(i), lambda i=i: log.append(i)) for i in range(10)]
+        for event in events[:7]:
+            event.cancel()
+        sim.run(max_events=3)
+        assert log == [7, 8, 9]
+
     def test_not_reentrant(self):
         sim = Simulator()
         errors = []
@@ -120,3 +147,41 @@ class TestRun:
         sim.at(1.0, inner)
         sim.run()
         assert len(errors) == 1
+
+
+class TestPending:
+    def test_pending_counts_only_live_events(self):
+        sim = Simulator()
+        events = [sim.at(float(i + 1), lambda: None) for i in range(4)]
+        assert sim.pending == 4
+        events[0].cancel()
+        events[2].cancel()
+        assert sim.pending == 2
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        event = sim.at(1.0, lambda: None)
+        sim.at(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_pending_drops_to_zero_after_run(self):
+        sim = Simulator()
+        event = sim.at(1.0, lambda: None)
+        sim.at(2.0, lambda: None)
+        event.cancel()
+        sim.run()
+        assert sim.pending == 0
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        sim = Simulator()
+        keep = sim.at(1000.0, lambda: None)
+        events = [sim.at(float(i + 1), lambda: None) for i in range(200)]
+        for event in events:
+            event.cancel()
+        # compaction kicked in: cancelled slots were physically removed
+        assert sim.pending == 1
+        assert len(sim._heap) < 200
+        assert sim.run() == pytest.approx(1000.0)
+        assert not keep.cancelled

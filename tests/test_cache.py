@@ -1,0 +1,154 @@
+"""The probe/plan memo stores: counters, fingerprints, disablement."""
+
+import dataclasses
+
+import pytest
+
+from repro.cache import (
+    MemoCache,
+    cache_stats,
+    clear_all,
+    configure,
+    device_fingerprint,
+    get_cache,
+    kernel_fingerprint,
+    platform_fingerprint,
+)
+from repro.partition.profiling import build_profile_table
+
+from tests.conftest import chain_program
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_all()
+    configure(enabled=True)
+    yield
+    clear_all()
+    configure(enabled=True)
+
+
+class TestMemoCache:
+    def test_miss_then_hit(self):
+        cache = MemoCache("t")
+        calls = []
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 42) == 42
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 99) == 42
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_distinct_keys_do_not_collide(self):
+        cache = MemoCache("t")
+        assert cache.get_or_compute(("a", 1), lambda: "x") == "x"
+        assert cache.get_or_compute(("a", 2), lambda: "y") == "y"
+        assert len(cache) == 2
+
+    def test_clear_resets_counters(self):
+        cache = MemoCache("t")
+        cache.get_or_compute("k", lambda: 1)
+        cache.get_or_compute("k", lambda: 1)
+        cache.clear()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+        assert stats.hit_rate == 0.0
+
+    def test_max_entries_stops_admitting(self):
+        cache = MemoCache("t", max_entries=2)
+        for i in range(4):
+            cache.get_or_compute(i, lambda i=i: i)
+        assert len(cache) == 2
+        # un-admitted keys recompute every time
+        calls = []
+        cache.get_or_compute(3, lambda: calls.append(1) or 3)
+        cache.get_or_compute(3, lambda: calls.append(1) or 3)
+        assert len(calls) == 2
+
+    def test_disabled_cache_always_computes(self):
+        cache = MemoCache("t")
+        cache.enabled = False
+        calls = []
+        cache.get_or_compute("k", lambda: calls.append(1) or 1)
+        cache.get_or_compute("k", lambda: calls.append(1) or 1)
+        assert len(calls) == 2
+        assert len(cache) == 0
+
+
+class TestRegistry:
+    def test_get_cache_is_idempotent(self):
+        assert get_cache("reg-test") is get_cache("reg-test")
+
+    def test_cache_stats_snapshots_every_store(self):
+        get_cache("reg-a").get_or_compute(1, lambda: 1)
+        stats = cache_stats()
+        assert "reg-a" in stats
+        assert stats["reg-a"].misses == 1
+
+    def test_configure_disables_all_stores(self):
+        cache = get_cache("reg-b")
+        configure(enabled=False)
+        try:
+            calls = []
+            cache.get_or_compute("k", lambda: calls.append(1) or 1)
+            cache.get_or_compute("k", lambda: calls.append(1) or 1)
+            assert len(calls) == 2
+            # newly created stores inherit the setting (via REPRO_CACHE)
+            assert get_cache("reg-c").enabled is False
+        finally:
+            configure(enabled=True)
+
+
+class TestFingerprints:
+    def test_device_fingerprint_tracks_spec(self, paper_platform):
+        host = paper_platform.host
+        fp = device_fingerprint(host)
+        assert fp == device_fingerprint(host)
+        slower = dataclasses.replace(
+            host.spec, mem_bandwidth_gbs=host.spec.mem_bandwidth_gbs / 2
+        )
+        patched = type(host)(host.device_id, slower, host.cost_model)
+        assert device_fingerprint(patched) != fp
+
+    def test_platform_fingerprint_tracks_links(self, paper_platform):
+        from repro.bench.crossover import with_link_bandwidth
+
+        fp = platform_fingerprint(paper_platform)
+        assert fp == platform_fingerprint(paper_platform)
+        faster = with_link_bandwidth(paper_platform, 96.0)
+        assert platform_fingerprint(faster) != fp
+
+    def test_kernel_fingerprint_ignores_impl(self):
+        program = chain_program(1, n=64)
+        kernel = program.kernels[0]
+        fp = kernel_fingerprint(kernel)
+        patched = dataclasses.replace(kernel, impl=lambda *a, **k: None)
+        assert kernel_fingerprint(patched) == fp
+        recosted = dataclasses.replace(
+            kernel,
+            cost=dataclasses.replace(
+                kernel.cost, flops_per_elem=kernel.cost.flops_per_elem + 1
+            ),
+        )
+        assert kernel_fingerprint(recosted) != fp
+
+
+class TestProfileTableCaching:
+    def test_cached_seed_yields_independent_tables(self, paper_platform):
+        program = chain_program(2, n=4096)
+        first = build_profile_table(program, paper_platform)
+        second = build_profile_table(program, paper_platform)
+        assert first is not second
+        assert first.rate_s_per_index == second.rate_s_per_index
+        # the scheduler EWMA-mutates its copy; the memoized seed must not see it
+        key = next(iter(first.rate_s_per_index))
+        first.rate_s_per_index[key] *= 10.0
+        third = build_profile_table(program, paper_platform)
+        assert third.rate_s_per_index == second.rate_s_per_index
+
+    def test_repeat_builds_hit_the_cache(self, paper_platform):
+        program = chain_program(2, n=4096)
+        build_profile_table(program, paper_platform)
+        before = cache_stats()["profile-table"].hits
+        build_profile_table(program, paper_platform)
+        assert cache_stats()["profile-table"].hits == before + 1
