@@ -1,10 +1,18 @@
-"""Pipeline fast-path performance: dependence analysis + memo hit rates.
+"""Pipeline fast-path performance: dependence analysis, memo hit rates,
+sweep return sizes, and summary-query throughput.
 
 Times the frontier dependence builder against the reference full-history
 scan on a 5000+-instance single-barrier-window program (the shape the
 O(n^2) scan is worst at), measures the probe/plan cache hit rates across a
-repeated sweep, and records everything to ``BENCH_pipeline.json`` so CI
-can track instances/sec over time.
+repeated sweep, sizes the default summarized ``run_sweep`` returns against
+full-trace artifacts, checks that parallel workers reproduce the serial
+hit rates from the shipped cache snapshot, and records everything to
+``BENCH_pipeline.json`` so CI can track the numbers over time.
+
+``--check-baseline [FILE]`` additionally compares the fresh record against
+the committed ``benchmarks/BENCH_pipeline.baseline.json`` with a tolerance
+band and exits non-zero on regression (hardware-robust metrics only:
+ratios, byte sizes, hit rates, parity — not absolute wall-clock).
 
 Runs both under pytest (``pytest benchmarks/bench_pipeline_perf.py``) and
 as a plain script (``python benchmarks/bench_pipeline_perf.py``) for the
@@ -18,6 +26,7 @@ import time
 from pathlib import Path
 
 from repro.apps import get_application
+from repro.artifact import artifact_nbytes
 from repro.bench.harness import SweepCell, run_sweep
 from repro.cache import cache_stats, clear_all
 from repro.platform import shen_icpp15_platform
@@ -29,16 +38,23 @@ from repro.runtime.graph import chunk_ranges, expand_program
 
 #: where the recorded numbers land (repo root, next to ROADMAP.md)
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+#: the committed reference record CI compares fresh runs against
+BASELINE = Path(__file__).resolve().parent / "BENCH_pipeline.baseline.json"
 
 #: acceptance floor: the frontier builder must beat the reference by this
 SPEEDUP_FLOOR = 10.0
 #: generous CI floor on the fast builder's throughput (measured ~85k/s)
 INSTANCES_PER_SEC_FLOOR = 2_000.0
+#: summarized sweep returns must pickle at least this much smaller
+SWEEP_BYTES_RATIO_FLOOR = 10.0
 
 #: the adversarial shape: one long barrier-free window of many instances
 N = 1 << 16
 ITERATIONS = 79
 CHUNKS = 16
+
+#: the sweep-return sizing cell: a 5000+-instance STREAM-Loop execution
+SWEEP_ITERATIONS = 110
 
 
 def _graph():
@@ -97,6 +113,97 @@ def measure_cache_hit_rates() -> dict:
     return {"cold": cold, "warm": warm}
 
 
+def measure_sweep_return_bytes() -> dict:
+    """Pickled size of a 5000+-instance sweep return: summary vs full."""
+    platform = shen_icpp15_platform()
+    cell = SweepCell(
+        app="STREAM-Loop", strategy="DP-Perf", platform=platform,
+        n=N, iterations=SWEEP_ITERATIONS, sync=False,
+    )
+    clear_all()
+    [full] = run_sweep([cell], detail="full")
+    clear_all()
+    [summary] = run_sweep([cell])  # the default is detail="summary"
+    full_bytes = artifact_nbytes(full)
+    summary_bytes = artifact_nbytes(summary)
+    return {
+        "instances": full.instance_count,
+        "full_bytes": full_bytes,
+        "summary_bytes": summary_bytes,
+        "bytes_ratio": full_bytes / summary_bytes,
+    }
+
+
+def measure_summary_query_perf() -> dict:
+    """Throughput of the columnar store's aggregate queries on a big trace."""
+    platform = shen_icpp15_platform()
+    cell = SweepCell(
+        app="STREAM-Loop", strategy="DP-Perf", platform=platform,
+        n=N, iterations=SWEEP_ITERATIONS, sync=False,
+    )
+    clear_all()
+    [result] = run_sweep([cell], detail="full")
+    store = result.trace.store
+    rounds = 50
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        store.makespan()
+        store.elements_by_device()
+        store.instance_count_by_device()
+        store.ratio_by_kernel()
+        store.transfer_time_by_direction()
+        for rid in store.resource_ids_seen():
+            store.busy_time(rid)
+    elapsed = time.perf_counter() - t0
+    queries = rounds * (5 + len(store.resource_ids_seen()))
+    return {
+        "records": len(store.starts),
+        "queries": queries,
+        "elapsed_s": elapsed,
+        "queries_per_sec": queries / elapsed,
+    }
+
+
+def _aggregate_cache_deltas(results) -> dict:
+    """Sum the per-artifact cache stats a sweep's runs observed."""
+    total: dict[str, dict[str, int]] = {}
+    for r in results:
+        for store, delta in r.cache_stats.items():
+            t = total.setdefault(store, {"hits": 0, "misses": 0})
+            t["hits"] += delta["hits"]
+            t["misses"] += delta["misses"]
+    for t in total.values():
+        seen = t["hits"] + t["misses"]
+        t["hit_rate"] = t["hits"] / seen if seen else 0.0
+    return {name: total[name] for name in sorted(total)}
+
+
+def measure_worker_parity() -> dict:
+    """Parallel workers must reproduce the serial hit rates.
+
+    The parent's memo stores are snapshotted into each worker, so a warm
+    parallel sweep sees exactly the hits a warm serial sweep does.
+    """
+    platform = shen_icpp15_platform()
+    cells = [
+        SweepCell(
+            app=app, strategy=strategy, platform=platform,
+            n=4096, iterations=2,
+        )
+        for app in ("STREAM-Loop", "HotSpot")
+        for strategy in ("DP-Perf", "SP-Unified" if app == "STREAM-Loop" else "SP-Single")
+    ]
+    clear_all()
+    run_sweep(cells)  # warm the parent stores
+    serial = _aggregate_cache_deltas(run_sweep(cells, jobs=1))
+    parallel = _aggregate_cache_deltas(run_sweep(cells, jobs=2))
+    return {
+        "serial": serial,
+        "parallel": parallel,
+        "match": serial == parallel,
+    }
+
+
 def record() -> dict:
     payload = {
         "benchmark": "pipeline_perf",
@@ -108,6 +215,9 @@ def record() -> dict:
         },
         "dependence": measure_dependence_perf(),
         "caches": measure_cache_hit_rates(),
+        "sweep_returns": measure_sweep_return_bytes(),
+        "summary_queries": measure_summary_query_perf(),
+        "worker_parity": measure_worker_parity(),
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -122,12 +232,67 @@ def check(payload: dict) -> None:
     # the repeated sweep replays probes and predictions from the memos
     for store in ("probe", "profile", "glinda"):
         assert warm[store]["hits"] > 0, warm
+    sweep = payload["sweep_returns"]
+    assert sweep["instances"] >= 5000, sweep
+    assert sweep["bytes_ratio"] >= SWEEP_BYTES_RATIO_FLOOR, sweep
+    assert payload["worker_parity"]["match"], payload["worker_parity"]
+
+
+#: baseline comparisons: (json path, direction, relative tolerance).
+#: Only hardware-robust metrics — ratios, sizes, hit rates — never raw
+#: wall-clock, so the committed baseline holds across CI machines.
+BASELINE_CHECKS = [
+    ("dependence.speedup", "min", 0.5),
+    ("sweep_returns.bytes_ratio", "min", 0.2),
+    ("sweep_returns.summary_bytes", "max", 0.5),
+    ("caches.warm.probe.hit_rate", "min", 0.05),
+    ("caches.warm.profile.hit_rate", "min", 0.05),
+    ("caches.warm.glinda.hit_rate", "min", 0.05),
+]
+
+
+def _lookup(payload: dict, dotted: str):
+    node = payload
+    for key in dotted.split("."):
+        node = node[key]
+    return node
+
+
+def compare_to_baseline(payload: dict, baseline_path: Path | None = None) -> list[str]:
+    """Tolerance-banded regression check; returns failure messages."""
+    path = baseline_path or BASELINE
+    baseline = json.loads(path.read_text())
+    failures = []
+    for dotted, direction, tol in BASELINE_CHECKS:
+        try:
+            base = _lookup(baseline, dotted)
+        except KeyError:
+            continue  # metric added after the baseline was frozen
+        got = _lookup(payload, dotted)
+        if direction == "min":
+            floor = base * (1.0 - tol)
+            if got < floor:
+                failures.append(
+                    f"{dotted}: {got:.4g} below baseline band "
+                    f"(>= {floor:.4g}, baseline {base:.4g})"
+                )
+        else:
+            ceiling = base * (1.0 + tol)
+            if got > ceiling:
+                failures.append(
+                    f"{dotted}: {got:.4g} above baseline band "
+                    f"(<= {ceiling:.4g}, baseline {base:.4g})"
+                )
+    if not payload["worker_parity"]["match"]:
+        failures.append("worker_parity: parallel hit rates diverge from serial")
+    return failures
 
 
 def test_pipeline_perf(benchmark):
     payload = benchmark.pedantic(record, rounds=1, iterations=1)
     check(payload)
     dep = payload["dependence"]
+    sweep = payload["sweep_returns"]
     from conftest import emit
 
     emit(
@@ -140,19 +305,47 @@ def test_pipeline_perf(benchmark):
         f"speedup:              {dep['speedup']:9.1f}x (floor {SPEEDUP_FLOOR:g}x)\n"
         f"warm probe hit rate:  "
         f"{payload['caches']['warm']['probe']['hit_rate']:9.1%}\n"
+        f"sweep return:         {sweep['summary_bytes']:,} B summarized vs "
+        f"{sweep['full_bytes']:,} B full ({sweep['bytes_ratio']:.0f}x)\n"
+        f"summary queries:      "
+        f"{payload['summary_queries']['queries_per_sec']:,.0f} /s\n"
+        f"worker parity:        "
+        f"{'ok' if payload['worker_parity']['match'] else 'DIVERGED'}\n"
         f"wrote {OUTPUT.name}",
     )
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check-baseline", nargs="?", const=str(BASELINE), default=None,
+        metavar="FILE",
+        help="compare the fresh record against a committed baseline "
+             "(default: benchmarks/BENCH_pipeline.baseline.json) and exit "
+             "non-zero on regression",
+    )
+    args = parser.parse_args(argv)
+
     payload = record()
     check(payload)
     dep = payload["dependence"]
+    sweep = payload["sweep_returns"]
     print(
         f"pipeline perf: {dep['instances']} instances, "
         f"fast {dep['fast_instances_per_sec']:,.0f} inst/s, "
-        f"speedup {dep['speedup']:.1f}x -> {OUTPUT}"
+        f"speedup {dep['speedup']:.1f}x, "
+        f"sweep return {sweep['bytes_ratio']:.0f}x smaller summarized "
+        f"-> {OUTPUT}"
     )
+    if args.check_baseline is not None:
+        failures = compare_to_baseline(payload, Path(args.check_baseline))
+        if failures:
+            for failure in failures:
+                print(f"BASELINE REGRESSION: {failure}")
+            return 1
+        print(f"baseline check passed against {args.check_baseline}")
     return 0
 
 

@@ -48,6 +48,7 @@ from repro.partition import (
     list_strategies,
     run_plan,
 )
+from repro.artifact import RunArtifact, TraceSummary
 from repro.runtime import ExecutionResult, RuntimeConfig
 
 __version__ = "1.0.0"
@@ -76,6 +77,8 @@ __all__ = [
     "list_strategies",
     "run_plan",
     "ExecutionResult",
+    "RunArtifact",
     "RuntimeConfig",
+    "TraceSummary",
     "__version__",
 ]

@@ -1,0 +1,221 @@
+"""Run artifacts: the single result unit flowing through the pipeline.
+
+One simulated run used to travel as a mutable ``ExecutionResult`` carrying
+the *full* :class:`~repro.sim.trace.ExecutionTrace`, which every consumer
+(figure tables, speedup rows, validation checks, CSV export) re-scanned
+for each derived number — and which ``run_sweep`` workers pickled
+wholesale back to the parent.  This module replaces that with a two-level
+bundle:
+
+* :class:`TraceSummary` — every number the reporting layers derive from a
+  trace (makespan, per-resource busy times, per-direction transfer times,
+  per-kernel split ratios, element/instance counts), computed **once**
+  from the columnar :class:`~repro.sim.tracestore.TraceStore` in
+  group-index order.  The accumulation order matches the old filtered
+  record scans exactly, so every figure/table number derived from a
+  summary is bit-identical to the pre-refactor path (enforced by
+  ``tests/integration/test_artifact_differential.py``).
+* :class:`RunArtifact` — a frozen, cheaply-picklable bundle of the
+  summary, the strategy's :class:`~repro.partition.base.StrategyDecision`,
+  and the run's cache hit/miss deltas.  The raw trace rides along only
+  when the run was requested with ``detail="full"``; summarized artifacts
+  (the ``run_sweep`` worker default) are orders of magnitude smaller on
+  the wire.
+
+``RunArtifact`` exposes the full historical ``ExecutionResult`` API
+(``makespan_ms``, ``gpu_fraction``, ``ratio_by_kernel()``, ...), so it is
+a drop-in replacement; ``repro.runtime.executor.ExecutionResult`` is kept
+as a compatibility alias.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.trace import ExecutionTrace
+from repro.sim.tracestore import TraceStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.partition.base import StrategyDecision
+
+#: valid values of the ``detail`` knob
+DETAIL_LEVELS = ("summary", "full")
+
+
+def check_detail(detail: str) -> str:
+    """Validate a ``detail`` argument; returns it for chaining."""
+    if detail not in DETAIL_LEVELS:
+        raise ValueError(
+            f"detail must be one of {DETAIL_LEVELS}, got {detail!r}"
+        )
+    return detail
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Every reported aggregate of one trace, computed once.
+
+    All float aggregates accumulate in the store's insertion order per
+    group — the same order the old per-query record scans used — so the
+    values are bit-identical to querying the raw trace.
+    """
+
+    #: latest end time across all records (trace-only; the artifact's
+    #: ``makespan_s`` is additionally bounded by the simulator clock)
+    trace_makespan_s: float
+    #: number of trace records the summary condenses
+    record_count: int
+    #: kernel indices executed per device kind ("cpu"/"gpu")
+    elements_by_device: dict[str, int]
+    #: compute task instances per device kind
+    instances_by_device: dict[str, int]
+    #: kernel name -> device kind -> indices (per-kernel split ratios)
+    ratio_by_kernel: dict[str, dict[str, int]]
+    #: link-busy seconds per transfer direction ("h2d"/"d2h")
+    transfer_time_s: dict[str, float]
+    #: resource id -> category -> occupied seconds
+    busy_by_resource: dict[str, dict[str, float]]
+
+    @classmethod
+    def from_store(cls, store: TraceStore) -> "TraceSummary":
+        return cls(
+            trace_makespan_s=store.makespan(),
+            record_count=len(store),
+            elements_by_device=store.elements_by_device(),
+            instances_by_device=store.instance_count_by_device(),
+            ratio_by_kernel=store.ratio_by_kernel(),
+            transfer_time_s=store.transfer_time_by_direction(),
+            busy_by_resource=store.busy_by_resource(),
+        )
+
+    def busy_time(self, resource_id: str, *, category: str | None = None) -> float:
+        """Occupied seconds on a resource (sum over categories or one)."""
+        per_cat = self.busy_by_resource.get(resource_id, {})
+        if category is not None:
+            return per_cat.get(category, 0.0)
+        return sum(per_cat.values())
+
+
+@dataclass(frozen=True)
+class RunArtifact:
+    """Outcome of one simulated run (frozen, cheaply picklable).
+
+    This is the unit every pipeline layer exchanges: the executor builds
+    it, strategies attach their decision and cache deltas, sweep workers
+    ship it back summarized, and the reporting layers read only the
+    summary.  The raw trace is present only under ``detail="full"``.
+    """
+
+    makespan_s: float
+    scheduler_name: str
+    instance_count: int
+    summary: TraceSummary
+    #: transferred bytes per direction ("h2d"/"d2h")
+    transfer_bytes: dict[str, int] = field(default_factory=dict)
+    #: what the producing strategy decided (None for raw engine runs)
+    decision: "StrategyDecision | None" = None
+    #: per-run memo-store deltas: store name -> {"hits": int, "misses": int}
+    cache_stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: "summary" (trace dropped) or "full" (trace attached)
+    detail: str = "full"
+    #: the raw trace; only present under ``detail="full"``
+    trace: ExecutionTrace | None = field(default=None, compare=False)
+
+    # -- compatibility facade (the historical ExecutionResult API) -------
+
+    @property
+    def makespan_ms(self) -> float:
+        return self.makespan_s * 1e3
+
+    @property
+    def elements_by_device(self) -> dict[str, int]:
+        """Kernel indices executed per device kind ("cpu"/"gpu")."""
+        return self.summary.elements_by_device
+
+    @property
+    def instances_by_device(self) -> dict[str, int]:
+        """Task instances per device kind."""
+        return self.summary.instances_by_device
+
+    @property
+    def transfer_time_s(self) -> dict[str, float]:
+        """Seconds the link channels were occupied, per direction."""
+        return self.summary.transfer_time_s
+
+    @property
+    def total_transfer_time_s(self) -> float:
+        return sum(self.transfer_time_s.values())
+
+    def device_fraction(self, kind: str) -> float:
+        """Fraction of kernel indices executed on ``kind`` ("gpu"/"cpu")."""
+        total = sum(self.elements_by_device.values())
+        if total == 0:
+            return 0.0
+        return self.elements_by_device.get(kind, 0) / total
+
+    @property
+    def gpu_fraction(self) -> float:
+        return self.device_fraction("gpu")
+
+    @property
+    def cpu_fraction(self) -> float:
+        return self.device_fraction("cpu")
+
+    @property
+    def accelerator_fraction(self) -> float:
+        """Fraction executed on any non-CPU device (GPU, Phi, ...)."""
+        total = sum(self.elements_by_device.values())
+        if total == 0:
+            return 0.0
+        return 1.0 - self.elements_by_device.get("cpu", 0) / total
+
+    def ratio_by_kernel(self) -> dict[str, dict[str, int]]:
+        """Kernel name -> device kind -> indices (per-kernel split ratios).
+
+        Returns a fresh copy (the historical API returned a new dict per
+        call, and callers are free to mutate it).
+        """
+        return {k: dict(v) for k, v in self.summary.ratio_by_kernel.items()}
+
+    @property
+    def strategy_name(self) -> str | None:
+        """Canonical name of the producing strategy (None for raw runs)."""
+        return self.decision.strategy if self.decision is not None else None
+
+    # -- detail management -----------------------------------------------
+
+    def require_trace(self) -> ExecutionTrace:
+        """The raw trace; raises when the run was summarized."""
+        if self.trace is None:
+            raise ValueError(
+                "this RunArtifact was produced with detail='summary'; "
+                "re-run with detail='full' to keep the raw trace"
+            )
+        return self.trace
+
+    def summarized(self) -> "RunArtifact":
+        """A copy with the raw trace dropped (``detail="summary"``)."""
+        if self.trace is None and self.detail == "summary":
+            return self
+        return replace(self, trace=None, detail="summary")
+
+    def with_context(
+        self,
+        *,
+        decision: "StrategyDecision | None" = None,
+        cache_stats: dict[str, dict[str, Any]] | None = None,
+    ) -> "RunArtifact":
+        """A copy with strategy decision and/or cache deltas attached."""
+        out = self
+        if decision is not None:
+            out = replace(out, decision=decision)
+        if cache_stats is not None:
+            out = replace(out, cache_stats=cache_stats)
+        return out
+
+
+def artifact_nbytes(artifact: RunArtifact) -> int:
+    """Pickled size of an artifact — the sweep's on-the-wire unit cost."""
+    return len(pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL))

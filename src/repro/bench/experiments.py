@@ -157,12 +157,16 @@ def run_experiment(
     scale: float = 1.0,
     iterations: int | None = None,
     jobs: int = 1,
+    detail: str = "summary",
 ) -> list[ScenarioResult]:
     """Run one experiment; returns one :class:`ScenarioResult` per scenario.
 
     All scenario x strategy cells are flattened into one sweep, so
     ``jobs > 1`` parallelizes across the whole experiment, not just
     within a scenario.  Results are order-deterministic either way.
+    Every reported number comes from the artifacts'
+    :class:`~repro.artifact.TraceSummary`; pass ``detail="full"`` to also
+    keep the raw traces on the outcomes.
     """
     try:
         experiment = EXPERIMENTS[key]
@@ -180,7 +184,7 @@ def run_experiment(
                     n=n, iterations=iterations, sync=scenario.sync,
                 )
             )
-    outcomes = run_sweep(cells, jobs=jobs)
+    outcomes = run_sweep(cells, jobs=jobs, detail=detail)
     results = []
     stride = len(experiment.strategies)
     for i, scenario in enumerate(experiment.scenarios):

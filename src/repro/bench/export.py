@@ -19,7 +19,13 @@ from repro.bench.speedup import SpeedupRow
 
 
 def scenario_rows(scenarios: Iterable[ScenarioResult]) -> list[dict]:
-    """Flatten scenario results into one record per (scenario, strategy)."""
+    """Flatten scenario results into one record per (scenario, strategy).
+
+    Every value is read from the outcome's
+    :class:`~repro.artifact.RunArtifact` summary, so summarized sweep
+    results (the ``detail="summary"`` default) export identically to
+    full-trace ones.
+    """
     rows = []
     for scenario in scenarios:
         for outcome in scenario.outcomes:

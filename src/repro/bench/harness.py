@@ -5,6 +5,19 @@ one (application, strategy, platform, size) point each — and hand them to
 :func:`run_sweep`, which runs them serially or fans them out across worker
 processes.  Results always come back in cell order, so parallel runs are
 byte-identical to serial ones.
+
+Sweeps exchange :class:`~repro.artifact.RunArtifact` bundles.  By default
+(``detail="summary"``) workers return artifacts *without* the raw trace —
+every figure/table number lives in the precomputed
+:class:`~repro.artifact.TraceSummary`, so the pickled returns are a tiny
+fraction of the full-trace size (``benchmarks/bench_pipeline_perf.py``
+records the ratio).  Pass ``detail="full"`` to keep the traces.
+
+Parallel sweeps also ship a read-only snapshot of the parent's
+:mod:`repro.cache` stores to every worker through the pool initializer,
+so workers replay the probes/predictions the parent already has instead
+of re-running them cold (each artifact carries its own hit/miss delta in
+``cache_stats``).
 """
 
 from __future__ import annotations
@@ -12,13 +25,16 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Iterable, Sequence
 
+import repro.cache as _cache
 from repro.apps.base import Application
 from repro.apps.registry import get_application
+from repro.artifact import RunArtifact, check_detail
 from repro.partition.base import PlanConfig, get_strategy
 from repro.platform.topology import Platform
-from repro.runtime.executor import ExecutionResult, RuntimeConfig
+from repro.runtime.executor import RuntimeConfig
 
 #: strategy sets per class family (baselines first, paper figure order)
 SK_STRATEGIES = ("Only-GPU", "Only-CPU", "SP-Single", "DP-Perf", "DP-Dep")
@@ -43,7 +59,7 @@ class StrategyOutcome:
     """One bar of a paper figure: one strategy on one scenario."""
 
     strategy: str
-    result: ExecutionResult
+    result: RunArtifact
 
     @property
     def makespan_ms(self) -> float:
@@ -114,7 +130,7 @@ class SweepCell:
     runtime_config: RuntimeConfig | None = None
 
 
-def _run_cell(cell: SweepCell) -> ExecutionResult:
+def _run_cell(cell: SweepCell, detail: str = "summary") -> RunArtifact:
     """Execute one cell (module-level so worker processes can unpickle it)."""
     app = get_application(cell.app)
     sync = app.needs_sync if cell.sync is None else cell.sync
@@ -123,7 +139,13 @@ def _run_cell(cell: SweepCell) -> ExecutionResult:
     return strategy.run(
         program, cell.platform,
         config=cell.config, runtime_config=cell.runtime_config,
+        detail=detail,
     )
+
+
+def _init_worker(snapshot) -> None:
+    """Pool initializer: warm this worker from the parent's memo stores."""
+    _cache.preload_snapshot(snapshot)
 
 
 def default_jobs() -> int:
@@ -132,23 +154,37 @@ def default_jobs() -> int:
 
 
 def run_sweep(
-    cells: Iterable[SweepCell], *, jobs: int = 1
-) -> list[ExecutionResult]:
-    """Run every cell; results are returned in cell order.
+    cells: Iterable[SweepCell],
+    *,
+    jobs: int = 1,
+    detail: str = "summary",
+    share_cache: bool = True,
+) -> list[RunArtifact]:
+    """Run every cell; artifacts are returned in cell order.
 
     ``jobs > 1`` fans the cells out over a :class:`ProcessPoolExecutor`.
     ``pool.map`` preserves input order, so the output is independent of
     worker completion order — a parallel sweep is byte-identical to a
     serial one.  ``jobs <= 0`` means one worker per core.
+
+    ``detail="summary"`` (default) returns artifacts without raw traces —
+    the cheap cross-process form; ``detail="full"`` keeps them.  With
+    ``share_cache`` (default), parallel workers start from a read-only
+    snapshot of the parent's :mod:`repro.cache` stores, recovering the
+    serial run's memo hit rates under ``jobs > 1``.
     """
+    check_detail(detail)
     cells = list(cells)
     if jobs <= 0:
         jobs = default_jobs()
     if jobs == 1 or len(cells) <= 1:
-        return [_run_cell(cell) for cell in cells]
+        return [_run_cell(cell, detail) for cell in cells]
     workers = min(jobs, len(cells))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_cell, cells))
+    snapshot = _cache.snapshot_stores() if share_cache else {}
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(snapshot,)
+    ) as pool:
+        return list(pool.map(partial(_run_cell, detail=detail), cells))
 
 
 def scenario_label(app: Application, sync: bool | None) -> str:
@@ -162,7 +198,7 @@ def assemble_scenario(
     app: Application,
     sync: bool | None,
     strategies: Sequence[str],
-    results: Sequence[ExecutionResult],
+    results: Sequence[RunArtifact],
     *,
     label: str | None = None,
 ) -> ScenarioResult:
@@ -189,6 +225,7 @@ def run_scenario(
     runtime_config: RuntimeConfig | None = None,
     label: str | None = None,
     jobs: int = 1,
+    detail: str = "summary",
 ) -> ScenarioResult:
     """Run ``app`` under every strategy; returns the scenario row."""
     cells = [
@@ -199,5 +236,5 @@ def run_scenario(
         )
         for name in strategies
     ]
-    results = run_sweep(cells, jobs=jobs)
+    results = run_sweep(cells, jobs=jobs, detail=detail)
     return assemble_scenario(app, sync, strategies, results, label=label)

@@ -35,10 +35,14 @@ __all__ = [
     "cache_stats",
     "clear_all",
     "configure",
+    "counters",
     "device_fingerprint",
     "get_cache",
     "kernel_fingerprint",
     "platform_fingerprint",
+    "preload_snapshot",
+    "snapshot_stores",
+    "stats_delta",
 ]
 
 
@@ -114,6 +118,29 @@ class MemoCache:
         self._hits = 0
         self._misses = 0
 
+    def preload(self, entries: dict[Hashable, Any]) -> int:
+        """Install entries without touching the hit/miss counters.
+
+        Used to ship a parent process's warm store into sweep workers:
+        preloaded entries serve later lookups as ordinary hits, but the
+        preload itself is bookkeeping, not cache traffic.  Respects
+        ``max_entries``; returns the number of entries installed.
+        """
+        installed = 0
+        store = self._store
+        for key, value in entries.items():
+            if key in store:
+                continue
+            if len(store) >= self.max_entries:
+                break
+            store[key] = value
+            installed += 1
+        return installed
+
+    def entries(self) -> dict[Hashable, Any]:
+        """Shallow copy of the stored entries (for snapshotting)."""
+        return dict(self._store)
+
     def stats(self) -> CacheStats:
         return CacheStats(
             name=self.name,
@@ -161,6 +188,62 @@ def configure(*, enabled: bool) -> None:
     os.environ["REPRO_CACHE"] = "1" if enabled else "0"
     for cache in _CACHES.values():
         cache.enabled = enabled
+
+
+def counters() -> dict[str, tuple[int, int]]:
+    """Cheap counter snapshot: store name -> (hits, misses).
+
+    Pair with :func:`stats_delta` to attribute cache traffic to one run:
+    take the counters before, run, and diff afterwards.
+    """
+    return {
+        name: (cache._hits, cache._misses) for name, cache in _CACHES.items()
+    }
+
+
+def stats_delta(before: dict[str, tuple[int, int]]) -> dict[str, dict[str, Any]]:
+    """Per-store hit/miss deltas since a :func:`counters` snapshot.
+
+    Only stores with traffic in the window appear; the result is the
+    JSON-ready shape :class:`~repro.artifact.RunArtifact` carries.
+    """
+    out: dict[str, dict[str, Any]] = {}
+    for name, cache in sorted(_CACHES.items()):
+        hits0, misses0 = before.get(name, (0, 0))
+        hits = cache._hits - hits0
+        misses = cache._misses - misses0
+        if hits or misses:
+            lookups = hits + misses
+            out[name] = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / lookups if lookups else 0.0,
+            }
+    return out
+
+
+# -- cross-process snapshots -------------------------------------------------
+#
+# ``run_sweep`` workers are separate processes, so they start with cold
+# stores and re-run every probe the parent already has.  A *snapshot* is a
+# picklable {store name -> {key -> value}} bundle the parent captures once
+# and ships to each worker through the pool initializer; workers install
+# it read-only-by-convention (their own additions never flow back).
+
+
+def snapshot_stores() -> dict[str, dict[Hashable, Any]]:
+    """Picklable copy of every store's entries (counters excluded)."""
+    return {
+        name: cache.entries()
+        for name, cache in sorted(_CACHES.items())
+        if len(cache)
+    }
+
+
+def preload_snapshot(snapshot: dict[str, dict[Hashable, Any]]) -> None:
+    """Install a :func:`snapshot_stores` bundle into this process."""
+    for name, entries in snapshot.items():
+        get_cache(name).preload(entries)
 
 
 # -- fingerprints -----------------------------------------------------------

@@ -109,10 +109,14 @@ def cmd_run(args) -> int:
     platform = _platform(args)
     app = get_application(args.app)
     config = PlanConfig(cpu_threads=args.threads, task_count=args.tasks)
+    if args.detail == "summary" and (args.stats or args.gantt):
+        print("--stats/--gantt need the raw trace; drop --detail summary",
+              file=sys.stderr)
+        return 2
     if args.strategy is None:
         outcome = match(
             app, platform, n=args.n, iterations=args.iterations,
-            sync=args.sync, config=config,
+            sync=args.sync, config=config, detail=args.detail,
         )
         result = outcome.result
         print(format_match(outcome))
@@ -120,16 +124,18 @@ def cmd_run(args) -> int:
         sync = app.needs_sync if args.sync is None else args.sync
         program = app.program(args.n, iterations=args.iterations, sync=sync)
         strategy = get_strategy(args.strategy)
-        result = strategy.run(program, platform, config=config)
+        result = strategy.run(
+            program, platform, config=config, detail=args.detail,
+        )
         print(f"{app.name} under {strategy.name}: "
               f"{result.makespan_ms:.2f} ms "
               f"(GPU {result.gpu_fraction:.1%} / CPU {result.cpu_fraction:.1%})")
     if args.stats:
         print()
-        print(format_stats(analyze_trace(result.trace)))
+        print(format_stats(analyze_trace(result.require_trace())))
     if args.gantt:
         print()
-        print(render_gantt(result.trace, width=args.gantt_width))
+        print(render_gantt(result.require_trace(), width=args.gantt_width))
     return 0
 
 
@@ -276,6 +282,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print trace statistics")
     p.add_argument("--gantt", action="store_true", help="print a Gantt chart")
     p.add_argument("--gantt-width", type=int, default=80)
+    p.add_argument("--detail", choices=["summary", "full"], default="full",
+                   help="keep the raw trace (full) or only the summary")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")

@@ -10,10 +10,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.apps.base import Application
+from repro.artifact import RunArtifact
 from repro.core.analyzer import AnalysisReport, analyze
 from repro.partition.base import ExecutionPlan, PlanConfig, get_strategy, run_plan
 from repro.platform.topology import Platform
-from repro.runtime.executor import ExecutionResult, RuntimeConfig
+from repro.runtime.executor import RuntimeConfig
 
 
 @dataclass
@@ -22,7 +23,7 @@ class MatchResult:
 
     report: AnalysisReport
     plan: ExecutionPlan
-    result: ExecutionResult | None = None
+    result: RunArtifact | None = None
 
     @property
     def strategy(self) -> str:
@@ -45,6 +46,7 @@ def match(
     config: PlanConfig | None = None,
     runtime_config: RuntimeConfig | None = None,
     execute: bool = True,
+    detail: str = "full",
 ) -> MatchResult:
     """Classify ``app``, pick the best-ranked strategy, plan, and run it."""
     cfg = config or PlanConfig()
@@ -56,7 +58,7 @@ def match(
     result = None
     if execute:
         rt = runtime_config or RuntimeConfig(cpu_threads=cfg.threads(platform))
-        result = run_plan(plan, platform, rt)
+        result = run_plan(plan, platform, rt, detail=detail)
     return MatchResult(report=report, plan=plan, result=result)
 
 
@@ -64,7 +66,7 @@ def run_best(
     app: Application,
     platform: Platform,
     **kwargs,
-) -> ExecutionResult:
+) -> RunArtifact:
     """Convenience wrapper: matchmake and return the execution result."""
     outcome = match(app, platform, execute=True, **kwargs)
     assert outcome.result is not None

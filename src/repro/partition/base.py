@@ -16,6 +16,8 @@ import abc
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
+import repro.cache as _cache
+from repro.artifact import RunArtifact
 from repro.errors import ConfigurationError, PartitioningError
 from repro.platform.topology import Platform
 from repro.runtime.dependence import build_dependences
@@ -117,30 +119,49 @@ class Strategy(abc.ABC):
         *,
         config: PlanConfig | None = None,
         runtime_config: RuntimeConfig | None = None,
-    ) -> ExecutionResult:
-        """Plan and execute in one call (convenience wrapper)."""
+        detail: str = "full",
+    ) -> RunArtifact:
+        """Plan and execute in one call (convenience wrapper).
+
+        The returned :class:`~repro.artifact.RunArtifact` carries this
+        strategy's :class:`StrategyDecision` and the memo-cache hit/miss
+        deltas of the whole plan+execute window.  ``detail="summary"``
+        drops the raw trace (the cheap cross-process form).
+        """
         cfg = config or PlanConfig()
+        before = _cache.counters()
         plan = self.plan(program, platform, cfg)
         rt = runtime_config or RuntimeConfig(cpu_threads=cfg.threads(platform))
-        return run_plan(plan, platform, rt)
+        return run_plan(plan, platform, rt, detail=detail, cache_baseline=before)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Strategy {self.name}>"
 
 
 def run_plan(
-    plan: ExecutionPlan, platform: Platform, runtime_config: RuntimeConfig | None = None
-) -> ExecutionResult:
+    plan: ExecutionPlan,
+    platform: Platform,
+    runtime_config: RuntimeConfig | None = None,
+    *,
+    detail: str = "full",
+    cache_baseline: dict[str, tuple[int, int]] | None = None,
+) -> RunArtifact:
     """Execute a plan on the simulated runtime.
 
     The plan's ``runtime_overrides`` are applied on top of the supplied
-    runtime configuration.
+    runtime configuration.  The artifact comes back with the plan's
+    decision attached; ``cache_baseline`` (a :func:`repro.cache.counters`
+    snapshot) widens the attributed cache window to include planning.
     """
     config = runtime_config or RuntimeConfig()
     if plan.runtime_overrides:
         config = replace(config, **plan.runtime_overrides)
+    before = cache_baseline if cache_baseline is not None else _cache.counters()
     engine = RuntimeEngine(platform, config=config)
-    return engine.execute(plan.graph, plan.scheduler)
+    artifact = engine.execute(plan.graph, plan.scheduler, detail=detail)
+    return artifact.with_context(
+        decision=plan.decision, cache_stats=_cache.stats_delta(before)
+    )
 
 
 # -- program rewriting helpers shared by strategies -----------------------

@@ -113,15 +113,127 @@ def build_dependences_reference(graph: TaskGraph) -> TaskGraph:
     return graph
 
 
+class _ReaderIndex:
+    """Interval-indexed readers-since-last-write of one array.
+
+    The original frontier kept readers as a flat ``(start, end, id)``
+    list, so every WAR query scanned *all* live readers — linear per
+    write, quadratic over a read-heavy many-chunk barrier window.  This
+    index keeps a sorted list of disjoint half-open intervals instead,
+    each mapped to the tuple of reader ids covering it, so an overlap
+    query is a bisect plus a walk over exactly the overlapped run —
+    logarithmic in the number of segments plus output size.
+
+    ``add`` splits the covered segments and extends their id tuples
+    (coalescing equal neighbours to bound growth); ``subtract`` carves a
+    committed write's range out, keeping only reads a future write could
+    still WAR-depend on.  Both maintain the disjoint/sorted invariant, so
+    ``starts`` and ``ends`` stay parallel bisectable arrays.
+    """
+
+    __slots__ = ("starts", "ends", "ids")
+
+    def __init__(self) -> None:
+        self.starts: list[int] = []
+        self.ends: list[int] = []
+        self.ids: list[tuple[int, ...]] = []
+
+    def _overlap_range(self, start: int, end: int) -> tuple[int, int]:
+        """Index range of segments overlapping ``[start, end)``."""
+        lo = bisect_right(self.ends, start)
+        hi = lo
+        n = len(self.starts)
+        while hi < n and self.starts[hi] < end:
+            hi += 1
+        return lo, hi
+
+    def overlapping(self, start: int, end: int) -> list[int]:
+        """Reader ids with any live read overlapping ``[start, end)``.
+
+        Deduplicated in first-read order (a reader may span several
+        segments), matching the flat list's one-entry-per-commit order.
+        """
+        lo, hi = self._overlap_range(start, end)
+        if lo == hi:
+            return []
+        if hi - lo == 1:
+            return list(self.ids[lo])
+        seen: dict[int, None] = {}
+        for i in range(lo, hi):
+            for rid in self.ids[i]:
+                seen.setdefault(rid, None)
+        return list(seen)
+
+    def add(self, start: int, end: int, instance_id: int) -> None:
+        """Record ``instance_id`` as a live reader of ``[start, end)``."""
+        lo, hi = self._overlap_range(start, end)
+        starts: list[int] = []
+        ends: list[int] = []
+        ids: list[tuple[int, ...]] = []
+
+        def emit(s: int, e: int, owner: tuple[int, ...]) -> None:
+            if s >= e:
+                return
+            if ids and ids[-1] == owner and ends[-1] == s:
+                ends[-1] = e  # coalesce equal neighbours
+            else:
+                starts.append(s)
+                ends.append(e)
+                ids.append(owner)
+
+        cursor = start
+        for i in range(lo, hi):
+            s, e, owner = self.starts[i], self.ends[i], self.ids[i]
+            if cursor < s:
+                emit(cursor, s, (instance_id,))
+                cursor = s
+            # the overlapped part of this segment gains the new reader
+            split_lo = max(s, start)
+            split_hi = min(e, end)
+            emit(s, split_lo, owner)
+            if instance_id in owner:
+                emit(split_lo, split_hi, owner)
+            else:
+                emit(split_lo, split_hi, owner + (instance_id,))
+            emit(split_hi, e, owner)
+            cursor = max(cursor, split_hi)
+        emit(cursor, end, (instance_id,))
+        self.starts[lo:hi] = starts
+        self.ends[lo:hi] = ends
+        self.ids[lo:hi] = ids
+
+    def subtract(self, start: int, end: int) -> None:
+        """Drop all reads of ``[start, end)`` (a write superseded them)."""
+        lo, hi = self._overlap_range(start, end)
+        if lo == hi:
+            return
+        starts: list[int] = []
+        ends: list[int] = []
+        ids: list[tuple[int, ...]] = []
+        for i in range(lo, hi):
+            s, e, owner = self.starts[i], self.ends[i], self.ids[i]
+            if s < start:
+                starts.append(s)
+                ends.append(start)
+                ids.append(owner)
+            if e > end:
+                starts.append(end)
+                ends.append(e)
+                ids.append(owner)
+        self.starts[lo:hi] = starts
+        self.ends[lo:hi] = ends
+        self.ids[lo:hi] = ids
+
+
 class _ArrayFrontier:
-    """Last-writer interval index + readers-since-last-write of one array.
+    """Last-writer interval index + reader interval index of one array.
 
     The writer frontier is a sorted list of disjoint half-open intervals,
     each owned by the instance whose write most recently covered it;
     overlap queries are a bisect plus a walk over the overlapped run.
-    Readers are a flat list of ``(start, end, instance_id)`` entries that
-    a committed write subtracts its range from — so the list holds only
-    reads that some future write could still WAR-depend on.
+    Readers since the last write live in a :class:`_ReaderIndex` with the
+    same interval discipline, so WAR queries are logarithmic too
+    (ROADMAP item: interval tree for read-heavy many-chunk programs).
     """
 
     __slots__ = ("wstarts", "wends", "wids", "readers")
@@ -130,7 +242,7 @@ class _ArrayFrontier:
         self.wstarts: list[int] = []
         self.wends: list[int] = []
         self.wids: list[int] = []
-        self.readers: list[tuple[int, int, int]] = []
+        self.readers = _ReaderIndex()
 
     def _overlap_range(self, start: int, end: int) -> tuple[int, int]:
         """Index range of writer entries overlapping ``[start, end)``."""
@@ -149,24 +261,11 @@ class _ArrayFrontier:
         return self.wids[lo:hi]
 
     def readers_overlapping(self, start: int, end: int) -> list[int]:
-        return [
-            rid for rs, re, rid in self.readers if rs < end and start < re
-        ]
+        return self.readers.overlapping(start, end)
 
     def commit_write(self, start: int, end: int, instance_id: int) -> None:
         """Make ``instance_id`` the last writer of ``[start, end)``."""
-        if self.readers:
-            keep: list[tuple[int, int, int]] = []
-            for entry in self.readers:
-                rs, re, rid = entry
-                if re <= start or rs >= end:
-                    keep.append(entry)
-                    continue
-                if rs < start:
-                    keep.append((rs, start, rid))
-                if re > end:
-                    keep.append((end, re, rid))
-            self.readers = keep
+        self.readers.subtract(start, end)
         lo, hi = self._overlap_range(start, end)
         starts: list[int] = []
         ends: list[int] = []
@@ -187,7 +286,7 @@ class _ArrayFrontier:
         self.wids[lo:hi] = ids
 
     def commit_read(self, start: int, end: int, instance_id: int) -> None:
-        self.readers.append((start, end, instance_id))
+        self.readers.add(start, end, instance_id)
 
 
 def build_dependences(graph: TaskGraph) -> TaskGraph:

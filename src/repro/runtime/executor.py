@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.artifact import RunArtifact, TraceSummary, check_detail
 from repro.errors import SchedulingError, SimulationError
 from repro.platform.topology import HOST_SPACE, ComputeResource, Platform
 from repro.runtime.graph import TaskGraph, TaskInstance
@@ -97,66 +98,12 @@ class RuntimeConfig:
     barrier_overhead_s: float = 11e-3
 
 
-@dataclass
-class ExecutionResult:
-    """Outcome of one simulated run."""
-
-    makespan_s: float
-    trace: ExecutionTrace
-    scheduler_name: str
-    instance_count: int
-    #: kernel indices executed per device kind ("cpu"/"gpu")
-    elements_by_device: dict[str, int] = field(default_factory=dict)
-    #: task instances per device kind
-    instances_by_device: dict[str, int] = field(default_factory=dict)
-    #: transferred bytes per direction ("h2d"/"d2h")
-    transfer_bytes: dict[str, int] = field(default_factory=dict)
-    #: seconds the link channels were occupied, per direction
-    transfer_time_s: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def makespan_ms(self) -> float:
-        return self.makespan_s * 1e3
-
-    def device_fraction(self, kind: str) -> float:
-        """Fraction of kernel indices executed on ``kind`` ("gpu"/"cpu")."""
-        total = sum(self.elements_by_device.values())
-        if total == 0:
-            return 0.0
-        return self.elements_by_device.get(kind, 0) / total
-
-    @property
-    def gpu_fraction(self) -> float:
-        return self.device_fraction("gpu")
-
-    @property
-    def cpu_fraction(self) -> float:
-        return self.device_fraction("cpu")
-
-    @property
-    def accelerator_fraction(self) -> float:
-        """Fraction executed on any non-CPU device (GPU, Phi, ...)."""
-        total = sum(self.elements_by_device.values())
-        if total == 0:
-            return 0.0
-        return 1.0 - self.elements_by_device.get("cpu", 0) / total
-
-    def ratio_by_kernel(self) -> dict[str, dict[str, int]]:
-        """Kernel name -> device kind -> indices (per-kernel split ratios)."""
-        out: dict[str, dict[str, int]] = {}
-        for rec in self.trace.by_category("compute"):
-            kernel = rec.meta.get("kernel")
-            kind = rec.meta.get("device_kind")
-            size = rec.meta.get("size")
-            if kernel is None or kind is None or size is None:
-                continue
-            out.setdefault(str(kernel), {}).setdefault(str(kind), 0)
-            out[str(kernel)][str(kind)] += int(size)
-        return out
-
-    @property
-    def total_transfer_time_s(self) -> float:
-        return sum(self.transfer_time_s.values())
+#: Compatibility alias: the historical result type.  One simulated run now
+#: travels as a frozen :class:`~repro.artifact.RunArtifact`, which exposes
+#: the full old ``ExecutionResult`` API (``makespan_ms``, ``gpu_fraction``,
+#: ``ratio_by_kernel()``, ``trace`` ...) — derived numbers come from its
+#: :class:`~repro.artifact.TraceSummary` instead of per-query trace scans.
+ExecutionResult = RunArtifact
 
 
 class RuntimeEngine:
@@ -168,10 +115,18 @@ class RuntimeEngine:
 
     # -- public API ---------------------------------------------------------
 
-    def execute(self, graph: TaskGraph, scheduler: Scheduler) -> ExecutionResult:
-        """Simulate ``graph`` under ``scheduler``; returns the result."""
+    def execute(
+        self, graph: TaskGraph, scheduler: Scheduler, *, detail: str = "full"
+    ) -> RunArtifact:
+        """Simulate ``graph`` under ``scheduler``; returns the run artifact.
+
+        ``detail="full"`` (default) attaches the raw trace to the
+        artifact; ``detail="summary"`` drops it, leaving only the
+        precomputed :class:`~repro.artifact.TraceSummary` — the cheap
+        form sweeps ship between processes.
+        """
         run = _Run(self.platform, self.config, graph, scheduler)
-        return run.go()
+        return run.go(detail=check_detail(detail))
 
 
 class _Run:
@@ -263,7 +218,7 @@ class _Run:
 
     # -- main loop --------------------------------------------------------------
 
-    def go(self) -> ExecutionResult:
+    def go(self, *, detail: str = "full") -> RunArtifact:
         self.scheduler.start(self.graph, self._ctx())
         for inst in self.graph.instances:
             if self.remaining[inst.instance_id] == 0:
@@ -281,7 +236,7 @@ class _Run:
         if self.config.final_flush:
             self._final_flush()
             self.sim.run()
-        return self._result()
+        return self._result(detail)
 
     def _pump(self) -> None:
         """Dispatch ready work; safe against reentrant completion events."""
@@ -557,28 +512,16 @@ class _Run:
 
     # -- result assembly --------------------------------------------------------
 
-    def _result(self) -> ExecutionResult:
-        transfer_time = {
-            "h2d": sum(
-                r.duration
-                for r in self.trace.by_category("transfer")
-                if r.meta.get("direction") == "h2d"
-            ),
-            "d2h": sum(
-                r.duration
-                for r in self.trace.by_category("transfer")
-                if r.meta.get("direction") == "d2h"
-            ),
-        }
-        return ExecutionResult(
+    def _result(self, detail: str) -> RunArtifact:
+        summary = TraceSummary.from_store(self.trace.store)
+        return RunArtifact(
             # a trailing barrier's quiescence is a pure event (no resource
             # occupation), so the clock — not just the trace — bounds the run
-            makespan_s=max(self.trace.makespan(), self.sim.now),
-            trace=self.trace,
+            makespan_s=max(summary.trace_makespan_s, self.sim.now),
             scheduler_name=self.scheduler.name,
             instance_count=len(self.graph.instances),
-            elements_by_device=self.trace.elements_by_device(),
-            instances_by_device=self.trace.instance_count_by_device(),
+            summary=summary,
             transfer_bytes=dict(self.transfer_bytes),
-            transfer_time_s=transfer_time,
+            detail=detail,
+            trace=self.trace if detail == "full" else None,
         )

@@ -20,6 +20,7 @@ from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.sim.resources import SimResource
 from repro.sim.trace import ExecutionTrace, TraceRecord, render_gantt
+from repro.sim.tracestore import TraceStore
 
 __all__ = [
     "ResourceStats",
@@ -32,5 +33,6 @@ __all__ = [
     "SimResource",
     "ExecutionTrace",
     "TraceRecord",
+    "TraceStore",
     "render_gantt",
 ]

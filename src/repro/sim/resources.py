@@ -14,7 +14,7 @@ from typing import Any, Callable
 
 from repro.errors import SimulationError
 from repro.sim.engine import PRIORITY_COMPLETION, Simulator
-from repro.sim.trace import ExecutionTrace, TraceRecord
+from repro.sim.trace import ExecutionTrace
 
 
 @dataclass(slots=True)
@@ -99,15 +99,9 @@ class SimResource:
         end = start + occ.duration
         if not self._queue:
             self._busy_until = end
-        self.trace.add(
-            TraceRecord(
-                resource_id=self.resource_id,
-                label=occ.label,
-                category=occ.category,
-                start=start,
-                end=end,
-                meta=occ.meta,
-            )
+        # columnar append: no TraceRecord allocation on the hot path
+        self.trace.record(
+            self.resource_id, occ.label, occ.category, start, end, occ.meta
         )
         self.sim.at(end, lambda: self._finish(occ), priority=PRIORITY_COMPLETION)
 

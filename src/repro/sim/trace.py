@@ -1,17 +1,27 @@
 """Execution traces: the simulator's flight recorder.
 
-Every resource occupation (kernel chunk, data transfer, runtime overhead) is
-recorded with its resource, time interval, category, and free-form metadata.
-The experiment harness derives everything it reports from the trace:
-partitioning ratios (Figs. 6, 8, 10), transfer shares (STREAM's 88%
+Every resource occupation (kernel chunk, data transfer, runtime overhead)
+is recorded with its resource, time interval, category, and free-form
+metadata.  The experiment harness derives everything it reports from the
+trace: partitioning ratios (Figs. 6, 8, 10), transfer shares (STREAM's 88%
 observation), device busy times, and ASCII Gantt charts for debugging.
+
+Storage is columnar: the data lives in a
+:class:`~repro.sim.tracestore.TraceStore` (parallel arrays plus
+per-resource/per-category row indexes built once), and
+:class:`ExecutionTrace` is a thin compatibility facade that materializes
+:class:`TraceRecord` dataclasses only when a caller actually asks for row
+objects.  Aggregate queries (``makespan``, ``busy_time``,
+``elements_by_device``, ...) are answered straight from the columns
+without creating any records.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator
+
+from repro.sim.tracestore import TraceStore
 
 
 @dataclass(frozen=True, slots=True)
@@ -31,51 +41,112 @@ class TraceRecord:
 
 
 class ExecutionTrace:
-    """An append-only collection of :class:`TraceRecord` with query helpers."""
+    """Record-oriented facade over a columnar :class:`TraceStore`.
 
-    def __init__(self) -> None:
-        self._records: list[TraceRecord] = []
+    The public API is unchanged from the original list-of-records design;
+    queries now run against the store's group indexes, and
+    :class:`TraceRecord` objects are built lazily (and cached) only for
+    callers that iterate rows.
+    """
+
+    __slots__ = ("store", "_records")
+
+    def __init__(self, store: TraceStore | None = None) -> None:
+        self.store = store if store is not None else TraceStore()
+        #: lazily materialized row objects, aligned with store rows
+        self._records: list[TraceRecord | None] = []
+
+    def __getstate__(self) -> TraceStore:
+        # pickle only the columns; row objects re-materialize on demand
+        return self.store
+
+    def __setstate__(self, store: TraceStore) -> None:
+        self.store = store
+        self._records = []
+
+    # -- writing ---------------------------------------------------------
 
     def add(self, record: TraceRecord) -> None:
+        """Append an already-built record (compatibility entry point)."""
+        row = self.store.record(
+            record.resource_id,
+            record.label,
+            record.category,
+            record.start,
+            record.end,
+            record.meta or None,
+        )
+        self._fill_to(row)
         self._records.append(record)
 
+    def record(
+        self,
+        resource_id: str,
+        label: str,
+        category: str,
+        start: float,
+        end: float,
+        meta: dict[str, Any] | None = None,
+    ) -> None:
+        """Append one occupation column-wise (no record allocation)."""
+        self.store.record(resource_id, label, category, start, end, meta)
+
+    # -- materialization -------------------------------------------------
+
+    def _fill_to(self, row: int) -> None:
+        if len(self._records) < row:
+            self._records.extend([None] * (row - len(self._records)))
+
+    def _record_at(self, row: int) -> TraceRecord:
+        self._fill_to(len(self.store))
+        record = self._records[row]
+        if record is None:
+            store = self.store
+            meta_idx = store.meta_idx[row]
+            record = TraceRecord(
+                resource_id=store.resource_ids[row],
+                label=store.labels[row],
+                category=store.categories[row],
+                start=store.starts[row],
+                end=store.ends[row],
+                meta=store.metas[meta_idx] if meta_idx >= 0 else {},
+            )
+            self._records[row] = record
+        return record
+
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self.store)
 
     def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self._records)
+        for row in range(len(self.store)):
+            yield self._record_at(row)
 
     @property
     def records(self) -> list[TraceRecord]:
         """All records in insertion order (do not mutate)."""
-        return self._records
+        return [self._record_at(row) for row in range(len(self.store))]
 
     # -- queries ---------------------------------------------------------
 
     def by_category(self, category: str) -> list[TraceRecord]:
         """Records with the given category tag."""
-        return [r for r in self._records if r.category == category]
+        return [self._record_at(r) for r in self.store.rows_by_category(category)]
 
     def by_resource(self, resource_id: str) -> list[TraceRecord]:
         """Records on the given resource."""
-        return [r for r in self._records if r.resource_id == resource_id]
+        return [self._record_at(r) for r in self.store.rows_by_resource(resource_id)]
 
     def makespan(self) -> float:
         """Latest end time across all records (0.0 for an empty trace)."""
-        return max((r.end for r in self._records), default=0.0)
+        return self.store.makespan()
 
     def busy_time(self, resource_id: str, *, category: str | None = None) -> float:
         """Total occupied seconds on a resource, optionally per category."""
-        return sum(
-            r.duration
-            for r in self._records
-            if r.resource_id == resource_id
-            and (category is None or r.category == category)
-        )
+        return self.store.busy_time(resource_id, category=category)
 
     def total_time(self, *, category: str) -> float:
         """Total occupied seconds across all resources for a category."""
-        return sum(r.duration for r in self._records if r.category == category)
+        return self.store.total_time(category=category)
 
     def elements_by_device(
         self, *, category: str = "compute", key: str = "device_kind"
@@ -86,24 +157,11 @@ class ExecutionTrace:
         carries the number of data elements it processed and the device
         kind it ran on.
         """
-        out: dict[str, int] = defaultdict(int)
-        for r in self._records:
-            if r.category != category:
-                continue
-            group = r.meta.get(key)
-            size = r.meta.get("size")
-            if group is None or size is None:
-                continue
-            out[str(group)] += int(size)
-        return dict(out)
+        return self.store.elements_by_device(category=category, key=key)
 
     def instance_count_by_device(self, *, key: str = "device_kind") -> dict[str, int]:
         """Number of compute task instances per device group."""
-        out: dict[str, int] = defaultdict(int)
-        for r in self._records:
-            if r.category == "compute" and key in r.meta:
-                out[str(r.meta[key])] += 1
-        return dict(out)
+        return self.store.instance_count_by_device(key=key)
 
 
 def render_gantt(
@@ -118,14 +176,15 @@ def render_gantt(
     ``=``, everything else ``+``.  Intended for eyeballing overlap during
     development, not for exact reading.
     """
-    records = trace.records
-    if not records:
+    store = trace.store
+    if not len(store):
         return "(empty trace)"
     if resources is None:
-        seen: dict[str, None] = {}
-        for r in records:
-            seen.setdefault(r.resource_id, None)
-        resources = list(seen)
+        resources = store.resource_ids_seen()
+    else:
+        # materialize: a generator would be exhausted by the name-width
+        # pass below and then render an empty chart
+        resources = list(resources)
     span = trace.makespan()
     if span <= 0:
         return "(zero-length trace)"
@@ -134,10 +193,10 @@ def render_gantt(
     lines = []
     for rid in resources:
         row = [" "] * width
-        for rec in trace.by_resource(rid):
-            lo = int(rec.start / span * (width - 1))
-            hi = max(lo, int(rec.end / span * (width - 1)))
-            ch = glyph.get(rec.category, "+")
+        for rec in store.rows_by_resource(rid):
+            lo = int(store.starts[rec] / span * (width - 1))
+            hi = max(lo, int(store.ends[rec] / span * (width - 1)))
+            ch = glyph.get(store.categories[rec], "+")
             for i in range(lo, hi + 1):
                 row[i] = ch
         lines.append(f"{rid:<{name_w}} |{''.join(row)}|")

@@ -1,0 +1,257 @@
+"""Columnar trace storage: the simulator's flight recorder, indexed.
+
+The original :class:`~repro.sim.trace.ExecutionTrace` kept a Python list
+of :class:`~repro.sim.trace.TraceRecord` dataclasses and answered every
+query — ``by_resource``, ``busy_time``, ``elements_by_device`` — with a
+fresh linear scan over it.  That is fine for a few hundred records and
+ruinous for the 100k+-record traces a full-size STREAM-Loop sweep emits:
+the harness derives half a dozen numbers per run, so each run paid six
+full scans plus one dataclass allocation per occupation on the simulation
+hot path.
+
+:class:`TraceStore` keeps the same information as parallel columns
+(``resource_ids``/``categories``/``starts``/``ends``/``labels`` plus a
+meta-index column pointing into a side table of metadata dicts) and builds
+per-resource and per-category row indexes *once*, lazily, on first query.
+Appends are O(1) list pushes with no per-record object; grouped queries
+are a dict lookup plus a walk over exactly the matching rows.  Derived
+aggregates preserve the accumulation order of the original filtered scans
+(insertion order per group), so every float computed from a store is
+bit-identical to the record-scan path — the differential suite in
+``tests/sim/test_tracestore.py`` and
+``tests/integration/test_artifact_differential.py`` enforces this.
+
+:class:`~repro.sim.trace.ExecutionTrace` remains as a thin compatibility
+facade over a store, materializing :class:`TraceRecord` rows on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+#: shared empty metadata mapping (row meta index -1 points here)
+_NO_META: dict[str, Any] = {}
+
+
+class TraceStore:
+    """Append-only columnar store of resource occupations.
+
+    Columns are plain Python lists kept in insertion order; ``metas`` is a
+    side table holding only the rows that actually carry metadata (the
+    ``meta_idx`` column is ``-1`` for rows without).  Group indexes map a
+    resource id / category tag to the sorted list of row numbers carrying
+    it; they are built lazily and extended incrementally, so interleaving
+    appends and queries never rescans the whole store.
+    """
+
+    __slots__ = (
+        "resource_ids",
+        "labels",
+        "categories",
+        "starts",
+        "ends",
+        "meta_idx",
+        "metas",
+        "_by_resource",
+        "_by_category",
+        "_indexed_rows",
+        "_max_end",
+    )
+
+    def __init__(self) -> None:
+        self.resource_ids: list[str] = []
+        self.labels: list[str] = []
+        self.categories: list[str] = []
+        self.starts: list[float] = []
+        self.ends: list[float] = []
+        self.meta_idx: list[int] = []
+        self.metas: list[dict[str, Any]] = []
+        self._by_resource: dict[str, list[int]] = {}
+        self._by_category: dict[str, list[int]] = {}
+        self._indexed_rows = 0
+        self._max_end = 0.0
+
+    # -- writing ---------------------------------------------------------
+
+    def record(
+        self,
+        resource_id: str,
+        label: str,
+        category: str,
+        start: float,
+        end: float,
+        meta: Mapping[str, Any] | None = None,
+    ) -> int:
+        """Append one occupation; returns its row number."""
+        row = len(self.starts)
+        self.resource_ids.append(resource_id)
+        self.labels.append(label)
+        self.categories.append(category)
+        self.starts.append(start)
+        self.ends.append(end)
+        if meta:
+            self.meta_idx.append(len(self.metas))
+            self.metas.append(dict(meta))
+        else:
+            self.meta_idx.append(-1)
+        if end > self._max_end:
+            self._max_end = end
+        return row
+
+    # -- indexes ---------------------------------------------------------
+
+    def _ensure_indexes(self) -> None:
+        """Extend the group indexes to cover rows appended since last use."""
+        start = self._indexed_rows
+        total = len(self.starts)
+        if start == total:
+            return
+        by_resource = self._by_resource
+        by_category = self._by_category
+        resource_ids = self.resource_ids
+        categories = self.categories
+        for row in range(start, total):
+            rows = by_resource.get(resource_ids[row])
+            if rows is None:
+                by_resource[resource_ids[row]] = [row]
+            else:
+                rows.append(row)
+            rows = by_category.get(categories[row])
+            if rows is None:
+                by_category[categories[row]] = [row]
+            else:
+                rows.append(row)
+        self._indexed_rows = total
+
+    def rows_by_resource(self, resource_id: str) -> list[int]:
+        """Row numbers on ``resource_id``, in insertion order."""
+        self._ensure_indexes()
+        return self._by_resource.get(resource_id, [])
+
+    def rows_by_category(self, category: str) -> list[int]:
+        """Row numbers tagged ``category``, in insertion order."""
+        self._ensure_indexes()
+        return self._by_category.get(category, [])
+
+    def resource_ids_seen(self) -> list[str]:
+        """Distinct resource ids in first-appearance order."""
+        self._ensure_indexes()
+        return list(self._by_resource)
+
+    def categories_seen(self) -> list[str]:
+        """Distinct category tags in first-appearance order."""
+        self._ensure_indexes()
+        return list(self._by_category)
+
+    # -- row access ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def meta_at(self, row: int) -> dict[str, Any]:
+        """Metadata dict of ``row`` (a shared empty dict when absent)."""
+        idx = self.meta_idx[row]
+        return self.metas[idx] if idx >= 0 else _NO_META
+
+    def duration_at(self, row: int) -> float:
+        return self.ends[row] - self.starts[row]
+
+    # -- aggregate queries ----------------------------------------------
+    #
+    # Accumulation order matters: each aggregate adds its floats in the
+    # same (insertion) order the old filtered record scans did, so the
+    # results are bit-identical to the pre-columnar path.
+
+    def makespan(self) -> float:
+        """Latest end time across all rows (0.0 for an empty store)."""
+        return self._max_end if self.starts else 0.0
+
+    def busy_time(self, resource_id: str, *, category: str | None = None) -> float:
+        """Total occupied seconds on a resource, optionally per category."""
+        starts, ends, categories = self.starts, self.ends, self.categories
+        total = 0.0
+        for row in self.rows_by_resource(resource_id):
+            if category is None or categories[row] == category:
+                total += ends[row] - starts[row]
+        return total
+
+    def total_time(self, *, category: str) -> float:
+        """Total occupied seconds across all resources for a category."""
+        starts, ends = self.starts, self.ends
+        total = 0.0
+        for row in self.rows_by_category(category):
+            total += ends[row] - starts[row]
+        return total
+
+    def elements_by_device(
+        self, *, category: str = "compute", key: str = "device_kind"
+    ) -> dict[str, int]:
+        """Sum the ``size`` metadata of ``category`` rows grouped by ``key``."""
+        out: dict[str, int] = {}
+        for row in self.rows_by_category(category):
+            meta = self.meta_at(row)
+            group = meta.get(key)
+            size = meta.get("size")
+            if group is None or size is None:
+                continue
+            group = str(group)
+            out[group] = out.get(group, 0) + int(size)
+        return out
+
+    def instance_count_by_device(self, *, key: str = "device_kind") -> dict[str, int]:
+        """Number of compute rows per device group."""
+        out: dict[str, int] = {}
+        for row in self.rows_by_category("compute"):
+            meta = self.meta_at(row)
+            if key in meta:
+                group = str(meta[key])
+                out[group] = out.get(group, 0) + 1
+        return out
+
+    def ratio_by_kernel(self, *, category: str = "compute") -> dict[str, dict[str, int]]:
+        """Kernel name -> device kind -> indices (per-kernel split ratios)."""
+        out: dict[str, dict[str, int]] = {}
+        for row in self.rows_by_category(category):
+            meta = self.meta_at(row)
+            kernel = meta.get("kernel")
+            kind = meta.get("device_kind")
+            size = meta.get("size")
+            if kernel is None or kind is None or size is None:
+                continue
+            per_kind = out.setdefault(str(kernel), {})
+            kind = str(kind)
+            per_kind[kind] = per_kind.get(kind, 0) + int(size)
+        return out
+
+    def busy_by_resource(self) -> dict[str, dict[str, float]]:
+        """Resource id -> category -> occupied seconds.
+
+        Per (resource, category) pair the durations accumulate in
+        insertion order, matching a filtered scan of the records.
+        """
+        out: dict[str, dict[str, float]] = {}
+        starts, ends, categories = self.starts, self.ends, self.categories
+        for rid in self.resource_ids_seen():
+            per_cat: dict[str, float] = {}
+            for row in self.rows_by_resource(rid):
+                cat = categories[row]
+                per_cat[cat] = per_cat.get(cat, 0.0) + (ends[row] - starts[row])
+            out[rid] = per_cat
+        return out
+
+    def transfer_time_by_direction(self) -> dict[str, float]:
+        """Link-busy seconds per transfer direction ("h2d"/"d2h").
+
+        Matches the old per-direction filtered scans: both directions are
+        accumulated in insertion order over the transfer rows.
+        """
+        starts, ends = self.starts, self.ends
+        out = {"h2d": 0.0, "d2h": 0.0}
+        for row in self.rows_by_category("transfer"):
+            direction = self.meta_at(row).get("direction")
+            if direction in out:
+                out[direction] += ends[row] - starts[row]
+        return out
+
+    def iter_rows(self) -> Iterator[int]:
+        return iter(range(len(self.starts)))

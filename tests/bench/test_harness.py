@@ -83,9 +83,23 @@ class TestRunSweep:
             r.makespan_ms for r in parallel
         ]
         for a, b in zip(serial, parallel):
-            assert list(a.trace) == list(b.trace)
+            assert a.summary == b.summary
             assert a.elements_by_device == b.elements_by_device
             assert a.transfer_bytes == b.transfer_bytes
+
+    def test_parallel_matches_serial_full_detail(self, paper_platform):
+        cells = self._cells(paper_platform)
+        serial = run_sweep(cells, jobs=1, detail="full")
+        parallel = run_sweep(cells, jobs=2, detail="full")
+        for a, b in zip(serial, parallel):
+            assert list(a.trace) == list(b.trace)
+
+    def test_summary_detail_drops_traces(self, paper_platform):
+        results = run_sweep(self._cells(paper_platform))
+        assert all(r.detail == "summary" and r.trace is None for r in results)
+        # every reported number still answers from the summary
+        assert all(r.makespan_ms > 0 for r in results)
+        assert all(r.decision is not None for r in results)
 
     def test_scenario_matches_sweep(self, paper_platform):
         scenario = run_scenario(

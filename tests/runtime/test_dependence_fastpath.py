@@ -114,6 +114,63 @@ def test_fastpath_makespan_equal_through_executor(seed):
     assert r_fast.instance_count == r_ref.instance_count
 
 
+class _FlatReaders:
+    """The pre-interval-index reader bookkeeping, kept as a test oracle."""
+
+    def __init__(self):
+        self.readers = []
+
+    def add(self, start, end, instance_id):
+        self.readers.append((start, end, instance_id))
+
+    def subtract(self, start, end):
+        keep = []
+        for rs, re, rid in self.readers:
+            if re <= start or rs >= end:
+                keep.append((rs, re, rid))
+                continue
+            if rs < start:
+                keep.append((rs, start, rid))
+            if re > end:
+                keep.append((end, re, rid))
+        self.readers = keep
+
+    def overlapping(self, start, end):
+        seen = {}
+        for rs, re, rid in self.readers:
+            if rs < end and start < re:
+                seen.setdefault(rid, None)
+        return list(seen)
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_reader_index_matches_flat_oracle(seed):
+    """The interval-indexed WAR reader structure vs the flat-list scan."""
+    from repro.runtime.dependence import _ReaderIndex
+
+    rng = np.random.default_rng(5000 + seed)
+    idx, oracle = _ReaderIndex(), _FlatReaders()
+    for step in range(300):
+        lo = int(rng.integers(0, 96))
+        hi = lo + int(rng.integers(1, 32))
+        op = rng.random()
+        if op < 0.55:
+            idx.add(lo, hi, step)
+            oracle.add(lo, hi, step)
+        elif op < 0.8:
+            idx.subtract(lo, hi)
+            oracle.subtract(lo, hi)
+        else:
+            assert set(idx.overlapping(lo, hi)) == set(oracle.overlapping(lo, hi))
+    # invariant: segments stay sorted, disjoint, and non-empty
+    for i in range(len(idx.starts)):
+        assert idx.starts[i] < idx.ends[i]
+        if i:
+            assert idx.ends[i - 1] <= idx.starts[i]
+    # full-range query sees exactly the oracle's surviving readers
+    assert set(idx.overlapping(0, 1 << 20)) == set(oracle.overlapping(0, 1 << 20))
+
+
 def test_chains_cover_every_compute_instance():
     rng = np.random.default_rng(7)
     program = random_program(rng, GeneratorConfig(n=64, max_kernels=3))

@@ -78,3 +78,14 @@ class TestGantt:
     def test_resource_filter(self, trace):
         out = render_gantt(trace, width=40, resources=["gpu0"])
         assert "cpu:0" not in out
+
+    def test_resource_filter_accepts_generator(self, trace):
+        # regression: the renderer walks ``resources`` twice (name-width
+        # pass, then row pass); a generator used to come back empty on the
+        # second pass and render a chart with no rows at all
+        gen = (rid for rid in ("gpu0", "link"))
+        out = render_gantt(trace, width=40, resources=gen)
+        assert out == render_gantt(trace, width=40, resources=["gpu0", "link"])
+        lines = out.splitlines()
+        assert any(line.startswith("gpu0") for line in lines)
+        assert any(line.startswith("link") for line in lines)

@@ -1,0 +1,178 @@
+"""Columnar TraceStore vs the list-of-records scans it replaced.
+
+Every aggregate the store answers used to be a filtered linear scan over
+``ExecutionTrace.records``.  These tests regenerate that scan naively from
+the materialized records and demand *equality* — not approx — because the
+store promises bit-identical accumulation order, and downstream reports
+rely on it for byte-identical figure/table numbers.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import ExecutionTrace, TraceRecord
+from repro.sim.tracestore import TraceStore
+
+CATEGORIES = ("compute", "transfer", "overhead")
+KINDS = ("cpu", "gpu")
+KERNELS = ("copy", "scale", "triad")
+
+
+def random_trace(seed: int, n: int = 400) -> ExecutionTrace:
+    """A generated trace mixing compute/transfer/overhead rows."""
+    rng = np.random.default_rng(seed)
+    trace = ExecutionTrace()
+    for i in range(n):
+        category = CATEGORIES[int(rng.integers(len(CATEGORIES)))]
+        start = float(rng.uniform(0.0, 50.0))
+        end = start + float(rng.uniform(1e-6, 3.0))
+        resource = f"{KINDS[int(rng.integers(2))]}:{int(rng.integers(3))}"
+        meta = {}
+        if category == "compute":
+            meta = {
+                "size": int(rng.integers(1, 10_000)),
+                "device_kind": KINDS[int(rng.integers(2))],
+                "kernel": KERNELS[int(rng.integers(3))],
+            }
+        elif category == "transfer":
+            meta = {"direction": ("h2d", "d2h")[int(rng.integers(2))]}
+        if rng.random() < 0.1:
+            meta = {}  # some rows carry no metadata at all
+        trace.record(resource, f"t{i}", category, start, end, meta)
+    return trace
+
+
+# -- naive record-scan oracles (the pre-columnar implementations) --------
+
+
+def scan_busy(records, resource, category=None):
+    return sum(
+        r.duration for r in records
+        if r.resource_id == resource
+        and (category is None or r.category == category)
+    )
+
+
+def scan_elements(records):
+    out = {}
+    for r in records:
+        if r.category != "compute":
+            continue
+        kind, size = r.meta.get("device_kind"), r.meta.get("size")
+        if kind is None or size is None:
+            continue
+        out[str(kind)] = out.get(str(kind), 0) + int(size)
+    return out
+
+
+def scan_ratio(records):
+    out = {}
+    for r in records:
+        if r.category != "compute":
+            continue
+        kernel, kind, size = (
+            r.meta.get("kernel"), r.meta.get("device_kind"), r.meta.get("size")
+        )
+        if kernel is None or kind is None or size is None:
+            continue
+        per = out.setdefault(str(kernel), {})
+        per[str(kind)] = per.get(str(kind), 0) + int(size)
+    return out
+
+
+@pytest.mark.parametrize("seed", range(20))
+class TestStoreMatchesRecordScans:
+    def test_group_queries(self, seed):
+        trace = random_trace(seed)
+        records = list(trace)
+        store = trace.store
+        for rid in store.resource_ids_seen():
+            assert [records[i] for i in store.rows_by_resource(rid)] == [
+                r for r in records if r.resource_id == rid
+            ]
+        for cat in store.categories_seen():
+            assert [records[i] for i in store.rows_by_category(cat)] == [
+                r for r in records if r.category == cat
+            ]
+
+    def test_aggregates_bit_identical(self, seed):
+        trace = random_trace(seed)
+        records = list(trace)
+        store = trace.store
+        assert store.makespan() == max(r.end for r in records)
+        for rid in store.resource_ids_seen():
+            assert store.busy_time(rid) == scan_busy(records, rid)
+            assert store.busy_time(rid, category="compute") == scan_busy(
+                records, rid, "compute"
+            )
+        for cat in CATEGORIES:
+            assert store.total_time(category=cat) == sum(
+                r.duration for r in records if r.category == cat
+            )
+        assert store.elements_by_device() == scan_elements(records)
+        assert store.ratio_by_kernel() == scan_ratio(records)
+
+    def test_transfer_time_by_direction(self, seed):
+        trace = random_trace(seed)
+        records = list(trace)
+        got = trace.store.transfer_time_by_direction()
+        assert set(got) == {"h2d", "d2h"}
+        for direction in ("h2d", "d2h"):
+            assert got[direction] == sum(
+                r.duration for r in records
+                if r.category == "transfer"
+                and r.meta.get("direction") == direction
+            )
+
+    def test_busy_by_resource(self, seed):
+        trace = random_trace(seed)
+        records = list(trace)
+        got = trace.store.busy_by_resource()
+        for rid, per_cat in got.items():
+            for cat, seconds in per_cat.items():
+                assert seconds == scan_busy(records, rid, cat)
+
+
+class TestIncrementalIndexes:
+    def test_queries_interleaved_with_appends(self):
+        store = TraceStore()
+        store.record("a", "t0", "compute", 0.0, 1.0)
+        assert store.rows_by_resource("a") == [0]
+        store.record("b", "t1", "compute", 1.0, 2.0)
+        store.record("a", "t2", "transfer", 2.0, 3.0)
+        # the index extends over the new rows instead of rescanning
+        assert store.rows_by_resource("a") == [0, 2]
+        assert store.rows_by_category("compute") == [0, 1]
+        assert store.resource_ids_seen() == ["a", "b"]
+
+    def test_meta_side_table(self):
+        store = TraceStore()
+        store.record("a", "t0", "compute", 0.0, 1.0, {"size": 5})
+        store.record("a", "t1", "compute", 1.0, 2.0)
+        assert store.meta_at(0) == {"size": 5}
+        assert store.meta_at(1) == {}
+        assert store.metas == [{"size": 5}]  # no dict per meta-less row
+
+
+class TestFacade:
+    def test_add_and_record_equivalent(self):
+        via_add, via_record = ExecutionTrace(), ExecutionTrace()
+        r = TraceRecord(
+            resource_id="a", label="t", category="compute",
+            start=0.0, end=1.0, meta={"size": 3},
+        )
+        via_add.add(r)
+        via_record.record("a", "t", "compute", 0.0, 1.0, {"size": 3})
+        assert list(via_add) == list(via_record)
+
+    def test_pickle_round_trip(self):
+        trace = random_trace(3, n=50)
+        clone = pickle.loads(pickle.dumps(trace))
+        assert list(clone) == list(trace)
+        assert clone.makespan() == trace.makespan()
+
+    def test_materialized_records_are_cached(self):
+        trace = random_trace(4, n=10)
+        assert list(trace)[0] is list(trace)[0]
