@@ -1,11 +1,14 @@
 """Pipeline fast-path performance: dependence analysis, memo hit rates,
-sweep return sizes, and summary-query throughput.
+sweep return sizes, trace memory, and analytics-query throughput.
 
 Times the frontier dependence builder against the reference full-history
 scan on a 5000+-instance single-barrier-window program (the shape the
 O(n^2) scan is worst at), measures the probe/plan cache hit rates across a
-repeated sweep, sizes the default summarized ``run_sweep`` returns against
-full-trace artifacts, checks that parallel workers reproduce the serial
+repeated sweep (in-process and through a disk snapshot round-trip), sizes
+the default summarized ``run_sweep`` returns against full-trace artifacts,
+measures the array-backed trace columns against the old list-backed
+layout, times the aggregate/analysis queries on both the vectorized and
+the pure-Python path, checks that parallel workers reproduce the serial
 hit rates from the shipped cache snapshot, and records everything to
 ``BENCH_pipeline.json`` so CI can track the numbers over time.
 
@@ -22,19 +25,30 @@ CI perf-smoke job.
 from __future__ import annotations
 
 import json
+import os
+import sys
+import tempfile
 import time
 from pathlib import Path
 
 from repro.apps import get_application
 from repro.artifact import artifact_nbytes
 from repro.bench.harness import SweepCell, run_sweep
-from repro.cache import cache_stats, clear_all
+from repro.cache import (
+    cache_stats,
+    clear_all,
+    counters,
+    load_snapshot,
+    save_snapshot,
+    stats_delta,
+)
 from repro.platform import shen_icpp15_platform
 from repro.runtime.dependence import (
     build_dependences,
     build_dependences_reference,
 )
 from repro.runtime.graph import chunk_ranges, expand_program
+from repro.sim.analysis import analyze_trace, compute_overlap_fraction
 
 #: where the recorded numbers land (repo root, next to ROADMAP.md)
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
@@ -47,6 +61,14 @@ SPEEDUP_FLOOR = 10.0
 INSTANCES_PER_SEC_FLOOR = 2_000.0
 #: summarized sweep returns must pickle at least this much smaller
 SWEEP_BYTES_RATIO_FLOOR = 10.0
+#: whole-store floor: label text dominates both layouts (labels are
+#: near-unique), so the end-to-end shrink is modest even though the
+#: numeric columns shrink ~4x
+TRACE_SHRINK_FLOOR = 1.25
+#: the array('d') start/end columns vs pointer lists + boxed floats
+NUMERIC_SHRINK_FLOOR = 3.0
+#: the vectorized analytics path must beat pure Python at least this much
+ANALYTICS_SPEEDUP_FLOOR = 3.0
 
 #: the adversarial shape: one long barrier-free window of many instances
 N = 1 << 16
@@ -94,10 +116,9 @@ def measure_dependence_perf() -> dict:
     }
 
 
-def measure_cache_hit_rates() -> dict:
-    """Run the same sweep twice; the second pass should replay the memos."""
+def _hit_rate_cells():
     platform = shen_icpp15_platform()
-    cells = [
+    return [
         SweepCell(
             app=app, strategy=strategy, platform=platform,
             n=4096, iterations=2,
@@ -105,12 +126,48 @@ def measure_cache_hit_rates() -> dict:
         for app in ("STREAM-Loop", "HotSpot")
         for strategy in ("DP-Perf", "SP-Single" if app == "HotSpot" else "SP-Unified")
     ]
+
+
+def measure_cache_hit_rates() -> dict:
+    """Run the same sweep twice; the second pass should replay the memos."""
+    cells = _hit_rate_cells()
     clear_all()
     run_sweep(cells)  # cold pass populates the stores
     cold = {name: s.as_dict() for name, s in cache_stats().items()}
     run_sweep(cells)  # warm pass should be mostly hits
     warm = {name: s.as_dict() for name, s in cache_stats().items()}
     return {"cold": cold, "warm": warm}
+
+
+def measure_disk_cache() -> dict:
+    """A disk snapshot round-trip must reproduce the in-process warm rates.
+
+    This is the cross-invocation warm start (`--cache-dir` on the CLI)
+    measured in-process: warm the stores, snapshot to disk, clear, reload,
+    and re-run — the reloaded pass must observe exactly the hit/miss
+    deltas the in-process warm pass did.
+    """
+    cells = _hit_rate_cells()
+    clear_all()
+    run_sweep(cells)  # cold pass populates the stores
+    before = counters()
+    run_sweep(cells)
+    warm = stats_delta(before)  # in-process warm reference
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "memo_snapshot.pkl"
+        entries = save_snapshot(path)
+        clear_all()  # simulate a fresh CLI invocation
+        loaded = load_snapshot(path)
+        before = counters()
+        run_sweep(cells)
+        reloaded = stats_delta(before)
+    return {
+        "entries_saved": entries,
+        "entries_loaded": loaded,
+        "warm": warm,
+        "reloaded": reloaded,
+        "match": warm == reloaded,
+    }
 
 
 def measure_sweep_return_bytes() -> dict:
@@ -134,8 +191,8 @@ def measure_sweep_return_bytes() -> dict:
     }
 
 
-def measure_summary_query_perf() -> dict:
-    """Throughput of the columnar store's aggregate queries on a big trace."""
+def _full_trace_store():
+    """One full-detail 5000+-instance STREAM-Loop trace store."""
     platform = shen_icpp15_platform()
     cell = SweepCell(
         app="STREAM-Loop", strategy="DP-Perf", platform=platform,
@@ -143,8 +200,11 @@ def measure_summary_query_perf() -> dict:
     )
     clear_all()
     [result] = run_sweep([cell], detail="full")
-    store = result.trace.store
-    rounds = 50
+    return result.trace.store
+
+
+def _time_query_rounds(store, rounds: int = 50) -> tuple[int, float]:
+    """Run the aggregate-query set ``rounds`` times; (queries, seconds)."""
     t0 = time.perf_counter()
     for _ in range(rounds):
         store.makespan()
@@ -155,12 +215,117 @@ def measure_summary_query_perf() -> dict:
         for rid in store.resource_ids_seen():
             store.busy_time(rid)
     elapsed = time.perf_counter() - t0
-    queries = rounds * (5 + len(store.resource_ids_seen()))
-    return {
+    return rounds * (5 + len(store.resource_ids_seen())), elapsed
+
+
+def measure_summary_query_perf() -> dict:
+    """Aggregate-query throughput: vectorized path vs pure-Python path.
+
+    ``queries_per_sec`` is whatever the default path achieves (the numpy
+    view when available); ``python_queries_per_sec`` forces the fallback
+    with ``REPRO_NO_NUMPY``.  ``vector_speedup`` is their ratio — the
+    hardware-robust number the committed baseline tracks.
+    """
+    store = _full_trace_store()
+    store.vec_view()  # build the view outside the timed region
+    queries, elapsed = _time_query_rounds(store)
+    os.environ["REPRO_NO_NUMPY"] = "1"
+    try:
+        py_queries, py_elapsed = _time_query_rounds(store)
+    finally:
+        del os.environ["REPRO_NO_NUMPY"]
+    vectorized = store.vec_view() is not None
+    out = {
         "records": len(store.starts),
         "queries": queries,
         "elapsed_s": elapsed,
         "queries_per_sec": queries / elapsed,
+        "python_queries_per_sec": py_queries / py_elapsed,
+        "vectorized": vectorized,
+    }
+    out["vector_speedup"] = (
+        out["queries_per_sec"] / out["python_queries_per_sec"]
+    )
+    return out
+
+
+def measure_analysis_perf() -> dict:
+    """End-to-end ``analyze_trace`` + overlap sweep, both paths."""
+    store = _full_trace_store()
+    store.vec_view()
+    rounds = 10
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        analyze_trace(store)
+        compute_overlap_fraction(store)
+    elapsed = time.perf_counter() - t0
+    os.environ["REPRO_NO_NUMPY"] = "1"
+    try:
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            analyze_trace(store)
+            compute_overlap_fraction(store)
+        py_elapsed = time.perf_counter() - t0
+    finally:
+        del os.environ["REPRO_NO_NUMPY"]
+    return {
+        "records": len(store.starts),
+        "rounds": rounds,
+        "analyses_per_sec": 2 * rounds / elapsed,
+        "python_analyses_per_sec": 2 * rounds / py_elapsed,
+        "vector_speedup": py_elapsed / elapsed,
+    }
+
+
+def _list_layout_nbytes(store) -> int:
+    """Estimated bytes of the same columns in the PR 2 list-backed layout.
+
+    Reconstructs what the old storage held: five object-pointer list
+    columns plus a meta-index list, fresh float objects per row (the
+    simulator computed a new float per append), one string object per
+    label (f-string built per occupation), shared string objects for
+    resource ids and categories, and boxed ints for meta indexes beyond
+    the small-int cache.
+    """
+    n = len(store)
+    floats = [float(x) for x in store.starts]
+    pointer_list = sys.getsizeof(floats)  # same length => same list size
+    total = 6 * pointer_list  # resource_ids/labels/categories/starts/ends/meta_idx
+    total += 2 * n * sys.getsizeof(1.0)  # starts + ends float objects
+    total += sum(
+        sys.getsizeof(store.label_pool.table[code]) for code in store.label_codes
+    )
+    total += sum(sys.getsizeof(s) for s in store.resource_pool.table)
+    total += sum(sys.getsizeof(s) for s in store.category_pool.table)
+    total += sum(sys.getsizeof(257) for idx in store.meta_idx if idx > 256)
+    return total
+
+
+def measure_trace_memory() -> dict:
+    """Array-backed column bytes vs the old list-backed layout.
+
+    ``shrink_ratio`` is the whole-store comparison (including the shared
+    label/resource/category string payload, identical in both layouts);
+    ``numeric_shrink_ratio`` isolates the start/end columns, where two
+    pointer lists plus two boxed floats per row (64 B) collapse to two
+    raw doubles (16 B).
+    """
+    store = _full_trace_store()
+    column_bytes = store.column_nbytes()
+    list_bytes = _list_layout_nbytes(store)
+    records = len(store)
+    numeric_column_bytes = sys.getsizeof(store.starts) + sys.getsizeof(store.ends)
+    pointer_list = sys.getsizeof([0.0] * records)
+    numeric_list_bytes = 2 * pointer_list + 2 * records * sys.getsizeof(1.0)
+    return {
+        "records": records,
+        "column_bytes": column_bytes,
+        "list_layout_bytes": list_bytes,
+        "bytes_per_record": column_bytes / records,
+        "shrink_ratio": list_bytes / column_bytes,
+        "numeric_column_bytes": numeric_column_bytes,
+        "numeric_list_bytes": numeric_list_bytes,
+        "numeric_shrink_ratio": numeric_list_bytes / numeric_column_bytes,
     }
 
 
@@ -215,8 +380,11 @@ def record() -> dict:
         },
         "dependence": measure_dependence_perf(),
         "caches": measure_cache_hit_rates(),
+        "disk_cache": measure_disk_cache(),
         "sweep_returns": measure_sweep_return_bytes(),
         "summary_queries": measure_summary_query_perf(),
+        "analysis": measure_analysis_perf(),
+        "trace_memory": measure_trace_memory(),
         "worker_parity": measure_worker_parity(),
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
@@ -236,6 +404,13 @@ def check(payload: dict) -> None:
     assert sweep["instances"] >= 5000, sweep
     assert sweep["bytes_ratio"] >= SWEEP_BYTES_RATIO_FLOOR, sweep
     assert payload["worker_parity"]["match"], payload["worker_parity"]
+    assert payload["disk_cache"]["match"], payload["disk_cache"]
+    memory = payload["trace_memory"]
+    assert memory["shrink_ratio"] >= TRACE_SHRINK_FLOOR, memory
+    assert memory["numeric_shrink_ratio"] >= NUMERIC_SHRINK_FLOOR, memory
+    queries = payload["summary_queries"]
+    if queries["vectorized"]:
+        assert queries["vector_speedup"] >= ANALYTICS_SPEEDUP_FLOOR, queries
 
 
 #: baseline comparisons: (json path, direction, relative tolerance).
@@ -248,6 +423,11 @@ BASELINE_CHECKS = [
     ("caches.warm.probe.hit_rate", "min", 0.05),
     ("caches.warm.profile.hit_rate", "min", 0.05),
     ("caches.warm.glinda.hit_rate", "min", 0.05),
+    ("summary_queries.vector_speedup", "min", 0.5),
+    ("analysis.vector_speedup", "min", 0.5),
+    ("trace_memory.shrink_ratio", "min", 0.3),
+    ("trace_memory.numeric_shrink_ratio", "min", 0.2),
+    ("trace_memory.bytes_per_record", "max", 0.3),
 ]
 
 
@@ -285,6 +465,10 @@ def compare_to_baseline(payload: dict, baseline_path: Path | None = None) -> lis
                 )
     if not payload["worker_parity"]["match"]:
         failures.append("worker_parity: parallel hit rates diverge from serial")
+    if not payload["disk_cache"]["match"]:
+        failures.append(
+            "disk_cache: snapshot-reloaded hit rates diverge from warm in-process"
+        )
     return failures
 
 
@@ -293,10 +477,12 @@ def test_pipeline_perf(benchmark):
     check(payload)
     dep = payload["dependence"]
     sweep = payload["sweep_returns"]
+    queries = payload["summary_queries"]
+    memory = payload["trace_memory"]
     from conftest import emit
 
     emit(
-        "Pipeline fast path — dependence analysis + memo hit rates",
+        "Pipeline fast path — dependences, memos, columns, vector analytics",
         f"instances:            {dep['instances']}\n"
         f"fast builder:         {dep['fast_s'] * 1e3:9.1f} ms "
         f"({dep['fast_instances_per_sec']:,.0f} inst/s)\n"
@@ -305,10 +491,21 @@ def test_pipeline_perf(benchmark):
         f"speedup:              {dep['speedup']:9.1f}x (floor {SPEEDUP_FLOOR:g}x)\n"
         f"warm probe hit rate:  "
         f"{payload['caches']['warm']['probe']['hit_rate']:9.1%}\n"
+        f"disk cache round-trip: "
+        f"{'ok' if payload['disk_cache']['match'] else 'DIVERGED'} "
+        f"({payload['disk_cache']['entries_loaded']} entries reloaded)\n"
         f"sweep return:         {sweep['summary_bytes']:,} B summarized vs "
         f"{sweep['full_bytes']:,} B full ({sweep['bytes_ratio']:.0f}x)\n"
-        f"summary queries:      "
-        f"{payload['summary_queries']['queries_per_sec']:,.0f} /s\n"
+        f"summary queries:      {queries['queries_per_sec']:,.0f} /s "
+        f"(python {queries['python_queries_per_sec']:,.0f} /s, "
+        f"{queries['vector_speedup']:.1f}x)\n"
+        f"analysis:             "
+        f"{payload['analysis']['analyses_per_sec']:,.1f} /s "
+        f"({payload['analysis']['vector_speedup']:.1f}x vectorized)\n"
+        f"trace memory:         {memory['column_bytes']:,} B columnar vs "
+        f"{memory['list_layout_bytes']:,} B list layout "
+        f"({memory['shrink_ratio']:.1f}x, "
+        f"{memory['bytes_per_record']:.1f} B/record)\n"
         f"worker parity:        "
         f"{'ok' if payload['worker_parity']['match'] else 'DIVERGED'}\n"
         f"wrote {OUTPUT.name}",
@@ -332,11 +529,16 @@ def main(argv: list[str] | None = None) -> int:
     check(payload)
     dep = payload["dependence"]
     sweep = payload["sweep_returns"]
+    queries = payload["summary_queries"]
+    memory = payload["trace_memory"]
     print(
         f"pipeline perf: {dep['instances']} instances, "
         f"fast {dep['fast_instances_per_sec']:,.0f} inst/s, "
         f"speedup {dep['speedup']:.1f}x, "
-        f"sweep return {sweep['bytes_ratio']:.0f}x smaller summarized "
+        f"sweep return {sweep['bytes_ratio']:.0f}x smaller summarized, "
+        f"queries {queries['queries_per_sec']:,.0f}/s "
+        f"({queries['vector_speedup']:.1f}x vectorized), "
+        f"trace columns {memory['shrink_ratio']:.1f}x smaller "
         f"-> {OUTPUT}"
     )
     if args.check_baseline is not None:

@@ -20,18 +20,27 @@ into their :class:`~repro.partition.base.StrategyDecision` notes and
 variable ``REPRO_CACHE=0`` (or call :func:`configure`) to disable it, e.g.
 when ablating cache behaviour.  Keys, invalidation rules, and the
 worker-process caveat are documented in ``docs/performance.md``.
+
+Stores can also be persisted across CLI invocations:
+:func:`save_snapshot`/:func:`load_snapshot` write/read a version-stamped,
+fingerprint-keyed bundle, and ``python -m repro ... --cache-dir DIR``
+warm-starts repeated runs from it (stale or incompatible snapshots are
+ignored, never half-loaded).
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
+import pickle
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Hashable
 
 __all__ = [
     "CacheStats",
     "MemoCache",
+    "SNAPSHOT_VERSION",
     "cache_stats",
     "clear_all",
     "configure",
@@ -39,8 +48,10 @@ __all__ = [
     "device_fingerprint",
     "get_cache",
     "kernel_fingerprint",
+    "load_snapshot",
     "platform_fingerprint",
     "preload_snapshot",
+    "save_snapshot",
     "snapshot_stores",
     "stats_delta",
 ]
@@ -244,6 +255,72 @@ def preload_snapshot(snapshot: dict[str, dict[Hashable, Any]]) -> None:
     """Install a :func:`snapshot_stores` bundle into this process."""
     for name, entries in snapshot.items():
         get_cache(name).preload(entries)
+
+
+# -- disk-backed snapshots ---------------------------------------------------
+#
+# The same {store name -> {key -> value}} bundle, persisted so a *second*
+# ``python -m repro`` invocation warm-starts from the first one's probes
+# and predictions (``--cache-dir`` on the CLI).  Every entry key already
+# embeds the platform/kernel fingerprints, so a snapshot taken against a
+# different cost model simply never hits — staleness needs no protocol.
+# The version stamp guards the pickle layout itself: snapshots written by
+# an incompatible build are ignored wholesale, never half-loaded.
+
+#: bump when the snapshot payload layout (or any pickled value type) changes
+SNAPSHOT_VERSION = 1
+
+_SNAPSHOT_FORMAT = "repro-cache-snapshot"
+
+
+def save_snapshot(path: str | os.PathLike) -> int:
+    """Persist every store's entries to ``path``; returns the entry count.
+
+    The write is atomic (temp file + rename), so a concurrent reader never
+    observes a torn snapshot.
+    """
+    path = Path(path)
+    stores = snapshot_stores()
+    payload = {
+        "format": _SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "stores": stores,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+    return sum(len(entries) for entries in stores.values())
+
+
+def load_snapshot(path: str | os.PathLike) -> int:
+    """Warm this process's stores from a :func:`save_snapshot` file.
+
+    Returns the number of entries installed.  A missing, unreadable,
+    corrupt, or version-incompatible snapshot is ignored (returns 0) —
+    a stale cache must never break a run, only fail to speed it up.
+    Installed entries do not touch the hit/miss counters.
+    """
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, MemoryError):
+        return 0
+    if (
+        not isinstance(payload, dict)
+        or payload.get("format") != _SNAPSHOT_FORMAT
+        or payload.get("version") != SNAPSHOT_VERSION
+        or not isinstance(payload.get("stores"), dict)
+    ):
+        return 0
+    installed = 0
+    for name, entries in payload["stores"].items():
+        if not isinstance(name, str) or not isinstance(entries, dict):
+            continue
+        installed += get_cache(name).preload(entries)
+    return installed
 
 
 # -- fingerprints -----------------------------------------------------------

@@ -62,11 +62,21 @@ def _platform(args) -> "Platform":
     return PRESETS[args.preset]()
 
 
+def _add_cache_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="warm-start the probe/plan memo stores from DIR and save "
+             "them back on exit, so repeated invocations skip probes "
+             "already computed (stale snapshots are ignored)",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--preset", choices=sorted(PRESETS), default="shen",
         help="platform preset (default: the paper's Table III machine)",
     )
+    _add_cache_dir(parser)
 
 
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
@@ -262,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     sync = p.add_mutually_exclusive_group()
     sync.add_argument("--sync", dest="sync", action="store_true", default=None)
     sync.add_argument("--no-sync", dest="sync", action="store_false")
+    _add_cache_dir(p)
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("run", help="execute an application")
@@ -346,13 +357,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: snapshot file name inside ``--cache-dir``
+CACHE_SNAPSHOT_NAME = "memo_snapshot.pkl"
+
+
+def _cache_report(loaded: int, before) -> None:
+    """Print this run's per-store hit rates to stderr (``--cache-dir``)."""
+    import repro.cache as cache
+
+    deltas = cache.stats_delta(before)
+    parts = [
+        f"{name} {d['hits']}/{d['hits'] + d['misses']} hits"
+        for name, d in deltas.items()
+    ]
+    print(
+        f"[cache] warm-started with {loaded} entries; "
+        + (", ".join(parts) if parts else "no cache traffic"),
+        file=sys.stderr,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    cache_dir = getattr(args, "cache_dir", None)
+    snapshot_path = None
+    before = None
+    if cache_dir:
+        import repro.cache as cache
+        from pathlib import Path
+
+        snapshot_path = Path(cache_dir) / CACHE_SNAPSHOT_NAME
+        loaded = cache.load_snapshot(snapshot_path)
+        before = cache.counters()
     try:
-        return args.func(args)
+        rc = args.func(args)
     except BrokenPipeError:  # output piped into head & co.
         return 0
+    if snapshot_path is not None:
+        import repro.cache as cache
+
+        saved = cache.save_snapshot(snapshot_path)
+        _cache_report(loaded, before)
+        print(f"[cache] saved {saved} entries to {snapshot_path}",
+              file=sys.stderr)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -4,9 +4,13 @@ The runtime replays task execution on the simulated platform through this
 engine: compute resources and interconnect channels are serial
 :class:`~repro.sim.resources.SimResource` objects, the
 :class:`~repro.sim.engine.Simulator` advances virtual time through an event
-heap, and every occupation of a resource is recorded as a
-:class:`~repro.sim.trace.TraceRecord` for later analysis (partitioning
-ratios, Gantt charts, transfer accounting).
+heap, and every occupation of a resource is appended as one row of the
+columnar :class:`~repro.sim.tracestore.TraceStore` for later analysis
+(partitioning ratios, Gantt charts, transfer accounting).  Analysis runs
+vectorized over the store's array-backed columns when numpy is available
+(:mod:`repro.sim._vec`) and falls back to bit-identical pure-Python
+column scans when it is not; :class:`~repro.sim.trace.TraceRecord` rows
+are materialized only on demand, for compatibility.
 """
 
 from repro.sim.analysis import (

@@ -4,15 +4,34 @@ The paper's discussion reasons about execution overlap ("the optimal
 partitioning ensures a perfect execution overlap between processors") and
 transfer shares ("the data transfer takes around 88% of the overall
 execution time").  This module computes those quantities from any
-:class:`~repro.sim.trace.ExecutionTrace`, so they can be asserted in tests
-and printed alongside the figures.
+:class:`~repro.sim.trace.ExecutionTrace` (or a bare
+:class:`~repro.sim.tracestore.TraceStore`), so they can be asserted in
+tests and printed alongside the figures.
+
+Both entry points operate on the store's columns directly — no
+:class:`~repro.sim.trace.TraceRecord` is ever materialized — and run
+vectorized when the store exposes a numpy view (see
+:mod:`repro.sim._vec`): the interval merge and the >=2-device sweep of
+:func:`compute_overlap_fraction` become sorted-array operations, and
+:func:`analyze_trace`'s per-resource sums become grouped sequential
+reductions.  The pure-Python fallback is the oracle; both paths are
+bit-identical (``tests/sim/test_vec.py``,
+``tests/property/test_trace_analytics_properties.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Union
 
-from repro.sim.trace import ExecutionTrace, TraceRecord
+from repro.sim.trace import ExecutionTrace
+from repro.sim.tracestore import TraceStore
+
+TraceLike = Union[ExecutionTrace, TraceStore]
+
+
+def _store_of(trace: TraceLike) -> TraceStore:
+    return trace.store if isinstance(trace, ExecutionTrace) else trace
 
 
 @dataclass(frozen=True)
@@ -39,11 +58,18 @@ class TraceStats:
     #: link-busy seconds / makespan (per direction label)
     transfer_share: dict[str, float] = field(default_factory=dict, hash=False)
 
+    def __post_init__(self) -> None:
+        # id -> stats lookup table, built once so resource() is O(1)
+        # (not a field: invisible to __eq__/__repr__/dataclasses.replace)
+        object.__setattr__(
+            self, "_by_id", {r.resource_id: r for r in self.resources}
+        )
+
     def resource(self, resource_id: str) -> ResourceStats:
-        for r in self.resources:
-            if r.resource_id == resource_id:
-                return r
-        raise KeyError(resource_id)
+        try:
+            return self._by_id[resource_id]
+        except KeyError:
+            raise KeyError(resource_id) from None
 
 
 def _merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
@@ -65,20 +91,13 @@ def _covered(intervals: list[tuple[float, float]]) -> float:
     return sum(end - start for start, end in _merge_intervals(intervals))
 
 
-def compute_overlap_fraction(trace: ExecutionTrace) -> float:
-    """Fraction of the makespan with compute active on >= 2 devices.
-
-    Devices are identified by the ``device`` metadata of compute records;
-    CPU threads collectively count as one device, matching the paper's
-    processor-level notion of overlap.
-    """
-    makespan = trace.makespan()
-    if makespan <= 0:
-        return 0.0
+def _overlap_fraction_python(store: TraceStore, makespan: float) -> float:
+    """The record-scan oracle, ported to column/row-index access."""
+    starts, ends = store.starts, store.ends
     per_device: dict[str, list[tuple[float, float]]] = {}
-    for rec in trace.by_category("compute"):
-        device = str(rec.meta.get("device", rec.resource_id))
-        per_device.setdefault(device, []).append((rec.start, rec.end))
+    for row in store.rows_by_category("compute"):
+        device = store.device_key_at(row)
+        per_device.setdefault(device, []).append((starts[row], ends[row]))
     if len(per_device) < 2:
         return 0.0
     # sweep the merged intervals of each device
@@ -99,28 +118,58 @@ def compute_overlap_fraction(trace: ExecutionTrace) -> float:
     return overlap / makespan
 
 
-def analyze_trace(trace: ExecutionTrace) -> TraceStats:
+def _overlap_fraction_vec(vec, makespan: float) -> float:
+    """The same sweep as sorted-array operations on the numpy view."""
+    per_device = vec.compute_device_intervals()
+    if per_device is None:
+        return 0.0
+    return vec.overlap_seconds(per_device) / makespan
+
+
+def compute_overlap_fraction(trace: TraceLike) -> float:
+    """Fraction of the makespan with compute active on >= 2 devices.
+
+    Devices are identified by the ``device`` metadata of compute records;
+    CPU threads collectively count as one device, matching the paper's
+    processor-level notion of overlap.
+    """
+    store = _store_of(trace)
+    makespan = store.makespan()
+    if makespan <= 0:
+        return 0.0
+    vec = store.vec_view()
+    if vec is not None:
+        return _overlap_fraction_vec(vec, makespan)
+    return _overlap_fraction_python(store, makespan)
+
+
+def analyze_trace(trace: TraceLike) -> TraceStats:
     """Summarize a trace into :class:`TraceStats`."""
-    makespan = trace.makespan()
-    per_resource: dict[str, list[TraceRecord]] = {}
-    for rec in trace:
-        per_resource.setdefault(rec.resource_id, []).append(rec)
+    store = _store_of(trace)
+    makespan = store.makespan()
+    vec = store.vec_view()
+    if vec is not None:
+        busy_of = vec.busy_time
+        by_category = vec.busy_by_resource()
+    else:
+        busy_of = lambda rid, _=None: store.busy_time(rid)  # noqa: E731
+        by_category = store.busy_by_resource()
 
     resources = []
     compute_utils = []
     transfer_share: dict[str, float] = {}
-    for rid, records in per_resource.items():
-        busy = sum(r.duration for r in records)
-        by_cat: dict[str, float] = {}
-        for r in records:
-            by_cat[r.category] = by_cat.get(r.category, 0.0) + r.duration
+    for rid in store.resource_ids_seen():
+        # busy accumulates over *all* of the resource's rows in insertion
+        # order (not per-category subtotals), matching the original scan
+        busy = busy_of(rid, None)
+        by_cat = by_category[rid]
         util = busy / makespan if makespan else 0.0
         resources.append(
             ResourceStats(
                 resource_id=rid,
                 busy_s=busy,
                 utilization=util,
-                records=len(records),
+                records=len(store.rows_by_resource(rid)),
                 by_category=by_cat,
             )
         )
@@ -135,7 +184,7 @@ def analyze_trace(trace: ExecutionTrace) -> TraceStats:
         mean_compute_utilization=(
             sum(compute_utils) / len(compute_utils) if compute_utils else 0.0
         ),
-        overlap_fraction=compute_overlap_fraction(trace),
+        overlap_fraction=compute_overlap_fraction(store),
         transfer_share=transfer_share,
     )
 

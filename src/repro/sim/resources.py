@@ -2,8 +2,11 @@
 
 A :class:`SimResource` executes one occupation at a time.  Occupations are
 either started immediately (if the resource is idle) or queued FIFO.  Each
-occupation produces a :class:`~repro.sim.trace.TraceRecord` and fires a
-completion callback through the owning :class:`~repro.sim.engine.Simulator`.
+occupation appends one row to the shared trace's columnar
+:class:`~repro.sim.tracestore.TraceStore` — no per-occupation
+:class:`~repro.sim.trace.TraceRecord` object is allocated on this hot
+path — and fires a completion callback through the owning
+:class:`~repro.sim.engine.Simulator`.
 """
 
 from __future__ import annotations

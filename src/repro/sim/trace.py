@@ -104,9 +104,9 @@ class ExecutionTrace:
             store = self.store
             meta_idx = store.meta_idx[row]
             record = TraceRecord(
-                resource_id=store.resource_ids[row],
-                label=store.labels[row],
-                category=store.categories[row],
+                resource_id=store.resource_id_at(row),
+                label=store.label_at(row),
+                category=store.category_at(row),
                 start=store.starts[row],
                 end=store.ends[row],
                 meta=store.metas[meta_idx] if meta_idx >= 0 else {},
@@ -190,13 +190,19 @@ def render_gantt(
         return "(zero-length trace)"
     glyph = {"compute": "#", "transfer": "="}
     name_w = max(len(r) for r in resources)
+    # category glyphs resolved per *code* once, not per row: the chart
+    # walks column indexes only and never materializes a TraceRecord
+    code_glyph = [
+        glyph.get(cat, "+") for cat in store.category_pool.table
+    ]
+    starts, ends, category_codes = store.starts, store.ends, store.category_codes
     lines = []
     for rid in resources:
         row = [" "] * width
         for rec in store.rows_by_resource(rid):
-            lo = int(store.starts[rec] / span * (width - 1))
-            hi = max(lo, int(store.ends[rec] / span * (width - 1)))
-            ch = glyph.get(store.categories[rec], "+")
+            lo = int(starts[rec] / span * (width - 1))
+            hi = max(lo, int(ends[rec] / span * (width - 1)))
+            ch = code_glyph[category_codes[rec]]
             for i in range(lo, hi + 1):
                 row[i] = ch
         lines.append(f"{rid:<{name_w}} |{''.join(row)}|")

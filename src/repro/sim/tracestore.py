@@ -3,23 +3,44 @@
 The original :class:`~repro.sim.trace.ExecutionTrace` kept a Python list
 of :class:`~repro.sim.trace.TraceRecord` dataclasses and answered every
 query — ``by_resource``, ``busy_time``, ``elements_by_device`` — with a
-fresh linear scan over it.  That is fine for a few hundred records and
-ruinous for the 100k+-record traces a full-size STREAM-Loop sweep emits:
-the harness derives half a dozen numbers per run, so each run paid six
-full scans plus one dataclass allocation per occupation on the simulation
-hot path.
+fresh linear scan over it.  PR 2 made the storage columnar but kept the
+columns as Python lists of boxed floats and strings.
 
-:class:`TraceStore` keeps the same information as parallel columns
-(``resource_ids``/``categories``/``starts``/``ends``/``labels`` plus a
-meta-index column pointing into a side table of metadata dicts) and builds
-per-resource and per-category row indexes *once*, lazily, on first query.
-Appends are O(1) list pushes with no per-record object; grouped queries
-are a dict lookup plus a walk over exactly the matching rows.  Derived
-aggregates preserve the accumulation order of the original filtered scans
-(insertion order per group), so every float computed from a store is
-bit-identical to the record-scan path — the differential suite in
-``tests/sim/test_tracestore.py`` and
-``tests/integration/test_artifact_differential.py`` enforces this.
+:class:`TraceStore` now keeps the numeric columns in ``array`` buffers
+(``starts``/``ends`` as ``array('d')``, the ``size`` metadata as
+``array('q')``) and **interns** every string column (resource ids,
+categories, labels, plus the hot metadata keys ``device_kind``,
+``kernel``, ``device``, ``direction``) as small-int code columns over a
+:class:`_StringPool` side table — one machine word per row instead of a
+boxed object, roughly a 4x shrink of full-detail traces.  Appends are
+O(1) array pushes with no per-record object; per-resource and
+per-category row indexes are built lazily and extended incrementally.
+
+Aggregate queries run in one of two observationally identical ways:
+
+* the **pure-Python path** walks exactly the matching rows and
+  accumulates floats in insertion order per group — the same order the
+  original filtered record scans used;
+* the **vectorized path** (:mod:`repro.sim._vec`, used automatically
+  when numpy is importable, the store holds at least
+  ``_vec.VEC_MIN_ROWS`` rows, and ``REPRO_NO_NUMPY`` is unset) converts
+  the sealed columns to ndarrays once and answers every aggregate with
+  array operations whose accumulation is bit-identical to the Python
+  loop (see the contract notes in ``_vec.py``).
+
+Either way every float computed from a store is bit-identical to the
+original record-scan path — the differential suites in
+``tests/sim/test_tracestore.py``, ``tests/sim/test_vec.py``,
+``tests/property/test_trace_analytics_properties.py`` and
+``tests/integration/test_artifact_differential.py`` enforce this.
+
+Metadata fidelity: the full metadata dict of each row is still kept in
+the ``metas`` side table (``meta_at`` returns it unchanged); the hot keys
+are *additionally* extracted into columns at append time so the analytics
+never have to touch the dicts.  A hot-key value of ``None`` is treated as
+absent.  ``meta["device"]`` distinguishes absent (falls back to the
+resource id in device grouping) from any present value, which is
+stringified.
 
 :class:`~repro.sim.trace.ExecutionTrace` remains as a thin compatibility
 facade over a store, materializing :class:`TraceRecord` rows on demand.
@@ -27,49 +48,113 @@ facade over a store, materializing :class:`TraceRecord` rows on demand.
 
 from __future__ import annotations
 
+from array import array
 from typing import Any, Iterator, Mapping
+
+from repro.sim import _vec
 
 #: shared empty metadata mapping (row meta index -1 points here)
 _NO_META: dict[str, Any] = {}
+
+#: distinguishes "key absent" from "key present with value None"
+_MISSING = object()
+
+
+class _StringPool:
+    """Interns strings as dense small-int codes over a side table."""
+
+    __slots__ = ("table", "_code")
+
+    def __init__(self) -> None:
+        #: code -> string, in first-intern order
+        self.table: list[str] = []
+        self._code: dict[str, int] = {}
+
+    def intern(self, value: str) -> int:
+        """The code of ``value``, assigning the next one on first sight."""
+        code = self._code.get(value)
+        if code is None:
+            code = self._code[value] = len(self.table)
+            self.table.append(value)
+        return code
+
+    def code_of(self, value: str) -> int:
+        """The code of ``value``, or -1 when it was never interned."""
+        return self._code.get(value, -1)
+
+    def __len__(self) -> int:
+        return len(self.table)
 
 
 class TraceStore:
     """Append-only columnar store of resource occupations.
 
-    Columns are plain Python lists kept in insertion order; ``metas`` is a
+    Numeric columns are ``array`` buffers; string columns are int code
+    columns over per-column :class:`_StringPool` tables; ``metas`` is a
     side table holding only the rows that actually carry metadata (the
     ``meta_idx`` column is ``-1`` for rows without).  Group indexes map a
-    resource id / category tag to the sorted list of row numbers carrying
-    it; they are built lazily and extended incrementally, so interleaving
+    resource id / category tag to the list of row numbers carrying it;
+    they are built lazily and extended incrementally, so interleaving
     appends and queries never rescans the whole store.
     """
 
     __slots__ = (
-        "resource_ids",
-        "labels",
-        "categories",
+        # numeric columns
         "starts",
         "ends",
         "meta_idx",
+        "sizes",
+        # interned string columns (codes into the pools below; -1 = absent)
+        "resource_codes",
+        "label_codes",
+        "category_codes",
+        "kind_codes",
+        "kernel_codes",
+        "device_codes",
+        "direction_codes",
+        # intern side tables
+        "resource_pool",
+        "label_pool",
+        "category_pool",
+        "kind_pool",
+        "kernel_pool",
+        "device_pool",
+        "direction_pool",
+        # metadata side table
         "metas",
+        # lazy state
         "_by_resource",
         "_by_category",
         "_indexed_rows",
         "_max_end",
+        "_vec_view",
     )
 
     def __init__(self) -> None:
-        self.resource_ids: list[str] = []
-        self.labels: list[str] = []
-        self.categories: list[str] = []
-        self.starts: list[float] = []
-        self.ends: list[float] = []
-        self.meta_idx: list[int] = []
+        self.starts = array("d")
+        self.ends = array("d")
+        self.meta_idx = array("q")
+        self.sizes = array("q")
+        self.resource_codes = array("i")
+        self.label_codes = array("i")
+        self.category_codes = array("i")
+        self.kind_codes = array("i")
+        self.kernel_codes = array("i")
+        self.device_codes = array("i")
+        self.direction_codes = array("i")
+        self.resource_pool = _StringPool()
+        self.label_pool = _StringPool()
+        self.category_pool = _StringPool()
+        self.kind_pool = _StringPool()
+        self.kernel_pool = _StringPool()
+        self.device_pool = _StringPool()
+        self.direction_pool = _StringPool()
         self.metas: list[dict[str, Any]] = []
         self._by_resource: dict[str, list[int]] = {}
         self._by_category: dict[str, list[int]] = {}
         self._indexed_rows = 0
         self._max_end = 0.0
+        self._vec_view = None
 
     # -- writing ---------------------------------------------------------
 
@@ -84,19 +169,83 @@ class TraceStore:
     ) -> int:
         """Append one occupation; returns its row number."""
         row = len(self.starts)
-        self.resource_ids.append(resource_id)
-        self.labels.append(label)
-        self.categories.append(category)
         self.starts.append(start)
         self.ends.append(end)
+        self.resource_codes.append(self.resource_pool.intern(resource_id))
+        self.label_codes.append(self.label_pool.intern(label))
+        self.category_codes.append(self.category_pool.intern(category))
         if meta:
             self.meta_idx.append(len(self.metas))
             self.metas.append(dict(meta))
+            size = meta.get("size")
+            if size is None:
+                self.sizes.append(-1)
+            else:
+                try:
+                    self.sizes.append(int(size))
+                except (TypeError, ValueError):
+                    self.sizes.append(-1)
+            kind = meta.get("device_kind")
+            self.kind_codes.append(
+                -1 if kind is None else self.kind_pool.intern(str(kind))
+            )
+            kernel = meta.get("kernel")
+            self.kernel_codes.append(
+                -1 if kernel is None else self.kernel_pool.intern(str(kernel))
+            )
+            device = meta.get("device", _MISSING)
+            self.device_codes.append(
+                -1 if device is _MISSING
+                else self.device_pool.intern(str(device))
+            )
+            direction = meta.get("direction")
+            self.direction_codes.append(
+                self.direction_pool.intern(direction)
+                if isinstance(direction, str) else -1
+            )
         else:
             self.meta_idx.append(-1)
+            self.sizes.append(-1)
+            self.kind_codes.append(-1)
+            self.kernel_codes.append(-1)
+            self.device_codes.append(-1)
+            self.direction_codes.append(-1)
         if end > self._max_end:
             self._max_end = end
         return row
+
+    # -- pickling --------------------------------------------------------
+    #
+    # Only the columns, pools and metadata travel; group indexes and the
+    # vectorized view are caches that rebuild lazily on first query.
+
+    def __getstate__(self):
+        return (
+            self.starts, self.ends, self.meta_idx, self.sizes,
+            self.resource_codes, self.label_codes, self.category_codes,
+            self.kind_codes, self.kernel_codes, self.device_codes,
+            self.direction_codes,
+            self.resource_pool, self.label_pool, self.category_pool,
+            self.kind_pool, self.kernel_pool, self.device_pool,
+            self.direction_pool,
+            self.metas, self._max_end,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.starts, self.ends, self.meta_idx, self.sizes,
+            self.resource_codes, self.label_codes, self.category_codes,
+            self.kind_codes, self.kernel_codes, self.device_codes,
+            self.direction_codes,
+            self.resource_pool, self.label_pool, self.category_pool,
+            self.kind_pool, self.kernel_pool, self.device_pool,
+            self.direction_pool,
+            self.metas, self._max_end,
+        ) = state
+        self._by_resource = {}
+        self._by_category = {}
+        self._indexed_rows = 0
+        self._vec_view = None
 
     # -- indexes ---------------------------------------------------------
 
@@ -108,17 +257,21 @@ class TraceStore:
             return
         by_resource = self._by_resource
         by_category = self._by_category
-        resource_ids = self.resource_ids
-        categories = self.categories
+        resource_codes = self.resource_codes
+        category_codes = self.category_codes
+        resource_table = self.resource_pool.table
+        category_table = self.category_pool.table
         for row in range(start, total):
-            rows = by_resource.get(resource_ids[row])
+            rid = resource_table[resource_codes[row]]
+            rows = by_resource.get(rid)
             if rows is None:
-                by_resource[resource_ids[row]] = [row]
+                by_resource[rid] = [row]
             else:
                 rows.append(row)
-            rows = by_category.get(categories[row])
+            cat = category_table[category_codes[row]]
+            rows = by_category.get(cat)
             if rows is None:
-                by_category[categories[row]] = [row]
+                by_category[cat] = [row]
             else:
                 rows.append(row)
         self._indexed_rows = total
@@ -143,10 +296,40 @@ class TraceStore:
         self._ensure_indexes()
         return list(self._by_category)
 
+    # -- vectorized view -------------------------------------------------
+
+    def vec_view(self, *, force: bool = False):
+        """The numpy view of this store, or ``None`` on the Python path.
+
+        Built once per sealed row count and cached; appending invalidates
+        it (checked by row count).  ``force=True`` builds a view even for
+        tiny stores (differential tests); it still returns ``None`` when
+        numpy is unavailable or disabled.
+        """
+        if not _vec.enabled():
+            return None
+        n = len(self.starts)
+        if not force and n < _vec.VEC_MIN_ROWS:
+            return None
+        view = self._vec_view
+        if view is not None and view.n == n:
+            return view
+        view = self._vec_view = _vec.VecView(self)
+        return view
+
     # -- row access ------------------------------------------------------
 
     def __len__(self) -> int:
         return len(self.starts)
+
+    def resource_id_at(self, row: int) -> str:
+        return self.resource_pool.table[self.resource_codes[row]]
+
+    def label_at(self, row: int) -> str:
+        return self.label_pool.table[self.label_codes[row]]
+
+    def category_at(self, row: int) -> str:
+        return self.category_pool.table[self.category_codes[row]]
 
     def meta_at(self, row: int) -> dict[str, Any]:
         """Metadata dict of ``row`` (a shared empty dict when absent)."""
@@ -156,11 +339,51 @@ class TraceStore:
     def duration_at(self, row: int) -> float:
         return self.ends[row] - self.starts[row]
 
+    def device_key_at(self, row: int) -> str:
+        """Device grouping key: ``meta["device"]`` or the resource id.
+
+        This is the per-device identity the overlap analysis groups by;
+        CPU threads sharing one ``device`` tag collectively count as one.
+        """
+        code = self.device_codes[row]
+        if code >= 0:
+            return self.device_pool.table[code]
+        return self.resource_pool.table[self.resource_codes[row]]
+
+    # -- memory accounting ------------------------------------------------
+
+    def column_nbytes(self) -> int:
+        """Bytes held by the columns and intern tables (not the metas).
+
+        The comparable figure for the previous list-backed layout is
+        estimated by ``benchmarks/bench_pipeline_perf.py``; the ratio is
+        tracked in ``BENCH_pipeline.json``.
+        """
+        import sys
+
+        total = 0
+        for name in (
+            "starts", "ends", "meta_idx", "sizes",
+            "resource_codes", "label_codes", "category_codes",
+            "kind_codes", "kernel_codes", "device_codes", "direction_codes",
+        ):
+            column = getattr(self, name)
+            total += sys.getsizeof(column)
+        for name in (
+            "resource_pool", "label_pool", "category_pool", "kind_pool",
+            "kernel_pool", "device_pool", "direction_pool",
+        ):
+            pool = getattr(self, name)
+            total += sys.getsizeof(pool.table)
+            total += sum(sys.getsizeof(s) for s in pool.table)
+        return total
+
     # -- aggregate queries ----------------------------------------------
     #
     # Accumulation order matters: each aggregate adds its floats in the
     # same (insertion) order the old filtered record scans did, so the
-    # results are bit-identical to the pre-columnar path.
+    # results are bit-identical to the pre-columnar path.  The vectorized
+    # branch reproduces that accumulation exactly (see _vec.py).
 
     def makespan(self) -> float:
         """Latest end time across all rows (0.0 for an empty store)."""
@@ -168,15 +391,29 @@ class TraceStore:
 
     def busy_time(self, resource_id: str, *, category: str | None = None) -> float:
         """Total occupied seconds on a resource, optionally per category."""
-        starts, ends, categories = self.starts, self.ends, self.categories
+        vec = self.vec_view()
+        if vec is not None:
+            return vec.busy_time(resource_id, category)
+        starts, ends = self.starts, self.ends
         total = 0.0
+        if category is None:
+            for row in self.rows_by_resource(resource_id):
+                total += ends[row] - starts[row]
+            return total
+        code = self.category_pool.code_of(category)
+        if code < 0:
+            return 0.0
+        category_codes = self.category_codes
         for row in self.rows_by_resource(resource_id):
-            if category is None or categories[row] == category:
+            if category_codes[row] == code:
                 total += ends[row] - starts[row]
         return total
 
     def total_time(self, *, category: str) -> float:
         """Total occupied seconds across all resources for a category."""
+        vec = self.vec_view()
+        if vec is not None:
+            return vec.total_time(category)
         starts, ends = self.starts, self.ends
         total = 0.0
         for row in self.rows_by_category(category):
@@ -187,40 +424,78 @@ class TraceStore:
         self, *, category: str = "compute", key: str = "device_kind"
     ) -> dict[str, int]:
         """Sum the ``size`` metadata of ``category`` rows grouped by ``key``."""
-        out: dict[str, int] = {}
+        if key != "device_kind":  # uncolumnized key: generic meta scan
+            out: dict[str, int] = {}
+            for row in self.rows_by_category(category):
+                meta = self.meta_at(row)
+                group = meta.get(key)
+                size = meta.get("size")
+                if group is None or size is None:
+                    continue
+                group = str(group)
+                out[group] = out.get(group, 0) + int(size)
+            return out
+        vec = self.vec_view()
+        if vec is not None:
+            return vec.elements_by_kind(category)
+        out = {}
+        kind_codes, sizes = self.kind_codes, self.sizes
+        table = self.kind_pool.table
         for row in self.rows_by_category(category):
-            meta = self.meta_at(row)
-            group = meta.get(key)
-            size = meta.get("size")
-            if group is None or size is None:
+            code = kind_codes[row]
+            size = sizes[row]
+            if code < 0 or size < 0:
                 continue
-            group = str(group)
-            out[group] = out.get(group, 0) + int(size)
+            group = table[code]
+            out[group] = out.get(group, 0) + size
         return out
 
     def instance_count_by_device(self, *, key: str = "device_kind") -> dict[str, int]:
         """Number of compute rows per device group."""
-        out: dict[str, int] = {}
-        for row in self.rows_by_category("compute"):
-            meta = self.meta_at(row)
-            if key in meta:
-                group = str(meta[key])
+        if key != "device_kind":
+            out: dict[str, int] = {}
+            for row in self.rows_by_category("compute"):
+                meta = self.meta_at(row)
+                group = meta.get(key)
+                if group is None:
+                    continue
+                group = str(group)
                 out[group] = out.get(group, 0) + 1
+            return out
+        vec = self.vec_view()
+        if vec is not None:
+            return vec.instance_count_by_kind()
+        out = {}
+        kind_codes = self.kind_codes
+        table = self.kind_pool.table
+        for row in self.rows_by_category("compute"):
+            code = kind_codes[row]
+            if code < 0:
+                continue
+            group = table[code]
+            out[group] = out.get(group, 0) + 1
         return out
 
     def ratio_by_kernel(self, *, category: str = "compute") -> dict[str, dict[str, int]]:
         """Kernel name -> device kind -> indices (per-kernel split ratios)."""
+        vec = self.vec_view()
+        if vec is not None:
+            return vec.ratio_by_kernel(category)
         out: dict[str, dict[str, int]] = {}
+        kernel_codes, kind_codes, sizes = (
+            self.kernel_codes, self.kind_codes, self.sizes
+        )
+        kernel_table = self.kernel_pool.table
+        kind_table = self.kind_pool.table
         for row in self.rows_by_category(category):
-            meta = self.meta_at(row)
-            kernel = meta.get("kernel")
-            kind = meta.get("device_kind")
-            size = meta.get("size")
-            if kernel is None or kind is None or size is None:
+            kernel = kernel_codes[row]
+            kind = kind_codes[row]
+            size = sizes[row]
+            if kernel < 0 or kind < 0 or size < 0:
                 continue
-            per_kind = out.setdefault(str(kernel), {})
-            kind = str(kind)
-            per_kind[kind] = per_kind.get(kind, 0) + int(size)
+            per_kind = out.setdefault(kernel_table[kernel], {})
+            name = kind_table[kind]
+            per_kind[name] = per_kind.get(name, 0) + size
         return out
 
     def busy_by_resource(self) -> dict[str, dict[str, float]]:
@@ -229,12 +504,17 @@ class TraceStore:
         Per (resource, category) pair the durations accumulate in
         insertion order, matching a filtered scan of the records.
         """
+        vec = self.vec_view()
+        if vec is not None:
+            return vec.busy_by_resource()
         out: dict[str, dict[str, float]] = {}
-        starts, ends, categories = self.starts, self.ends, self.categories
+        starts, ends = self.starts, self.ends
+        category_codes = self.category_codes
+        category_table = self.category_pool.table
         for rid in self.resource_ids_seen():
             per_cat: dict[str, float] = {}
             for row in self.rows_by_resource(rid):
-                cat = categories[row]
+                cat = category_table[category_codes[row]]
                 per_cat[cat] = per_cat.get(cat, 0.0) + (ends[row] - starts[row])
             out[rid] = per_cat
         return out
@@ -245,12 +525,22 @@ class TraceStore:
         Matches the old per-direction filtered scans: both directions are
         accumulated in insertion order over the transfer rows.
         """
-        starts, ends = self.starts, self.ends
+        vec = self.vec_view()
+        if vec is not None:
+            return vec.transfer_time_by_direction()
         out = {"h2d": 0.0, "d2h": 0.0}
+        starts, ends = self.starts, self.ends
+        direction_codes = self.direction_codes
+        h2d = self.direction_pool.code_of("h2d")
+        d2h = self.direction_pool.code_of("d2h")
         for row in self.rows_by_category("transfer"):
-            direction = self.meta_at(row).get("direction")
-            if direction in out:
-                out[direction] += ends[row] - starts[row]
+            code = direction_codes[row]
+            if code < 0:
+                continue
+            if code == h2d:
+                out["h2d"] += ends[row] - starts[row]
+            elif code == d2h:
+                out["d2h"] += ends[row] - starts[row]
         return out
 
     def iter_rows(self) -> Iterator[int]:

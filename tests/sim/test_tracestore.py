@@ -156,6 +156,85 @@ class TestIncrementalIndexes:
         assert store.metas == [{"size": 5}]  # no dict per meta-less row
 
 
+class TestArrayColumns:
+    """The array('d')/array('q')/code-column representation itself."""
+
+    def test_numeric_columns_are_arrays(self):
+        import array
+
+        store = random_trace(0, n=30).store
+        assert isinstance(store.starts, array.array)
+        assert store.starts.typecode == "d"
+        assert isinstance(store.ends, array.array)
+        assert store.ends.typecode == "d"
+        assert store.meta_idx.typecode == "q"
+        assert store.sizes.typecode == "q"
+        for name in (
+            "resource_codes", "label_codes", "category_codes",
+            "kind_codes", "kernel_codes", "device_codes", "direction_codes",
+        ):
+            col = getattr(store, name)
+            assert isinstance(col, array.array) and col.typecode == "i", name
+
+    def test_string_columns_are_interned_codes(self):
+        store = TraceStore()
+        store.record("a", "t0", "compute", 0.0, 1.0)
+        store.record("b", "t1", "transfer", 1.0, 2.0)
+        store.record("a", "t2", "compute", 2.0, 3.0)
+        # same string -> same small-int code over a side table
+        assert list(store.resource_codes) == [0, 1, 0]
+        assert store.resource_pool.table == ["a", "b"]
+        assert list(store.category_codes) == [0, 1, 0]
+        assert store.category_pool.table == ["compute", "transfer"]
+        assert [store.resource_id_at(i) for i in range(3)] == ["a", "b", "a"]
+        assert [store.label_at(i) for i in range(3)] == ["t0", "t1", "t2"]
+
+    def test_hot_meta_keys_become_columns(self):
+        store = TraceStore()
+        store.record(
+            "gpu:0", "t0", "compute", 0.0, 1.0,
+            {"size": 7, "device_kind": "gpu", "kernel": "triad",
+             "device": "gpu0"},
+        )
+        store.record("link:h", "t1", "transfer", 1.0, 2.0, {"direction": "h2d"})
+        store.record("cpu:0", "t2", "overhead", 2.0, 3.0)
+        assert list(store.sizes) == [7, -1, -1]
+        assert store.kind_pool.table[store.kind_codes[0]] == "gpu"
+        assert store.kernel_pool.table[store.kernel_codes[0]] == "triad"
+        assert store.device_pool.table[store.device_codes[0]] == "gpu0"
+        assert store.direction_pool.table[store.direction_codes[1]] == "h2d"
+        # -1 marks absent on every code column
+        assert store.kind_codes[1] == -1 and store.kind_codes[2] == -1
+        assert store.direction_codes[0] == -1
+        # the full dicts survive untouched in the side table
+        assert store.meta_at(0)["device"] == "gpu0"
+        assert store.meta_at(2) == {}
+
+    def test_device_key_falls_back_to_resource_id(self):
+        store = TraceStore()
+        store.record("gpu:0", "t", "compute", 0.0, 1.0, {"device": "dev"})
+        store.record("cpu:0", "t", "compute", 0.0, 1.0)
+        assert store.device_key_at(0) == "dev"
+        assert store.device_key_at(1) == "cpu:0"
+
+    def test_bare_store_pickle_round_trip(self):
+        store = random_trace(7, n=60).store
+        store.rows_by_resource(store.resource_ids_seen()[0])  # warm indexes
+        clone = pickle.loads(pickle.dumps(store))
+        assert list(clone.starts) == list(store.starts)
+        assert clone.resource_pool.table == store.resource_pool.table
+        assert clone.makespan() == store.makespan()
+        assert clone.busy_by_resource() == store.busy_by_resource()
+        # appending after unpickling keeps columns and indexes coherent
+        clone.record("fresh", "t", "compute", 100.0, 101.0)
+        assert clone.rows_by_resource("fresh") == [len(store)]
+
+    def test_column_nbytes_tracks_growth(self):
+        small = random_trace(1, n=10).store
+        big = random_trace(1, n=200).store
+        assert 0 < small.column_nbytes() < big.column_nbytes()
+
+
 class TestFacade:
     def test_add_and_record_equivalent(self):
         via_add, via_record = ExecutionTrace(), ExecutionTrace()

@@ -1,18 +1,25 @@
-"""The probe/plan memo stores: counters, fingerprints, disablement."""
+"""The probe/plan memo stores: counters, fingerprints, disablement,
+and the disk-backed snapshots behind ``--cache-dir``."""
 
 import dataclasses
+import pickle
 
 import pytest
 
 from repro.cache import (
+    SNAPSHOT_VERSION,
     MemoCache,
     cache_stats,
     clear_all,
     configure,
+    counters,
     device_fingerprint,
     get_cache,
     kernel_fingerprint,
+    load_snapshot,
     platform_fingerprint,
+    save_snapshot,
+    stats_delta,
 )
 from repro.partition.profiling import build_profile_table
 
@@ -131,6 +138,79 @@ class TestFingerprints:
             ),
         )
         assert kernel_fingerprint(recosted) != fp
+
+
+class TestDiskSnapshots:
+    def test_round_trip_restores_entries(self, tmp_path):
+        get_cache("snap-a").get_or_compute("k1", lambda: 11)
+        get_cache("snap-b").get_or_compute("k2", lambda: 22)
+        path = tmp_path / "snap.pkl"
+        assert save_snapshot(path) == 2
+        clear_all()
+        assert len(get_cache("snap-a")) == 0
+        assert load_snapshot(path) == 2
+        # restored entries serve as hits without recomputing
+        calls = []
+        assert get_cache("snap-a").get_or_compute(
+            "k1", lambda: calls.append(1) or -1
+        ) == 11
+        assert get_cache("snap-b").get_or_compute("k2", lambda: -1) == 22
+        assert not calls
+
+    def test_load_does_not_touch_counters(self, tmp_path):
+        get_cache("snap-c").get_or_compute("k", lambda: 1)
+        path = tmp_path / "snap.pkl"
+        save_snapshot(path)
+        clear_all()
+        load_snapshot(path)
+        stats = get_cache("snap-c").stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 1)
+
+    def test_missing_file_loads_nothing(self, tmp_path):
+        assert load_snapshot(tmp_path / "absent.pkl") == 0
+
+    def test_corrupt_file_loads_nothing(self, tmp_path):
+        path = tmp_path / "snap.pkl"
+        path.write_bytes(b"not a pickle at all")
+        assert load_snapshot(path) == 0
+        # a truncated but once-valid snapshot is also rejected cleanly
+        get_cache("snap-d").get_or_compute("k", lambda: 1)
+        save_snapshot(path)
+        path.write_bytes(path.read_bytes()[:10])
+        clear_all()
+        assert load_snapshot(path) == 0
+
+    def test_version_mismatch_is_ignored(self, tmp_path):
+        path = tmp_path / "snap.pkl"
+        payload = {
+            "format": "repro-cache-snapshot",
+            "version": SNAPSHOT_VERSION + 1,
+            "stores": {"snap-e": {"k": 1}},
+        }
+        path.write_bytes(pickle.dumps(payload))
+        assert load_snapshot(path) == 0
+        assert len(get_cache("snap-e")) == 0
+
+    def test_foreign_pickle_is_ignored(self, tmp_path):
+        path = tmp_path / "snap.pkl"
+        path.write_bytes(pickle.dumps({"some": "other payload"}))
+        assert load_snapshot(path) == 0
+        path.write_bytes(pickle.dumps([1, 2, 3]))
+        assert load_snapshot(path) == 0
+
+    def test_save_creates_parent_dirs(self, tmp_path):
+        get_cache("snap-f").get_or_compute("k", lambda: 1)
+        path = tmp_path / "deep" / "nested" / "snap.pkl"
+        assert save_snapshot(path) == 1
+        clear_all()
+        assert load_snapshot(path) == 1
+
+    def test_counters_delta_pairing(self):
+        before = counters()
+        get_cache("snap-g").get_or_compute("k", lambda: 1)
+        get_cache("snap-g").get_or_compute("k", lambda: 1)
+        delta = stats_delta(before)
+        assert delta["snap-g"] == {"hits": 1, "misses": 1, "hit_rate": 0.5}
 
 
 class TestProfileTableCaching:

@@ -71,6 +71,47 @@ class TestRun:
         ) == 0
 
 
+class TestCacheDir:
+    def test_second_run_warm_starts_from_snapshot(self, tmp_path, capsys):
+        from repro.cache import clear_all
+
+        cache_dir = tmp_path / "memo"
+        clear_all()
+        assert main(
+            ["run", "MatrixMul", "-n", "512", "--cache-dir", str(cache_dir)]
+        ) == 0
+        first = capsys.readouterr().err
+        assert "warm-started with 0 entries" in first
+        assert "saved" in first and str(cache_dir) in first
+        assert (cache_dir / "memo_snapshot.pkl").exists()
+
+        clear_all()  # simulate a fresh process
+        assert main(
+            ["run", "MatrixMul", "-n", "512", "--cache-dir", str(cache_dir)]
+        ) == 0
+        second = capsys.readouterr().err
+        # the snapshot replays the first run's memos as hits
+        assert "warm-started with 0 entries" not in second
+        assert "hits" in second
+        clear_all()
+
+    def test_without_cache_dir_no_report(self, capsys):
+        assert main(["analyze", "HotSpot", "-n", "256"]) == 0
+        assert "[cache]" not in capsys.readouterr().err
+
+    def test_missing_snapshot_dir_is_created(self, tmp_path, capsys):
+        from repro.cache import clear_all
+
+        clear_all()
+        nested = tmp_path / "a" / "b"
+        assert main(
+            ["run", "MatrixMul", "-n", "512", "--cache-dir", str(nested)]
+        ) == 0
+        capsys.readouterr()
+        assert (nested / "memo_snapshot.pkl").exists()
+        clear_all()
+
+
 class TestExperiment:
     def test_time_experiment(self, capsys):
         assert main(["experiment", "fig5", "--scale", "0.02"]) == 0
