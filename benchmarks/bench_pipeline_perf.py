@@ -9,8 +9,11 @@ the default summarized ``run_sweep`` returns against full-trace artifacts,
 measures the array-backed trace columns against the old list-backed
 layout, times the aggregate/analysis queries on both the vectorized and
 the pure-Python path, checks that parallel workers reproduce the serial
-hit rates from the shipped cache snapshot, and records everything to
-``BENCH_pipeline.json`` so CI can track the numbers over time.
+hit rates from the shipped cache snapshot, shards a warm sweep over two
+real socket-connected worker processes (``sweep_distributed``: cells/sec,
+bytes-on-wire per cell, byte-identity with the serial run), and records
+everything to ``BENCH_pipeline.json`` so CI can track the numbers over
+time.
 
 ``--check-baseline [FILE]`` additionally compares the fresh record against
 the committed ``benchmarks/BENCH_pipeline.baseline.json`` with a tolerance
@@ -293,7 +296,7 @@ def _list_layout_nbytes(store) -> int:
     total = 6 * pointer_list  # resource_ids/labels/categories/starts/ends/meta_idx
     total += 2 * n * sys.getsizeof(1.0)  # starts + ends float objects
     total += sum(
-        sys.getsizeof(store.label_pool.table[code]) for code in store.label_codes
+        sys.getsizeof(store.label_at(row)) for row in range(n)
     )
     total += sum(sys.getsizeof(s) for s in store.resource_pool.table)
     total += sum(sys.getsizeof(s) for s in store.category_pool.table)
@@ -317,6 +320,23 @@ def measure_trace_memory() -> dict:
     numeric_column_bytes = sys.getsizeof(store.starts) + sys.getsizeof(store.ends)
     pointer_list = sys.getsizeof([0.0] * records)
     numeric_list_bytes = 2 * pointer_list + 2 * records * sys.getsizeof(1.0)
+    # lazy labels: rows carrying a packed (template, args) label instead
+    # of an interned formatted string, and what those strings would cost
+    packed_rows = sum(1 for code in store.label_codes if code < 0)
+    label_packed_bytes = sum(
+        sys.getsizeof(getattr(store, name))
+        for name in (
+            "label_tmpl_codes", "label_arg_strs",
+            "label_arg_a", "label_arg_b", "label_arg_c",
+        )
+    )
+    for pool in (store.label_tmpl_pool, store.label_arg_pool):
+        label_packed_bytes += sys.getsizeof(pool.table)
+        label_packed_bytes += sum(sys.getsizeof(s) for s in pool.table)
+    unique_labels = {store.label_at(row) for row in range(records)}
+    label_eager_bytes = sys.getsizeof(list(unique_labels)) + sum(
+        sys.getsizeof(s) for s in unique_labels
+    )
     return {
         "records": records,
         "column_bytes": column_bytes,
@@ -326,6 +346,13 @@ def measure_trace_memory() -> dict:
         "numeric_column_bytes": numeric_column_bytes,
         "numeric_list_bytes": numeric_list_bytes,
         "numeric_shrink_ratio": numeric_list_bytes / numeric_column_bytes,
+        "label_packed_rows": packed_rows,
+        "label_packed_fraction": packed_rows / records if records else 0.0,
+        "label_packed_bytes": label_packed_bytes,
+        "label_eager_bytes": label_eager_bytes,
+        "label_shrink_ratio": (
+            label_eager_bytes / label_packed_bytes if label_packed_bytes else 0.0
+        ),
     }
 
 
@@ -369,6 +396,91 @@ def measure_worker_parity() -> dict:
     }
 
 
+def _spawn_bench_worker(tmp: Path, name: str):
+    """Start ``python -m repro.distrib.worker`` on an ephemeral loopback
+    port; returns ``(process, endpoint)`` once the ready-file handshake
+    lands."""
+    import subprocess
+
+    src = Path(__file__).resolve().parent.parent / "src"
+    ready = tmp / f"{name}.ready"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.distrib.worker",
+         "--listen", "127.0.0.1:0", "--ready-file", str(ready)],
+        env=env, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if ready.exists():
+            endpoint = ready.read_text().strip()
+            if endpoint:
+                return proc, endpoint
+        if proc.poll() is not None:
+            raise RuntimeError(f"bench worker {name} exited at startup")
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError(f"bench worker {name} never became ready")
+
+
+def measure_sweep_distributed() -> dict:
+    """Shard a warm sweep over two real worker processes.
+
+    Records throughput (cells/sec) and the wire cost per cell, and — the
+    number the baseline actually guards — whether the distributed
+    artifacts are *byte-identical* (equal pickles) to the serial run.
+    """
+    import pickle
+
+    from repro.distrib import last_sweep_reports
+
+    platform = shen_icpp15_platform()
+    cells = [
+        SweepCell(
+            app=app, strategy=strategy, platform=platform,
+            n=4096, iterations=2,
+        )
+        for app in ("STREAM-Loop", "HotSpot")
+        for strategy in (
+            "Only-CPU", "Only-GPU", "DP-Perf",
+            "SP-Unified" if app == "STREAM-Loop" else "SP-Single",
+        )
+    ]
+    clear_all()
+    run_sweep(cells)  # warm the memo stores
+    serial = run_sweep(cells)
+    with tempfile.TemporaryDirectory() as tmp:
+        workers = [_spawn_bench_worker(Path(tmp), f"w{i}") for i in range(2)]
+        try:
+            t0 = time.perf_counter()
+            dist = run_sweep(cells, workers=[ep for _, ep in workers])
+            elapsed = time.perf_counter() - t0
+        finally:
+            for proc, _ in workers:
+                proc.terminate()
+    reports = last_sweep_reports()
+    wire_bytes = sum(r.wire_bytes for r in reports)
+    parity = all(
+        pickle.dumps(a, 5) == pickle.dumps(b, 5)
+        for a, b in zip(serial, dist)
+    )
+    return {
+        "workers": len(workers),
+        "cells": len(cells),
+        "elapsed_s": elapsed,
+        "cells_per_sec": len(cells) / elapsed,
+        "wire_bytes": wire_bytes,
+        "wire_bytes_per_cell": wire_bytes / len(cells),
+        "cells_per_worker": [r.cells for r in reports],
+        "remote_hit_rate": (
+            sum(r.cache_hits for r in reports)
+            / max(1, sum(r.cache_hits + r.cache_misses for r in reports))
+        ),
+        "parity": parity,
+    }
+
+
 def record() -> dict:
     payload = {
         "benchmark": "pipeline_perf",
@@ -386,6 +498,7 @@ def record() -> dict:
         "analysis": measure_analysis_perf(),
         "trace_memory": measure_trace_memory(),
         "worker_parity": measure_worker_parity(),
+        "sweep_distributed": measure_sweep_distributed(),
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -411,6 +524,10 @@ def check(payload: dict) -> None:
     queries = payload["summary_queries"]
     if queries["vectorized"]:
         assert queries["vector_speedup"] >= ANALYTICS_SPEEDUP_FLOOR, queries
+    distributed = payload["sweep_distributed"]
+    assert distributed["parity"], distributed
+    assert sum(distributed["cells_per_worker"]) == distributed["cells"], distributed
+    assert memory["label_packed_fraction"] > 0.9, memory
 
 
 #: baseline comparisons: (json path, direction, relative tolerance).
@@ -428,6 +545,10 @@ BASELINE_CHECKS = [
     ("trace_memory.shrink_ratio", "min", 0.3),
     ("trace_memory.numeric_shrink_ratio", "min", 0.2),
     ("trace_memory.bytes_per_record", "max", 0.3),
+    ("trace_memory.label_shrink_ratio", "min", 0.3),
+    ("trace_memory.label_packed_fraction", "min", 0.05),
+    ("sweep_distributed.wire_bytes_per_cell", "max", 0.5),
+    ("sweep_distributed.remote_hit_rate", "min", 0.05),
 ]
 
 
@@ -469,6 +590,10 @@ def compare_to_baseline(payload: dict, baseline_path: Path | None = None) -> lis
         failures.append(
             "disk_cache: snapshot-reloaded hit rates diverge from warm in-process"
         )
+    if not payload["sweep_distributed"]["parity"]:
+        failures.append(
+            "sweep_distributed: artifacts not byte-identical to the serial run"
+        )
     return failures
 
 
@@ -508,6 +633,15 @@ def test_pipeline_perf(benchmark):
         f"{memory['bytes_per_record']:.1f} B/record)\n"
         f"worker parity:        "
         f"{'ok' if payload['worker_parity']['match'] else 'DIVERGED'}\n"
+        f"distributed sweep:    "
+        f"{payload['sweep_distributed']['cells_per_sec']:,.1f} cells/s over "
+        f"{payload['sweep_distributed']['workers']} workers, "
+        f"{payload['sweep_distributed']['wire_bytes_per_cell']:,.0f} B/cell "
+        f"on the wire, parity "
+        f"{'ok' if payload['sweep_distributed']['parity'] else 'DIVERGED'}\n"
+        f"lazy labels:          "
+        f"{memory['label_packed_fraction']:.0%} rows packed "
+        f"({memory['label_shrink_ratio']:.1f}x vs formatted strings)\n"
         f"wrote {OUTPUT.name}",
     )
 
@@ -538,7 +672,10 @@ def main(argv: list[str] | None = None) -> int:
         f"sweep return {sweep['bytes_ratio']:.0f}x smaller summarized, "
         f"queries {queries['queries_per_sec']:,.0f}/s "
         f"({queries['vector_speedup']:.1f}x vectorized), "
-        f"trace columns {memory['shrink_ratio']:.1f}x smaller "
+        f"trace columns {memory['shrink_ratio']:.1f}x smaller, "
+        f"distributed {payload['sweep_distributed']['cells_per_sec']:,.1f} "
+        f"cells/s over {payload['sweep_distributed']['workers']} workers "
+        f"(parity {'ok' if payload['sweep_distributed']['parity'] else 'DIVERGED'}) "
         f"-> {OUTPUT}"
     )
     if args.check_baseline is not None:

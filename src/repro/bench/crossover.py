@@ -19,6 +19,7 @@ the models move a *number*, not just a boolean.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.bench.harness import SweepCell, run_sweep
 from repro.errors import ExperimentError
@@ -54,6 +55,7 @@ def stream_iteration_crossover(
     iterations: tuple[int, ...] = (1, 2, 3, 4, 6, 8, 10),
     n: int | None = None,
     jobs: int = 1,
+    workers: Sequence[str] | None = None,
 ) -> CrossoverPoint:
     """Sweep STREAM-Loop iterations: where Only-GPU overtakes Only-CPU."""
     cells = [
@@ -64,7 +66,7 @@ def stream_iteration_crossover(
         for it in iterations
         for strategy in ("Only-CPU", "Only-GPU")
     ]
-    outcomes = run_sweep(cells, jobs=jobs)
+    outcomes = run_sweep(cells, jobs=jobs, workers=workers)
     ratios = []
     crossover = None
     for i, it in enumerate(iterations):
@@ -116,6 +118,7 @@ def hotspot_bandwidth_crossover(
     n: int | None = None,
     iterations: int | None = None,
     jobs: int = 1,
+    workers: Sequence[str] | None = None,
 ) -> CrossoverPoint:
     """Sweep link bandwidth: where Only-GPU overtakes Only-CPU on HotSpot."""
     cells = [
@@ -127,7 +130,7 @@ def hotspot_bandwidth_crossover(
         for bw in bandwidths_gbs
         for strategy in ("Only-CPU", "Only-GPU")
     ]
-    outcomes = run_sweep(cells, jobs=jobs)
+    outcomes = run_sweep(cells, jobs=jobs, workers=workers)
     ratios = []
     crossover = None
     for i, bw in enumerate(bandwidths_gbs):

@@ -9,6 +9,7 @@ problem sizes for quick runs (tests use ``scale`` well below 1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.apps.registry import get_application
 from repro.bench.harness import (
@@ -157,13 +158,16 @@ def run_experiment(
     scale: float = 1.0,
     iterations: int | None = None,
     jobs: int = 1,
+    workers: Sequence[str] | None = None,
     detail: str = "summary",
 ) -> list[ScenarioResult]:
     """Run one experiment; returns one :class:`ScenarioResult` per scenario.
 
     All scenario x strategy cells are flattened into one sweep, so
     ``jobs > 1`` parallelizes across the whole experiment, not just
-    within a scenario.  Results are order-deterministic either way.
+    within a scenario, and ``workers=["host:port", ...]`` shards the
+    same flat sweep over remote workers (see :mod:`repro.distrib`).
+    Results are order-deterministic either way.
     Every reported number comes from the artifacts'
     :class:`~repro.artifact.TraceSummary`; pass ``detail="full"`` to also
     keep the raw traces on the outcomes.
@@ -184,7 +188,7 @@ def run_experiment(
                     n=n, iterations=iterations, sync=scenario.sync,
                 )
             )
-    outcomes = run_sweep(cells, jobs=jobs, detail=detail)
+    outcomes = run_sweep(cells, jobs=jobs, workers=workers, detail=detail)
     results = []
     stride = len(experiment.strategies)
     for i, scenario in enumerate(experiment.scenarios):

@@ -149,7 +149,19 @@ def _init_worker(snapshot) -> None:
 
 
 def default_jobs() -> int:
-    """Worker count when the caller asks for 'all cores'."""
+    """Worker count when the caller asks for 'all cores'.
+
+    Respects the process's CPU affinity mask where the platform exposes
+    one (containers and pinned CI runners often grant far fewer CPUs
+    than ``os.cpu_count()`` reports), so ``--jobs 0`` never
+    oversubscribes a cgroup/taskset-restricted run.
+    """
+    affinity = getattr(os, "sched_getaffinity", None)
+    if affinity is not None:
+        try:
+            return max(1, len(affinity(0)))
+        except OSError:  # pragma: no cover - exotic platform failure
+            pass
     return max(1, os.cpu_count() or 1)
 
 
@@ -159,6 +171,8 @@ def run_sweep(
     jobs: int = 1,
     detail: str = "summary",
     share_cache: bool = True,
+    workers: Sequence[str] | None = None,
+    batch_size: int | None = None,
 ) -> list[RunArtifact]:
     """Run every cell; artifacts are returned in cell order.
 
@@ -167,22 +181,38 @@ def run_sweep(
     worker completion order — a parallel sweep is byte-identical to a
     serial one.  ``jobs <= 0`` means one worker per core.
 
+    ``workers`` switches to the distributed path: cells are sharded in
+    batches (``batch_size``; default auto) over the given
+    ``"host:port"`` worker servers (see :mod:`repro.distrib`), with
+    ``jobs`` forwarded as each worker's intra-batch parallelism.
+    Results still come back in cell order — a distributed sweep is
+    byte-identical to a serial one — and cells a dead pool cannot
+    finish fall back to local execution.
+
     ``detail="summary"`` (default) returns artifacts without raw traces —
     the cheap cross-process form; ``detail="full"`` keeps them.  With
     ``share_cache`` (default), parallel workers start from a read-only
-    snapshot of the parent's :mod:`repro.cache` stores, recovering the
-    serial run's memo hit rates under ``jobs > 1``.
+    snapshot of the parent's :mod:`repro.cache` stores (shipped once per
+    remote session at handshake), recovering the serial run's memo hit
+    rates under ``jobs > 1`` and ``workers=[...]`` alike.
     """
     check_detail(detail)
     cells = list(cells)
+    if workers:
+        from repro.distrib.executor import DistributedSweepExecutor
+
+        executor = DistributedSweepExecutor(
+            workers, jobs=jobs, batch_size=batch_size
+        )
+        return executor.run(cells, detail=detail, share_cache=share_cache)
     if jobs <= 0:
         jobs = default_jobs()
     if jobs == 1 or len(cells) <= 1:
         return [_run_cell(cell, detail) for cell in cells]
-    workers = min(jobs, len(cells))
+    pool_size = min(jobs, len(cells))
     snapshot = _cache.snapshot_stores() if share_cache else {}
     with ProcessPoolExecutor(
-        max_workers=workers, initializer=_init_worker, initargs=(snapshot,)
+        max_workers=pool_size, initializer=_init_worker, initargs=(snapshot,)
     ) as pool:
         return list(pool.map(partial(_run_cell, detail=detail), cells))
 

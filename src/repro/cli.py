@@ -38,6 +38,7 @@ from repro.bench.tables import format_ratio_table, format_time_table
 from repro.bench.validation import validate_platform
 from repro.core.analyzer import analyze
 from repro.core.matchmaker import match
+from repro.errors import ConfigurationError
 from repro.core.report import format_analysis, format_match
 from repro.partition import PlanConfig, get_strategy, list_strategies
 from repro.platform import (
@@ -85,6 +86,27 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
         help="worker processes for the sweep (1 = serial, 0 = all cores); "
              "results are identical regardless of N",
     )
+    parser.add_argument(
+        "--workers", action="append", default=None, metavar="HOST:PORT",
+        help="shard the sweep over remote worker servers (repeat the "
+             "flag or comma-separate; start one with `python -m "
+             "repro.distrib.worker --listen HOST:PORT`); --jobs then "
+             "sets each worker's intra-batch parallelism and results "
+             "stay identical to a serial run",
+    )
+
+
+def _workers(args) -> list[str] | None:
+    """Validated ``--workers`` endpoints (normalized strings) or None.
+
+    Malformed values abort before any sweep work starts, with the
+    offending value named — never a socket traceback mid-experiment.
+    """
+    if not getattr(args, "workers", None):
+        return None
+    from repro.distrib import format_endpoint, parse_endpoints
+
+    return [format_endpoint(ep) for ep in parse_endpoints(args.workers)]
 
 
 def cmd_list(args) -> int:
@@ -151,7 +173,10 @@ def cmd_run(args) -> int:
 
 def cmd_experiment(args) -> int:
     platform = _platform(args)
-    results = run_experiment(args.key, platform, scale=args.scale, jobs=args.jobs)
+    results = run_experiment(
+        args.key, platform, scale=args.scale, jobs=args.jobs,
+        workers=_workers(args),
+    )
     if args.key in ("fig6", "fig8", "fig10"):
         print(format_ratio_table(
             results, title=EXPERIMENTS[args.key].label(),
@@ -186,11 +211,14 @@ def cmd_regenerate(args) -> int:
     from pathlib import Path
 
     platform = _platform(args)
+    workers = _workers(args)
     out = Path(args.output)
     out.mkdir(parents=True, exist_ok=True)
     written = []
     for key in sorted(EXPERIMENTS):
-        results = run_experiment(key, platform, scale=args.scale, jobs=args.jobs)
+        results = run_experiment(
+            key, platform, scale=args.scale, jobs=args.jobs, workers=workers,
+        )
         path = write_records(scenario_rows(results), out / f"{key}.csv")
         written.append(path)
     rows = figure12(platform, scale=args.scale)
@@ -222,10 +250,15 @@ def cmd_crossover(args) -> int:
     )
 
     platform = _platform(args)
+    workers = _workers(args)
     if args.sweep == "stream-iterations":
-        point = stream_iteration_crossover(platform, jobs=args.jobs)
+        point = stream_iteration_crossover(
+            platform, jobs=args.jobs, workers=workers,
+        )
     else:
-        point = hotspot_bandwidth_crossover(platform, jobs=args.jobs)
+        point = hotspot_bandwidth_crossover(
+            platform, jobs=args.jobs, workers=workers,
+        )
     print(format_crossover(point))
     return 0
 
@@ -375,6 +408,28 @@ def _cache_report(loaded: int, before) -> None:
         + (", ".join(parts) if parts else "no cache traffic"),
         file=sys.stderr,
     )
+    _remote_cache_report()
+
+
+def _remote_cache_report() -> None:
+    """Per-remote-worker memo hit rates, when a distributed sweep ran."""
+    distrib = sys.modules.get("repro.distrib.executor")
+    if distrib is None:  # no --workers sweep this invocation
+        return
+    for report in distrib.last_sweep_reports():
+        if not report.alive and report.cells == 0:
+            line = f"dead ({report.error})"
+        else:
+            total = report.cache_hits + report.cache_misses
+            line = (
+                f"{report.cells} cells in {report.batches} batches, "
+                f"{report.cache_hits}/{total} cache hits "
+                f"({report.cache_hit_rate:.0%}), "
+                f"{report.wire_bytes} wire bytes"
+            )
+            if not report.alive:
+                line += f" — died mid-sweep ({report.error})"
+        print(f"[cache] worker {report.endpoint}: {line}", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -394,6 +449,11 @@ def main(argv: list[str] | None = None) -> int:
         rc = args.func(args)
     except BrokenPipeError:  # output piped into head & co.
         return 0
+    except ConfigurationError as exc:
+        # bad flag values (malformed --workers ...) get an argparse-style
+        # one-liner, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if snapshot_path is not None:
         import repro.cache as cache
 

@@ -1,0 +1,71 @@
+"""Distributed sweep execution over socket-connected remote workers.
+
+:mod:`repro.bench.harness.run_sweep` fans cells out over *local* worker
+processes; this package extends the same sweep contract across machine
+boundaries.  A worker server (``python -m repro.distrib.worker --listen
+HOST:PORT``) accepts framed :class:`~repro.bench.harness.SweepCell`
+batches and returns summarized :class:`~repro.artifact.RunArtifact`
+bundles — the ~300x-smaller pickles PR 2 introduced precisely so sweep
+results are cheap to ship over a socket.  The client side
+(:class:`~repro.distrib.executor.DistributedSweepExecutor`) is what
+``run_sweep(..., workers=["host:port", ...])`` and the CLI ``--workers``
+flag drive.
+
+Layer map
+---------
+:mod:`repro.distrib.protocol`
+    Length-prefixed, version-stamped frames; pickled payloads; the
+    corrupt/short-frame rejection rules.
+:mod:`repro.distrib.endpoints`
+    ``host:port`` parsing/validation (clear errors for malformed
+    ``--workers`` values).
+:mod:`repro.distrib.worker`
+    The worker server and its ``python -m repro.distrib.worker`` CLI.
+:mod:`repro.distrib.executor`
+    Pull-based client: batches are dispatched to a worker only when it
+    is idle, dead/hung workers' cells are re-dispatched onto the
+    remaining pool, and results reassemble in cell order so a
+    distributed sweep is byte-identical to a serial one.
+
+Trust model: frames carry pickles, so workers and clients must mutually
+trust each other — bind workers to loopback or a private network only
+(see ``docs/distributed.md``).
+"""
+
+__all__ = [
+    "DistributedSweepExecutor",
+    "PROTOCOL_VERSION",
+    "WorkerReport",
+    "WorkerServer",
+    "format_endpoint",
+    "last_sweep_reports",
+    "parse_endpoint",
+    "parse_endpoints",
+]
+
+#: lazy re-exports: importing the package must not import submodules
+#: eagerly — ``python -m repro.distrib.worker`` would otherwise find the
+#: worker module pre-imported by its own package (runpy warning)
+_EXPORTS = {
+    "format_endpoint": "repro.distrib.endpoints",
+    "parse_endpoint": "repro.distrib.endpoints",
+    "parse_endpoints": "repro.distrib.endpoints",
+    "DistributedSweepExecutor": "repro.distrib.executor",
+    "WorkerReport": "repro.distrib.executor",
+    "last_sweep_reports": "repro.distrib.executor",
+    "PROTOCOL_VERSION": "repro.distrib.protocol",
+    "WorkerServer": "repro.distrib.worker",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.distrib' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

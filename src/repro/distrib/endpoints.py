@@ -1,0 +1,103 @@
+"""Worker endpoint parsing: strict ``host:port`` with clear errors.
+
+``--workers`` values come straight from users, so every malformed shape
+is rejected with a message that names the offending value and the
+expected form — never a traceback from ``socket.connect`` minutes into a
+sweep.  Accepted forms:
+
+* ``host:port`` — hostname or IPv4 literal;
+* ``[v6addr]:port`` — IPv6 literals must be bracketed (the bare form is
+  ambiguous with the port separator).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+_EXPECTED = "expected HOST:PORT (or [IPV6]:PORT) with PORT in 1..65535"
+
+
+def parse_endpoint(value: str, *, allow_ephemeral: bool = False) -> tuple[str, int]:
+    """Parse one ``host:port`` string into ``(host, port)``.
+
+    Raises :class:`~repro.errors.ConfigurationError` on anything
+    malformed: missing port, empty host, non-numeric or out-of-range
+    port, unbracketed IPv6.  ``allow_ephemeral`` admits port ``0`` —
+    valid for a *listen* address (the kernel picks a free port) but
+    never for a connect target.
+    """
+    text = value.strip()
+    if not text:
+        raise ConfigurationError(f"empty worker endpoint; {_EXPECTED}")
+    if text.startswith("["):
+        bracket = text.find("]")
+        if bracket < 0 or not text[bracket + 1:].startswith(":"):
+            raise ConfigurationError(
+                f"malformed worker endpoint {value!r}; {_EXPECTED}"
+            )
+        host = text[1:bracket]
+        port_text = text[bracket + 2:]
+    else:
+        host, sep, port_text = text.rpartition(":")
+        if not sep:
+            raise ConfigurationError(
+                f"worker endpoint {value!r} has no port; {_EXPECTED}"
+            )
+        if ":" in host:
+            raise ConfigurationError(
+                f"worker endpoint {value!r} looks like an unbracketed IPv6 "
+                f"address; {_EXPECTED}"
+            )
+    if not host:
+        raise ConfigurationError(
+            f"worker endpoint {value!r} has an empty host; {_EXPECTED}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"worker endpoint {value!r} has a non-numeric port "
+            f"{port_text!r}; {_EXPECTED}"
+        ) from None
+    if not (0 if allow_ephemeral else 1) <= port <= 65535:
+        raise ConfigurationError(
+            f"worker endpoint {value!r} has out-of-range port {port}; "
+            f"{_EXPECTED}"
+        )
+    return host, port
+
+
+def parse_endpoints(values: Iterable[str]) -> list[tuple[str, int]]:
+    """Parse many endpoints; comma-separated values are split first.
+
+    Duplicate endpoints are rejected — connecting to the same worker
+    twice would double-count its capacity and confuse re-dispatch.
+    """
+    seen: dict[tuple[str, int], str] = {}
+    out: list[tuple[str, int]] = []
+    for value in values:
+        for part in str(value).split(","):
+            if not part.strip():
+                continue
+            endpoint = parse_endpoint(part)
+            if endpoint in seen:
+                raise ConfigurationError(
+                    f"worker endpoint {part.strip()!r} given more than once"
+                )
+            seen[endpoint] = part
+            out.append(endpoint)
+    if not out:
+        raise ConfigurationError(
+            f"no worker endpoints found in {list(values)!r}; {_EXPECTED}"
+        )
+    return out
+
+
+def format_endpoint(endpoint: tuple[str, int] | Sequence) -> str:
+    """Render ``(host, port)`` back to its display form."""
+    host, port = endpoint
+    if ":" in host:
+        return f"[{host}]:{port}"
+    return f"{host}:{port}"

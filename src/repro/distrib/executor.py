@@ -1,0 +1,427 @@
+"""Client side of distributed sweeps: shard cells over remote workers.
+
+:class:`DistributedSweepExecutor` drives one sweep session against a
+pool of :mod:`repro.distrib.worker` servers:
+
+* **Pull-based scheduling** — one feeder thread per worker dispatches a
+  batch only when its worker is idle, so fast workers naturally take
+  more of the queue and a slow worker never strands work behind it.
+* **Snapshot-once handshake** — each worker receives the parent's
+  :func:`repro.cache.snapshot_stores` bundle exactly once per session
+  (in ``MSG_HELLO``), not per cell, so remote warm-cache hit rates match
+  local ``run_sweep`` workers.
+* **Failure containment** — every call has a timeout; a dead or hung
+  worker's in-flight batch is re-dispatched onto the remaining pool
+  (bounded attempts, so a poison batch cannot ping-pong forever), and
+  connection setup retries with backoff.  If the whole pool dies, the
+  leftover cells run locally by default (``fallback="local"``) so the
+  sweep still completes; ``fallback="error"`` raises instead.
+* **Deterministic reassembly** — results are written into their cell's
+  original index, so a distributed sweep returns artifacts in cell
+  order, byte-identical to a serial ``run_sweep`` over the same cells
+  (cell execution is deterministic; re-running a batch elsewhere yields
+  the same artifact).
+
+Per-worker accounting (cells, batches, wire bytes, remote cache
+hit/miss) is kept in :class:`WorkerReport` objects, exposed on the
+executor and via :func:`last_sweep_reports` for the CLI's ``--cache-dir``
+stderr report and the ``sweep_distributed`` benchmark metrics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import socket
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import repro.cache as _cache
+from repro.distrib import protocol
+from repro.distrib.endpoints import format_endpoint, parse_endpoints
+from repro.errors import DistributedSweepError, WorkerProtocolError
+
+#: transport failures that mark a worker dead and re-dispatch its batch
+_TRANSPORT_ERRORS = (
+    WorkerProtocolError,
+    ConnectionError,
+    socket.timeout,
+    TimeoutError,
+    OSError,
+    EOFError,
+)
+
+
+@dataclass
+class WorkerReport:
+    """What one remote worker contributed to a sweep."""
+
+    endpoint: str
+    batches: int = 0
+    cells: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    #: worker-side memo-store hits/misses summed over this session's batches
+    cache_hits: int = 0
+    cache_misses: int = 0
+    redispatched_batches: int = 0
+    alive: bool = True
+    error: str | None = None
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.bytes_sent + self.bytes_received
+
+
+@dataclass
+class _Batch:
+    batch_id: int
+    indices: list[int]
+    cells: list
+    attempts: int = 0
+
+
+@dataclass
+class _SweepState:
+    """Shared mutable state guarded by one lock/condition pair."""
+
+    queue: deque = field(default_factory=deque)
+    #: batches not yet completed or dead-lettered (drives idle waiting)
+    outstanding: int = 0
+    dead_letters: list = field(default_factory=list)
+    fatal: str | None = None
+
+
+#: the most recent sweep's per-worker reports (CLI/bench reporting)
+_LAST_REPORTS: list[WorkerReport] = []
+
+
+def last_sweep_reports() -> list[WorkerReport]:
+    """Per-worker reports of the most recent distributed sweep."""
+    return list(_LAST_REPORTS)
+
+
+def _canonicalize(obj):
+    """Re-intern every string reachable through plain containers.
+
+    Pickling an artifact through the wire and back loses *object
+    identity* between equal strings (the worker's artifact mixes strings
+    from its unpickled cell copy with strings from its memo stores), so
+    a re-pickle on this side would memoize them differently than a
+    locally produced artifact — byte-different pickles for semantically
+    equal results.  Interning collapses every equal string back to one
+    object, which is exactly the sharing a local run has (device ids and
+    resource names are single-origin there), restoring pickle-level
+    byte-identity between distributed and serial sweeps.
+    """
+    if isinstance(obj, str):
+        return sys.intern(obj)
+    if isinstance(obj, dict):
+        return {_canonicalize(k): _canonicalize(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_canonicalize(v) for v in obj]
+    if isinstance(obj, tuple):
+        return type(obj)(*map(_canonicalize, obj)) if hasattr(obj, "_fields") \
+            else tuple(_canonicalize(v) for v in obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        changes = {
+            f.name: _canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return dataclasses.replace(obj, **changes)
+    return obj
+
+
+def _auto_batch_size(n_cells: int, n_workers: int) -> int:
+    """Batch small enough for load balance, big enough to amortize frames.
+
+    Four batches per worker keeps the tail short when cell costs vary;
+    the cap bounds the cost of re-executing a re-dispatched batch.
+    """
+    return max(1, min(32, n_cells // (4 * n_workers) or 1))
+
+
+class DistributedSweepExecutor:
+    """Run sweep cells across socket-connected workers (one session).
+
+    Parameters
+    ----------
+    workers:
+        Endpoints: ``"host:port"`` strings (comma-separable) or
+        ``(host, port)`` tuples.
+    jobs:
+        Forwarded to each worker in the handshake as its intra-batch
+        parallelism (a worker started with an explicit ``--jobs`` pins
+        its own value instead).
+    batch_size:
+        Cells per dispatched batch (default: auto, ~4 batches/worker).
+    call_timeout_s:
+        Per-call ceiling on a worker executing one batch; a worker that
+        blows it is treated as hung and its batch re-dispatched.
+    connect_attempts / connect_backoff_s / connect_timeout_s:
+        Connection establishment retries with linear backoff.
+    max_redispatch:
+        Attempt ceiling per batch (default: pool size + 1); beyond it the
+        batch is dead-lettered to the fallback path instead of being
+        re-dispatched (a poison batch must not take every worker down).
+    fallback:
+        ``"local"`` (default) runs cells the pool could not finish in
+        this process; ``"error"`` raises
+        :class:`~repro.errors.DistributedSweepError` instead.
+    """
+
+    def __init__(
+        self,
+        workers: Iterable[str] | Sequence[tuple[str, int]],
+        *,
+        jobs: int = 1,
+        batch_size: int | None = None,
+        call_timeout_s: float = 600.0,
+        connect_timeout_s: float = 10.0,
+        connect_attempts: int = 3,
+        connect_backoff_s: float = 0.25,
+        max_redispatch: int | None = None,
+        fallback: str = "local",
+    ) -> None:
+        workers = list(workers)
+        if workers and isinstance(workers[0], tuple):
+            self.endpoints = [tuple(w) for w in workers]
+        else:
+            self.endpoints = parse_endpoints(workers)
+        if fallback not in ("local", "error"):
+            raise DistributedSweepError(
+                f"fallback must be 'local' or 'error', got {fallback!r}"
+            )
+        self.jobs = jobs
+        self.batch_size = batch_size
+        self.call_timeout_s = call_timeout_s
+        self.connect_timeout_s = connect_timeout_s
+        self.connect_attempts = max(1, connect_attempts)
+        self.connect_backoff_s = connect_backoff_s
+        self.max_redispatch = max_redispatch
+        self.fallback = fallback
+        self.reports: list[WorkerReport] = []
+
+    # -- public API ------------------------------------------------------
+
+    def run(self, cells, *, detail: str = "summary", share_cache: bool = True):
+        """Execute ``cells`` on the worker pool; artifacts in cell order."""
+        from repro.artifact import check_detail
+
+        check_detail(detail)
+        cells = list(cells)
+        self.reports = [
+            WorkerReport(endpoint=format_endpoint(ep)) for ep in self.endpoints
+        ]
+        global _LAST_REPORTS
+        _LAST_REPORTS = self.reports
+        if not cells:
+            return []
+
+        size = self.batch_size or _auto_batch_size(len(cells), len(self.endpoints))
+        state = _SweepState()
+        for batch_id, start in enumerate(range(0, len(cells), size)):
+            indices = list(range(start, min(start + size, len(cells))))
+            state.queue.append(
+                _Batch(batch_id, indices, [cells[i] for i in indices])
+            )
+        state.outstanding = len(state.queue)
+        results: list = [None] * len(cells)
+        filled = [False] * len(cells)
+        snapshot = _cache.snapshot_stores() if share_cache else {}
+        cond = threading.Condition()
+        attempt_cap = (
+            self.max_redispatch
+            if self.max_redispatch is not None
+            else len(self.endpoints) + 1
+        )
+
+        threads = []
+        for endpoint, report in zip(self.endpoints, self.reports):
+            thread = threading.Thread(
+                target=self._drive_worker,
+                args=(endpoint, report, state, cond, results, filled,
+                      snapshot, detail, attempt_cap),
+                daemon=True,
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join()
+
+        if state.fatal is not None:
+            raise DistributedSweepError(
+                f"a worker reported a non-transient cell failure:\n{state.fatal}"
+            )
+        leftovers = sorted(
+            i
+            for batch in (list(state.queue) + state.dead_letters)
+            for i in batch.indices
+            if not filled[i]
+        )
+        if leftovers:
+            dead = [r.endpoint for r in self.reports if not r.alive]
+            if self.fallback == "error":
+                raise DistributedSweepError(
+                    f"{len(leftovers)} cells could not be executed remotely "
+                    f"(dead workers: {dead or 'none'})"
+                )
+            from repro.bench.harness import _run_cell
+
+            print(
+                f"[distrib] {len(leftovers)} of {len(cells)} cells fell back "
+                f"to local execution (dead workers: {', '.join(dead) or 'none'})",
+                file=sys.stderr,
+            )
+            for i in leftovers:
+                results[i] = _run_cell(cells[i], detail)
+                filled[i] = True
+        missing = filled.count(False)
+        if missing:
+            raise DistributedSweepError(
+                f"internal error: {missing} cells never produced a result"
+            )
+        return results
+
+    # -- per-worker feeder thread ---------------------------------------
+
+    def _connect(self, endpoint, report, snapshot, detail):
+        """Connect + handshake with retry/backoff; returns the socket."""
+        last_exc: Exception | None = None
+        for attempt in range(self.connect_attempts):
+            if attempt:
+                time.sleep(self.connect_backoff_s * attempt)
+            try:
+                sock = socket.create_connection(
+                    endpoint, timeout=self.connect_timeout_s
+                )
+            except OSError as exc:
+                last_exc = exc
+                continue
+            try:
+                sock.settimeout(self.call_timeout_s)
+                report.bytes_sent += protocol.send_frame(
+                    sock, protocol.MSG_HELLO, {
+                        "protocol": protocol.PROTOCOL_VERSION,
+                        "detail": detail,
+                        "jobs": self.jobs,
+                        "snapshot": snapshot,
+                    },
+                )
+                _welcome, nbytes = protocol.expect_frame(
+                    sock, protocol.MSG_WELCOME
+                )
+                report.bytes_received += nbytes
+                return sock
+            except _TRANSPORT_ERRORS as exc:
+                last_exc = exc
+                sock.close()
+        raise DistributedSweepError(
+            f"could not establish a session with {report.endpoint} after "
+            f"{self.connect_attempts} attempts: {last_exc}"
+        )
+
+    def _drive_worker(
+        self, endpoint, report, state, cond, results, filled,
+        snapshot, detail, attempt_cap,
+    ) -> None:
+        try:
+            sock = self._connect(endpoint, report, snapshot, detail)
+        except DistributedSweepError as exc:
+            with cond:
+                report.alive = False
+                report.error = str(exc)
+                cond.notify_all()
+            return
+        batch: _Batch | None = None
+        try:
+            while True:
+                with cond:
+                    batch = None
+                    while state.fatal is None:
+                        if state.queue:
+                            batch = state.queue.popleft()
+                            break
+                        if state.outstanding == 0:
+                            break
+                        # another worker holds the remaining batches; wait
+                        # in case one is re-dispatched our way
+                        cond.wait(0.05)
+                    if batch is None:
+                        break
+                batch.attempts += 1
+                report.bytes_sent += protocol.send_frame(
+                    sock, protocol.MSG_BATCH, {
+                        "batch_id": batch.batch_id,
+                        "cells": batch.cells,
+                    },
+                )
+                msg_type, payload, nbytes = protocol.recv_frame(sock)
+                report.bytes_received += nbytes
+                if msg_type == protocol.MSG_ERROR:
+                    with cond:
+                        state.fatal = str(payload.get("error"))
+                        state.dead_letters.append(batch)
+                        state.outstanding -= 1
+                        cond.notify_all()
+                    batch = None
+                    break
+                if msg_type != protocol.MSG_RESULT:
+                    raise WorkerProtocolError(
+                        f"expected a result frame, got type {msg_type}"
+                    )
+                if payload.get("batch_id") != batch.batch_id:
+                    raise WorkerProtocolError(
+                        f"result for batch {payload.get('batch_id')} while "
+                        f"waiting on batch {batch.batch_id}"
+                    )
+                artifacts = payload.get("artifacts") or []
+                if len(artifacts) != len(batch.indices):
+                    raise WorkerProtocolError(
+                        f"batch {batch.batch_id}: {len(artifacts)} artifacts "
+                        f"for {len(batch.indices)} cells"
+                    )
+                delta = payload.get("cache_delta") or {}
+                artifacts = [_canonicalize(a) for a in artifacts]
+                with cond:
+                    for index, artifact in zip(batch.indices, artifacts):
+                        results[index] = artifact
+                        filled[index] = True
+                    state.outstanding -= 1
+                    report.batches += 1
+                    report.cells += len(batch.indices)
+                    for stats in delta.values():
+                        report.cache_hits += stats.get("hits", 0)
+                        report.cache_misses += stats.get("misses", 0)
+                    cond.notify_all()
+                batch = None
+            try:
+                report.bytes_sent += protocol.send_frame(
+                    sock, protocol.MSG_BYE, {}
+                )
+            except _TRANSPORT_ERRORS:
+                pass  # worker vanished after its last result; nothing lost
+            sock.close()
+        except _TRANSPORT_ERRORS as exc:
+            sock.close()
+            with cond:
+                report.alive = False
+                report.error = f"{type(exc).__name__}: {exc}"
+                if batch is not None:
+                    report.redispatched_batches += 1
+                    if batch.attempts >= attempt_cap:
+                        state.dead_letters.append(batch)
+                        state.outstanding -= 1
+                    else:
+                        # back of the queue: surviving workers finish their
+                        # current work before picking up the orphan
+                        state.queue.append(batch)
+                cond.notify_all()

@@ -1,0 +1,284 @@
+"""The sweep worker server: ``python -m repro.distrib.worker``.
+
+A worker binds one listening socket and serves client sessions one at a
+time (a sweep is one session; concurrent clients queue in the listen
+backlog).  Inside a session the worker is purely reactive — the client
+dispatches a :data:`~repro.distrib.protocol.MSG_BATCH` only when this
+worker is idle (pull-based scheduling), the worker executes the batch's
+:class:`~repro.bench.harness.SweepCell` list in order, and replies with
+one :data:`~repro.distrib.protocol.MSG_RESULT` carrying the summarized
+:class:`~repro.artifact.RunArtifact` list plus the batch's worker-side
+cache hit/miss delta.
+
+The session handshake installs the client's :mod:`repro.cache` snapshot
+**once** — not per cell — so a remote worker replays the client's warm
+probes and predictions exactly like a local ``run_sweep`` worker process
+does.  Entries the worker computes itself stay local (additions never
+flow back), matching the local pool contract.
+
+A transport error mid-session (client died, corrupt frame) abandons the
+session and returns to accepting new ones; a *deterministic* cell
+failure is reported back as :data:`~repro.distrib.protocol.MSG_ERROR`
+so the client can fail fast instead of re-dispatching cells that would
+fail identically everywhere.
+
+``fail_after=N`` is a fault-injection hook for tests and drills: the
+worker drops dead (connection cut, server stopped, no reply) after
+executing N cells, which must leave a client sweep complete and
+byte-identical via re-dispatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import sys
+import traceback
+
+import repro.cache as _cache
+from repro.distrib import protocol
+from repro.distrib.endpoints import format_endpoint, parse_endpoint
+from repro.errors import WorkerProtocolError
+
+
+class _SessionAborted(Exception):
+    """Internal: the fail_after fault injection tripped mid-session."""
+
+
+class WorkerServer:
+    """A sweep worker bound to ``host:port`` (``port=0`` = ephemeral).
+
+    Parameters
+    ----------
+    jobs:
+        Worker-side parallelism for each batch.  ``None`` (default)
+        honors the ``jobs`` the client sends in its handshake; an
+        explicit value pins it regardless of the client.  ``1`` runs the
+        batch serially in-process, ``0``/``>1`` fan out over local
+        processes exactly like ``run_sweep --jobs``.
+    fail_after:
+        Fault injection: die abruptly (no reply, socket cut, server
+        stopped) after executing this many cells in total.
+    accept_timeout_s:
+        Poll interval for the stop flag while waiting for connections.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        jobs: int | None = None,
+        fail_after: int | None = None,
+        accept_timeout_s: float = 0.25,
+        verbose: bool = False,
+    ) -> None:
+        self.jobs = jobs
+        self.fail_after = fail_after
+        self.verbose = verbose
+        self._cells_executed = 0
+        self._stopped = False
+        self._thread = None
+        self.sessions_served = 0
+        self._sock = socket.socket(socket.AF_INET6 if ":" in host else socket.AF_INET)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(8)
+        self._sock.settimeout(accept_timeout_s)
+        self.address: tuple[str, int] = self._sock.getsockname()[:2]
+
+    @property
+    def endpoint(self) -> str:
+        """The ``host:port`` string clients pass to ``--workers``."""
+        return format_endpoint(self.address)
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[worker {self.endpoint}] {message}", file=sys.stderr)
+
+    # -- serving ---------------------------------------------------------
+
+    def serve_forever(self, *, max_sessions: int | None = None) -> None:
+        """Accept and serve sessions until :meth:`stop` (or the cap)."""
+        try:
+            while not self._stopped:
+                try:
+                    conn, peer = self._sock.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break  # listening socket closed under us by stop()
+                with conn:
+                    self._log(f"session from {peer[0]}:{peer[1]}")
+                    try:
+                        self._serve_session(conn)
+                    except _SessionAborted:
+                        self._log("fault injection tripped; dying")
+                        self._stopped = True
+                    except (
+                        WorkerProtocolError,
+                        socket.timeout,
+                        OSError,
+                        EOFError,
+                    ) as exc:
+                        # a broken client must never take the worker down
+                        self._log(f"session aborted: {exc}")
+                self.sessions_served += 1
+                if max_sessions is not None and self.sessions_served >= max_sessions:
+                    break
+        finally:
+            self._sock.close()
+
+    def start(self) -> "WorkerServer":
+        """Serve in a daemon thread (tests and in-process benchmarks)."""
+        import threading
+
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving; joins the background thread when one is running."""
+        self._stopped = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    # -- one session -----------------------------------------------------
+
+    def _serve_session(self, conn: socket.socket) -> None:
+        conn.settimeout(None)  # the client paces the session
+        hello, _ = protocol.expect_frame(conn, protocol.MSG_HELLO)
+        if hello.get("protocol") != protocol.PROTOCOL_VERSION:
+            protocol.send_frame(conn, protocol.MSG_ERROR, {
+                "batch_id": None,
+                "error": f"protocol version mismatch: client "
+                         f"v{hello.get('protocol')}, worker "
+                         f"v{protocol.PROTOCOL_VERSION}",
+            })
+            return
+        detail = hello.get("detail", "summary")
+        jobs = self.jobs if self.jobs is not None else int(hello.get("jobs", 1))
+        snapshot = hello.get("snapshot") or {}
+        installed = 0
+        if snapshot:
+            # once per session — this is what recovers local warm hit rates
+            for entries in snapshot.values():
+                installed += len(entries)
+            _cache.preload_snapshot(snapshot)
+        protocol.send_frame(conn, protocol.MSG_WELCOME, {
+            "pid": os.getpid(),
+            "installed": installed,
+            "jobs": jobs,
+        })
+        while True:
+            msg_type, payload, _ = protocol.recv_frame(conn)
+            if msg_type == protocol.MSG_BYE:
+                self._log("session closed cleanly")
+                return
+            if msg_type != protocol.MSG_BATCH:
+                raise WorkerProtocolError(
+                    f"unexpected message type {msg_type} inside a session"
+                )
+            self._run_batch(conn, payload, detail=detail, jobs=jobs)
+
+    def _run_batch(
+        self, conn: socket.socket, payload: dict, *, detail: str, jobs: int
+    ) -> None:
+        from repro.bench.harness import _run_cell, run_sweep
+
+        batch_id = payload.get("batch_id")
+        cells = payload.get("cells") or []
+        before = _cache.counters()
+        try:
+            if jobs == 1 or len(cells) <= 1:
+                artifacts = []
+                for cell in cells:
+                    if (
+                        self.fail_after is not None
+                        and self._cells_executed >= self.fail_after
+                    ):
+                        raise _SessionAborted()
+                    artifacts.append(_run_cell(cell, detail))
+                    self._cells_executed += 1
+            else:
+                if (
+                    self.fail_after is not None
+                    and self._cells_executed + len(cells) > self.fail_after
+                ):
+                    raise _SessionAborted()
+                artifacts = run_sweep(cells, jobs=jobs, detail=detail)
+                self._cells_executed += len(cells)
+        except _SessionAborted:
+            raise
+        except Exception:  # noqa: BLE001 - report any cell failure verbatim
+            protocol.send_frame(conn, protocol.MSG_ERROR, {
+                "batch_id": batch_id,
+                "error": traceback.format_exc(),
+            })
+            return
+        protocol.send_frame(conn, protocol.MSG_RESULT, {
+            "batch_id": batch_id,
+            "artifacts": artifacts,
+            "cache_delta": _cache.stats_delta(before),
+        })
+        self._log(f"batch {batch_id}: {len(cells)} cells done")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.distrib.worker",
+        description="Serve repro sweep cells to remote run_sweep clients.",
+    )
+    parser.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="bind address (default 127.0.0.1:0 = loopback, ephemeral "
+             "port; the bound endpoint is printed on stderr)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="pin worker-side batch parallelism (default: honor the "
+             "client's --jobs; 1 = serial, 0 = all cores)",
+    )
+    parser.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write the bound HOST:PORT to PATH once listening (lets "
+             "scripts wait for startup and discover ephemeral ports)",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=None, metavar="N",
+        help="exit after serving N client sessions (CI hygiene)",
+    )
+    parser.add_argument(
+        "--fail-after", type=int, default=None, metavar="N",
+        help="fault injection: crash after executing N cells (tests the "
+             "client's re-dispatch path)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    host, port = parse_endpoint(args.listen, allow_ephemeral=True)
+    server = WorkerServer(
+        host, port,
+        jobs=args.jobs, fail_after=args.fail_after, verbose=args.verbose,
+    )
+    print(f"[worker] listening on {server.endpoint}", file=sys.stderr)
+    if args.ready_file:
+        with open(args.ready_file, "w") as fh:
+            fh.write(server.endpoint + "\n")
+    try:
+        server.serve_forever(max_sessions=args.max_sessions)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

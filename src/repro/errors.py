@@ -54,3 +54,11 @@ class ClassificationError(ReproError):
 
 class ExperimentError(ReproError):
     """A benchmark/experiment driver was misconfigured."""
+
+
+class DistributedSweepError(ReproError):
+    """A distributed sweep could not complete (workers unreachable/failed)."""
+
+
+class WorkerProtocolError(DistributedSweepError):
+    """A distrib frame was malformed, truncated, or version-incompatible."""

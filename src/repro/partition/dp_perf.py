@@ -11,7 +11,7 @@ and the measured run likewise starts with warm estimates).
 
 from __future__ import annotations
 
-from repro.cache import cache_stats
+from repro.cache import counters, stats_delta
 from repro.partition.base import (
     ExecutionPlan,
     PlanConfig,
@@ -37,6 +37,7 @@ class DPPerf(Strategy):
     ) -> ExecutionPlan:
         config = config or PlanConfig()
         chunks = config.chunks(platform)
+        cache_before = counters()
         profile = build_profile_table(program, platform)
 
         def chunker(inv: KernelInvocation):
@@ -54,12 +55,11 @@ class DPPerf(Strategy):
                 notes={
                     "task_count": chunks,
                     "profile": profile,
-                    # probe/plan memo hit rates at planning time, so sweep
-                    # drivers can report how much profiling was replayed
-                    "cache": {
-                        name: stats.as_dict()
-                        for name, stats in cache_stats().items()
-                    },
+                    # probe/plan memo traffic of *this* planning phase (a
+                    # window delta, not lifetime counters — deltas are
+                    # history-free, so a warm plan is byte-identical no
+                    # matter how many runs preceded it in the process)
+                    "cache": stats_delta(cache_before),
                 },
             ),
         )

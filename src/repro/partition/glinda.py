@@ -32,6 +32,7 @@ Glinda predicts the optimal GPU/CPU split of one kernel in three steps:
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass
 
 from repro.cache import get_cache
@@ -42,11 +43,18 @@ from repro.units import round_up
 
 
 class HardwareConfig(enum.Enum):
-    """Glinda's final decision on which processors to use."""
+    """Glinda's final decision on which processors to use.
 
-    ONLY_CPU = "only-cpu"
-    ONLY_GPU = "only-gpu"
-    CPU_GPU = "cpu+gpu"
+    Values are interned so the member value string *is* the process-wide
+    canonical object for that text — a decision's ``hardware_config``
+    string and the enum member then pickle with shared memo references
+    whether the artifact was produced locally or re-interned after a
+    trip through :mod:`repro.distrib` (pickle byte-identity).
+    """
+
+    ONLY_CPU = sys.intern("only-cpu")
+    ONLY_GPU = sys.intern("only-gpu")
+    CPU_GPU = sys.intern("cpu+gpu")
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,13 @@ from repro.sim.engine import Simulator
 from repro.sim.resources import SimResource
 from repro.sim.trace import ExecutionTrace
 
+#: lazy trace-label templates for transfer rows — the store packs
+#: (template, array, start, end) instead of interning a per-row f-string
+_TRANSFER_LABEL = {
+    "h2d": "{}[{}:{}) h2d",
+    "d2h": "{}[{}:{}) d2h",
+}
+
 
 @dataclass
 class _InflightTransfer:
@@ -359,7 +366,7 @@ class _Run:
         def start() -> None:
             self._link_channel(op).occupy(
                 duration,
-                label=f"{op.array}[{op.start}:{op.end}) {direction}",
+                label=(_TRANSFER_LABEL[direction], op.array, op.start, op.end),
                 category="transfer",
                 on_complete=finish,
                 meta={
@@ -408,7 +415,7 @@ class _Run:
 
         self.sim_resources[resource.resource_id].occupy(
             duration,
-            label=inst.label(),
+            label=inst.label_lazy(),
             category="compute",
             on_complete=on_complete,
             meta={

@@ -162,6 +162,20 @@ class TaskInstance:
             return f"taskwait#{self.instance_id}"
         return f"{self.kernel.name}[{self.lo}:{self.hi})#{self.instance_id}"
 
+    def label_lazy(self) -> tuple:
+        """:meth:`label` as an unformatted ``(template, *args)`` tuple.
+
+        The trace store packs this into fixed-width columns and formats
+        the text only if the row is materialized — same rendered label,
+        no per-instance string on the simulation hot path.
+        """
+        if self.is_barrier:
+            return ("taskwait#{}", self.instance_id)
+        return (
+            "{}[{}:{})#{}",
+            self.kernel.name, self.lo, self.hi, self.instance_id,
+        )
+
 
 @dataclass
 class TaskGraph:

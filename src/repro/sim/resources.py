@@ -23,7 +23,9 @@ from repro.sim.trace import ExecutionTrace
 @dataclass(slots=True)
 class _Occupation:
     duration: float
-    label: str
+    #: display string, or a lazy ``(template, *args)`` tuple the trace
+    #: store formats only when a row is materialized
+    label: str | tuple
     category: str
     on_complete: Callable[[], Any] | None
     meta: dict[str, Any] = field(default_factory=dict)
@@ -74,7 +76,7 @@ class SimResource:
         self,
         duration: float,
         *,
-        label: str,
+        label: str | tuple,
         category: str,
         on_complete: Callable[[], Any] | None = None,
         meta: dict[str, Any] | None = None,

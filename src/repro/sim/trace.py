@@ -82,13 +82,17 @@ class ExecutionTrace:
     def record(
         self,
         resource_id: str,
-        label: str,
+        label: str | tuple,
         category: str,
         start: float,
         end: float,
         meta: dict[str, Any] | None = None,
     ) -> None:
-        """Append one occupation column-wise (no record allocation)."""
+        """Append one occupation column-wise (no record allocation).
+
+        ``label`` may be a display string or a lazy ``(template, *args)``
+        tuple the store formats only on row materialization.
+        """
         self.store.record(resource_id, label, category, start, end, meta)
 
     # -- materialization -------------------------------------------------

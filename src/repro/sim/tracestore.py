@@ -16,6 +16,14 @@ boxed object, roughly a 4x shrink of full-detail traces.  Appends are
 O(1) array pushes with no per-record object; per-resource and
 per-category row indexes are built lazily and extended incrementally.
 
+Display labels are additionally **lazily formatted**: producers may pass
+``(template, *args)`` instead of a pre-built string, and the store packs
+the template code plus up to one string and three integer arguments into
+fixed-width columns — per-row-unique labels like ``"copy[0:512)#3"``
+never hit the intern pool unless someone actually materializes the row
+(:meth:`TraceStore.label_at` formats on demand; the formatted text is
+identical to the old eager f-strings).
+
 Aggregate queries run in one of two observationally identical ways:
 
 * the **pure-Python path** walks exactly the matching rows and
@@ -112,6 +120,12 @@ class TraceStore:
         "kernel_codes",
         "device_codes",
         "direction_codes",
+        # packed lazy-label columns (used when label_codes[row] == -1)
+        "label_tmpl_codes",
+        "label_arg_strs",
+        "label_arg_a",
+        "label_arg_b",
+        "label_arg_c",
         # intern side tables
         "resource_pool",
         "label_pool",
@@ -120,6 +134,8 @@ class TraceStore:
         "kernel_pool",
         "device_pool",
         "direction_pool",
+        "label_tmpl_pool",
+        "label_arg_pool",
         # metadata side table
         "metas",
         # lazy state
@@ -142,6 +158,11 @@ class TraceStore:
         self.kernel_codes = array("i")
         self.device_codes = array("i")
         self.direction_codes = array("i")
+        self.label_tmpl_codes = array("i")
+        self.label_arg_strs = array("i")
+        self.label_arg_a = array("q")
+        self.label_arg_b = array("q")
+        self.label_arg_c = array("q")
         self.resource_pool = _StringPool()
         self.label_pool = _StringPool()
         self.category_pool = _StringPool()
@@ -149,6 +170,8 @@ class TraceStore:
         self.kernel_pool = _StringPool()
         self.device_pool = _StringPool()
         self.direction_pool = _StringPool()
+        self.label_tmpl_pool = _StringPool()
+        self.label_arg_pool = _StringPool()
         self.metas: list[dict[str, Any]] = []
         self._by_resource: dict[str, list[int]] = {}
         self._by_category: dict[str, list[int]] = {}
@@ -158,21 +181,72 @@ class TraceStore:
 
     # -- writing ---------------------------------------------------------
 
+    def _append_label(self, label: "str | tuple") -> None:
+        """Append the label columns for one row.
+
+        A plain string label interns into ``label_pool`` exactly as
+        before.  A ``(template, *args)`` tuple is stored *unformatted*
+        when it fits the packed shape — at most one leading string
+        argument plus up to three integers — so per-row labels like
+        ``"copy[0:512)#3"`` cost four small columns instead of a unique
+        pooled string each (``label_at`` formats on materialization).
+        Tuples that do not fit are formatted eagerly: laziness is an
+        optimization, never a constraint on callers.
+        """
+        if type(label) is tuple:
+            template = label[0]
+            args = label[1:]
+            str_arg: str | None = None
+            ints = args
+            if args and isinstance(args[0], str):
+                str_arg = args[0]
+                ints = args[1:]
+            if (
+                len(ints) <= 3
+                and all(type(v) is int for v in ints)
+                and not any(isinstance(v, str) for v in ints)
+            ):
+                self.label_codes.append(-1)
+                self.label_tmpl_codes.append(
+                    self.label_tmpl_pool.intern(template)
+                )
+                self.label_arg_strs.append(
+                    -1 if str_arg is None
+                    else self.label_arg_pool.intern(str_arg)
+                )
+                padded = tuple(ints) + (0,) * (3 - len(ints))
+                self.label_arg_a.append(padded[0])
+                self.label_arg_b.append(padded[1])
+                self.label_arg_c.append(padded[2])
+                return
+            label = template.format(*args)
+        self.label_codes.append(self.label_pool.intern(label))
+        self.label_tmpl_codes.append(-1)
+        self.label_arg_strs.append(-1)
+        self.label_arg_a.append(0)
+        self.label_arg_b.append(0)
+        self.label_arg_c.append(0)
+
     def record(
         self,
         resource_id: str,
-        label: str,
+        label: "str | tuple",
         category: str,
         start: float,
         end: float,
         meta: Mapping[str, Any] | None = None,
     ) -> int:
-        """Append one occupation; returns its row number."""
+        """Append one occupation; returns its row number.
+
+        ``label`` is a display string, or a lazy ``(template, *args)``
+        tuple formatted only when the row is materialized (see
+        :meth:`_append_label`).
+        """
         row = len(self.starts)
         self.starts.append(start)
         self.ends.append(end)
         self.resource_codes.append(self.resource_pool.intern(resource_id))
-        self.label_codes.append(self.label_pool.intern(label))
+        self._append_label(label)
         self.category_codes.append(self.category_pool.intern(category))
         if meta:
             self.meta_idx.append(len(self.metas))
@@ -225,9 +299,12 @@ class TraceStore:
             self.resource_codes, self.label_codes, self.category_codes,
             self.kind_codes, self.kernel_codes, self.device_codes,
             self.direction_codes,
+            self.label_tmpl_codes, self.label_arg_strs,
+            self.label_arg_a, self.label_arg_b, self.label_arg_c,
             self.resource_pool, self.label_pool, self.category_pool,
             self.kind_pool, self.kernel_pool, self.device_pool,
             self.direction_pool,
+            self.label_tmpl_pool, self.label_arg_pool,
             self.metas, self._max_end,
         )
 
@@ -237,9 +314,12 @@ class TraceStore:
             self.resource_codes, self.label_codes, self.category_codes,
             self.kind_codes, self.kernel_codes, self.device_codes,
             self.direction_codes,
+            self.label_tmpl_codes, self.label_arg_strs,
+            self.label_arg_a, self.label_arg_b, self.label_arg_c,
             self.resource_pool, self.label_pool, self.category_pool,
             self.kind_pool, self.kernel_pool, self.device_pool,
             self.direction_pool,
+            self.label_tmpl_pool, self.label_arg_pool,
             self.metas, self._max_end,
         ) = state
         self._by_resource = {}
@@ -326,7 +406,21 @@ class TraceStore:
         return self.resource_pool.table[self.resource_codes[row]]
 
     def label_at(self, row: int) -> str:
-        return self.label_pool.table[self.label_codes[row]]
+        """The display label of ``row`` (packed labels format here)."""
+        code = self.label_codes[row]
+        if code >= 0:
+            return self.label_pool.table[code]
+        template = self.label_tmpl_pool.table[self.label_tmpl_codes[row]]
+        n_args = template.count("{}")
+        args: list[Any] = []
+        str_code = self.label_arg_strs[row]
+        if str_code >= 0:
+            args.append(self.label_arg_pool.table[str_code])
+        ints = (
+            self.label_arg_a[row], self.label_arg_b[row], self.label_arg_c[row]
+        )
+        args.extend(ints[: n_args - len(args)])
+        return template.format(*args)
 
     def category_at(self, row: int) -> str:
         return self.category_pool.table[self.category_codes[row]]
@@ -366,12 +460,15 @@ class TraceStore:
             "starts", "ends", "meta_idx", "sizes",
             "resource_codes", "label_codes", "category_codes",
             "kind_codes", "kernel_codes", "device_codes", "direction_codes",
+            "label_tmpl_codes", "label_arg_strs",
+            "label_arg_a", "label_arg_b", "label_arg_c",
         ):
             column = getattr(self, name)
             total += sys.getsizeof(column)
         for name in (
             "resource_pool", "label_pool", "category_pool", "kind_pool",
             "kernel_pool", "device_pool", "direction_pool",
+            "label_tmpl_pool", "label_arg_pool",
         ):
             pool = getattr(self, name)
             total += sys.getsizeof(pool.table)

@@ -3,8 +3,10 @@
 import pytest
 
 from repro.apps import get_application
+from repro.bench import harness
 from repro.bench.harness import (
     SweepCell,
+    default_jobs,
     mk_strategies,
     run_scenario,
     run_sweep,
@@ -115,3 +117,22 @@ class TestRunSweep:
     def test_empty_sweep(self, paper_platform):
         assert run_sweep([]) == []
         assert run_sweep([], jobs=4) == []
+
+
+class TestDefaultJobs:
+    def test_respects_affinity_mask(self, monkeypatch):
+        """A cgroup/taskset-restricted process must not oversubscribe."""
+        monkeypatch.setattr(harness.os, "sched_getaffinity",
+                            lambda pid: {0, 1, 2}, raising=False)
+        monkeypatch.setattr(harness.os, "cpu_count", lambda: 64)
+        assert default_jobs() == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(harness.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(harness.os, "cpu_count", lambda: 6)
+        assert default_jobs() == 6
+
+    def test_never_below_one(self, monkeypatch):
+        monkeypatch.delattr(harness.os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(harness.os, "cpu_count", lambda: None)
+        assert default_jobs() == 1

@@ -1,0 +1,190 @@
+"""Distributed sweeps: parity with serial runs, fault tolerance, reports.
+
+The acceptance bar is *byte*-identity: ``pickle.dumps`` of every artifact
+from a distributed sweep must equal the serial ``run_sweep`` pickle, with
+warm caches, across real worker subprocesses, and with a worker killed
+mid-sweep (re-dispatch).
+"""
+
+import os
+import pickle
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.cache as cache
+from repro.bench.harness import SweepCell, run_sweep
+from repro.distrib import DistributedSweepExecutor, WorkerServer, last_sweep_reports
+from repro.errors import DistributedSweepError
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _cells(platform, strategies=("Only-CPU", "Only-GPU", "DP-Perf",
+                                 "SP-Unified", "DP-Dep")):
+    return [
+        SweepCell(
+            app="STREAM-Loop", strategy=strategy, platform=platform,
+            n=2048, iterations=2, sync=False,
+        )
+        for strategy in strategies
+    ]
+
+
+def _warm_serial(cells):
+    """Serial reference artifacts from a fully warm cache."""
+    cache.clear_all()
+    run_sweep(cells)  # populate the memo stores
+    return run_sweep(cells)
+
+
+def _spawn_worker(tmp_path, name, extra=()):
+    """Launch ``python -m repro.distrib.worker``; returns (proc, endpoint)."""
+    ready = tmp_path / f"{name}.ready"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.distrib.worker",
+         "--listen", "127.0.0.1:0", "--ready-file", str(ready), *extra],
+        env=env, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if ready.exists():
+            endpoint = ready.read_text().strip()
+            if endpoint:
+                return proc, endpoint
+        if proc.poll() is not None:
+            raise RuntimeError(f"worker {name} exited at startup")
+        time.sleep(0.05)
+    proc.kill()
+    raise RuntimeError(f"worker {name} never became ready")
+
+
+class TestInProcessWorker:
+    """One in-process server: fast end-to-end checks without subprocesses."""
+
+    def test_single_worker_byte_identical(self, paper_platform):
+        cells = _cells(paper_platform)
+        serial = _warm_serial(cells)
+        server = WorkerServer().start()
+        try:
+            dist = run_sweep(cells, workers=[server.endpoint])
+        finally:
+            server.stop()
+        for a, b in zip(serial, dist):
+            assert pickle.dumps(a, 5) == pickle.dumps(b, 5)
+
+    def test_worker_reports_account_for_every_cell(self, paper_platform):
+        cells = _cells(paper_platform)
+        server = WorkerServer().start()
+        try:
+            executor = DistributedSweepExecutor([server.endpoint])
+            executor.run(cells)
+        finally:
+            server.stop()
+        (report,) = executor.reports
+        assert report.cells == len(cells)
+        assert report.batches >= 1
+        assert report.bytes_sent > 0 and report.bytes_received > 0
+        assert report.alive
+        assert last_sweep_reports()[0].cells == len(cells)
+
+    def test_deterministic_cell_failure_raises(self, paper_platform):
+        bad = [SweepCell(app="NoSuchApp", strategy="Only-CPU",
+                         platform=paper_platform)]
+        server = WorkerServer().start()
+        try:
+            with pytest.raises(DistributedSweepError, match="NoSuchApp"):
+                run_sweep(bad, workers=[server.endpoint])
+        finally:
+            server.stop()
+
+    def test_worker_survives_broken_client(self, paper_platform):
+        """A client that sends garbage must not take the worker down."""
+        server = WorkerServer().start()
+        try:
+            with socket.create_connection(server.address, timeout=5) as sock:
+                sock.sendall(b"GET / HTTP/1.0\r\n\r\n")  # not our protocol
+            # the worker must still serve a real sweep afterwards
+            cells = _cells(paper_platform, strategies=("Only-CPU",))
+            results = run_sweep(cells, workers=[server.endpoint])
+            assert len(results) == 1
+        finally:
+            server.stop()
+
+
+class TestDeadPool:
+    def _dead_endpoint(self):
+        """A loopback port with no listener behind it."""
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return f"127.0.0.1:{port}"
+
+    def test_local_fallback_completes_the_sweep(self, paper_platform, capsys):
+        cells = _cells(paper_platform, strategies=("Only-CPU", "Only-GPU"))
+        serial = _warm_serial(cells)
+        executor = DistributedSweepExecutor(
+            [self._dead_endpoint()],
+            connect_attempts=1, connect_backoff_s=0.0, connect_timeout_s=1.0,
+        )
+        results = executor.run(cells)
+        assert [r.makespan_ms for r in results] == \
+            [r.makespan_ms for r in serial]
+        assert not executor.reports[0].alive
+
+    def test_error_fallback_raises(self, paper_platform):
+        cells = _cells(paper_platform, strategies=("Only-CPU",))
+        executor = DistributedSweepExecutor(
+            [self._dead_endpoint()], fallback="error",
+            connect_attempts=1, connect_backoff_s=0.0, connect_timeout_s=1.0,
+        )
+        with pytest.raises(DistributedSweepError, match="could not be executed"):
+            executor.run(cells)
+
+    def test_bad_fallback_mode_rejected(self):
+        with pytest.raises(DistributedSweepError, match="fallback"):
+            DistributedSweepExecutor(["h:1"], fallback="retry")
+
+
+class TestSubprocessWorkers:
+    """The acceptance criterion: real worker processes, byte-identity."""
+
+    def test_two_workers_byte_identical(self, paper_platform, tmp_path):
+        cells = _cells(paper_platform)
+        serial = _warm_serial(cells)
+        p1, e1 = _spawn_worker(tmp_path, "w1")
+        p2, e2 = _spawn_worker(tmp_path, "w2")
+        try:
+            dist = run_sweep(cells, workers=[e1, e2])
+        finally:
+            p1.terminate()
+            p2.terminate()
+        for a, b in zip(serial, dist):
+            assert pickle.dumps(a, 5) == pickle.dumps(b, 5)
+        reports = last_sweep_reports()
+        assert sum(r.cells for r in reports) == len(cells)
+        # the handshake snapshot makes remote hit rates match warm local runs
+        assert all(r.cache_misses == 0 for r in reports)
+
+    def test_worker_killed_mid_sweep_redispatches(self, paper_platform, tmp_path):
+        """A worker dying after one cell must not lose or corrupt results."""
+        cells = _cells(paper_platform)
+        serial = _warm_serial(cells)
+        p1, e1 = _spawn_worker(tmp_path, "dying", extra=("--fail-after", "1"))
+        p2, e2 = _spawn_worker(tmp_path, "healthy")
+        try:
+            dist = run_sweep(cells, workers=[e1, e2], batch_size=1)
+        finally:
+            p1.terminate()
+            p2.terminate()
+        for a, b in zip(serial, dist):
+            assert pickle.dumps(a, 5) == pickle.dumps(b, 5)
+        dead = [r for r in last_sweep_reports() if not r.alive]
+        assert len(dead) == 1 and dead[0].endpoint == e1

@@ -1,0 +1,65 @@
+"""Worker endpoint parsing: every malformed shape gets a clear error."""
+
+import pytest
+
+from repro.distrib.endpoints import (
+    format_endpoint,
+    parse_endpoint,
+    parse_endpoints,
+)
+from repro.errors import ConfigurationError
+
+
+class TestParseEndpoint:
+    def test_host_port(self):
+        assert parse_endpoint("worker1:9000") == ("worker1", 9000)
+
+    def test_ipv4(self):
+        assert parse_endpoint("127.0.0.1:8421") == ("127.0.0.1", 8421)
+
+    def test_bracketed_ipv6(self):
+        assert parse_endpoint("[::1]:9000") == ("::1", 9000)
+
+    def test_whitespace_stripped(self):
+        assert parse_endpoint("  h:1  ") == ("h", 1)
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "nonsense", "host:", ":9000", "host:abc",
+        "host:0", "host:-1", "host:99999", "::1:9000", "[::1]9000",
+        "[::1", "host:90:00",
+    ])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ConfigurationError) as err:
+            parse_endpoint(bad)
+        # the message names the expected shape, never a bare traceback
+        assert "HOST:PORT" in str(err.value)
+
+    def test_ephemeral_port_opt_in(self):
+        """Port 0 is a valid *listen* address but never a connect target."""
+        assert parse_endpoint("127.0.0.1:0", allow_ephemeral=True) == \
+            ("127.0.0.1", 0)
+        with pytest.raises(ConfigurationError):
+            parse_endpoint("127.0.0.1:0")
+
+
+class TestParseEndpoints:
+    def test_many_and_comma_separated(self):
+        assert parse_endpoints(["a:1,b:2", "c:3"]) == [
+            ("a", 1), ("b", 2), ("c", 3)
+        ]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError, match="more than once"):
+            parse_endpoints(["a:1", "a:1"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_endpoints([])
+        with pytest.raises(ConfigurationError):
+            parse_endpoints([" , "])
+
+
+class TestFormatEndpoint:
+    def test_round_trip(self):
+        for text in ("worker1:9000", "127.0.0.1:8421", "[::1]:9000"):
+            assert format_endpoint(parse_endpoint(text)) == text

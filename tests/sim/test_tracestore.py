@@ -235,6 +235,79 @@ class TestArrayColumns:
         assert 0 < small.column_nbytes() < big.column_nbytes()
 
 
+class TestLazyLabels:
+    """Tuple labels stay unformatted until someone materializes the row."""
+
+    def test_packed_label_formats_like_str_format(self):
+        store = TraceStore()
+        store.record("gpu:0", ("{}[{}:{})#{}", "triad", 0, 512, 7),
+                     "compute", 0.0, 1.0)
+        store.record("cpu:0", ("taskwait#{}", 9), "overhead", 1.0, 2.0)
+        assert store.label_at(0) == "triad[0:512)#7"
+        assert store.label_at(1) == "taskwait#9"
+        # lazily stored: nothing was interned into the eager label pool
+        assert list(store.label_codes) == [-1, -1]
+        assert store.label_pool.table == []
+        assert store.label_tmpl_pool.table == [
+            "{}[{}:{})#{}", "taskwait#{}"
+        ]
+
+    def test_templates_and_str_args_are_shared(self):
+        store = TraceStore()
+        for i in range(50):
+            store.record("gpu:0", ("{}[{}:{}) h2d", "A", i, i + 1),
+                         "transfer", float(i), float(i) + 0.5)
+        # one template entry, one string-arg entry, 50 packed rows
+        assert len(store.label_tmpl_pool.table) == 1
+        assert store.label_arg_pool.table == ["A"]
+        assert store.label_at(49) == "A[49:50) h2d"
+
+    def test_unpackable_tuple_falls_back_to_eager(self):
+        store = TraceStore()
+        # a float arg cannot ride the int64 columns -> format at record time
+        store.record("r", ("{} took {}", "k", 1.5), "compute", 0.0, 1.0)
+        # four int args exceed the three packed slots
+        store.record("r", ("{}{}{}{}{}", "k", 1, 2, 3, 4), "compute", 1.0, 2.0)
+        assert store.label_at(0) == "k took 1.5"
+        assert store.label_at(1) == "k1234"
+        assert store.label_codes[0] >= 0 and store.label_codes[1] >= 0
+
+    def test_mixed_eager_and_lazy_rows_coexist(self):
+        store = TraceStore()
+        store.record("r", "plain", "compute", 0.0, 1.0)
+        store.record("r", ("lazy#{}", 3), "compute", 1.0, 2.0)
+        store.record("r", "plain", "compute", 2.0, 3.0)
+        assert [store.label_at(i) for i in range(3)] == [
+            "plain", "lazy#3", "plain"
+        ]
+
+    def test_pickle_round_trip_keeps_labels_lazy(self):
+        store = TraceStore()
+        store.record("r", ("{}#{}", "k", 1), "compute", 0.0, 1.0)
+        clone = pickle.loads(pickle.dumps(store))
+        assert list(clone.label_codes) == [-1]
+        assert clone.label_at(0) == "k#1"
+        # appends after unpickling keep packing
+        clone.record("r", ("{}#{}", "k", 2), "compute", 1.0, 2.0)
+        assert clone.label_at(1) == "k#2"
+        assert len(clone.label_tmpl_pool.table) == 1
+
+    def test_facade_materializes_formatted_labels(self):
+        trace = ExecutionTrace()
+        trace.record("gpu:0", ("{}[{}:{})#{}", "copy", 0, 64, 1),
+                     "compute", 0.0, 1.0)
+        (record,) = list(trace)
+        assert record.label == "copy[0:64)#1"
+        clone = pickle.loads(pickle.dumps(trace))
+        assert list(clone)[0].label == "copy[0:64)#1"
+
+    def test_column_nbytes_counts_packed_columns(self):
+        eager, lazy = TraceStore(), TraceStore()
+        eager.record("r", "x", "compute", 0.0, 1.0)
+        lazy.record("r", ("{}#{}", "x", 1), "compute", 0.0, 1.0)
+        assert lazy.column_nbytes() > 0 and eager.column_nbytes() > 0
+
+
 class TestFacade:
     def test_add_and_record_equivalent(self):
         via_add, via_record = ExecutionTrace(), ExecutionTrace()
