@@ -11,9 +11,12 @@ layout, times the aggregate/analysis queries on both the vectorized and
 the pure-Python path, checks that parallel workers reproduce the serial
 hit rates from the shipped cache snapshot, shards a warm sweep over two
 real socket-connected worker processes (``sweep_distributed``: cells/sec,
-bytes-on-wire per cell, byte-identity with the serial run), and records
-everything to ``BENCH_pipeline.json`` so CI can track the numbers over
-time.
+bytes-on-wire per cell, byte-identity with the serial run), streams a
+sweep over a skewed pool — one worker deterministically delayed — to
+measure time-to-first-result, inter-arrival gaps, the adaptive
+dispatcher's work split, and its elapsed-time edge over fixed batching
+(``sweep_streaming``), and records everything to ``BENCH_pipeline.json``
+so CI can track the numbers over time.
 
 ``--check-baseline [FILE]`` additionally compares the fresh record against
 the committed ``benchmarks/BENCH_pipeline.baseline.json`` with a tolerance
@@ -396,7 +399,7 @@ def measure_worker_parity() -> dict:
     }
 
 
-def _spawn_bench_worker(tmp: Path, name: str):
+def _spawn_bench_worker(tmp: Path, name: str, extra: tuple[str, ...] = ()):
     """Start ``python -m repro.distrib.worker`` on an ephemeral loopback
     port; returns ``(process, endpoint)`` once the ready-file handshake
     lands."""
@@ -408,7 +411,7 @@ def _spawn_bench_worker(tmp: Path, name: str):
     env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.distrib.worker",
-         "--listen", "127.0.0.1:0", "--ready-file", str(ready)],
+         "--listen", "127.0.0.1:0", "--ready-file", str(ready), *extra],
         env=env, stderr=subprocess.DEVNULL,
     )
     deadline = time.monotonic() + 30
@@ -481,6 +484,96 @@ def measure_sweep_distributed() -> dict:
     }
 
 
+#: skewed-pool streaming bench: injected per-cell delay on the slow
+#: worker (dominates the ~5 ms cell cost, so the ratios below are
+#: hardware-robust) and the cell count the pool shares
+STREAMING_DELAY_S = 0.08
+STREAMING_CELLS = 20
+#: adaptive dispatch must beat fixed half-the-sweep batches at least this
+#: much on the skewed pool (sleep math alone guarantees ~2x)
+ADAPTIVE_SPEEDUP_FLOOR = 1.2
+
+
+def measure_sweep_streaming() -> dict:
+    """Stream a sweep over a skewed two-worker pool (one delayed).
+
+    Measures how quickly the first result lands relative to the whole
+    sweep (``time_to_first_cell_s`` / ``first_cell_fraction``), the mean
+    inter-arrival gap between streamed results, how the adaptive
+    dispatcher splits a skewed pool (``cells_per_worker``), and its
+    elapsed-time edge over fixed half-the-sweep batches
+    (``adaptive_vs_fixed_speedup``) — plus byte-parity of the streamed
+    results against the serial run.
+    """
+    import pickle
+
+    from repro.bench.harness import run_sweep_iter
+    from repro.distrib import last_sweep_reports
+
+    platform = shen_icpp15_platform()
+    strategies = ("Only-CPU", "Only-GPU", "DP-Perf", "SP-Unified", "DP-Dep")
+    cells = [
+        SweepCell(
+            app="STREAM-Loop", strategy=strategies[i % len(strategies)],
+            platform=platform, n=256, iterations=1, sync=False,
+        )
+        for i in range(STREAMING_CELLS)
+    ]
+    clear_all()
+    run_sweep(cells)  # warm the memo stores
+    serial = run_sweep(cells)
+    delay = ("--delay-per-cell", str(STREAMING_DELAY_S))
+    with tempfile.TemporaryDirectory() as tmp:
+        fast_proc, fast_ep = _spawn_bench_worker(Path(tmp), "fast")
+        slow_proc, slow_ep = _spawn_bench_worker(Path(tmp), "slow", delay)
+        try:
+            results = [None] * len(cells)
+            arrivals = []
+            t0 = time.perf_counter()
+            for index, artifact in run_sweep_iter(
+                cells, workers=[fast_ep, slow_ep]
+            ):
+                arrivals.append(time.perf_counter() - t0)
+                results[index] = artifact
+            adaptive_s = arrivals[-1]
+            by_endpoint = {r.endpoint: r for r in last_sweep_reports()}
+
+            t0 = time.perf_counter()
+            fixed = run_sweep(
+                cells, workers=[fast_ep, slow_ep],
+                batch_size=len(cells) // 2,
+            )
+            fixed_s = time.perf_counter() - t0
+        finally:
+            fast_proc.terminate()
+            slow_proc.terminate()
+    parity = all(
+        pickle.dumps(a, 5) == pickle.dumps(b, 5)
+        for a, b in zip(serial, results)
+    ) and all(
+        pickle.dumps(a, 5) == pickle.dumps(b, 5)
+        for a, b in zip(serial, fixed)
+    )
+    gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+    return {
+        "cells": len(cells),
+        "slow_delay_s": STREAMING_DELAY_S,
+        "elapsed_s": adaptive_s,
+        "time_to_first_cell_s": arrivals[0],
+        "first_cell_fraction": arrivals[0] / adaptive_s,
+        "mean_interarrival_s": sum(gaps) / len(gaps),
+        "cells_per_worker": {
+            "fast": by_endpoint[fast_ep].cells,
+            "slow": by_endpoint[slow_ep].cells,
+        },
+        "fast_largest_batch": by_endpoint[fast_ep].largest_batch,
+        "fixed_batch_size": len(cells) // 2,
+        "fixed_elapsed_s": fixed_s,
+        "adaptive_vs_fixed_speedup": fixed_s / adaptive_s,
+        "parity": parity,
+    }
+
+
 def record() -> dict:
     payload = {
         "benchmark": "pipeline_perf",
@@ -499,6 +592,7 @@ def record() -> dict:
         "trace_memory": measure_trace_memory(),
         "worker_parity": measure_worker_parity(),
         "sweep_distributed": measure_sweep_distributed(),
+        "sweep_streaming": measure_sweep_streaming(),
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -528,6 +622,17 @@ def check(payload: dict) -> None:
     assert distributed["parity"], distributed
     assert sum(distributed["cells_per_worker"]) == distributed["cells"], distributed
     assert memory["label_packed_fraction"] > 0.9, memory
+    streaming = payload["sweep_streaming"]
+    assert streaming["parity"], streaming
+    # the first streamed result lands well before the sweep finishes
+    assert streaming["time_to_first_cell_s"] < streaming["elapsed_s"], streaming
+    assert streaming["first_cell_fraction"] < 0.75, streaming
+    # the adaptive dispatcher starves the delayed worker, not the fast one
+    cpw = streaming["cells_per_worker"]
+    assert cpw["fast"] > cpw["slow"], streaming
+    assert cpw["fast"] + cpw["slow"] == streaming["cells"], streaming
+    assert streaming["adaptive_vs_fixed_speedup"] >= ADAPTIVE_SPEEDUP_FLOOR, \
+        streaming
 
 
 #: baseline comparisons: (json path, direction, relative tolerance).
@@ -549,6 +654,8 @@ BASELINE_CHECKS = [
     ("trace_memory.label_packed_fraction", "min", 0.05),
     ("sweep_distributed.wire_bytes_per_cell", "max", 0.5),
     ("sweep_distributed.remote_hit_rate", "min", 0.05),
+    ("sweep_streaming.adaptive_vs_fixed_speedup", "min", 0.5),
+    ("sweep_streaming.first_cell_fraction", "max", 1.5),
 ]
 
 
@@ -593,6 +700,11 @@ def compare_to_baseline(payload: dict, baseline_path: Path | None = None) -> lis
     if not payload["sweep_distributed"]["parity"]:
         failures.append(
             "sweep_distributed: artifacts not byte-identical to the serial run"
+        )
+    if not payload["sweep_streaming"]["parity"]:
+        failures.append(
+            "sweep_streaming: streamed artifacts not byte-identical to the "
+            "serial run"
         )
     return failures
 
@@ -639,6 +751,14 @@ def test_pipeline_perf(benchmark):
         f"{payload['sweep_distributed']['wire_bytes_per_cell']:,.0f} B/cell "
         f"on the wire, parity "
         f"{'ok' if payload['sweep_distributed']['parity'] else 'DIVERGED'}\n"
+        f"streaming sweep:      first cell "
+        f"{payload['sweep_streaming']['time_to_first_cell_s'] * 1e3:.0f} ms "
+        f"of {payload['sweep_streaming']['elapsed_s'] * 1e3:.0f} ms, "
+        f"adaptive {payload['sweep_streaming']['adaptive_vs_fixed_speedup']:.1f}x "
+        f"vs fixed on a skewed pool, split "
+        f"{payload['sweep_streaming']['cells_per_worker']['fast']}/"
+        f"{payload['sweep_streaming']['cells_per_worker']['slow']}, parity "
+        f"{'ok' if payload['sweep_streaming']['parity'] else 'DIVERGED'}\n"
         f"lazy labels:          "
         f"{memory['label_packed_fraction']:.0%} rows packed "
         f"({memory['label_shrink_ratio']:.1f}x vs formatted strings)\n"
@@ -675,7 +795,11 @@ def main(argv: list[str] | None = None) -> int:
         f"trace columns {memory['shrink_ratio']:.1f}x smaller, "
         f"distributed {payload['sweep_distributed']['cells_per_sec']:,.1f} "
         f"cells/s over {payload['sweep_distributed']['workers']} workers "
-        f"(parity {'ok' if payload['sweep_distributed']['parity'] else 'DIVERGED'}) "
+        f"(parity {'ok' if payload['sweep_distributed']['parity'] else 'DIVERGED'}), "
+        f"streaming first cell at "
+        f"{payload['sweep_streaming']['time_to_first_cell_s'] * 1e3:.0f} ms "
+        f"(adaptive {payload['sweep_streaming']['adaptive_vs_fixed_speedup']:.1f}x "
+        f"vs fixed) "
         f"-> {OUTPUT}"
     )
     if args.check_baseline is not None:

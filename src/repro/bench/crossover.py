@@ -56,6 +56,7 @@ def stream_iteration_crossover(
     n: int | None = None,
     jobs: int = 1,
     workers: Sequence[str] | None = None,
+    progress: bool = False,
 ) -> CrossoverPoint:
     """Sweep STREAM-Loop iterations: where Only-GPU overtakes Only-CPU."""
     cells = [
@@ -66,7 +67,7 @@ def stream_iteration_crossover(
         for it in iterations
         for strategy in ("Only-CPU", "Only-GPU")
     ]
-    outcomes = run_sweep(cells, jobs=jobs, workers=workers)
+    outcomes = run_sweep(cells, jobs=jobs, workers=workers, progress=progress)
     ratios = []
     crossover = None
     for i, it in enumerate(iterations):
@@ -119,6 +120,7 @@ def hotspot_bandwidth_crossover(
     iterations: int | None = None,
     jobs: int = 1,
     workers: Sequence[str] | None = None,
+    progress: bool = False,
 ) -> CrossoverPoint:
     """Sweep link bandwidth: where Only-GPU overtakes Only-CPU on HotSpot."""
     cells = [
@@ -130,7 +132,7 @@ def hotspot_bandwidth_crossover(
         for bw in bandwidths_gbs
         for strategy in ("Only-CPU", "Only-GPU")
     ]
-    outcomes = run_sweep(cells, jobs=jobs, workers=workers)
+    outcomes = run_sweep(cells, jobs=jobs, workers=workers, progress=progress)
     ratios = []
     crossover = None
     for i, bw in enumerate(bandwidths_gbs):

@@ -160,6 +160,7 @@ def run_experiment(
     jobs: int = 1,
     workers: Sequence[str] | None = None,
     detail: str = "summary",
+    progress: bool = False,
 ) -> list[ScenarioResult]:
     """Run one experiment; returns one :class:`ScenarioResult` per scenario.
 
@@ -170,7 +171,8 @@ def run_experiment(
     Results are order-deterministic either way.
     Every reported number comes from the artifacts'
     :class:`~repro.artifact.TraceSummary`; pass ``detail="full"`` to also
-    keep the raw traces on the outcomes.
+    keep the raw traces on the outcomes.  ``progress`` reports
+    ``completed/total`` cells to stderr as the sweep streams.
     """
     try:
         experiment = EXPERIMENTS[key]
@@ -188,7 +190,9 @@ def run_experiment(
                     n=n, iterations=iterations, sync=scenario.sync,
                 )
             )
-    outcomes = run_sweep(cells, jobs=jobs, workers=workers, detail=detail)
+    outcomes = run_sweep(
+        cells, jobs=jobs, workers=workers, detail=detail, progress=progress,
+    )
     results = []
     stride = len(experiment.strategies)
     for i, scenario in enumerate(experiment.scenarios):

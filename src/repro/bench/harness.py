@@ -6,6 +6,16 @@ one (application, strategy, platform, size) point each — and hand them to
 processes.  Results always come back in cell order, so parallel runs are
 byte-identical to serial ones.
 
+Sweeps are **streaming pipelines** underneath: :func:`run_sweep_iter`
+yields ``(index, artifact)`` pairs *as cells complete* — on the serial
+path, the process-pool path (``as_completed`` over submitted futures),
+and the distributed path (workers stream one result frame per finished
+cell, see :mod:`repro.distrib`) — so reporting can overlap execution and
+time-to-first-result is one cell, not the whole sweep.  :func:`run_sweep`
+is a thin collect-and-reorder wrapper over the iterator, which is what
+preserves the byte-parity contract: reordering completion-ordered
+artifacts by index reproduces the buffered output exactly.
+
 Sweeps exchange :class:`~repro.artifact.RunArtifact` bundles.  By default
 (``detail="summary"``) workers return artifacts *without* the raw trace —
 every figure/table number lives in the precomputed
@@ -22,11 +32,12 @@ of re-running them cold (each artifact carries its own hit/miss delta in
 
 from __future__ import annotations
 
+import dataclasses
 import os
-from concurrent.futures import ProcessPoolExecutor
+import sys
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from functools import partial
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import repro.cache as _cache
 from repro.apps.base import Application
@@ -148,6 +159,38 @@ def _init_worker(snapshot) -> None:
     _cache.preload_snapshot(snapshot)
 
 
+def _canonicalize(obj):
+    """Re-intern every string reachable through plain containers.
+
+    Pickling an artifact across a process or socket boundary loses
+    *object identity* between equal strings (and between a string and an
+    enum member's ``.value``), so a re-pickle on the consuming side
+    memoizes them differently than a freshly built artifact —
+    byte-different pickles for semantically equal results.  Interning
+    collapses every equal string back to one object, giving artifacts a
+    single canonical pickle form.  Every ``run_sweep_iter`` backend
+    (serial, local pool, distributed) funnels its artifacts through this
+    before yielding, which is what makes sweep output byte-identical
+    across backends.
+    """
+    if isinstance(obj, str):
+        return sys.intern(obj)
+    if isinstance(obj, dict):
+        return {_canonicalize(k): _canonicalize(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_canonicalize(v) for v in obj]
+    if isinstance(obj, tuple):
+        return type(obj)(*map(_canonicalize, obj)) if hasattr(obj, "_fields") \
+            else tuple(_canonicalize(v) for v in obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        changes = {
+            f.name: _canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return dataclasses.replace(obj, **changes)
+    return obj
+
+
 def default_jobs() -> int:
     """Worker count when the caller asks for 'all cores'.
 
@@ -165,7 +208,7 @@ def default_jobs() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def run_sweep(
+def run_sweep_iter(
     cells: Iterable[SweepCell],
     *,
     jobs: int = 1,
@@ -173,28 +216,24 @@ def run_sweep(
     share_cache: bool = True,
     workers: Sequence[str] | None = None,
     batch_size: int | None = None,
-) -> list[RunArtifact]:
-    """Run every cell; artifacts are returned in cell order.
+) -> Iterator[tuple[int, RunArtifact]]:
+    """Stream ``(index, artifact)`` pairs as cells complete.
 
-    ``jobs > 1`` fans the cells out over a :class:`ProcessPoolExecutor`.
-    ``pool.map`` preserves input order, so the output is independent of
-    worker completion order — a parallel sweep is byte-identical to a
-    serial one.  ``jobs <= 0`` means one worker per core.
+    The streaming core of :func:`run_sweep`: cells are yielded in
+    *completion* order, each tagged with its position in ``cells``, so a
+    consumer can report (or persist, or abort) incrementally instead of
+    waiting for the whole sweep.  Every backend streams:
 
-    ``workers`` switches to the distributed path: cells are sharded in
-    batches (``batch_size``; default auto) over the given
-    ``"host:port"`` worker servers (see :mod:`repro.distrib`), with
-    ``jobs`` forwarded as each worker's intra-batch parallelism.
-    Results still come back in cell order — a distributed sweep is
-    byte-identical to a serial one — and cells a dead pool cannot
-    finish fall back to local execution.
+    * serial — each cell is yielded as soon as it executes;
+    * ``jobs`` — futures are submitted per cell to a
+      :class:`ProcessPoolExecutor` and drained with ``as_completed``;
+    * ``workers`` — remote workers stream one result frame per finished
+      cell (see :mod:`repro.distrib`), with the adaptive dispatcher
+      sizing batches from observed per-cell latency.
 
-    ``detail="summary"`` (default) returns artifacts without raw traces —
-    the cheap cross-process form; ``detail="full"`` keeps them.  With
-    ``share_cache`` (default), parallel workers start from a read-only
-    snapshot of the parent's :mod:`repro.cache` stores (shipped once per
-    remote session at handshake), recovering the serial run's memo hit
-    rates under ``jobs > 1`` and ``workers=[...]`` alike.
+    Cell execution is deterministic, so collecting the pairs and sorting
+    by index reproduces the buffered :func:`run_sweep` output exactly —
+    that wrapper is the byte-parity guarantee's home.
     """
     check_detail(detail)
     cells = list(cells)
@@ -204,17 +243,79 @@ def run_sweep(
         executor = DistributedSweepExecutor(
             workers, jobs=jobs, batch_size=batch_size
         )
-        return executor.run(cells, detail=detail, share_cache=share_cache)
+        yield from executor.run_iter(
+            cells, detail=detail, share_cache=share_cache
+        )
+        return
     if jobs <= 0:
         jobs = default_jobs()
     if jobs == 1 or len(cells) <= 1:
-        return [_run_cell(cell, detail) for cell in cells]
+        for index, cell in enumerate(cells):
+            yield index, _canonicalize(_run_cell(cell, detail))
+        return
     pool_size = min(jobs, len(cells))
     snapshot = _cache.snapshot_stores() if share_cache else {}
     with ProcessPoolExecutor(
         max_workers=pool_size, initializer=_init_worker, initargs=(snapshot,)
     ) as pool:
-        return list(pool.map(partial(_run_cell, detail=detail), cells))
+        futures = {
+            pool.submit(_run_cell, cell, detail): index
+            for index, cell in enumerate(cells)
+        }
+        for future in as_completed(futures):
+            yield futures[future], _canonicalize(future.result())
+
+
+def run_sweep(
+    cells: Iterable[SweepCell],
+    *,
+    jobs: int = 1,
+    detail: str = "summary",
+    share_cache: bool = True,
+    workers: Sequence[str] | None = None,
+    batch_size: int | None = None,
+    progress: bool = False,
+) -> list[RunArtifact]:
+    """Run every cell; artifacts are returned in cell order.
+
+    A thin collect-and-reorder wrapper over :func:`run_sweep_iter`:
+    completion-ordered artifacts are written into their cell's original
+    index, so the output is independent of completion order — a parallel
+    or distributed sweep is byte-identical to a serial one.
+
+    ``jobs > 1`` fans the cells out over a :class:`ProcessPoolExecutor`;
+    ``jobs <= 0`` means one worker per core.
+
+    ``workers`` switches to the distributed path: cells are dispatched
+    over the given ``"host:port"`` worker servers (see
+    :mod:`repro.distrib`), with ``jobs`` forwarded as each worker's
+    intra-batch parallelism.  ``batch_size`` pins a fixed dispatch size;
+    by default an adaptive controller sizes each dispatch from the
+    worker's observed per-cell latency.  Cells a dead pool cannot finish
+    fall back to local execution.
+
+    ``detail="summary"`` (default) returns artifacts without raw traces —
+    the cheap cross-process form; ``detail="full"`` keeps them.  With
+    ``share_cache`` (default), parallel workers start from a read-only
+    snapshot of the parent's :mod:`repro.cache` stores (shipped once per
+    remote session at handshake), recovering the serial run's memo hit
+    rates under ``jobs > 1`` and ``workers=[...]`` alike.
+
+    ``progress`` prints ``completed/total`` cells to stderr as results
+    stream in (the CLI's ``--progress``).
+    """
+    cells = list(cells)
+    results: list[RunArtifact | None] = [None] * len(cells)
+    done = 0
+    for index, artifact in run_sweep_iter(
+        cells, jobs=jobs, detail=detail, share_cache=share_cache,
+        workers=workers, batch_size=batch_size,
+    ):
+        results[index] = artifact
+        done += 1
+        if progress:
+            print(f"[sweep] {done}/{len(cells)} cells", file=sys.stderr)
+    return results
 
 
 def scenario_label(app: Application, sync: bool | None) -> str:

@@ -94,6 +94,12 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
              "sets each worker's intra-batch parallelism and results "
              "stay identical to a serial run",
     )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print completed/total cell counts to stderr as sweep "
+             "results stream in (works with serial, --jobs, and "
+             "--workers runs alike)",
+    )
 
 
 def _workers(args) -> list[str] | None:
@@ -175,7 +181,7 @@ def cmd_experiment(args) -> int:
     platform = _platform(args)
     results = run_experiment(
         args.key, platform, scale=args.scale, jobs=args.jobs,
-        workers=_workers(args),
+        workers=_workers(args), progress=args.progress,
     )
     if args.key in ("fig6", "fig8", "fig10"):
         print(format_ratio_table(
@@ -218,6 +224,7 @@ def cmd_regenerate(args) -> int:
     for key in sorted(EXPERIMENTS):
         results = run_experiment(
             key, platform, scale=args.scale, jobs=args.jobs, workers=workers,
+            progress=args.progress,
         )
         path = write_records(scenario_rows(results), out / f"{key}.csv")
         written.append(path)
@@ -254,10 +261,12 @@ def cmd_crossover(args) -> int:
     if args.sweep == "stream-iterations":
         point = stream_iteration_crossover(
             platform, jobs=args.jobs, workers=workers,
+            progress=args.progress,
         )
     else:
         point = hotspot_bandwidth_crossover(
             platform, jobs=args.jobs, workers=workers,
+            progress=args.progress,
         )
     print(format_crossover(point))
     return 0

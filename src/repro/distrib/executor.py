@@ -1,4 +1,4 @@
-"""Client side of distributed sweeps: shard cells over remote workers.
+"""Client side of distributed sweeps: stream cells over remote workers.
 
 :class:`DistributedSweepExecutor` drives one sweep session against a
 pool of :mod:`repro.distrib.worker` servers:
@@ -6,45 +6,65 @@ pool of :mod:`repro.distrib.worker` servers:
 * **Pull-based scheduling** — one feeder thread per worker dispatches a
   batch only when its worker is idle, so fast workers naturally take
   more of the queue and a slow worker never strands work behind it.
+* **Streaming results** — workers send one ``MSG_CELL`` frame per
+  *completed* cell (protocol v2), and :meth:`run_iter` yields each
+  ``(index, artifact)`` pair the moment it arrives, so consumers overlap
+  reporting with execution; time-to-first-result is one cell, not the
+  whole sweep.  :meth:`run` is the buffered collect-and-reorder wrapper.
+* **Adaptive, latency-aware batch sizing** — each feeder starts with a
+  small probe dispatch and then sizes every subsequent dispatch from an
+  EWMA of that worker's observed per-cell service latency, targeting a
+  fixed wall-clock quantum per dispatch (``target_quantum_s``).  A slow
+  worker therefore holds few cells at a time (short re-dispatch tail,
+  no hoarding) while a fast worker amortizes framing over large batches
+  — the same imbalance-sensitivity insight behind the paper's dynamic
+  (DP-*) strategies, applied at the sweep level.  An explicit
+  ``batch_size`` pins a fixed size instead.
 * **Snapshot-once handshake** — each worker receives the parent's
   :func:`repro.cache.snapshot_stores` bundle exactly once per session
   (in ``MSG_HELLO``), not per cell, so remote warm-cache hit rates match
   local ``run_sweep`` workers.
-* **Failure containment** — every call has a timeout; a dead or hung
-  worker's in-flight batch is re-dispatched onto the remaining pool
-  (bounded attempts, so a poison batch cannot ping-pong forever), and
+* **Failure containment** — every frame wait has a timeout (now a
+  per-cell ceiling, since results stream as they finish); a dead or
+  hung worker's **unstreamed** cells are re-dispatched onto the
+  remaining pool, deduplicated by cell index so cells already streamed
+  from the dead worker's partial batch are never re-yielded (bounded
+  attempts per cell, so a poison cell cannot ping-pong forever), and
   connection setup retries with backoff.  If the whole pool dies, the
   leftover cells run locally by default (``fallback="local"``) so the
   sweep still completes; ``fallback="error"`` raises instead.
-* **Deterministic reassembly** — results are written into their cell's
-  original index, so a distributed sweep returns artifacts in cell
-  order, byte-identical to a serial ``run_sweep`` over the same cells
-  (cell execution is deterministic; re-running a batch elsewhere yields
-  the same artifact).
+* **Deterministic reassembly** — :meth:`run` writes results into their
+  cell's original index, so a distributed sweep returns artifacts in
+  cell order, byte-identical to a serial ``run_sweep`` over the same
+  cells (cell execution is deterministic; re-running a cell elsewhere
+  yields the same artifact).
 
 Per-worker accounting (cells, batches, wire bytes, remote cache
-hit/miss) is kept in :class:`WorkerReport` objects, exposed on the
-executor and via :func:`last_sweep_reports` for the CLI's ``--cache-dir``
-stderr report and the ``sweep_distributed`` benchmark metrics.
+hit/miss, latency EWMA, largest dispatch) is kept in
+:class:`WorkerReport` objects, exposed on the executor and via
+:func:`last_sweep_reports` for the CLI's ``--cache-dir`` stderr report
+and the ``sweep_distributed``/``sweep_streaming`` benchmark metrics.
 """
 
 from __future__ import annotations
 
-import dataclasses
+import math
+import queue
 import socket
 import sys
 import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import repro.cache as _cache
+from repro.bench.harness import _canonicalize
 from repro.distrib import protocol
 from repro.distrib.endpoints import format_endpoint, parse_endpoints
 from repro.errors import DistributedSweepError, WorkerProtocolError
 
-#: transport failures that mark a worker dead and re-dispatch its batch
+#: transport failures that mark a worker dead and re-dispatch its cells
 _TRANSPORT_ERRORS = (
     WorkerProtocolError,
     ConnectionError,
@@ -70,6 +90,10 @@ class WorkerReport:
     redispatched_batches: int = 0
     alive: bool = True
     error: str | None = None
+    #: the adaptive controller's view of this worker's per-cell latency
+    ewma_cell_s: float | None = None
+    #: largest dispatch the controller grew to (1 = probe only)
+    largest_batch: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -81,23 +105,66 @@ class WorkerReport:
         return self.bytes_sent + self.bytes_received
 
 
-@dataclass
-class _Batch:
-    batch_id: int
-    indices: list[int]
-    cells: list
-    attempts: int = 0
+class _AdaptiveBatcher:
+    """Latency-aware dispatch sizing for one worker.
+
+    The first dispatch is a small probe (``probe`` cells).  Every
+    streamed cell updates an EWMA of the worker's per-cell service
+    latency (inter-arrival time, so dispatch/framing overhead is
+    amortized into it), and the next dispatch is sized so the worker
+    holds roughly ``target_quantum_s`` of wall-clock work: slow workers
+    get small batches (short tail, cheap re-dispatch), fast workers get
+    large ones (framing amortized).
+    """
+
+    def __init__(
+        self,
+        *,
+        target_quantum_s: float,
+        alpha: float,
+        probe: int,
+        max_dispatch: int,
+        fixed: int | None = None,
+    ) -> None:
+        self.target_quantum_s = target_quantum_s
+        self.alpha = alpha
+        self.probe = max(1, probe)
+        self.max_dispatch = max(1, max_dispatch)
+        self.fixed = fixed
+        self.ewma_s: float | None = None
+
+    def next_size(self) -> int:
+        if self.fixed is not None:
+            return self.fixed
+        if self.ewma_s is None:
+            return self.probe
+        cells = math.ceil(self.target_quantum_s / max(self.ewma_s, 1e-9))
+        return max(1, min(self.max_dispatch, cells))
+
+    def observe(self, cell_seconds: float) -> None:
+        if self.ewma_s is None:
+            self.ewma_s = cell_seconds
+        else:
+            self.ewma_s = (
+                self.alpha * cell_seconds + (1.0 - self.alpha) * self.ewma_s
+            )
 
 
 @dataclass
 class _SweepState:
     """Shared mutable state guarded by one lock/condition pair."""
 
-    queue: deque = field(default_factory=deque)
-    #: batches not yet completed or dead-lettered (drives idle waiting)
-    outstanding: int = 0
+    #: cell indices awaiting dispatch (front = next out)
+    pending: deque = field(default_factory=deque)
+    #: cells currently dispatched to some worker (drives idle waiting)
+    in_flight: int = 0
+    #: per-cell dispatch counts (bounds poison-cell re-dispatch)
+    attempts: list = field(default_factory=list)
+    #: cells past the attempt cap, destined for the fallback path
     dead_letters: list = field(default_factory=list)
     fatal: str | None = None
+    #: the consumer abandoned the iterator; feeders drain out
+    cancelled: bool = False
 
 
 #: the most recent sweep's per-worker reports (CLI/bench reporting)
@@ -107,46 +174,6 @@ _LAST_REPORTS: list[WorkerReport] = []
 def last_sweep_reports() -> list[WorkerReport]:
     """Per-worker reports of the most recent distributed sweep."""
     return list(_LAST_REPORTS)
-
-
-def _canonicalize(obj):
-    """Re-intern every string reachable through plain containers.
-
-    Pickling an artifact through the wire and back loses *object
-    identity* between equal strings (the worker's artifact mixes strings
-    from its unpickled cell copy with strings from its memo stores), so
-    a re-pickle on this side would memoize them differently than a
-    locally produced artifact — byte-different pickles for semantically
-    equal results.  Interning collapses every equal string back to one
-    object, which is exactly the sharing a local run has (device ids and
-    resource names are single-origin there), restoring pickle-level
-    byte-identity between distributed and serial sweeps.
-    """
-    if isinstance(obj, str):
-        return sys.intern(obj)
-    if isinstance(obj, dict):
-        return {_canonicalize(k): _canonicalize(v) for k, v in obj.items()}
-    if isinstance(obj, list):
-        return [_canonicalize(v) for v in obj]
-    if isinstance(obj, tuple):
-        return type(obj)(*map(_canonicalize, obj)) if hasattr(obj, "_fields") \
-            else tuple(_canonicalize(v) for v in obj)
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        changes = {
-            f.name: _canonicalize(getattr(obj, f.name))
-            for f in dataclasses.fields(obj)
-        }
-        return dataclasses.replace(obj, **changes)
-    return obj
-
-
-def _auto_batch_size(n_cells: int, n_workers: int) -> int:
-    """Batch small enough for load balance, big enough to amortize frames.
-
-    Four batches per worker keeps the tail short when cell costs vary;
-    the cap bounds the cost of re-executing a re-dispatched batch.
-    """
-    return max(1, min(32, n_cells // (4 * n_workers) or 1))
 
 
 class DistributedSweepExecutor:
@@ -162,16 +189,33 @@ class DistributedSweepExecutor:
         parallelism (a worker started with an explicit ``--jobs`` pins
         its own value instead).
     batch_size:
-        Cells per dispatched batch (default: auto, ~4 batches/worker).
+        Pin a *fixed* cells-per-dispatch size, disabling the adaptive
+        controller (default: adaptive — probe first, then sized from the
+        worker's per-cell latency EWMA to ``target_quantum_s`` of work).
+    target_quantum_s:
+        Wall-clock amount of work the adaptive controller aims to hand a
+        worker per dispatch.  Bounds the straggler tail: a dying worker
+        loses at most ~one quantum of (re-dispatchable) work.
+    ewma_alpha:
+        Smoothing factor of the per-cell latency EWMA (higher = adapt
+        faster to drift).
+    probe_batch:
+        Cells in the first (probe) dispatch to a worker, before any
+        latency has been observed.
+    max_dispatch:
+        Ceiling on one dispatch regardless of how fast a worker looks
+        (bounds re-execution cost when it dies).
     call_timeout_s:
-        Per-call ceiling on a worker executing one batch; a worker that
-        blows it is treated as hung and its batch re-dispatched.
+        Ceiling on waiting for the *next* streamed frame from a worker
+        (effectively per-cell, since results stream as they finish); a
+        worker that blows it is treated as hung and its unstreamed cells
+        re-dispatched.
     connect_attempts / connect_backoff_s / connect_timeout_s:
         Connection establishment retries with linear backoff.
     max_redispatch:
-        Attempt ceiling per batch (default: pool size + 1); beyond it the
-        batch is dead-lettered to the fallback path instead of being
-        re-dispatched (a poison batch must not take every worker down).
+        Attempt ceiling per cell (default: pool size + 1); beyond it the
+        cell is dead-lettered to the fallback path instead of being
+        re-dispatched (a poison cell must not take every worker down).
     fallback:
         ``"local"`` (default) runs cells the pool could not finish in
         this process; ``"error"`` raises
@@ -184,6 +228,10 @@ class DistributedSweepExecutor:
         *,
         jobs: int = 1,
         batch_size: int | None = None,
+        target_quantum_s: float = 0.25,
+        ewma_alpha: float = 0.4,
+        probe_batch: int = 1,
+        max_dispatch: int = 64,
         call_timeout_s: float = 600.0,
         connect_timeout_s: float = 10.0,
         connect_attempts: int = 3,
@@ -200,8 +248,16 @@ class DistributedSweepExecutor:
             raise DistributedSweepError(
                 f"fallback must be 'local' or 'error', got {fallback!r}"
             )
+        if batch_size is not None and batch_size < 1:
+            raise DistributedSweepError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
         self.jobs = jobs
         self.batch_size = batch_size
+        self.target_quantum_s = target_quantum_s
+        self.ewma_alpha = ewma_alpha
+        self.probe_batch = probe_batch
+        self.max_dispatch = max_dispatch
         self.call_timeout_s = call_timeout_s
         self.connect_timeout_s = connect_timeout_s
         self.connect_attempts = max(1, connect_attempts)
@@ -213,7 +269,33 @@ class DistributedSweepExecutor:
     # -- public API ------------------------------------------------------
 
     def run(self, cells, *, detail: str = "summary", share_cache: bool = True):
-        """Execute ``cells`` on the worker pool; artifacts in cell order."""
+        """Execute ``cells`` on the worker pool; artifacts in cell order.
+
+        The buffered wrapper over :meth:`run_iter`: collecting the
+        streamed pairs and writing each into its original index restores
+        cell order, so the output is byte-identical to a serial sweep.
+        """
+        cells = list(cells)
+        results = [None] * len(cells)
+        for index, artifact in self.run_iter(
+            cells, detail=detail, share_cache=share_cache
+        ):
+            results[index] = artifact
+        return results
+
+    def run_iter(
+        self, cells, *, detail: str = "summary", share_cache: bool = True
+    ) -> Iterator[tuple[int, object]]:
+        """Stream ``(index, artifact)`` pairs as remote cells complete.
+
+        Pairs arrive in completion order across the whole pool.  Every
+        cell is yielded exactly once — cells streamed from a worker that
+        later died are deduplicated out of the re-dispatch by index.  A
+        deterministic cell failure raises
+        :class:`~repro.errors.DistributedSweepError` mid-iteration;
+        cells a dead pool cannot finish are executed locally and yielded
+        last (``fallback="local"``) or raise (``fallback="error"``).
+        """
         from repro.artifact import check_detail
 
         check_detail(detail)
@@ -224,20 +306,17 @@ class DistributedSweepExecutor:
         global _LAST_REPORTS
         _LAST_REPORTS = self.reports
         if not cells:
-            return []
+            return
 
-        size = self.batch_size or _auto_batch_size(len(cells), len(self.endpoints))
-        state = _SweepState()
-        for batch_id, start in enumerate(range(0, len(cells), size)):
-            indices = list(range(start, min(start + size, len(cells))))
-            state.queue.append(
-                _Batch(batch_id, indices, [cells[i] for i in indices])
-            )
-        state.outstanding = len(state.queue)
+        state = _SweepState(
+            pending=deque(range(len(cells))),
+            attempts=[0] * len(cells),
+        )
         results: list = [None] * len(cells)
         filled = [False] * len(cells)
         snapshot = _cache.snapshot_stores() if share_cache else {}
         cond = threading.Condition()
+        out_q: queue.Queue = queue.Queue()
         attempt_cap = (
             self.max_redispatch
             if self.max_redispatch is not None
@@ -248,12 +327,29 @@ class DistributedSweepExecutor:
         for endpoint, report in zip(self.endpoints, self.reports):
             thread = threading.Thread(
                 target=self._drive_worker,
-                args=(endpoint, report, state, cond, results, filled,
-                      snapshot, detail, attempt_cap),
+                args=(endpoint, report, state, cond, cells, results, filled,
+                      out_q, snapshot, detail, attempt_cap),
                 daemon=True,
             )
             thread.start()
             threads.append(thread)
+
+        yielded = 0
+        exited = 0
+        try:
+            # every feeder enqueues its cells before its exit marker, so
+            # once all exit markers are drained no cell event remains
+            while yielded < len(cells) and exited < len(threads):
+                kind, index, artifact = out_q.get()
+                if kind == "exit":
+                    exited += 1
+                    continue
+                yield index, artifact
+                yielded += 1
+        finally:
+            with cond:
+                state.cancelled = True
+                cond.notify_all()
         for thread in threads:
             thread.join()
 
@@ -263,8 +359,7 @@ class DistributedSweepExecutor:
             )
         leftovers = sorted(
             i
-            for batch in (list(state.queue) + state.dead_letters)
-            for i in batch.indices
+            for i in (list(state.pending) + state.dead_letters)
             if not filled[i]
         )
         if leftovers:
@@ -282,14 +377,15 @@ class DistributedSweepExecutor:
                 file=sys.stderr,
             )
             for i in leftovers:
-                results[i] = _run_cell(cells[i], detail)
+                results[i] = _canonicalize(_run_cell(cells[i], detail))
                 filled[i] = True
-        missing = filled.count(False)
-        if missing:
+                yield i, results[i]
+                yielded += 1
+        if yielded < len(cells):
             raise DistributedSweepError(
-                f"internal error: {missing} cells never produced a result"
+                f"internal error: {len(cells) - yielded} cells never "
+                "produced a result"
             )
-        return results
 
     # -- per-worker feeder thread ---------------------------------------
 
@@ -329,99 +425,177 @@ class DistributedSweepExecutor:
             f"{self.connect_attempts} attempts: {last_exc}"
         )
 
+    def _requeue_or_dead_letter(self, state, index, attempt_cap) -> None:
+        """Route one unstreamed cell of a dead worker (cond held)."""
+        state.in_flight -= 1
+        if state.attempts[index] >= attempt_cap:
+            state.dead_letters.append(index)
+        else:
+            # back of the queue: surviving workers finish their current
+            # work before picking up the orphan
+            state.pending.append(index)
+
     def _drive_worker(
-        self, endpoint, report, state, cond, results, filled,
-        snapshot, detail, attempt_cap,
+        self, endpoint, report, state, cond, cells, results, filled,
+        out_q, snapshot, detail, attempt_cap,
     ) -> None:
         try:
-            sock = self._connect(endpoint, report, snapshot, detail)
-        except DistributedSweepError as exc:
-            with cond:
-                report.alive = False
-                report.error = str(exc)
-                cond.notify_all()
-            return
-        batch: _Batch | None = None
-        try:
-            while True:
-                with cond:
-                    batch = None
-                    while state.fatal is None:
-                        if state.queue:
-                            batch = state.queue.popleft()
-                            break
-                        if state.outstanding == 0:
-                            break
-                        # another worker holds the remaining batches; wait
-                        # in case one is re-dispatched our way
-                        cond.wait(0.05)
-                    if batch is None:
-                        break
-                batch.attempts += 1
-                report.bytes_sent += protocol.send_frame(
-                    sock, protocol.MSG_BATCH, {
-                        "batch_id": batch.batch_id,
-                        "cells": batch.cells,
-                    },
-                )
-                msg_type, payload, nbytes = protocol.recv_frame(sock)
-                report.bytes_received += nbytes
-                if msg_type == protocol.MSG_ERROR:
-                    with cond:
-                        state.fatal = str(payload.get("error"))
-                        state.dead_letters.append(batch)
-                        state.outstanding -= 1
-                        cond.notify_all()
-                    batch = None
-                    break
-                if msg_type != protocol.MSG_RESULT:
-                    raise WorkerProtocolError(
-                        f"expected a result frame, got type {msg_type}"
-                    )
-                if payload.get("batch_id") != batch.batch_id:
-                    raise WorkerProtocolError(
-                        f"result for batch {payload.get('batch_id')} while "
-                        f"waiting on batch {batch.batch_id}"
-                    )
-                artifacts = payload.get("artifacts") or []
-                if len(artifacts) != len(batch.indices):
-                    raise WorkerProtocolError(
-                        f"batch {batch.batch_id}: {len(artifacts)} artifacts "
-                        f"for {len(batch.indices)} cells"
-                    )
-                delta = payload.get("cache_delta") or {}
-                artifacts = [_canonicalize(a) for a in artifacts]
-                with cond:
-                    for index, artifact in zip(batch.indices, artifacts):
-                        results[index] = artifact
-                        filled[index] = True
-                    state.outstanding -= 1
-                    report.batches += 1
-                    report.cells += len(batch.indices)
-                    for stats in delta.values():
-                        report.cache_hits += stats.get("hits", 0)
-                        report.cache_misses += stats.get("misses", 0)
-                    cond.notify_all()
-                batch = None
             try:
-                report.bytes_sent += protocol.send_frame(
-                    sock, protocol.MSG_BYE, {}
-                )
-            except _TRANSPORT_ERRORS:
-                pass  # worker vanished after its last result; nothing lost
-            sock.close()
-        except _TRANSPORT_ERRORS as exc:
-            sock.close()
-            with cond:
-                report.alive = False
-                report.error = f"{type(exc).__name__}: {exc}"
-                if batch is not None:
-                    report.redispatched_batches += 1
-                    if batch.attempts >= attempt_cap:
-                        state.dead_letters.append(batch)
-                        state.outstanding -= 1
-                    else:
-                        # back of the queue: surviving workers finish their
-                        # current work before picking up the orphan
-                        state.queue.append(batch)
-                cond.notify_all()
+                sock = self._connect(endpoint, report, snapshot, detail)
+            except DistributedSweepError as exc:
+                with cond:
+                    report.alive = False
+                    report.error = str(exc)
+                    cond.notify_all()
+                return
+            controller = _AdaptiveBatcher(
+                target_quantum_s=self.target_quantum_s,
+                alpha=self.ewma_alpha,
+                probe=self.probe_batch,
+                max_dispatch=self.max_dispatch,
+                fixed=self.batch_size,
+            )
+            batch_id = 0
+            indices: list[int] = []
+            streamed: set = set()
+            try:
+                while True:
+                    with cond:
+                        indices = []
+                        while state.fatal is None and not state.cancelled:
+                            if state.pending:
+                                size = min(
+                                    controller.next_size(), len(state.pending)
+                                )
+                                indices = [
+                                    state.pending.popleft()
+                                    for _ in range(size)
+                                ]
+                                state.in_flight += len(indices)
+                                for i in indices:
+                                    state.attempts[i] += 1
+                                break
+                            if state.in_flight == 0:
+                                break
+                            # another worker holds the remaining cells;
+                            # wait in case some are re-dispatched our way
+                            cond.wait(0.05)
+                        if not indices:
+                            break
+                    report.largest_batch = max(
+                        report.largest_batch, len(indices)
+                    )
+                    streamed = set()
+                    batch_id += 1
+                    report.bytes_sent += protocol.send_frame(
+                        sock, protocol.MSG_BATCH, {
+                            "batch_id": batch_id,
+                            "cells": [cells[i] for i in indices],
+                        },
+                    )
+                    t_prev = time.monotonic()
+                    fatal_error = None
+                    while len(streamed) < len(indices):
+                        msg_type, payload, nbytes = protocol.recv_frame(sock)
+                        report.bytes_received += nbytes
+                        if msg_type == protocol.MSG_ERROR:
+                            fatal_error = str(payload.get("error"))
+                            break
+                        if msg_type != protocol.MSG_CELL:
+                            raise WorkerProtocolError(
+                                f"expected a streamed cell frame, got type "
+                                f"{msg_type}"
+                            )
+                        if payload.get("batch_id") != batch_id:
+                            raise WorkerProtocolError(
+                                f"cell for batch {payload.get('batch_id')} "
+                                f"while streaming batch {batch_id}"
+                            )
+                        pos = payload.get("pos")
+                        if not isinstance(pos, int) \
+                                or not 0 <= pos < len(indices) \
+                                or pos in streamed:
+                            raise WorkerProtocolError(
+                                f"batch {batch_id}: bad or duplicate cell "
+                                f"position {pos!r}"
+                            )
+                        now = time.monotonic()
+                        controller.observe(
+                            max(now - t_prev, 1e-9)
+                        )
+                        t_prev = now
+                        report.ewma_cell_s = controller.ewma_s
+                        artifact = _canonicalize(payload.get("artifact"))
+                        streamed.add(pos)
+                        index = indices[pos]
+                        with cond:
+                            state.in_flight -= 1
+                            report.cells += 1
+                            if not filled[index]:
+                                filled[index] = True
+                                results[index] = artifact
+                                out_q.put(("cell", index, artifact))
+                            cond.notify_all()
+                    if fatal_error is not None:
+                        with cond:
+                            state.fatal = fatal_error
+                            for pos, i in enumerate(indices):
+                                if pos not in streamed:
+                                    state.in_flight -= 1
+                                    state.dead_letters.append(i)
+                            cond.notify_all()
+                        indices = []
+                        break
+                    # end-of-batch marker closes the stream and carries
+                    # the worker-side cache delta for this batch window
+                    payload, nbytes = protocol.expect_frame(
+                        sock, protocol.MSG_RESULT
+                    )
+                    report.bytes_received += nbytes
+                    if payload.get("batch_id") != batch_id:
+                        raise WorkerProtocolError(
+                            f"end-of-batch for {payload.get('batch_id')} "
+                            f"while streaming batch {batch_id}"
+                        )
+                    if payload.get("cells_done") != len(indices):
+                        raise WorkerProtocolError(
+                            f"batch {batch_id}: worker reports "
+                            f"{payload.get('cells_done')} cells done, "
+                            f"client streamed {len(indices)}"
+                        )
+                    delta = payload.get("cache_delta") or {}
+                    with cond:
+                        report.batches += 1
+                        for stats in delta.values():
+                            report.cache_hits += stats.get("hits", 0)
+                            report.cache_misses += stats.get("misses", 0)
+                        cond.notify_all()
+                    indices = []
+                try:
+                    report.bytes_sent += protocol.send_frame(
+                        sock, protocol.MSG_BYE, {}
+                    )
+                except _TRANSPORT_ERRORS:
+                    pass  # worker vanished after its last result; nothing lost
+                sock.close()
+            except _TRANSPORT_ERRORS as exc:
+                sock.close()
+                with cond:
+                    report.alive = False
+                    report.error = f"{type(exc).__name__}: {exc}"
+                    unstreamed = [
+                        i for pos, i in enumerate(indices)
+                        if pos not in streamed
+                    ]
+                    if unstreamed:
+                        # dedupe by cell index: cells the dead worker
+                        # already streamed are filled and must not be
+                        # re-dispatched (no double-yield)
+                        report.redispatched_batches += 1
+                        for i in unstreamed:
+                            self._requeue_or_dead_letter(
+                                state, i, attempt_cap
+                            )
+                    cond.notify_all()
+        finally:
+            out_q.put(("exit", None, None))

@@ -35,9 +35,17 @@ Message kinds
     Handshake accept: ``{"pid", "installed", "jobs"}``.
 ``MSG_BATCH`` (client -> worker)
     One unit of pull-based work: ``{"batch_id", "cells"}``.
+``MSG_CELL`` (worker -> client)
+    One **streamed** result: ``{"batch_id", "pos", "artifact"}`` — sent
+    the moment cell ``pos`` (its position inside the batch) finishes,
+    while the rest of the batch is still executing.  Streaming per cell
+    is what lets the client overlap reporting with execution and feed
+    observed per-cell latency into its adaptive dispatch sizing.
 ``MSG_RESULT`` (worker -> client)
-    ``{"batch_id", "artifacts", "cache_delta"}`` — artifacts in batch
-    cell order; ``cache_delta`` is the worker-side
+    End-of-batch marker: ``{"batch_id", "cells_done", "cache_delta"}``.
+    Artifacts no longer ride here (v1 buffered the whole batch into this
+    frame); ``cells_done`` lets the client cross-check it saw every
+    ``MSG_CELL``, and ``cache_delta`` is the worker-side
     :func:`repro.cache.stats_delta` of the batch window (feeds the
     per-remote-worker hit-rate report).
 ``MSG_ERROR`` (worker -> client)
@@ -59,7 +67,9 @@ from typing import Any
 from repro.errors import WorkerProtocolError
 
 #: bump on any frame-layout or payload-shape change; peers must match
-PROTOCOL_VERSION = 1
+#: (v2: per-cell MSG_CELL streaming; MSG_RESULT became the end-of-batch
+#: marker and stopped carrying artifacts)
+PROTOCOL_VERSION = 2
 
 #: frame magic: rejects peers that are not speaking this protocol at all
 MAGIC = b"RPRO"
@@ -78,10 +88,12 @@ MSG_BATCH = 3
 MSG_RESULT = 4
 MSG_ERROR = 5
 MSG_BYE = 6
+MSG_CELL = 7
 
 #: message kinds a receiver will accept (anything else is a bad frame)
 _KNOWN_TYPES = frozenset(
-    (MSG_HELLO, MSG_WELCOME, MSG_BATCH, MSG_RESULT, MSG_ERROR, MSG_BYE)
+    (MSG_HELLO, MSG_WELCOME, MSG_BATCH, MSG_RESULT, MSG_ERROR, MSG_BYE,
+     MSG_CELL)
 )
 
 

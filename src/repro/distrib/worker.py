@@ -5,10 +5,14 @@ time (a sweep is one session; concurrent clients queue in the listen
 backlog).  Inside a session the worker is purely reactive — the client
 dispatches a :data:`~repro.distrib.protocol.MSG_BATCH` only when this
 worker is idle (pull-based scheduling), the worker executes the batch's
-:class:`~repro.bench.harness.SweepCell` list in order, and replies with
-one :data:`~repro.distrib.protocol.MSG_RESULT` carrying the summarized
-:class:`~repro.artifact.RunArtifact` list plus the batch's worker-side
-cache hit/miss delta.
+:class:`~repro.bench.harness.SweepCell` list and **streams one**
+:data:`~repro.distrib.protocol.MSG_CELL` frame per completed cell (via
+:func:`~repro.bench.harness.run_sweep_iter`, so worker-side ``--jobs``
+pools stream too), then closes the batch with one
+:data:`~repro.distrib.protocol.MSG_RESULT` end-of-batch marker carrying
+the batch's worker-side cache hit/miss delta.  Streaming per cell lets
+the client overlap reporting with execution and observe per-cell
+service latency for its adaptive dispatch sizing.
 
 The session handshake installs the client's :mod:`repro.cache` snapshot
 **once** — not per cell — so a remote worker replays the client's warm
@@ -24,8 +28,11 @@ fail identically everywhere.
 
 ``fail_after=N`` is a fault-injection hook for tests and drills: the
 worker drops dead (connection cut, server stopped, no reply) after
-executing N cells, which must leave a client sweep complete and
-byte-identical via re-dispatch.
+executing N cells — possibly mid-batch, *after* streaming some of the
+batch's cells — which must leave a client sweep complete, deduplicated,
+and byte-identical via re-dispatch of only the unstreamed cells.
+``delay_per_cell=S`` sleeps S seconds per cell, a deterministic way to
+build a skewed pool for adaptivity tests and benches.
 """
 
 from __future__ import annotations
@@ -34,6 +41,7 @@ import argparse
 import os
 import socket
 import sys
+import time
 import traceback
 
 import repro.cache as _cache
@@ -59,7 +67,12 @@ class WorkerServer:
         processes exactly like ``run_sweep --jobs``.
     fail_after:
         Fault injection: die abruptly (no reply, socket cut, server
-        stopped) after executing this many cells in total.
+        stopped) after executing this many cells in total — possibly
+        mid-batch, after streaming part of it.
+    delay_per_cell:
+        Fault injection: sleep this many seconds per cell before
+        streaming its result, making this worker deterministically slow
+        (skewed-pool tests and benches).
     accept_timeout_s:
         Poll interval for the stop flag while waiting for connections.
     """
@@ -71,11 +84,13 @@ class WorkerServer:
         *,
         jobs: int | None = None,
         fail_after: int | None = None,
+        delay_per_cell: float | None = None,
         accept_timeout_s: float = 0.25,
         verbose: bool = False,
     ) -> None:
         self.jobs = jobs
         self.fail_after = fail_after
+        self.delay_per_cell = delay_per_cell
         self.verbose = verbose
         self._cells_executed = 0
         self._stopped = False
@@ -190,30 +205,34 @@ class WorkerServer:
     def _run_batch(
         self, conn: socket.socket, payload: dict, *, detail: str, jobs: int
     ) -> None:
-        from repro.bench.harness import _run_cell, run_sweep
+        """Execute one batch, streaming a ``MSG_CELL`` per finished cell.
+
+        ``fail_after`` is checked before *each* cell, so the fault can
+        trip mid-batch with part of the batch already streamed — the
+        client must dedupe those cells out of its re-dispatch.
+        """
+        from repro.bench.harness import run_sweep_iter
 
         batch_id = payload.get("batch_id")
         cells = payload.get("cells") or []
         before = _cache.counters()
+        streamed = 0
         try:
-            if jobs == 1 or len(cells) <= 1:
-                artifacts = []
-                for cell in cells:
-                    if (
-                        self.fail_after is not None
-                        and self._cells_executed >= self.fail_after
-                    ):
-                        raise _SessionAborted()
-                    artifacts.append(_run_cell(cell, detail))
-                    self._cells_executed += 1
-            else:
+            for pos, artifact in run_sweep_iter(cells, jobs=jobs, detail=detail):
                 if (
                     self.fail_after is not None
-                    and self._cells_executed + len(cells) > self.fail_after
+                    and self._cells_executed >= self.fail_after
                 ):
                     raise _SessionAborted()
-                artifacts = run_sweep(cells, jobs=jobs, detail=detail)
-                self._cells_executed += len(cells)
+                self._cells_executed += 1
+                if self.delay_per_cell:
+                    time.sleep(self.delay_per_cell)
+                protocol.send_frame(conn, protocol.MSG_CELL, {
+                    "batch_id": batch_id,
+                    "pos": pos,
+                    "artifact": artifact,
+                })
+                streamed += 1
         except _SessionAborted:
             raise
         except Exception:  # noqa: BLE001 - report any cell failure verbatim
@@ -224,10 +243,10 @@ class WorkerServer:
             return
         protocol.send_frame(conn, protocol.MSG_RESULT, {
             "batch_id": batch_id,
-            "artifacts": artifacts,
+            "cells_done": streamed,
             "cache_delta": _cache.stats_delta(before),
         })
-        self._log(f"batch {batch_id}: {len(cells)} cells done")
+        self._log(f"batch {batch_id}: {streamed} cells done")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -259,13 +278,20 @@ def main(argv: list[str] | None = None) -> int:
         help="fault injection: crash after executing N cells (tests the "
              "client's re-dispatch path)",
     )
+    parser.add_argument(
+        "--delay-per-cell", type=float, default=None, metavar="SECONDS",
+        help="fault injection: sleep SECONDS per cell before streaming "
+             "its result — a deterministically slow worker for skewed-"
+             "pool tests and benches of the adaptive dispatcher",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
 
     host, port = parse_endpoint(args.listen, allow_ephemeral=True)
     server = WorkerServer(
         host, port,
-        jobs=args.jobs, fail_after=args.fail_after, verbose=args.verbose,
+        jobs=args.jobs, fail_after=args.fail_after,
+        delay_per_cell=args.delay_per_cell, verbose=args.verbose,
     )
     print(f"[worker] listening on {server.endpoint}", file=sys.stderr)
     if args.ready_file:

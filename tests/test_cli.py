@@ -122,6 +122,18 @@ class TestExperiment:
         assert main(["experiment", "fig8", "--scale", "0.02"]) == 0
         assert "%" in capsys.readouterr().out
 
+    def test_progress_reports_cells_on_stderr(self, capsys):
+        assert main(
+            ["experiment", "fig5", "--scale", "0.02", "--progress"]
+        ) == 0
+        captured = capsys.readouterr()
+        lines = [l for l in captured.err.splitlines()
+                 if l.startswith("[sweep]")]
+        assert lines, "no progress lines on stderr"
+        total = len(lines)
+        assert lines[-1] == f"[sweep] {total}/{total} cells"
+        assert "Figure 5" in captured.out
+
     def test_csv_export(self, tmp_path, capsys):
         target = tmp_path / "fig5.csv"
         assert main(
