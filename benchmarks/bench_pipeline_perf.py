@@ -15,8 +15,11 @@ bytes-on-wire per cell, byte-identity with the serial run), streams a
 sweep over a skewed pool — one worker deterministically delayed — to
 measure time-to-first-result, inter-arrival gaps, the adaptive
 dispatcher's work split, and its elapsed-time edge over fixed batching
-(``sweep_streaming``), and records everything to ``BENCH_pipeline.json``
-so CI can track the numbers over time.
+(``sweep_streaming``), embeds the event-core engine comparison from
+``bench_event_core.py`` (``sim_core``: events/sec of the slot-dispatched
+fast engine vs the closure oracle, end-to-end run speedup, cross-engine
+artifact byte parity, fused dispatch), and records everything to
+``BENCH_pipeline.json`` so CI can track the numbers over time.
 
 ``--check-baseline [FILE]`` additionally compares the fresh record against
 the committed ``benchmarks/BENCH_pipeline.baseline.json`` with a tolerance
@@ -55,6 +58,8 @@ from repro.runtime.dependence import (
 )
 from repro.runtime.graph import chunk_ranges, expand_program
 from repro.sim.analysis import analyze_trace, compute_overlap_fraction
+
+import bench_event_core
 
 #: where the recorded numbers land (repo root, next to ROADMAP.md)
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
@@ -593,6 +598,7 @@ def record() -> dict:
         "worker_parity": measure_worker_parity(),
         "sweep_distributed": measure_sweep_distributed(),
         "sweep_streaming": measure_sweep_streaming(),
+        "sim_core": bench_event_core.measure_sim_core(),
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -633,6 +639,7 @@ def check(payload: dict) -> None:
     assert cpw["fast"] + cpw["slow"] == streaming["cells"], streaming
     assert streaming["adaptive_vs_fixed_speedup"] >= ADAPTIVE_SPEEDUP_FLOOR, \
         streaming
+    bench_event_core.check(payload["sim_core"])
 
 
 #: baseline comparisons: (json path, direction, relative tolerance).
@@ -656,6 +663,9 @@ BASELINE_CHECKS = [
     ("sweep_distributed.remote_hit_rate", "min", 0.05),
     ("sweep_streaming.adaptive_vs_fixed_speedup", "min", 0.5),
     ("sweep_streaming.first_cell_fraction", "max", 1.5),
+    ("sim_core.fast_vs_oracle_speedup", "min", 0.5),
+    ("sim_core.untraced_engine_speedup", "min", 0.5),
+    ("sim_core.traced_speedup", "min", 0.5),
 ]
 
 
@@ -705,6 +715,10 @@ def compare_to_baseline(payload: dict, baseline_path: Path | None = None) -> lis
         failures.append(
             "sweep_streaming: streamed artifacts not byte-identical to the "
             "serial run"
+        )
+    if not payload["sim_core"]["parity"]:
+        failures.append(
+            "sim_core: fast-engine artifacts not byte-identical to the oracle"
         )
     return failures
 
@@ -762,6 +776,13 @@ def test_pipeline_perf(benchmark):
         f"lazy labels:          "
         f"{memory['label_packed_fraction']:.0%} rows packed "
         f"({memory['label_shrink_ratio']:.1f}x vs formatted strings)\n"
+        f"event core:           "
+        f"{payload['sim_core']['events_per_sec']:,.0f} ev/s fast lane vs "
+        f"{payload['sim_core']['oracle_traced_events_per_sec']:,.0f} ev/s "
+        f"oracle ({payload['sim_core']['fast_vs_oracle_speedup']:.1f}x, "
+        f"floor {bench_event_core.EVENTS_SPEEDUP_FLOOR:g}x), "
+        f"run {payload['sim_core']['run_speedup']:.2f}x, parity "
+        f"{'ok' if payload['sim_core']['parity'] else 'DIVERGED'}\n"
         f"wrote {OUTPUT.name}",
     )
 
@@ -799,7 +820,9 @@ def main(argv: list[str] | None = None) -> int:
         f"streaming first cell at "
         f"{payload['sweep_streaming']['time_to_first_cell_s'] * 1e3:.0f} ms "
         f"(adaptive {payload['sweep_streaming']['adaptive_vs_fixed_speedup']:.1f}x "
-        f"vs fixed) "
+        f"vs fixed), "
+        f"event core {payload['sim_core']['fast_vs_oracle_speedup']:.1f}x "
+        f"(parity {'ok' if payload['sim_core']['parity'] else 'DIVERGED'}) "
         f"-> {OUTPUT}"
     )
     if args.check_baseline is not None:

@@ -11,7 +11,10 @@
 from repro.bench.harness import (
     ScenarioResult,
     StrategyOutcome,
+    SweepCell,
     run_scenario,
+    run_sweep,
+    simulate_many,
     sk_strategies,
     mk_strategies,
 )
@@ -27,7 +30,10 @@ from repro.bench.tables import format_ratio_table, format_time_table
 __all__ = [
     "ScenarioResult",
     "StrategyOutcome",
+    "SweepCell",
     "run_scenario",
+    "run_sweep",
+    "simulate_many",
     "sk_strategies",
     "mk_strategies",
     "EXPERIMENTS",

@@ -41,6 +41,7 @@ from repro.core.matchmaker import match
 from repro.errors import ConfigurationError
 from repro.core.report import format_analysis, format_match
 from repro.partition import PlanConfig, get_strategy, list_strategies
+from repro.runtime.executor import RuntimeConfig
 from repro.platform import (
     balanced_platform,
     dual_gpu_platform,
@@ -93,6 +94,12 @@ def _add_jobs(parser: argparse.ArgumentParser) -> None:
              "repro.distrib.worker --listen HOST:PORT`); --jobs then "
              "sets each worker's intra-batch parallelism and results "
              "stay identical to a serial run",
+    )
+    parser.add_argument(
+        "--fuse", type=int, default=None, nargs="?", const=0, metavar="B",
+        help="with --jobs > 1, dispatch cells to pool workers in fused "
+             "blocks of B (omit B to auto-size); amortizes per-cell "
+             "dispatch cost when cells are cheap",
     )
     parser.add_argument(
         "--progress", action="store_true",
@@ -151,10 +158,16 @@ def cmd_run(args) -> int:
         print("--stats/--gantt need the raw trace; drop --detail summary",
               file=sys.stderr)
         return 2
+    runtime_config = None
+    if args.max_events is not None:
+        runtime_config = RuntimeConfig(
+            cpu_threads=config.threads(platform), max_events=args.max_events
+        )
     if args.strategy is None:
         outcome = match(
             app, platform, n=args.n, iterations=args.iterations,
-            sync=args.sync, config=config, detail=args.detail,
+            sync=args.sync, config=config, runtime_config=runtime_config,
+            detail=args.detail,
         )
         result = outcome.result
         print(format_match(outcome))
@@ -163,7 +176,8 @@ def cmd_run(args) -> int:
         program = app.program(args.n, iterations=args.iterations, sync=sync)
         strategy = get_strategy(args.strategy)
         result = strategy.run(
-            program, platform, config=config, detail=args.detail,
+            program, platform, config=config,
+            runtime_config=runtime_config, detail=args.detail,
         )
         print(f"{app.name} under {strategy.name}: "
               f"{result.makespan_ms:.2f} ms "
@@ -181,7 +195,7 @@ def cmd_experiment(args) -> int:
     platform = _platform(args)
     results = run_experiment(
         args.key, platform, scale=args.scale, jobs=args.jobs,
-        workers=_workers(args), progress=args.progress,
+        workers=_workers(args), fuse=args.fuse, progress=args.progress,
     )
     if args.key in ("fig6", "fig8", "fig10"):
         print(format_ratio_table(
@@ -224,7 +238,7 @@ def cmd_regenerate(args) -> int:
     for key in sorted(EXPERIMENTS):
         results = run_experiment(
             key, platform, scale=args.scale, jobs=args.jobs, workers=workers,
-            progress=args.progress,
+            fuse=args.fuse, progress=args.progress,
         )
         path = write_records(scenario_rows(results), out / f"{key}.csv")
         written.append(path)
@@ -337,6 +351,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gantt-width", type=int, default=80)
     p.add_argument("--detail", choices=["summary", "full"], default="full",
                    help="keep the raw trace (full) or only the summary")
+    p.add_argument("--max-events", type=int, default=None, metavar="N",
+                   help="event budget per simulator drain (safety valve "
+                        "against runaway loops; default 50M)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")

@@ -5,8 +5,14 @@ The engine wires everything together:
 * compute resources and link channels become serial
   :class:`~repro.sim.resources.SimResource` objects;
 * an instance's lifecycle is *ready -> assigned -> transfers -> compute ->
-  complete*; transfers serialize on the link channel of the target device
-  and may overlap other instances' compute (dual-stream style pipelining);
+  complete*; each stage is driven by typed completion events — small
+  ``__slots__`` countdown objects (:class:`_ComputeArm`,
+  :class:`_Transfer`, :class:`_BarrierArm`) and prebound ``(method, arg)``
+  callbacks — rather than per-event closures, so the (default) fast
+  engine's slot-dispatched run loop never allocates bookkeeping lambdas
+  on the hot path; transfers serialize on the link channel of the target
+  device and may overlap other instances' compute (dual-stream style
+  pipelining);
 * ``taskwait`` barriers flush dirty device data back to the host over the
   D2H channel before unblocking their successors;
 * per-instance runtime costs: task creation overhead for every instance,
@@ -28,7 +34,8 @@ from repro.platform.topology import HOST_SPACE, ComputeResource, Platform
 from repro.runtime.graph import TaskGraph, TaskInstance
 from repro.runtime.memory import MemoryManager, TransferOp
 from repro.runtime.schedulers.base import Scheduler, SchedulingContext
-from repro.sim.engine import Simulator
+from repro.sim.engine import DEFAULT_MAX_EVENTS
+from repro.sim.fast_engine import make_simulator
 from repro.sim.resources import SimResource
 from repro.sim.trace import ExecutionTrace
 
@@ -48,6 +55,99 @@ class _InflightTransfer:
     end: int
     done: bool = False
     waiters: list = field(default_factory=list)
+
+
+class _ComputeArm:
+    """Countdown to compute start: fires once every awaited transfer lands.
+
+    One slotted object per dispatched instance replaces the per-dispatch
+    ``arm_compute`` closure (and its cell variable); waiters lists and
+    transfer completions invoke it like any zero-argument callback.
+    """
+
+    __slots__ = ("run", "inst", "resource", "space", "transfer_total", "pending")
+
+    def __init__(self, run, inst, resource, space, transfer_total, pending):
+        self.run = run
+        self.inst = inst
+        self.resource = resource
+        self.space = space
+        self.transfer_total = transfer_total
+        self.pending = pending
+
+    def __call__(self) -> None:
+        self.pending -= 1
+        if self.pending == 0:
+            self.run._start_compute(
+                self.inst, self.resource, self.space, self.transfer_total
+            )
+
+
+class _Transfer:
+    """One transfer's lifecycle state: arm (source hazards) -> wire -> done.
+
+    Replaces the ``start``/``arm``/``finish`` closure triple: upstream
+    waiters call the object to count down source hazards, the link
+    occupation completes through the run's prebound ``(method, self)``
+    callback, and the inflight entry/key ride along in slots.
+    """
+
+    __slots__ = ("run", "op", "duration", "direction", "entry", "key",
+                 "on_complete", "pending")
+
+    def __init__(self, run, op, duration, direction, entry, key,
+                 on_complete, pending):
+        self.run = run
+        self.op = op
+        self.duration = duration
+        self.direction = direction
+        self.entry = entry
+        self.key = key
+        self.on_complete = on_complete
+        self.pending = pending
+
+    def __call__(self) -> None:
+        """One upstream (source-side) transfer landed."""
+        self.pending -= 1
+        if self.pending == 0:
+            self.start()
+
+    def start(self) -> None:
+        """Put the transfer on its link channel."""
+        run = self.run
+        op = self.op
+        run._link_channel(op).occupy(
+            self.duration,
+            label=(_TRANSFER_LABEL[self.direction], op.array, op.start, op.end),
+            category="transfer",
+            on_complete=(run._transfer_done, self),
+            meta={
+                "array": op.array,
+                "bytes": op.nbytes,
+                "direction": self.direction,
+                "device": op.device_space,
+            },
+        )
+
+
+class _BarrierArm:
+    """Countdown to barrier completion: overhead event plus every flush."""
+
+    __slots__ = ("run", "inst", "pending")
+
+    def __init__(self, run, inst, pending):
+        self.run = run
+        self.inst = inst
+        self.pending = pending
+
+    def __call__(self) -> None:
+        self.pending -= 1
+        if self.pending == 0:
+            run = self.run
+            if run._pending_writebacks:
+                run._wb_waiters.append(self.inst)
+            else:
+                run._mark_done(self.inst)
 
 
 @dataclass(frozen=True)
@@ -94,6 +194,12 @@ class RuntimeConfig:
         overrides it to zero.  This calibrated lump is what makes adding
         synchronization an application never needed expensive — the
         paper's SP-Varied-without-sync penalty.
+    max_events:
+        Event budget per simulator drain — the safety valve against
+        runaway self-scheduling loops.  Exceeding it raises a
+        :class:`~repro.errors.SimulationError` that names this knob (and
+        the CLI ``--max-events`` flag); raise it for legitimately huge
+        simulations instead of editing the engine.
     """
 
     cpu_threads: int | None = None
@@ -103,6 +209,7 @@ class RuntimeConfig:
     eager_writeback: bool = True
     barrier_invalidates_devices: bool = True
     barrier_overhead_s: float = 11e-3
+    max_events: int = DEFAULT_MAX_EVENTS
 
 
 #: Compatibility alias: the historical result type.  One simulated run now
@@ -151,13 +258,16 @@ class _Run:
         self.graph = graph
         self.scheduler = scheduler
 
-        self.sim = Simulator()
+        self.sim = make_simulator()
         self.trace = ExecutionTrace()
         self.memory = MemoryManager(platform, graph.program.arrays)
 
         self.resources: list[ComputeResource] = platform.compute_resources(
             cpu_threads=config.cpu_threads
         )
+        self._resource_by_id: dict[str, ComputeResource] = {
+            r.resource_id: r for r in self.resources
+        }
         self.sim_resources: dict[str, SimResource] = {
             r.resource_id: SimResource(self.sim, r.resource_id, self.trace)
             for r in self.resources
@@ -198,6 +308,14 @@ class _Run:
         #: region being transferred must wait for the wire, not just for
         #: the (optimistically updated) directory
         self._inflight: dict[tuple[str, str], list[_InflightTransfer]] = {}
+        #: per-instance ``inst.regions()`` materialization — the list is
+        #: walked up to three times per instance (hazard scan, transfer
+        #: planning, write-back), so build it once
+        self._regions_cache: dict[int, list] = {}
+        #: prebound completion methods — occupations carry ``(method, arg)``
+        #: tuples instead of a fresh closure each
+        self._complete_cb = self._complete_compute
+        self._transfer_cb = self._transfer_done
 
     # -- helpers --------------------------------------------------------------
 
@@ -210,10 +328,19 @@ class _Run:
         )
 
     def _resource_obj(self, resource_id: str) -> ComputeResource:
-        for r in self.resources:
-            if r.resource_id == resource_id:
-                return r
-        raise SchedulingError(f"scheduler chose unknown resource {resource_id!r}")
+        try:
+            return self._resource_by_id[resource_id]
+        except KeyError:
+            raise SchedulingError(
+                f"scheduler chose unknown resource {resource_id!r}"
+            ) from None
+
+    def _regions(self, inst: TaskInstance) -> list:
+        regions = self._regions_cache.get(inst.instance_id)
+        if regions is None:
+            regions = list(inst.regions())
+            self._regions_cache[inst.instance_id] = regions
+        return regions
 
     def _link_channel(self, op: TransferOp) -> SimResource:
         direction = "h2d" if op.is_h2d else "d2h"
@@ -231,7 +358,7 @@ class _Run:
             if self.remaining[inst.instance_id] == 0:
                 self.ready.append(inst)
         self._pump()
-        self.sim.run()
+        self.sim.run(max_events=self.config.max_events)
         if len(self.done) != len(self.graph.instances):
             stuck = [
                 i.label() for i in self.graph.instances
@@ -242,7 +369,7 @@ class _Run:
             )
         if self.config.final_flush:
             self._final_flush()
-            self.sim.run()
+            self.sim.run(max_events=self.config.max_events)
         return self._result(detail)
 
     def _pump(self) -> None:
@@ -296,7 +423,7 @@ class _Run:
     ) -> list[_InflightTransfer]:
         """In-flight transfers the instance's reads must wait for."""
         found: list[_InflightTransfer] = []
-        for region, mode in inst.regions():
+        for region, mode in self._regions(inst):
             if not mode.reads:
                 continue
             for entry in self._inflight.get((region.array, space), ()):
@@ -320,7 +447,7 @@ class _Run:
         # collect transfers already on the wire BEFORE issuing our own
         waits = self._pending_overlaps(inst, space)
         ops: list[TransferOp] = []
-        for region, mode in inst.regions():
+        for region, mode in self._regions(inst):
             if mode.reads:
                 ops.extend(self.memory.ensure(region, space))
         transfer_total = sum(self._transfer_duration(op) for op in ops)
@@ -329,16 +456,11 @@ class _Run:
             self._start_compute(inst, resource, space, 0.0)
             return
 
-        def arm_compute() -> None:
-            nonlocal pending
-            pending -= 1
-            if pending == 0:
-                self._start_compute(inst, resource, space, transfer_total)
-
+        arm = _ComputeArm(self, inst, resource, space, transfer_total, pending)
         for entry in waits:
-            entry.waiters.append(arm_compute)
+            entry.waiters.append(arm)
         for op in ops:
-            self._issue_transfer(op, on_complete=arm_compute)
+            self._issue_transfer(op, on_complete=arm)
 
     def _issue_transfer(self, op: TransferOp, *, on_complete=None) -> None:
         duration = self._transfer_duration(op)
@@ -355,41 +477,26 @@ class _Run:
         key = (op.array, op.dst_space)
         self._inflight.setdefault(key, []).append(entry)
 
-        def finish() -> None:
-            entry.done = True
-            self._inflight[key].remove(entry)
-            for waiter in entry.waiters:
-                waiter()
-            if on_complete is not None:
-                on_complete()
-
-        def start() -> None:
-            self._link_channel(op).occupy(
-                duration,
-                label=(_TRANSFER_LABEL[direction], op.array, op.start, op.end),
-                category="transfer",
-                on_complete=finish,
-                meta={
-                    "array": op.array,
-                    "bytes": op.nbytes,
-                    "direction": direction,
-                    "device": op.device_space,
-                },
-            )
-
+        xfer = _Transfer(
+            self, op, duration, direction, entry, key, on_complete,
+            len(src_waits),
+        )
         if not src_waits:
-            start()
+            xfer.start()
             return
-        pending = len(src_waits)
-
-        def arm() -> None:
-            nonlocal pending
-            pending -= 1
-            if pending == 0:
-                start()
-
         for upstream in src_waits:
-            upstream.waiters.append(arm)
+            upstream.waiters.append(xfer)
+
+    def _transfer_done(self, xfer: _Transfer) -> None:
+        """The wire leg of ``xfer`` landed: publish and fire waiters."""
+        entry = xfer.entry
+        entry.done = True
+        self._inflight[xfer.key].remove(entry)
+        for waiter in entry.waiters:
+            waiter()
+        cb = xfer.on_complete
+        if cb is not None:
+            cb()
 
     def _start_compute(
         self,
@@ -410,14 +517,14 @@ class _Run:
                 and inst.pinned_device is None:
             duration += self.config.dynamic_decision_overhead_s
 
-        def on_complete() -> None:
-            self._complete(inst, resource, space, duration, transfer_total)
-
         self.sim_resources[resource.resource_id].occupy(
             duration,
             label=inst.label_lazy(),
             category="compute",
-            on_complete=on_complete,
+            on_complete=(
+                self._complete_cb,
+                (inst, resource, space, duration, transfer_total),
+            ),
             meta={
                 "kernel": kernel.name,
                 "size": inst.size,
@@ -428,6 +535,10 @@ class _Run:
             },
         )
 
+    def _complete_compute(self, args: tuple) -> None:
+        """Tuple-callback shim: unpack the prebound compute-completion args."""
+        self._complete(*args)
+
     def _complete(
         self,
         inst: TaskInstance,
@@ -436,7 +547,7 @@ class _Run:
         compute_time: float,
         transfer_time: float,
     ) -> None:
-        for region, mode in inst.regions():
+        for region, mode in self._regions(inst):
             if mode.writes:
                 self.memory.write(region, space)
         # an instance followed by a taskwait — explicit, or the program's
@@ -456,7 +567,7 @@ class _Run:
             and faces_sync
             and space != HOST_SPACE
         ):
-            for region, mode in inst.regions():
+            for region, mode in self._regions(inst):
                 if mode.writes:
                     for op in self.memory.writeback(region, space):
                         self._pending_writebacks += 1
@@ -487,17 +598,7 @@ class _Run:
         # (no successors) is the program's exit sync: the thread team is
         # torn down rather than restarted, so no quiescence is charged.
         overhead = self.config.barrier_overhead_s if inst.succs else 0.0
-        pending = len(ops) + 1
-
-        def arm() -> None:
-            nonlocal pending
-            pending -= 1
-            if pending == 0:
-                if self._pending_writebacks:
-                    self._wb_waiters.append(inst)
-                else:
-                    self._mark_done(inst)
-
+        arm = _BarrierArm(self, inst, len(ops) + 1)
         self.sim.after(overhead, arm)
         for op in ops:
             self._issue_transfer(op, on_complete=arm)

@@ -105,6 +105,11 @@ class PerfAwareScheduler(Scheduler):
         #: dependence-chain tracking (shared policy with DP-Dep)
         self._chains: dict[int, int] = {}
         self._chain_device: dict[int, str] = {}
+        #: per-instance ``(work_units, in_bytes, out_bytes)`` — pure
+        #: functions of the instance's range, but ``estimate`` runs once
+        #: per *resource* per assignment, so recomputing them there walks
+        #: the kernel's access list m+1 times per instance
+        self._inst_cost: dict[int, tuple[float, int, int]] = {}
 
     def start(self, graph: TaskGraph, ctx: SchedulingContext) -> None:
         self._graph = graph
@@ -129,6 +134,7 @@ class PerfAwareScheduler(Scheduler):
                         )
         self._chains = dependence_chains(graph)
         self._chain_device.clear()
+        self._inst_cost = {}
 
     # -- estimation -------------------------------------------------------
 
@@ -153,6 +159,15 @@ class PerfAwareScheduler(Scheduler):
             return self._host_id
         return self._chain_device.get(chain, self._host_id)
 
+    def _cost(self, inst: TaskInstance) -> tuple[float, int, int]:
+        """Memoized ``(work_units, in_bytes, out_bytes)`` of an instance."""
+        cost = self._inst_cost.get(inst.instance_id)
+        if cost is None:
+            work = inst.kernel.work_units(inst.lo, inst.hi)
+            in_b, out_b = _partitioned_bytes(inst)
+            cost = self._inst_cost[inst.instance_id] = (work, in_b, out_b)
+        return cost
+
     def estimate(self, inst: TaskInstance, resource: ComputeResource) -> float:
         """Estimated execution time of ``inst`` on ``resource``.
 
@@ -166,11 +181,10 @@ class PerfAwareScheduler(Scheduler):
         rate = self._rate(inst, resource)
         # work units, not index counts: for imbalanced kernels (ref [9])
         # the runtime knows each task instance's size at creation time
-        work = inst.kernel.work_units(inst.lo, inst.hi)
+        work, in_b, out_b = self._cost(inst)
         est = work * rate / resource.share
         home = self._data_home(inst)
         target = resource.device.device_id
-        in_b, out_b = _partitioned_bytes(inst)
         if resource.is_accelerator:
             # the runtime bills an accelerator task its full partitioned
             # traffic — inputs in, outputs eventually back — regardless of
@@ -231,7 +245,7 @@ class PerfAwareScheduler(Scheduler):
         # the transfers it triggered — this is how the scheduler learns
         # that a device is transfer-bound for a kernel
         share, device_id = resource
-        work = instance.kernel.work_units(instance.lo, instance.hi)
+        work = self._cost(instance)[0]
         if work <= 0:
             return
         measured = (compute_time + transfer_time) * share / work

@@ -11,6 +11,14 @@ vectorized over the store's array-backed columns when numpy is available
 (:mod:`repro.sim._vec`) and falls back to bit-identical pure-Python
 column scans when it is not; :class:`~repro.sim.trace.TraceRecord` rows
 are materialized only on demand, for compatibility.
+
+Two interchangeable engines exist: the slot-dispatched
+:class:`~repro.sim.fast_engine.FastSimulator` (the default — tuple
+events dispatched on an integer kind inside an inlined run loop) and the
+closure-per-event oracle :class:`~repro.sim.engine.Simulator` it is
+differentially tested against (``REPRO_NO_FAST_ENGINE=1`` selects the
+oracle; :func:`~repro.sim.fast_engine.make_simulator` honors the flag).
+Either engine produces byte-identical run artifacts.
 """
 
 from repro.sim.analysis import (
@@ -22,6 +30,12 @@ from repro.sim.analysis import (
 )
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
+from repro.sim.fast_engine import (
+    FastEvent,
+    FastSimulator,
+    fast_engine_enabled,
+    make_simulator,
+)
 from repro.sim.resources import SimResource
 from repro.sim.trace import ExecutionTrace, TraceRecord, render_gantt
 from repro.sim.tracestore import TraceStore
@@ -34,6 +48,10 @@ __all__ = [
     "format_stats",
     "Simulator",
     "Event",
+    "FastSimulator",
+    "FastEvent",
+    "fast_engine_enabled",
+    "make_simulator",
     "SimResource",
     "ExecutionTrace",
     "TraceRecord",

@@ -13,6 +13,25 @@ PRIORITY_COMPLETION = 0
 #: priority for scheduler decision points
 PRIORITY_SCHEDULE = 10
 
+#: default event budget for one :meth:`Simulator.run` call; see
+#: :class:`repro.runtime.executor.RuntimeConfig.max_events` for the knob
+#: that overrides it on simulated executions
+DEFAULT_MAX_EVENTS = 50_000_000
+
+
+def max_events_error(max_events: int) -> SimulationError:
+    """The error raised when a run exhausts its event budget.
+
+    Names the knobs that raise the budget so a legitimate long simulation
+    does not dead-end on a bare "runaway?" message.
+    """
+    return SimulationError(
+        f"simulation exceeded max_events={max_events}. If the workload is "
+        "legitimately this large, raise the budget via "
+        "RuntimeConfig(max_events=...) (CLI: --max-events); otherwise this "
+        "is a runaway self-scheduling loop."
+    )
+
 
 class Simulator:
     """A minimal, deterministic discrete-event simulator.
@@ -80,7 +99,9 @@ class Simulator:
             raise SimulationError(f"delay must be >= 0, got {delay}")
         return self.at(self._now + delay, callback, priority=priority)
 
-    def run(self, *, until: float | None = None, max_events: int = 50_000_000) -> float:
+    def run(
+        self, *, until: float | None = None, max_events: int = DEFAULT_MAX_EVENTS
+    ) -> float:
         """Drain the event heap; returns the final virtual time.
 
         Parameters
@@ -105,9 +126,12 @@ class Simulator:
                         self._cancelled -= 1
                     continue
                 if processed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway simulation?"
-                    )
+                    raise max_events_error(max_events)
+                # the event is now firing: a late cancel() from inside any
+                # callback must not inflate the cancelled-slot counter (the
+                # event no longer occupies a heap slot), or ``pending``
+                # would go negative once pops race the counter
+                event.on_cancel = None
                 self._now = event.time
                 event.callback()
                 processed += 1

@@ -5,8 +5,25 @@ either started immediately (if the resource is idle) or queued FIFO.  Each
 occupation appends one row to the shared trace's columnar
 :class:`~repro.sim.tracestore.TraceStore` — no per-occupation
 :class:`~repro.sim.trace.TraceRecord` object is allocated on this hot
-path — and fires a completion callback through the owning
-:class:`~repro.sim.engine.Simulator`.
+path — and fires a completion callback through the owning simulator.
+
+Resources work with either engine.  Under the oracle
+:class:`~repro.sim.engine.Simulator` every completion is a closure
+scheduled through ``sim.at``; under the
+:class:`~repro.sim.fast_engine.FastSimulator` completions go through
+``sim.schedule_completion`` and the engine's run loop advances the FIFO
+inline (see :mod:`repro.sim.fast_engine`).  Both paths consume one
+sequence number per completion, so event interleaving — and therefore
+every trace row — is identical across engines.
+
+Completion callbacks may be plain zero-argument callables or ``(fn, arg)``
+tuples; the tuple form lets callers (the runtime executor, chiefly) reuse
+one prebound method instead of allocating a closure per occupation.
+
+``trace=None`` creates an *untraced* resource: occupations run with full
+timing/queueing semantics but append no rows.  Artifact-producing runs
+always trace; the untraced mode serves replay and schedule-search
+workloads that only need the clock.
 """
 
 from __future__ import annotations
@@ -27,7 +44,7 @@ class _Occupation:
     #: store formats only when a row is materialized
     label: str | tuple
     category: str
-    on_complete: Callable[[], Any] | None
+    on_complete: Callable[[], Any] | tuple | None
     meta: dict[str, Any] = field(default_factory=dict)
 
 
@@ -37,17 +54,29 @@ class SimResource:
     Parameters
     ----------
     sim:
-        The owning simulator.
+        The owning simulator (oracle or fast engine).
     resource_id:
         Unique identifier; appears in trace records.
     trace:
-        Shared :class:`ExecutionTrace` that collects occupation records.
+        Shared :class:`ExecutionTrace` that collects occupation records,
+        or ``None`` for an untraced resource.
     """
 
-    def __init__(self, sim: Simulator, resource_id: str, trace: ExecutionTrace) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        resource_id: str,
+        trace: ExecutionTrace | None,
+    ) -> None:
         self.sim = sim
         self.resource_id = resource_id
         self.trace = trace
+        #: prebound row appender (or None): one attribute load per row
+        #: instead of two, and the untraced check is a None test
+        self._record = trace.record if trace is not None else None
+        #: engines that inline completion handling expose
+        #: ``schedule_completion``; the oracle path allocates a closure
+        self._schedule_completion = getattr(sim, "schedule_completion", None)
         self._queue: deque[_Occupation] = deque()
         self._busy = False
         self._busy_until = 0.0
@@ -78,14 +107,15 @@ class SimResource:
         *,
         label: str | tuple,
         category: str,
-        on_complete: Callable[[], Any] | None = None,
+        on_complete: Callable[[], Any] | tuple | None = None,
         meta: dict[str, Any] | None = None,
     ) -> None:
         """Enqueue an occupation of ``duration`` seconds.
 
         ``category`` tags the record for trace analysis (``"compute"``,
-        ``"transfer"``, ``"overhead"`` ...).  ``on_complete`` fires at the
-        occupation's end time, *after* the resource is marked free.
+        ``"transfer"``, ``"overhead"`` ...).  ``on_complete`` — a
+        callable or a ``(fn, arg)`` tuple — fires at the occupation's end
+        time, *after* the resource is marked free.
         """
         if duration < 0:
             raise SimulationError(
@@ -105,17 +135,29 @@ class SimResource:
         if not self._queue:
             self._busy_until = end
         # columnar append: no TraceRecord allocation on the hot path
-        self.trace.record(
-            self.resource_id, occ.label, occ.category, start, end, occ.meta
-        )
-        self.sim.at(end, lambda: self._finish(occ), priority=PRIORITY_COMPLETION)
+        record = self._record
+        if record is not None:
+            record(
+                self.resource_id, occ.label, occ.category, start, end, occ.meta
+            )
+        schedule = self._schedule_completion
+        if schedule is not None:
+            schedule(end, self, occ)
+        else:
+            self.sim.at(end, lambda: self._finish(occ), priority=PRIORITY_COMPLETION)
 
     def _finish(self, occ: _Occupation) -> None:
+        # NOTE: the fast engine inlines this body (plus _start's) in its
+        # run loop for _K_FINISH events; keep the two in sync
         if self._queue:
             nxt = self._queue.popleft()
             self._start(nxt)
         else:
             self._busy = False
             self._busy_until = self.sim.now
-        if occ.on_complete is not None:
-            occ.on_complete()
+        cb = occ.on_complete
+        if cb is not None:
+            if type(cb) is tuple:
+                cb[0](cb[1])
+            else:
+                cb()

@@ -185,3 +185,66 @@ class TestPending:
         assert len(sim._heap) < 200
         assert sim.run() == pytest.approx(1000.0)
         assert not keep.cancelled
+
+
+class TestCancelRaces:
+    """``pending`` stays exact when cancels race pops and compaction.
+
+    A cancel of an event that already left the heap (it fired, or a
+    compaction dropped its slot) must not inflate the cancelled-slot
+    counter, or ``pending = len(heap) - cancelled`` goes negative.
+    """
+
+    def test_cancel_of_already_fired_event_is_inert(self):
+        sim = Simulator()
+        fired = []
+        first = sim.at(1.0, lambda: fired.append("a"))
+        sim.at(2.0, first.cancel)
+        sim.at(3.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b"]
+        assert sim.pending == 0
+
+    def test_callback_cancelling_its_own_event_keeps_pending_exact(self):
+        sim = Simulator()
+        handles = []
+        handles.append(sim.at(1.0, lambda: handles[0].cancel()))
+        sim.at(2.0, lambda: None)
+        sim.run(until=1.5)
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+    def test_stale_cancels_after_partial_run_stay_non_negative(self):
+        # fire half the events, then cancel *every* handle — the fired
+        # half are stale and must not count against live heap slots
+        sim = Simulator()
+        n = Simulator._COMPACT_MIN * 4
+        keep = sim.at(float(n + 10), lambda: None)
+        events = [sim.at(float(i + 1), lambda: None) for i in range(n)]
+        sim.run(until=n / 2)
+        for event in events:
+            event.cancel()
+            assert sim.pending >= 1
+        assert sim.pending == 1
+        assert sim.run() == pytest.approx(n + 10)
+        assert not keep.cancelled
+
+    def test_double_cancel_across_a_compaction_boundary(self):
+        # compaction resets the counter; a second cancel of a slot the
+        # compaction already removed must not decrement pending again
+        sim = Simulator()
+        keep = sim.at(1000.0, lambda: None)
+        events = [
+            sim.at(float(i + 1), lambda: None)
+            for i in range(Simulator._COMPACT_MIN * 2)
+        ]
+        for event in events:
+            event.cancel()
+        # compaction ran at least once: cancelled slots were dropped
+        assert len(sim._heap) < len(events)
+        for event in events:
+            event.cancel()  # all stale now
+        assert sim.pending == 1
+        assert sim.run() == pytest.approx(1000.0)
+        assert not keep.cancelled

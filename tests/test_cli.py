@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.errors import SimulationError
 
 
 class TestList:
@@ -112,11 +113,39 @@ class TestCacheDir:
         clear_all()
 
 
+class TestMaxEvents:
+    def test_exhausted_budget_names_both_knobs(self):
+        with pytest.raises(SimulationError) as exc:
+            main(["run", "MatrixMul", "-n", "512", "--strategy", "Only-CPU",
+                  "--max-events", "5"])
+        assert "max_events=5" in str(exc.value)
+        assert "RuntimeConfig" in str(exc.value)
+        assert "--max-events" in str(exc.value)
+
+    def test_generous_budget_completes(self, capsys):
+        assert main(
+            ["run", "MatrixMul", "-n", "512", "--strategy", "Only-CPU",
+             "--max-events", "1000000"]
+        ) == 0
+        assert "Only-CPU" in capsys.readouterr().out
+
+
 class TestExperiment:
     def test_time_experiment(self, capsys):
         assert main(["experiment", "fig5", "--scale", "0.02"]) == 0
         out = capsys.readouterr().out
         assert "Figure 5" in out and "SP-Single" in out
+
+    def test_fused_jobs_match_per_cell(self, capsys, tmp_path):
+        per_cell = tmp_path / "per_cell.json"
+        fused = tmp_path / "fused.json"
+        assert main(["experiment", "fig5", "--scale", "0.02", "--jobs", "2",
+                     "-o", str(per_cell)]) == 0
+        assert main(["experiment", "fig5", "--scale", "0.02", "--jobs", "2",
+                     "--fuse", "-o", str(fused)]) == 0
+        assert json.loads(fused.read_text()) == json.loads(
+            per_cell.read_text()
+        )
 
     def test_ratio_experiment(self, capsys):
         assert main(["experiment", "fig8", "--scale", "0.02"]) == 0
