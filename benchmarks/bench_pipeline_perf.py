@@ -18,8 +18,11 @@ dispatcher's work split, and its elapsed-time edge over fixed batching
 (``sweep_streaming``), embeds the event-core engine comparison from
 ``bench_event_core.py`` (``sim_core``: events/sec of the slot-dispatched
 fast engine vs the closure oracle, end-to-end run speedup, cross-engine
-artifact byte parity, fused dispatch), and records everything to
-``BENCH_pipeline.json`` so CI can track the numbers over time.
+artifact byte parity, fused dispatch), plays the measured-ranking
+tournament on the Table III machine (``matchmaking``: tournament
+matches/sec cold and replayed, and the fraction of (class, sync) cells
+where the measured ordering agrees with Table I), and records everything
+to ``BENCH_pipeline.json`` so CI can track the numbers over time.
 
 ``--check-baseline [FILE]`` additionally compares the fresh record against
 the committed ``benchmarks/BENCH_pipeline.baseline.json`` with a tolerance
@@ -579,6 +582,41 @@ def measure_sweep_streaming() -> dict:
     }
 
 
+def measure_matchmaking() -> dict:
+    """Tournament throughput and measured-vs-Table-I agreement.
+
+    Plays the full round-robin on the paper's Table III machine cold
+    (every match simulated), replays it warm (every match a memo hit),
+    and scores the measured per-class orderings against Table I with the
+    standard tie tolerance.
+    """
+    from repro.bench.matchup import compare_to_table
+    from repro.cache import get_cache
+    from repro.core.tournament import run_tournament
+
+    platform = shen_icpp15_platform()
+    clear_all()
+    get_cache("tournament").clear()
+    t0 = time.perf_counter()
+    cold = run_tournament(platform)
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = run_tournament(platform)
+    warm_s = time.perf_counter() - t0
+    report = compare_to_table(cold)
+    return {
+        "matches": len(cold.matches),
+        "simulated": cold.simulated,
+        "cold_s": cold_s,
+        "matches_per_sec": cold.simulated / cold_s,
+        "warm_replay_s": warm_s,
+        "warm_simulated": warm.simulated,
+        "warm_matches_per_sec": len(warm.matches) / warm_s,
+        "table_agreement": report.agreement,
+        "divergent_cells": [cell.label for cell in report.divergent],
+    }
+
+
 def record() -> dict:
     payload = {
         "benchmark": "pipeline_perf",
@@ -599,6 +637,7 @@ def record() -> dict:
         "sweep_distributed": measure_sweep_distributed(),
         "sweep_streaming": measure_sweep_streaming(),
         "sim_core": bench_event_core.measure_sim_core(),
+        "matchmaking": measure_matchmaking(),
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -639,6 +678,11 @@ def check(payload: dict) -> None:
     assert cpw["fast"] + cpw["slow"] == streaming["cells"], streaming
     assert streaming["adaptive_vs_fixed_speedup"] >= ADAPTIVE_SPEEDUP_FLOOR, \
         streaming
+    matchmaking = payload["matchmaking"]
+    assert matchmaking["simulated"] > 0, matchmaking
+    # the warm replay must resolve every match from the memo store
+    assert matchmaking["warm_simulated"] == 0, matchmaking
+    assert 0.0 <= matchmaking["table_agreement"] <= 1.0, matchmaking
     bench_event_core.check(payload["sim_core"])
 
 
@@ -666,6 +710,7 @@ BASELINE_CHECKS = [
     ("sim_core.fast_vs_oracle_speedup", "min", 0.5),
     ("sim_core.untraced_engine_speedup", "min", 0.5),
     ("sim_core.traced_speedup", "min", 0.5),
+    ("matchmaking.table_agreement", "min", 0.05),
 ]
 
 
@@ -783,6 +828,12 @@ def test_pipeline_perf(benchmark):
         f"floor {bench_event_core.EVENTS_SPEEDUP_FLOOR:g}x), "
         f"run {payload['sim_core']['run_speedup']:.2f}x, parity "
         f"{'ok' if payload['sim_core']['parity'] else 'DIVERGED'}\n"
+        f"matchmaking:          "
+        f"{payload['matchmaking']['simulated']} matches at "
+        f"{payload['matchmaking']['matches_per_sec']:,.1f}/s cold "
+        f"({payload['matchmaking']['warm_matches_per_sec']:,.0f}/s replayed), "
+        f"Table I agreement "
+        f"{payload['matchmaking']['table_agreement']:.0%}\n"
         f"wrote {OUTPUT.name}",
     )
 
@@ -822,7 +873,10 @@ def main(argv: list[str] | None = None) -> int:
         f"(adaptive {payload['sweep_streaming']['adaptive_vs_fixed_speedup']:.1f}x "
         f"vs fixed), "
         f"event core {payload['sim_core']['fast_vs_oracle_speedup']:.1f}x "
-        f"(parity {'ok' if payload['sim_core']['parity'] else 'DIVERGED'}) "
+        f"(parity {'ok' if payload['sim_core']['parity'] else 'DIVERGED'}), "
+        f"matchmaking {payload['matchmaking']['matches_per_sec']:,.1f} "
+        f"matches/s with "
+        f"{payload['matchmaking']['table_agreement']:.0%} Table I agreement "
         f"-> {OUTPUT}"
     )
     if args.check_baseline is not None:

@@ -5,7 +5,9 @@
 * :mod:`repro.bench.experiments` — one driver per paper table/figure,
 * :mod:`repro.bench.tables` — plain-text rendering of result tables,
 * :mod:`repro.bench.speedup` — Figure 12 (best strategy vs Only-GPU /
-  Only-CPU speedups).
+  Only-CPU speedups),
+* :mod:`repro.bench.matchup` — measured tournament rankings vs Table I,
+  proposition violations and new-family upsets.
 """
 
 from repro.bench.harness import (
@@ -24,6 +26,13 @@ from repro.bench.experiments import (
     empirical_ranking,
     run_experiment,
 )
+from repro.bench.matchup import (
+    CellVerdict,
+    MatchupReport,
+    check_propositions,
+    compare_to_table,
+    format_matchup,
+)
 from repro.bench.speedup import SpeedupRow, figure12
 from repro.bench.tables import format_ratio_table, format_time_table
 
@@ -40,6 +49,11 @@ __all__ = [
     "Experiment",
     "empirical_ranking",
     "run_experiment",
+    "CellVerdict",
+    "MatchupReport",
+    "check_propositions",
+    "compare_to_table",
+    "format_matchup",
     "SpeedupRow",
     "figure12",
     "format_ratio_table",

@@ -1,0 +1,194 @@
+"""Measured vs Table I: where does the paper's ranking stop holding?
+
+The tournament (:mod:`repro.core.tournament`) produces a measured
+per-class ordering over *all* ranked strategies; Table I asserts an
+ordering over the paper's original five.  This module confronts the two:
+
+* per ``(class, sync)`` cell, does the measured data respect the Table I
+  order (up to the same ``>=``-style tie tolerance the validation layer
+  uses)?
+* which of the paper's three propositions break, with the measured
+  geometric-mean makespan ratios as evidence?
+* which *new* strategy families (DP-Aff, HYB-Static, DP-Guided, ...)
+  upset the cell — beat the strategy Table I would have picked?
+
+The summary ``agreement`` fraction feeds the perf-bench baseline
+(``matchmaking.agreement``), so a model change that silently flips a
+ranking cell fails CI with the divergent cell named.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classes import AppClass
+from repro.core.ranking import TABLE
+from repro.core.tournament import TournamentResult
+
+#: adjacent strategies within this makespan-ratio factor count as tied
+#: (the paper's ">=" relations; same default as the validation layer)
+TIE_TOLERANCE = 1.12
+
+
+@dataclass(frozen=True)
+class CellVerdict:
+    """One ``(class, sync)`` cell's measured-vs-table confrontation."""
+
+    app_class: str
+    needs_sync: bool
+    #: Table I's ordering for the cell
+    table: tuple[str, ...]
+    #: measured ordering restricted to Table I's strategies
+    measured: tuple[str, ...]
+    #: full measured ordering (new families included)
+    measured_full: tuple[str, ...]
+    #: geometric-mean makespan ratio to the cell winner, per strategy
+    scores: dict[str, float]
+    #: whether the Table I order holds within the tie tolerance
+    agrees: bool
+    #: broken propositions, with measured ratios as evidence
+    violations: tuple[str, ...]
+    #: non-Table strategies strictly beating Table I's pick
+    upsets: tuple[str, ...]
+
+    @property
+    def label(self) -> str:
+        if self.app_class in ("MK-Seq", "MK-Loop"):
+            return f"{self.app_class} ({'w' if self.needs_sync else 'w/o'} sync)"
+        return self.app_class
+
+
+@dataclass(frozen=True)
+class MatchupReport:
+    """All cell verdicts of one tournament."""
+
+    platform: str
+    cells: tuple[CellVerdict, ...]
+    tie_tolerance: float = TIE_TOLERANCE
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of cells where the Table I ordering holds."""
+        if not self.cells:
+            return 1.0
+        return sum(c.agrees for c in self.cells) / len(self.cells)
+
+    @property
+    def divergent(self) -> tuple[CellVerdict, ...]:
+        return tuple(c for c in self.cells if not c.agrees)
+
+
+def _ordered_ok(
+    scores: dict[str, float], order: tuple[str, ...], tol: float
+) -> bool:
+    """Whether ``order`` is non-worsening within ``tol`` at each step."""
+    chain = [scores[s] for s in order if s in scores]
+    return all(chain[i] <= chain[i + 1] * tol for i in range(len(chain) - 1))
+
+
+def _evidence(scores: dict[str, float], names: tuple[str, ...]) -> str:
+    return ", ".join(f"{n} {scores[n]:.3f}" for n in names if n in scores)
+
+
+def check_propositions(
+    app_class: str,
+    needs_sync: bool,
+    scores: dict[str, float],
+    *,
+    tie_tolerance: float = TIE_TOLERANCE,
+) -> tuple[str, ...]:
+    """Which of the paper's propositions the measured cell breaks.
+
+    Each violation message names the proposition and quotes the measured
+    geometric-mean ratios (the makespan evidence).
+    """
+    tol = tie_tolerance
+    out: list[str] = []
+    if not _ordered_ok(scores, ("DP-Perf", "DP-Dep"), tol):
+        out.append(
+            "Prop 1 (DP-Perf >= DP-Dep): "
+            + _evidence(scores, ("DP-Perf", "DP-Dep"))
+        )
+    if app_class in ("SK-One", "SK-Loop"):
+        if not _ordered_ok(scores, ("SP-Single", "DP-Perf", "DP-Dep"), tol):
+            out.append(
+                "Prop 2 (SP-Single > DP-Perf >= DP-Dep): "
+                + _evidence(scores, ("SP-Single", "DP-Perf", "DP-Dep"))
+            )
+    if app_class in ("MK-Seq", "MK-Loop"):
+        chain = (
+            ("SP-Varied", "DP-Perf", "DP-Dep", "SP-Unified")
+            if needs_sync
+            else ("SP-Unified", "DP-Perf", "DP-Dep", "SP-Varied")
+        )
+        if not _ordered_ok(scores, chain, tol):
+            case = "w sync" if needs_sync else "w/o sync"
+            out.append(
+                f"Prop 3 ({case}: {' >= '.join(chain)}): "
+                + _evidence(scores, chain)
+            )
+    return tuple(out)
+
+
+def compare_to_table(
+    result: TournamentResult, *, tie_tolerance: float = TIE_TOLERANCE
+) -> MatchupReport:
+    """Confront every tournament cell with its Table I row."""
+    cells: list[CellVerdict] = []
+    for (app_class, sync), ranking in sorted(result.rankings.items()):
+        table = TABLE.ranking(AppClass(app_class), needs_sync=sync)
+        scores = ranking.scores
+        measured = tuple(s for s in ranking.ranking if s in table)
+        # the Table order holds if it is non-worsening step by step and
+        # its pick is within tolerance of the best Table strategy
+        table_scores = [scores[s] for s in table if s in scores]
+        agrees = bool(table_scores) and _ordered_ok(scores, table, tie_tolerance)
+        if table_scores and table[0] in scores:
+            agrees = agrees and scores[table[0]] <= min(table_scores) * tie_tolerance
+        winner_score = scores.get(table[0], float("inf"))
+        upsets = tuple(
+            f"{name} {scores[name]:.3f} vs {table[0]} {winner_score:.3f}"
+            for name in ranking.ranking
+            if name not in table and scores[name] < winner_score
+        )
+        cells.append(
+            CellVerdict(
+                app_class=app_class,
+                needs_sync=sync,
+                table=table,
+                measured=measured,
+                measured_full=ranking.ranking,
+                scores=dict(scores),
+                agrees=agrees,
+                violations=check_propositions(
+                    app_class, sync, scores, tie_tolerance=tie_tolerance
+                ),
+                upsets=upsets,
+            )
+        )
+    return MatchupReport(
+        platform=result.platform,
+        cells=tuple(cells),
+        tie_tolerance=tie_tolerance,
+    )
+
+
+def format_matchup(report: MatchupReport) -> str:
+    """Human-readable measured-vs-table report (``repro rank --compare``)."""
+    lines = [
+        f"measured vs Table I on {report.platform} "
+        f"(tie tolerance {report.tie_tolerance:g}x): "
+        f"{report.agreement:.0%} of cells agree",
+    ]
+    for cell in report.cells:
+        mark = "ok" if cell.agrees else "DIVERGES"
+        lines.append(f"\n{cell.label}: {mark}")
+        lines.append(f"  table:    {' > '.join(cell.table)}")
+        lines.append(f"  measured: {' > '.join(cell.measured)}")
+        if cell.measured_full != cell.measured:
+            lines.append(f"  with new families: {' > '.join(cell.measured_full)}")
+        for violation in cell.violations:
+            lines.append(f"  broken: {violation}")
+        for upset in cell.upsets:
+            lines.append(f"  upset:  {upset}")
+    return "\n".join(lines)

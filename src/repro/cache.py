@@ -9,7 +9,10 @@ platform, the kernel cost model, or the model parameters — used by
 
 * :mod:`repro.partition.profiling` (throughput probes, kernel profiles,
   DP-Perf profile-table seeding),
-* :mod:`repro.partition.glinda` (split predictions).
+* :mod:`repro.partition.glinda` (split predictions),
+* :mod:`repro.core.tournament` (measured-ranking match results, keyed by
+  platform fingerprint + scenario + strategy, so ``repro rank`` replays
+  a platform's round-robin for free once it has been played).
 
 Hit/miss counters are kept per store and surfaced
 :class:`~repro.runtime.executor.ExecutionResult`-style via

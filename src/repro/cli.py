@@ -6,8 +6,11 @@ Commands
     Applications, strategies, platform presets, experiment keys.
 ``platform [--preset P]``
     Describe a platform preset (default: the paper's Table III machine).
-``analyze APP [--sync|--no-sync] [-n N]``
+``analyze APP [--sync|--no-sync] [-n N] [--ranker table|measured]``
     Run the application analyzer and print the class/ranking report.
+``rank [--scale F] [--compare] [--jobs N]``
+    Play the strategy tournament on a platform preset and print the
+    measured per-class rankings (``--compare``: against Table I).
 ``run APP [--strategy S] [--sync|--no-sync] [-n N] [-i I] [--gantt] ...``
     Execute one application under one strategy (default: the matchmade
     best) and print the outcome, optionally with a Gantt chart and trace
@@ -38,9 +41,10 @@ from repro.bench.tables import format_ratio_table, format_time_table
 from repro.bench.validation import validate_platform
 from repro.core.analyzer import analyze
 from repro.core.matchmaker import match
-from repro.errors import ConfigurationError
+from repro.core.ranking import resolve_ranker
+from repro.errors import ConfigurationError, PartitioningError
 from repro.core.report import format_analysis, format_match
-from repro.partition import PlanConfig, get_strategy, list_strategies
+from repro.partition import PlanConfig, all_strategy_info, get_strategy
 from repro.runtime.executor import RuntimeConfig
 from repro.platform import (
     balanced_platform,
@@ -79,6 +83,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="platform preset (default: the paper's Table III machine)",
     )
     _add_cache_dir(parser)
+
+
+def _add_ranker(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--ranker", choices=["table", "measured"], default="table",
+        help="ranking provider: the paper's Table I (default) or a "
+             "tournament measured on the selected platform preset",
+    )
 
 
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
@@ -127,8 +139,13 @@ def cmd_list(args) -> int:
     for app in all_applications():
         print(f"  {app.name:<14} {app.paper_class:<8} {app.origin}")
     print("strategies:")
-    for name in list_strategies():
-        print(f"  {name}")
+    for info in all_strategy_info():
+        classes = ", ".join(
+            c for c in ("SK-One", "SK-Loop", "MK-Seq", "MK-Loop", "MK-DAG")
+            if c in info.applies_to
+        )
+        ranked = "" if info.ranked else "  (baseline, unranked)"
+        print(f"  {info.name:<11} {info.family:<9} [{classes}]{ranked}")
     print("platform presets:")
     for name in sorted(PRESETS):
         print(f"  {name}")
@@ -145,8 +162,26 @@ def cmd_platform(args) -> int:
 
 def cmd_analyze(args) -> int:
     app = get_application(args.app)
-    report = analyze(app, n=args.n, sync=args.sync)
+    ranker = resolve_ranker(args.ranker, _platform(args))
+    report = analyze(app, n=args.n, sync=args.sync, ranker=ranker)
     print(format_analysis(report))
+    return 0
+
+
+def cmd_rank(args) -> int:
+    from repro.core.tournament import format_tournament, run_tournament
+
+    platform = _platform(args)
+    result = run_tournament(
+        platform, scale=args.scale, jobs=args.jobs,
+        workers=_workers(args), fuse=args.fuse,
+    )
+    if args.compare:
+        from repro.bench.matchup import compare_to_table, format_matchup
+
+        print(format_matchup(compare_to_table(result)))
+    else:
+        print(format_tournament(result))
     return 0
 
 
@@ -167,14 +202,19 @@ def cmd_run(args) -> int:
         outcome = match(
             app, platform, n=args.n, iterations=args.iterations,
             sync=args.sync, config=config, runtime_config=runtime_config,
-            detail=args.detail,
+            detail=args.detail, ranker=args.ranker,
         )
         result = outcome.result
         print(format_match(outcome))
     else:
         sync = app.needs_sync if args.sync is None else args.sync
         program = app.program(args.n, iterations=args.iterations, sync=sync)
-        strategy = get_strategy(args.strategy)
+        try:
+            strategy = get_strategy(args.strategy)
+        except PartitioningError as exc:
+            # typo'd --strategy gets the did-you-mean one-liner, no traceback
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         result = strategy.run(
             program, platform, config=config,
             runtime_config=runtime_config, detail=args.detail,
@@ -323,19 +363,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_platform)
 
     p = sub.add_parser("analyze", help="classify an application")
+    _add_common(p)
     p.add_argument("app")
     p.add_argument("-n", type=int, default=None, help="problem size")
     sync = p.add_mutually_exclusive_group()
     sync.add_argument("--sync", dest="sync", action="store_true", default=None)
     sync.add_argument("--no-sync", dest="sync", action="store_false")
-    _add_cache_dir(p)
+    _add_ranker(p)
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "rank", help="play the strategy tournament (measured rankings)"
+    )
+    _add_common(p)
+    _add_jobs(p)
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="problem-size scale factor (0, 1]")
+    p.add_argument("--compare", action="store_true",
+                   help="compare the measured ordering against Table I and "
+                        "flag cells where the paper's propositions break")
+    p.set_defaults(func=cmd_rank)
 
     p = sub.add_parser("run", help="execute an application")
     _add_common(p)
     p.add_argument("app")
     p.add_argument("--strategy", default=None,
                    help="strategy name (default: matchmade best)")
+    _add_ranker(p)
     p.add_argument("-n", type=int, default=None)
     p.add_argument("-i", "--iterations", type=int, default=None)
     p.add_argument("--threads", type=int, default=None,

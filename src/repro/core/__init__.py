@@ -17,8 +17,18 @@ from repro.core.structure import FlowType, KernelStructure, derive_structure
 from repro.core.classifier import classify, classify_program
 from repro.core.ranking import (
     PROPOSITIONS,
+    RankingProvider,
+    TableRankingProvider,
+    best_strategy,
     ranking,
+    resolve_ranker,
     suitable_strategies,
+)
+from repro.core.tournament import (
+    MeasuredRankingProvider,
+    TournamentResult,
+    format_tournament,
+    run_tournament,
 )
 from repro.core.analyzer import AnalysisReport, analyze, analyze_program
 from repro.core.matchmaker import MatchResult, match, run_best
@@ -32,7 +42,15 @@ __all__ = [
     "classify",
     "classify_program",
     "PROPOSITIONS",
+    "RankingProvider",
+    "TableRankingProvider",
+    "MeasuredRankingProvider",
+    "TournamentResult",
+    "format_tournament",
+    "run_tournament",
+    "best_strategy",
     "ranking",
+    "resolve_ranker",
     "suitable_strategies",
     "AnalysisReport",
     "analyze",

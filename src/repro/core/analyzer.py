@@ -4,6 +4,10 @@ The analyzer implements steps (2) and (3) of the paper's Figure 2 flow:
 analyze the kernel structure, identify the class, and select the ranked
 strategies.  Step (4) — enabling the chosen strategy — is the matchmaker's
 job (:mod:`repro.core.matchmaker`).
+
+Which *ranking* step (3) consults is pluggable: the default is the
+paper's Table I, ``ranker="measured"`` substitutes a tournament-derived
+ordering (see :mod:`repro.core.ranking`).
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from dataclasses import dataclass
 from repro.apps.base import Application
 from repro.core.classes import AppClass
 from repro.core.classifier import classify
-from repro.core.ranking import ranking
+from repro.core.ranking import RankingProvider, resolve_ranker
 from repro.core.structure import KernelStructure, derive_structure
 from repro.runtime.graph import Program
 
@@ -26,8 +30,10 @@ class AnalysisReport:
     structure: KernelStructure
     app_class: AppClass
     needs_sync: bool
-    #: suitable strategies, best-ranked first (Table I row)
+    #: suitable strategies, best-ranked first, per the ranking provider
     ranked_strategies: tuple[str, ...]
+    #: name of the provider that produced the ordering ("table"/"measured")
+    ranker: str = "table"
 
     @property
     def best_strategy(self) -> str:
@@ -39,14 +45,18 @@ def analyze_program(
     *,
     name: str = "<program>",
     needs_sync: bool | None = None,
+    ranker: str | RankingProvider | None = None,
 ) -> AnalysisReport:
     """Analyze a raw program.
 
     ``needs_sync`` defaults to what the program itself declares (taskwait
     markers between kernels); pass it explicitly for applications that
     *need* synchronization for post-processing even though the ported code
-    does not yet contain it.
+    does not yet contain it.  ``ranker`` selects the ranking provider
+    (``"table"`` — the default — or ``"measured"``, or a
+    :class:`~repro.core.ranking.RankingProvider` instance).
     """
+    provider = resolve_ranker(ranker)
     structure = derive_structure(program)
     app_class = classify(structure)
     sync = structure.has_inter_kernel_sync if needs_sync is None else needs_sync
@@ -55,7 +65,8 @@ def analyze_program(
         structure=structure,
         app_class=app_class,
         needs_sync=sync,
-        ranked_strategies=ranking(app_class, needs_sync=sync),
+        ranked_strategies=provider.ranking(app_class, needs_sync=sync),
+        ranker=provider.name,
     )
 
 
@@ -65,6 +76,7 @@ def analyze(
     n: int | None = None,
     iterations: int | None = None,
     sync: bool | None = None,
+    ranker: str | RankingProvider | None = None,
 ) -> AnalysisReport:
     """Analyze an :class:`~repro.apps.base.Application`.
 
@@ -74,4 +86,6 @@ def analyze(
     """
     effective_sync = app.needs_sync if sync is None else sync
     program = app.program(n, iterations=iterations, sync=effective_sync)
-    return analyze_program(program, name=app.name, needs_sync=effective_sync)
+    return analyze_program(
+        program, name=app.name, needs_sync=effective_sync, ranker=ranker
+    )

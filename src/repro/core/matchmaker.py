@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from repro.apps.base import Application
 from repro.artifact import RunArtifact
 from repro.core.analyzer import AnalysisReport, analyze
+from repro.core.ranking import RankingProvider, resolve_ranker
 from repro.partition.base import ExecutionPlan, PlanConfig, get_strategy, run_plan
 from repro.platform.topology import Platform
 from repro.runtime.executor import RuntimeConfig
@@ -47,10 +48,17 @@ def match(
     runtime_config: RuntimeConfig | None = None,
     execute: bool = True,
     detail: str = "full",
+    ranker: str | RankingProvider | None = None,
 ) -> MatchResult:
-    """Classify ``app``, pick the best-ranked strategy, plan, and run it."""
+    """Classify ``app``, pick the best-ranked strategy, plan, and run it.
+
+    ``ranker`` selects who orders the strategies: the paper's Table I
+    (``"table"``, default) or a tournament played on *this* platform
+    (``"measured"``) — see :mod:`repro.core.ranking`.
+    """
     cfg = config or PlanConfig()
-    report = analyze(app, n=n, iterations=iterations, sync=sync)
+    provider = resolve_ranker(ranker, platform)
+    report = analyze(app, n=n, iterations=iterations, sync=sync, ranker=provider)
     effective_sync = app.needs_sync if sync is None else sync
     program = app.program(n, iterations=iterations, sync=effective_sync)
     strategy = get_strategy(report.best_strategy)

@@ -1,23 +1,45 @@
-"""Table I: suitable strategies and their performance ranking (§III-C).
+"""Ranking providers: who gets to order the strategies (§III-C and beyond).
 
-==============================  ==============================================
-Application class               Ranking (best first)
-==============================  ==============================================
-SK-One, SK-Loop                 SP-Single, DP-Perf, DP-Dep
-MK-Seq, MK-Loop (w/o sync)      SP-Unified, DP-Perf, DP-Dep, SP-Varied
-MK-Seq, MK-Loop (w sync)        SP-Varied, DP-Perf, DP-Dep, SP-Unified
-MK-DAG                          DP-Perf, DP-Dep
-==============================  ==============================================
+The paper's Table I is one *answer* to the ranking question — a static
+per-class ordering backed by the three propositions.  This module turns
+the question into a seam: a :class:`RankingProvider` maps ``(application
+class, sync requirement)`` to a best-first strategy tuple, and everything
+downstream (analyzer, matchmaker, CLI) asks a provider instead of
+hard-coding the table.
 
-The ranking rests on the paper's three propositions, reproduced in
-:data:`PROPOSITIONS` and validated empirically by the integration tests
-and :mod:`repro.bench.experiments`.
+Two providers exist:
+
+* :class:`TableRankingProvider` — Table I verbatim (the default):
+
+  ==============================  ==========================================
+  Application class               Ranking (best first)
+  ==============================  ==========================================
+  SK-One, SK-Loop                 SP-Single, DP-Perf, DP-Dep
+  MK-Seq, MK-Loop (w/o sync)      SP-Unified, DP-Perf, DP-Dep, SP-Varied
+  MK-Seq, MK-Loop (w sync)        SP-Varied, DP-Perf, DP-Dep, SP-Unified
+  MK-DAG                          DP-Perf, DP-Dep
+  ==============================  ==========================================
+
+* :class:`~repro.core.tournament.MeasuredRankingProvider` — *earns* the
+  ordering by round-robin simulating every applicable strategy across the
+  paper suite on a concrete platform (``repro rank`` on the CLI).
+
+The table ranking rests on the paper's three propositions, reproduced in
+:data:`PROPOSITIONS` and validated empirically by the integration tests,
+:mod:`repro.bench.experiments`, and — strategy by strategy, cell by cell —
+:mod:`repro.bench.matchup`.
+
+The module-level :func:`ranking` / :func:`suitable_strategies` /
+:func:`best_strategy` functions delegate to the table provider, keeping
+the historical API intact.
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
+
 from repro.core.classes import AppClass
-from repro.errors import ClassificationError
+from repro.errors import ClassificationError, ConfigurationError
 
 #: the paper's three ranking propositions ("≥" = outperforms or equals)
 PROPOSITIONS: dict[int, str] = {
@@ -41,31 +63,99 @@ _MK_SYNC = ("SP-Varied", "DP-Perf", "DP-Dep", "SP-Unified")
 _DAG_RANKING = ("DP-Perf", "DP-Dep")
 
 
-def ranking(app_class: AppClass, *, needs_sync: bool = False) -> tuple[str, ...]:
-    """Strategy names ranked best-first for a class (paper Table I).
+class RankingProvider(ABC):
+    """Maps an application class (and sync need) to a strategy ordering."""
 
-    ``needs_sync`` selects the MK-Seq/MK-Loop sub-case: whether the
-    application originally uses — or, because of partitioned outputs
-    feeding post-processing, needs — inter-kernel synchronization.
+    #: short identifier, e.g. for report headers ("table", "measured")
+    name: str = "provider"
+
+    @abstractmethod
+    def ranking(
+        self, app_class: AppClass, *, needs_sync: bool = False
+    ) -> tuple[str, ...]:
+        """Strategy names ranked best-first for ``app_class``.
+
+        ``needs_sync`` selects the MK-Seq/MK-Loop sub-case: whether the
+        application originally uses — or, because of partitioned outputs
+        feeding post-processing, needs — inter-kernel synchronization.
+        """
+
+    def suitable_strategies(self, app_class: AppClass) -> tuple[str, ...]:
+        """All strategies applicable to a class, regardless of sync.
+
+        Default: the union of both sync sub-cases, ranked order of the
+        no-sync case first (matches Table I's single row per class).
+        """
+        nosync = self.ranking(app_class, needs_sync=False)
+        extra = [
+            s
+            for s in self.ranking(app_class, needs_sync=True)
+            if s not in nosync
+        ]
+        return nosync + tuple(extra)
+
+    def best_strategy(
+        self, app_class: AppClass, *, needs_sync: bool = False
+    ) -> str:
+        """The top-ranked strategy for a class."""
+        return self.ranking(app_class, needs_sync=needs_sync)[0]
+
+
+class TableRankingProvider(RankingProvider):
+    """The paper's Table I, verbatim."""
+
+    name = "table"
+
+    def ranking(
+        self, app_class: AppClass, *, needs_sync: bool = False
+    ) -> tuple[str, ...]:
+        if app_class.single_kernel:
+            return _SK_RANKING
+        if app_class is AppClass.MK_DAG:
+            return _DAG_RANKING
+        if app_class in (AppClass.MK_SEQ, AppClass.MK_LOOP):
+            return _MK_SYNC if needs_sync else _MK_NOSYNC
+        raise ClassificationError(f"unhandled class {app_class}")  # pragma: no cover
+
+
+#: the default provider behind the module-level functions
+TABLE = TableRankingProvider()
+
+
+def resolve_ranker(
+    ranker: "str | RankingProvider | None", platform=None
+) -> RankingProvider:
+    """Resolve a ``ranker=`` argument to a provider instance.
+
+    ``None`` and ``"table"`` yield the Table I provider; ``"measured"``
+    builds a :class:`~repro.core.tournament.MeasuredRankingProvider` for
+    ``platform`` (the Table III machine when omitted); an existing
+    provider passes through.
     """
-    if app_class.single_kernel:
-        return _SK_RANKING
-    if app_class is AppClass.MK_DAG:
-        return _DAG_RANKING
-    if app_class in (AppClass.MK_SEQ, AppClass.MK_LOOP):
-        return _MK_SYNC if needs_sync else _MK_NOSYNC
-    raise ClassificationError(f"unhandled class {app_class}")  # pragma: no cover
+    if ranker is None or ranker == "table":
+        return TABLE
+    if isinstance(ranker, RankingProvider):
+        return ranker
+    if ranker == "measured":
+        from repro.core.tournament import MeasuredRankingProvider
+
+        return MeasuredRankingProvider(platform=platform)
+    raise ConfigurationError(
+        f"unknown ranker {ranker!r}; known: 'table', 'measured' "
+        "(or pass a RankingProvider instance)"
+    )
+
+
+def ranking(app_class: AppClass, *, needs_sync: bool = False) -> tuple[str, ...]:
+    """Strategy names ranked best-first for a class (paper Table I)."""
+    return TABLE.ranking(app_class, needs_sync=needs_sync)
 
 
 def suitable_strategies(app_class: AppClass) -> tuple[str, ...]:
     """All strategies applicable to a class, regardless of sync (Table I)."""
-    if app_class.single_kernel:
-        return _SK_RANKING
-    if app_class is AppClass.MK_DAG:
-        return _DAG_RANKING
-    return _MK_NOSYNC  # both MK orderings contain the same four strategies
+    return TABLE.suitable_strategies(app_class)
 
 
 def best_strategy(app_class: AppClass, *, needs_sync: bool = False) -> str:
     """The top-ranked strategy for a class."""
-    return ranking(app_class, needs_sync=needs_sync)[0]
+    return TABLE.best_strategy(app_class, needs_sync=needs_sync)

@@ -17,7 +17,7 @@ def format_analysis(report: AnalysisReport) -> str:
         f"  inter-kernel sync: {'yes' if report.needs_sync else 'no'}",
         f"  class:          {report.app_class.value} "
         f"(Class {report.app_class.roman})",
-        "  ranking:        "
+        f"  ranking:        ({report.ranker}) "
         + " > ".join(
             f"{i + 1}.{name}" for i, name in enumerate(report.ranked_strategies)
         ),

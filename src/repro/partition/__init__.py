@@ -12,8 +12,19 @@ The five strategies of the paper plus the two single-device baselines:
 ``Only-GPU``   all work on the GPU, data resident across iterations
 =============  =========================================================
 
-Plus the paper's §V extensions: a task-size autotuner for the dynamic
-strategies and the "make dynamic behave like static" converter.
+Plus the paper's §V extensions (a task-size autotuner for the dynamic
+strategies, the "make dynamic behave like static" converter) and two
+related-work families the measured ranking pits against Table I:
+
+==============  ========================================================
+``DP-Aff``      dynamic, region-affinity work stealing (Bleuse et al.)
+``HYB-Static``  probe-seeded static split, dynamic tail (Beaumont et al.)
+==============  ========================================================
+
+Every strategy registers :class:`~repro.partition.base.StrategyInfo`
+metadata (family, class applicability) queryable via
+:func:`strategy_info` / :func:`all_strategy_info` /
+:func:`strategies_for_class`.
 """
 
 from repro.partition.base import (
@@ -21,10 +32,14 @@ from repro.partition.base import (
     PlanConfig,
     Strategy,
     StrategyDecision,
+    StrategyInfo,
+    all_strategy_info,
     get_strategy,
     list_strategies,
     register_strategy,
     run_plan,
+    strategies_for_class,
+    strategy_info,
 )
 from repro.partition.glinda import (
     GlindaDecision,
@@ -43,9 +58,11 @@ from repro.partition.profiling import KernelProfile, build_profile_table, profil
 from repro.partition.sp_single import SPSingle
 from repro.partition.sp_unified import SPUnified
 from repro.partition.sp_varied import SPVaried
+from repro.partition.dp_aff import DPAff
 from repro.partition.dp_dep import DPDep
 from repro.partition.dp_guided import DPGuided
 from repro.partition.dp_perf import DPPerf
+from repro.partition.hyb_static import HYBStatic
 from repro.partition.only import OnlyCPU, OnlyGPU
 from repro.partition.autotune import autotune_task_count
 from repro.partition.convert import static_assignment_counts, dynamic_as_static_plan
@@ -56,10 +73,14 @@ __all__ = [
     "PlanConfig",
     "Strategy",
     "StrategyDecision",
+    "StrategyInfo",
+    "all_strategy_info",
     "get_strategy",
     "list_strategies",
     "register_strategy",
     "run_plan",
+    "strategies_for_class",
+    "strategy_info",
     "GlindaDecision",
     "GlindaMetrics",
     "GlindaModel",
@@ -75,9 +96,11 @@ __all__ = [
     "SPSingle",
     "SPUnified",
     "SPVaried",
+    "DPAff",
     "DPDep",
     "DPGuided",
     "DPPerf",
+    "HYBStatic",
     "OnlyCPU",
     "OnlyGPU",
     "autotune_task_count",

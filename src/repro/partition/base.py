@@ -13,6 +13,7 @@ strategies.
 from __future__ import annotations
 
 import abc
+import difflib
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
@@ -21,7 +22,7 @@ from repro.artifact import RunArtifact
 from repro.errors import ConfigurationError, PartitioningError
 from repro.platform.topology import Platform
 from repro.runtime.dependence import build_dependences
-from repro.runtime.executor import ExecutionResult, RuntimeConfig, RuntimeEngine
+from repro.runtime.executor import RuntimeConfig, RuntimeEngine
 from repro.runtime.graph import KernelInvocation, Program, TaskGraph, expand_program
 from repro.runtime.schedulers.base import Scheduler
 
@@ -225,25 +226,120 @@ def finalize_graph(
 
 
 # -- registry ---------------------------------------------------------------
+#
+# Strategies register with *metadata*, not bare factories: the family they
+# belong to and the application classes they cover.  The tournament engine
+# (:mod:`repro.core.tournament`) derives its per-class entry lists from
+# this applicability instead of hard-coding Table I's strategy sets, and
+# ``repro list`` renders the same metadata.  Class labels are plain
+# strings (``"SK-One"`` ... ``"MK-DAG"``) so this module never imports
+# :mod:`repro.core` (which imports us).
 
-_REGISTRY: dict[str, Callable[[], Strategy]] = {}
+#: the five paper class labels, in Table I order
+ALL_CLASSES = ("SK-One", "SK-Loop", "MK-Seq", "MK-Loop", "MK-DAG")
+SINGLE_KERNEL_CLASSES = ("SK-One", "SK-Loop")
+MULTI_KERNEL_CLASSES = ("MK-Seq", "MK-Loop")
 
 
-def register_strategy(name: str, factory: Callable[[], Strategy]) -> None:
-    """Register a strategy factory under its canonical name."""
+@dataclass(frozen=True)
+class StrategyInfo:
+    """Registry entry: factory plus matchmaking metadata.
+
+    ``family`` groups strategies by mechanism ("static", "dynamic",
+    "affinity", "hybrid", "baseline", ...); ``applies_to`` holds the
+    class labels the strategy can plan for.  Baselines take part in
+    figure sweeps but are excluded from rankings (``ranked=False``).
+    """
+
+    name: str
+    factory: Callable[[], Strategy]
+    family: str = "dynamic"
+    applies_to: frozenset[str] = frozenset(ALL_CLASSES)
+    ranked: bool = True
+    description: str = ""
+
+    def applicable(self, app_class: object, *, needs_sync: bool = False) -> bool:
+        """Whether the strategy covers ``app_class`` (label or AppClass)."""
+        label = getattr(app_class, "value", app_class)
+        return label in self.applies_to
+
+
+_REGISTRY: dict[str, StrategyInfo] = {}
+
+
+def register_strategy(
+    name: str,
+    factory: Callable[[], Strategy],
+    *,
+    family: str = "dynamic",
+    applies_to: tuple[str, ...] | frozenset[str] = ALL_CLASSES,
+    ranked: bool = True,
+    description: str = "",
+) -> None:
+    """Register a strategy factory plus its matchmaking metadata."""
     if name in _REGISTRY:
         raise ConfigurationError(f"strategy {name!r} already registered")
-    _REGISTRY[name] = factory
+    unknown = set(applies_to) - set(ALL_CLASSES)
+    if unknown:
+        raise ConfigurationError(
+            f"strategy {name!r}: unknown class labels {sorted(unknown)}"
+        )
+    _REGISTRY[name] = StrategyInfo(
+        name=name,
+        factory=factory,
+        family=family,
+        applies_to=frozenset(applies_to),
+        ranked=ranked,
+        description=description,
+    )
+
+
+def _unknown_strategy_error(name: str) -> PartitioningError:
+    message = f"unknown strategy {name!r}"
+    close = difflib.get_close_matches(name, _REGISTRY, n=1, cutoff=0.5)
+    if close:
+        message += f"; did you mean {close[0]!r}?"
+    return PartitioningError(f"{message} (known: {', '.join(sorted(_REGISTRY))})")
 
 
 def get_strategy(name: str) -> Strategy:
-    """Instantiate a registered strategy by canonical name."""
+    """Instantiate a registered strategy by canonical name.
+
+    An unknown name raises with the closest registered name suggested
+    (typos are the common failure: ``"dp-perf"``, ``"SP-Signle"``).
+    """
     try:
-        return _REGISTRY[name]()
+        return _REGISTRY[name].factory()
     except KeyError:
-        raise PartitioningError(
-            f"unknown strategy {name!r}; known: {sorted(_REGISTRY)}"
-        ) from None
+        raise _unknown_strategy_error(name) from None
+
+
+def strategy_info(name: str) -> StrategyInfo:
+    """The registry metadata of one strategy."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise _unknown_strategy_error(name) from None
+
+
+def all_strategy_info() -> list[StrategyInfo]:
+    """Metadata of every registered strategy, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def strategies_for_class(
+    app_class: object, *, ranked_only: bool = True
+) -> list[str]:
+    """Names of the strategies applicable to a class (label or AppClass).
+
+    ``ranked_only`` drops the Only-CPU/Only-GPU baselines — they execute
+    everywhere but never compete in a ranking.
+    """
+    return [
+        info.name
+        for info in all_strategy_info()
+        if info.applicable(app_class) and (info.ranked or not ranked_only)
+    ]
 
 
 def list_strategies() -> list[str]:

@@ -52,4 +52,8 @@ class DPDep(Strategy):
         )
 
 
-register_strategy(DPDep.name, DPDep)
+register_strategy(
+    DPDep.name, DPDep,
+    family="dynamic",
+    description="dynamic, breadth-first + dependence-chain affinity",
+)

@@ -125,4 +125,8 @@ class DPGuided(Strategy):
         )
 
 
-register_strategy(DPGuided.name, DPGuided)
+register_strategy(
+    DPGuided.name, DPGuided,
+    family="dynamic",
+    description="self-scheduled geometric chunks (Boyer, ref [11])",
+)

@@ -65,4 +65,8 @@ class DPPerf(Strategy):
         )
 
 
-register_strategy(DPPerf.name, DPPerf)
+register_strategy(
+    DPPerf.name, DPPerf,
+    family="dynamic",
+    description="dynamic, performance-aware earliest finish",
+)

@@ -1,0 +1,180 @@
+"""HYB-Static: probe-seeded static split with a dynamically scheduled tail.
+
+The Beaumont/Marchal line of work ("are static schedules so bad?")
+brackets the SP-*/DP-* dichotomy of the paper with a *hybrid* spectrum: a
+static schedule computed from a performance model covers most of the
+work, and a small dynamically scheduled remainder absorbs whatever the
+model got wrong.  This strategy realizes that spectrum point on the
+paper's substrate:
+
+* each kernel gets a Glinda decision exactly as SP-Single/SP-Varied would
+  compute it (probe throughputs + the transfer model matching the
+  program's loop/sync shape);
+* a ``1 - tail_fraction`` share of **each device's** predicted slice is
+  pinned statically — one fused GPU body, ``m`` thread-pinned CPU ranges
+  — keeping the per-chunk overhead of static partitioning;
+* the remaining ``tail_fraction`` of the index space (the ranges adjacent
+  to the predicted split point, where a model error materializes) is cut
+  into small unpinned chunks scheduled by the performance-aware policy,
+  seeded from the same probe table.
+
+With a perfect model the tail chunks land where the static split would
+have put them and the plan behaves like SP-* with slightly more tasks;
+when probes mispredict (imbalanced kernels, contended links) the tail
+migrates and caps the error at roughly ``tail_fraction`` of a device's
+share.  The executor supports the mix natively: pinned instances dispatch
+through its internal static path, unpinned ones through the plan's
+scheduler, and dynamic decision overhead is charged to the tail only.
+
+Requires a uniform problem size across kernels (like the SP-* strategies)
+and a single accelerator (the probe model is two-processor).  Registered
+for every class but MK-DAG: the split assumes breadth-parallel kernels
+whose whole index space is ready at once, not a tile DAG where the
+"static body" would serialize behind dependences.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PartitioningError, StrategyInapplicableError
+from repro.partition._static_common import (
+    Chunk,
+    cpu_thread_ranges,
+    glinda_kwargs,
+    uniform_problem_size,
+)
+from repro.partition.base import (
+    ExecutionPlan,
+    PlanConfig,
+    Strategy,
+    StrategyDecision,
+    finalize_graph,
+    register_strategy,
+)
+from repro.partition.glinda import GlindaDecision, GlindaModel, TransferModel
+from repro.partition.profiling import build_profile_table, profile_kernel
+from repro.platform.topology import Platform
+from repro.runtime.graph import KernelInvocation, Program, chunk_ranges
+from repro.runtime.schedulers.perf_aware import PerfAwareScheduler
+
+
+def split_static_tail(
+    n: int, n_gpu: int, *, tail_fraction: float, warp_size: int
+) -> tuple[int, int]:
+    """Boundaries of the pinned bodies under a ``tail_fraction`` hold-back.
+
+    Returns ``(gpu_pin, cpu_static_lo)``: the GPU keeps ``[0, gpu_pin)``
+    (warp-aligned, ``1 - tail_fraction`` of its predicted share) and the
+    CPU keeps ``[cpu_static_lo, n)``; the middle ``[gpu_pin,
+    cpu_static_lo)`` straddling the predicted split point is the dynamic
+    tail.  Degenerate shares collapse gracefully: with ``n_gpu == 0`` the
+    whole tail comes out of the CPU's low end, with ``n_gpu == n`` out of
+    the GPU's high end.
+    """
+    if not (0 <= n_gpu <= n):
+        raise PartitioningError(f"n_gpu={n_gpu} outside [0, {n}]")
+    if not (0.0 < tail_fraction < 1.0):
+        raise PartitioningError("tail_fraction must be in (0, 1)")
+    gpu_pin = int(n_gpu * (1.0 - tail_fraction))
+    gpu_pin -= gpu_pin % warp_size
+    cpu_share = n - n_gpu
+    cpu_static_lo = n - int(cpu_share * (1.0 - tail_fraction))
+    return gpu_pin, cpu_static_lo
+
+
+class HYBStatic(Strategy):
+    """Static split from the probe model, dynamic work-stealing tail."""
+
+    name = "HYB-Static"
+    static = False  # the tail makes the plan partially dynamic
+
+    def __init__(self, *, tail_fraction: float = 0.2):
+        if not (0.0 < tail_fraction < 1.0):
+            raise PartitioningError("tail_fraction must be in (0, 1)")
+        self.tail_fraction = tail_fraction
+
+    def plan(
+        self, program: Program, platform: Platform, config: PlanConfig | None = None
+    ) -> ExecutionPlan:
+        config = config or PlanConfig()
+        if len(platform.accelerators) != 1:
+            raise StrategyInapplicableError(
+                f"{self.name} uses the two-processor probe model; platform "
+                f"has {len(platform.accelerators)} accelerators"
+            )
+        n = uniform_problem_size(program, self.name)
+        m = config.threads(platform)
+        gpu_id = platform.gpu.device_id
+        host = platform.host.device_id
+        link = platform.link_for(gpu_id)
+
+        looped = len(program.invocations) > len(program.kernels)
+        synced = any(inv.sync_after for inv in program.invocations)
+
+        model = GlindaModel(**glinda_kwargs(config))
+        decisions: dict[str, GlindaDecision] = {}
+        for kernel in program.kernels:
+            profile = profile_kernel(kernel, platform, n)
+            if looped and synced:
+                transfer = TransferModel.synced_loop(profile, n)
+            elif looped:
+                transfer = TransferModel.amortized()
+            else:
+                transfer = TransferModel.single_pass(profile)
+            decisions[kernel.name] = model.predict(
+                kernel=kernel.name,
+                n=n,
+                theta_gpu=profile.gpu_throughput,
+                theta_cpu=profile.cpu_throughput,
+                link=link,
+                transfer=transfer,
+            )
+
+        # the tail is cut fine enough that both processors can trade it:
+        # aim for ~2m tail chunks per invocation across both gap ranges
+        tail_chunks_per_gap = max(1, m)
+
+        def chunker(inv: KernelInvocation) -> list[Chunk]:
+            decision = decisions[inv.kernel.name]
+            gpu_pin, cpu_static_lo = split_static_tail(
+                inv.n,
+                decision.n_gpu,
+                tail_fraction=self.tail_fraction,
+                warp_size=config.warp_size,
+            )
+            chunks: list[Chunk] = []
+            if gpu_pin > 0:
+                chunks.append((0, gpu_pin, gpu_id, None))
+            for i, (lo, hi) in enumerate(
+                cpu_thread_ranges(cpu_static_lo, inv.n, m)
+            ):
+                chunks.append((lo, hi, None, f"{host}:{i}"))
+            tail = cpu_static_lo - gpu_pin
+            if tail > 0:
+                for lo, hi in chunk_ranges(tail, tail_chunks_per_gap):
+                    chunks.append((gpu_pin + lo, gpu_pin + hi, None, None))
+            return chunks
+
+        graph = finalize_graph(program, chunker)
+        return ExecutionPlan(
+            graph=graph,
+            scheduler=PerfAwareScheduler(build_profile_table(program, platform)),
+            decision=StrategyDecision(
+                strategy=self.name,
+                hardware_config="cpu+gpu",
+                gpu_fraction_by_kernel={
+                    name: d.gpu_fraction for name, d in decisions.items()
+                },
+                notes={
+                    "glinda": decisions,
+                    "tail_fraction": self.tail_fraction,
+                },
+            ),
+        )
+
+
+register_strategy(
+    HYBStatic.name, HYBStatic,
+    family="hybrid",
+    applies_to=("SK-One", "SK-Loop", "MK-Seq", "MK-Loop"),
+    description="probe-seeded static split, dynamic tail (Beaumont/Marchal)",
+)

@@ -95,5 +95,15 @@ class OnlyGPU(Strategy):
         )
 
 
-register_strategy(OnlyCPU.name, OnlyCPU)
-register_strategy(OnlyGPU.name, OnlyGPU)
+register_strategy(
+    OnlyCPU.name, OnlyCPU,
+    family="baseline",
+    ranked=False,
+    description="all work on the host CPU with m threads",
+)
+register_strategy(
+    OnlyGPU.name, OnlyGPU,
+    family="baseline",
+    ranked=False,
+    description="all work on the GPU, data resident across iterations",
+)

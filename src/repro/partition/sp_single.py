@@ -210,4 +210,9 @@ class SPSingle(Strategy):
         )
 
 
-register_strategy(SPSingle.name, SPSingle)
+register_strategy(
+    SPSingle.name, SPSingle,
+    family="static",
+    applies_to=("SK-One", "SK-Loop"),
+    description="Glinda static split of a single kernel",
+)

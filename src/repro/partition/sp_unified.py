@@ -132,4 +132,9 @@ class SPUnified(Strategy):
         )
 
 
-register_strategy(SPUnified.name, SPUnified)
+register_strategy(
+    SPUnified.name, SPUnified,
+    family="static",
+    applies_to=("MK-Seq", "MK-Loop"),
+    description="one static split shared by all kernels",
+)

@@ -87,4 +87,9 @@ class SPVaried(Strategy):
         )
 
 
-register_strategy(SPVaried.name, SPVaried)
+register_strategy(
+    SPVaried.name, SPVaried,
+    family="static",
+    applies_to=("MK-Seq", "MK-Loop"),
+    description="per-kernel static splits + inter-kernel sync",
+)

@@ -10,9 +10,14 @@
   Planas-style policy used by **DP-Perf**: per-device performance estimates
   (seeded by a profiling phase, refined online) drive earliest-finish-time
   assignment.
+* :class:`~repro.runtime.schedulers.affinity.AffinityScheduler` is the
+  Bleuse-style locality policy used by **DP-Aff**: region residency is
+  tracked per device, local work is preferred, and remote-resident work
+  is only stolen by otherwise-idle resources.
 """
 
 from repro.runtime.schedulers.base import Scheduler, SchedulingContext, StaticScheduler
+from repro.runtime.schedulers.affinity import AffinityScheduler
 from repro.runtime.schedulers.breadth_first import BreadthFirstScheduler
 from repro.runtime.schedulers.perf_aware import PerfAwareScheduler, ProfileTable
 
@@ -20,6 +25,7 @@ __all__ = [
     "Scheduler",
     "SchedulingContext",
     "StaticScheduler",
+    "AffinityScheduler",
     "BreadthFirstScheduler",
     "PerfAwareScheduler",
     "ProfileTable",

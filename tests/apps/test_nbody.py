@@ -5,7 +5,6 @@ import pytest
 
 from repro.apps.nbody import Nbody
 from repro.runtime.functional import run_chunked, run_sequential
-from repro.units import gb_to_bytes
 
 
 @pytest.fixture

@@ -2,14 +2,10 @@
 
 import json
 
-import pytest
-
 from repro.bench.baseline import (
-    BaselineDiff,
     check_baseline,
     compare,
     save_baseline,
-    snapshot,
 )
 
 

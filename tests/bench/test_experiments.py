@@ -30,8 +30,6 @@ class TestExperimentCatalog:
 
 class TestScaledSize:
     def test_full_scale_is_paper_size(self):
-        from repro.apps import get_application
-
         assert scaled_size("MatrixMul", 1.0) == 6144
 
     def test_scaled_down_warp_aligned(self):

@@ -1,7 +1,5 @@
 """Table I: suitable strategies and performance rankings."""
 
-import pytest
-
 from repro.core.classes import AppClass
 from repro.core.ranking import (
     PROPOSITIONS,

@@ -45,8 +45,6 @@ class TestMultiKernel:
         assert s.flow is FlowType.SEQUENCE
 
     def test_iterated_chain_is_loop(self):
-        kernel_names = 2
-        specs = None
         from repro.runtime.graph import Program as P
 
         # build a 2-kernel chain iterated twice using iteration tags

@@ -13,7 +13,6 @@ import pickle
 import time
 from dataclasses import replace
 
-import repro.cache as cache
 import repro.bench.harness as harness
 from repro.bench.harness import SweepCell, run_sweep, run_sweep_iter
 from repro.distrib import DistributedSweepExecutor, WorkerServer, last_sweep_reports

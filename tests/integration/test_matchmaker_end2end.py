@@ -1,7 +1,5 @@
 """End-to-end matchmaking across platforms (incl. the future-work probe)."""
 
-import pytest
-
 from repro import (
     analyze,
     format_match,

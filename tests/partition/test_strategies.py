@@ -26,7 +26,8 @@ class TestRegistry:
     def test_all_registered(self):
         assert set(list_strategies()) == {
             "SP-Single", "SP-Unified", "SP-Varied",
-            "DP-Perf", "DP-Dep", "DP-Guided", "Only-CPU", "Only-GPU",
+            "DP-Perf", "DP-Dep", "DP-Guided", "DP-Aff", "HYB-Static",
+            "Only-CPU", "Only-GPU",
         }
 
     def test_get_by_name(self):
@@ -37,6 +38,21 @@ class TestRegistry:
 
         with pytest.raises(PartitioningError):
             get_strategy("SP-Magic")
+
+    def test_unknown_name_suggests_closest(self):
+        from repro.errors import PartitioningError
+
+        with pytest.raises(PartitioningError) as exc:
+            get_strategy("SP-Signle")
+        assert "did you mean 'SP-Single'?" in str(exc.value)
+
+    def test_hopeless_typo_gets_no_suggestion(self):
+        from repro.errors import PartitioningError
+
+        with pytest.raises(PartitioningError) as exc:
+            get_strategy("zzzzzz")
+        assert "did you mean" not in str(exc.value)
+        assert "known:" in str(exc.value)
 
 
 class TestSPSingle:

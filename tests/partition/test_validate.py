@@ -10,7 +10,7 @@ from repro.partition import (
     list_strategies,
     validate_plan,
 )
-from repro.runtime.graph import InstanceKind, TaskInstance
+from repro.runtime.graph import InstanceKind
 
 from tests.conftest import chain_program, single_kernel_program
 

@@ -1,12 +1,10 @@
 """Xeon Phi preset: the analyzer is accelerator-agnostic (§I/§VII)."""
 
-import pytest
-
 from repro.apps import get_application, paper_applications
 from repro.core.analyzer import analyze
 from repro.core.matchmaker import match
 from repro.partition import get_strategy
-from repro.platform import phi_platform, shen_icpp15_platform
+from repro.platform import phi_platform
 from repro.platform.device import DeviceKind
 
 

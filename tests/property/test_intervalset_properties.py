@@ -1,6 +1,6 @@
 """Property-based tests of the IntervalSet (the coherence directory core)."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.runtime.regions import IntervalSet

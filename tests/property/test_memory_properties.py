@@ -1,7 +1,5 @@
 """Property-based tests of the coherence directory (memory model)."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

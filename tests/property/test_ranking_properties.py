@@ -1,0 +1,75 @@
+"""Properties of ranking providers and the strategy registry."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.classes import AppClass
+from repro.core.ranking import TABLE, ranking, suitable_strategies
+from repro.partition.base import (
+    get_strategy,
+    list_strategies,
+    strategies_for_class,
+    strategy_info,
+)
+from repro.partition.hyb_static import split_static_tail
+
+app_classes = st.sampled_from(list(AppClass))
+
+
+@given(app_classes, st.booleans())
+def test_table_ranking_is_registered_and_duplicate_free(app_class, sync):
+    ranked = ranking(app_class, needs_sync=sync)
+    assert set(ranked) <= set(list_strategies())
+    assert len(ranked) == len(set(ranked))
+
+
+@given(app_classes, st.booleans())
+def test_table_ranking_respects_proposition_one(app_class, sync):
+    """DP-Perf precedes DP-Dep in every Table I row."""
+    ranked = ranking(app_class, needs_sync=sync)
+    assert ranked.index("DP-Perf") < ranked.index("DP-Dep")
+
+
+@given(app_classes, st.booleans())
+def test_suitable_strategies_cover_both_sync_cases(app_class, sync):
+    assert set(ranking(app_class, needs_sync=sync)) <= set(
+        suitable_strategies(app_class)
+    )
+
+
+@given(app_classes, st.booleans())
+def test_table_rows_only_rank_applicable_strategies(app_class, sync):
+    for name in TABLE.ranking(app_class, needs_sync=sync):
+        assert strategy_info(name).applicable(app_class)
+
+
+@given(app_classes)
+def test_registry_applicability_agrees_with_class_listing(app_class):
+    listed = strategies_for_class(app_class.value)
+    for name in list_strategies():
+        info = strategy_info(name)
+        assert (name in listed) == (info.ranked and info.applicable(app_class))
+
+
+@given(st.sampled_from(sorted(list_strategies())))
+def test_every_registered_name_resolves_to_its_strategy(name):
+    assert get_strategy(name).name == name
+
+
+@given(
+    st.integers(1, 1_000_000),
+    st.data(),
+    st.floats(0.05, 0.95),
+    st.sampled_from([1, 16, 32, 64]),
+)
+def test_split_static_tail_invariants(n, data, tail_fraction, warp):
+    n_gpu = data.draw(st.integers(0, n))
+    gpu_pin, cpu_lo = split_static_tail(
+        n, n_gpu, tail_fraction=tail_fraction, warp_size=warp
+    )
+    # the static bodies bracket the predicted split point
+    assert 0 <= gpu_pin <= n_gpu <= cpu_lo <= n
+    assert gpu_pin % warp == 0
+    # held-back work is monotone in the tail fraction at both ends
+    assert gpu_pin <= n_gpu * (1 - tail_fraction) + warp
+    assert cpu_lo >= n - (n - n_gpu) * (1 - tail_fraction) - 1

@@ -81,7 +81,6 @@ class TestBounds:
         assert 0.0 < report.efficiency <= 1.001
 
     def test_weighted_kernels_use_work_units(self, tiny_platform):
-        import numpy as np
         from repro.apps.spmv import SpMV
 
         app = SpMV()

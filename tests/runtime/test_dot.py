@@ -1,7 +1,5 @@
 """DOT export of task graphs."""
 
-import pytest
-
 from repro.runtime.dependence import build_dependences
 from repro.runtime.dot import to_dot
 from repro.runtime.graph import chunk_ranges, expand_program

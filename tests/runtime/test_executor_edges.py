@@ -1,7 +1,5 @@
 """Executor edge cases: non-duplex links, multi-accelerator traffic."""
 
-import pytest
-
 from repro.platform.device import Device, DeviceKind, DeviceSpec
 from repro.platform.interconnect import Link
 from repro.platform.topology import Platform

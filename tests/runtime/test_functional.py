@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import DependenceError
-from repro.runtime.dependence import build_dependences
 from repro.runtime.functional import (
     assert_equivalent,
     run_chunked,

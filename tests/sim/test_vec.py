@@ -8,8 +8,6 @@ side, ``REPRO_NO_NUMPY`` for the scalar side — and demand ``==``, never
 approx.
 """
 
-import os
-
 import pytest
 
 np = pytest.importorskip("numpy")

@@ -15,6 +15,16 @@ class TestList:
         for expected in ("MatrixMul", "SP-Single", "shen", "fig5"):
             assert expected in out
 
+    def test_strategies_show_family_and_classes(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        sp_single = next(l for l in out.splitlines() if "SP-Single" in l)
+        assert "static" in sp_single and "SK-One" in sp_single
+        hyb = next(l for l in out.splitlines() if "HYB-Static" in l)
+        assert "hybrid" in hyb and "MK-DAG" not in hyb
+        only_cpu = next(l for l in out.splitlines() if "Only-CPU" in l)
+        assert "unranked" in only_cpu
+
 
 class TestPlatform:
     def test_default_preset(self, capsys):
@@ -43,6 +53,27 @@ class TestAnalyze:
         main(["analyze", "STREAM-Seq", "-n", "4096", "--no-sync"])
         assert "SP-Unified" in capsys.readouterr().out.splitlines()[-1]
 
+    def test_measured_ranker(self, capsys):
+        assert main(["analyze", "HotSpot", "--ranker", "measured"]) == 0
+        out = capsys.readouterr().out
+        assert "(measured)" in out
+        assert "best strategy:" in out.splitlines()[-1]
+
+
+class TestRank:
+    def test_prints_measured_rankings(self, capsys):
+        assert main(["rank"]) == 0
+        out = capsys.readouterr().out
+        assert "tournament on" in out
+        assert "SK-One" in out and "MK-DAG" in out
+        assert "geomean ratio" in out
+
+    def test_compare_confronts_table_one(self, capsys):
+        assert main(["rank", "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "measured vs Table I" in out
+        assert "table:" in out and "measured:" in out
+
 
 class TestRun:
     def test_matchmade_run(self, capsys):
@@ -70,6 +101,13 @@ class TestRun:
             ["run", "MatrixMul", "-n", "512", "--strategy", "Only-CPU",
              "--threads", "3"]
         ) == 0
+
+    def test_strategy_typo_suggests_and_exits_cleanly(self, capsys):
+        assert main(
+            ["run", "MatrixMul", "-n", "512", "--strategy", "DP-Prf"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'DP-Perf'?" in err
 
 
 class TestCacheDir:
