@@ -710,6 +710,8 @@ BASELINE_CHECKS = [
     ("sim_core.fast_vs_oracle_speedup", "min", 0.5),
     ("sim_core.untraced_engine_speedup", "min", 0.5),
     ("sim_core.traced_speedup", "min", 0.5),
+    ("sim_core.traced_lane_speedup", "min", 0.5),
+    ("sim_core.traced_batch_speedup", "min", 0.5),
     ("matchmaking.table_agreement", "min", 0.05),
 ]
 
@@ -826,6 +828,8 @@ def test_pipeline_perf(benchmark):
         f"{payload['sim_core']['oracle_traced_events_per_sec']:,.0f} ev/s "
         f"oracle ({payload['sim_core']['fast_vs_oracle_speedup']:.1f}x, "
         f"floor {bench_event_core.EVENTS_SPEEDUP_FLOOR:g}x), "
+        f"traced batch {payload['sim_core']['traced_batch_speedup']:.1f}x "
+        f"(floor {bench_event_core.TRACED_BATCH_FLOOR:g}x), "
         f"run {payload['sim_core']['run_speedup']:.2f}x, parity "
         f"{'ok' if payload['sim_core']['parity'] else 'DIVERGED'}\n"
         f"matchmaking:          "

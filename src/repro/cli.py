@@ -198,12 +198,26 @@ def cmd_run(args) -> int:
         runtime_config = RuntimeConfig(
             cpu_threads=config.threads(platform), max_events=args.max_events
         )
+    profiler = None
+    if args.profile is not None:
+        # profile exactly the simulate call (serial, in-process), not
+        # argument parsing or report rendering — hot-path work should
+        # start from a clean .pstats of the run itself
+        import cProfile
+
+        profiler = cProfile.Profile()
     if args.strategy is None:
-        outcome = match(
-            app, platform, n=args.n, iterations=args.iterations,
-            sync=args.sync, config=config, runtime_config=runtime_config,
-            detail=args.detail, ranker=args.ranker,
-        )
+        if profiler is not None:
+            profiler.enable()
+        try:
+            outcome = match(
+                app, platform, n=args.n, iterations=args.iterations,
+                sync=args.sync, config=config, runtime_config=runtime_config,
+                detail=args.detail, ranker=args.ranker,
+            )
+        finally:
+            if profiler is not None:
+                profiler.disable()
         result = outcome.result
         print(format_match(outcome))
     else:
@@ -215,13 +229,22 @@ def cmd_run(args) -> int:
             # typo'd --strategy gets the did-you-mean one-liner, no traceback
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        result = strategy.run(
-            program, platform, config=config,
-            runtime_config=runtime_config, detail=args.detail,
-        )
+        if profiler is not None:
+            profiler.enable()
+        try:
+            result = strategy.run(
+                program, platform, config=config,
+                runtime_config=runtime_config, detail=args.detail,
+            )
+        finally:
+            if profiler is not None:
+                profiler.disable()
         print(f"{app.name} under {strategy.name}: "
               f"{result.makespan_ms:.2f} ms "
               f"(GPU {result.gpu_fraction:.1%} / CPU {result.cpu_fraction:.1%})")
+    if profiler is not None:
+        profiler.dump_stats(args.profile)
+        print(f"profile written to {args.profile}", file=sys.stderr)
     if args.stats:
         print()
         print(format_stats(analyze_trace(result.require_trace())))
@@ -408,6 +431,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-events", type=int, default=None, metavar="N",
                    help="event budget per simulator drain (safety valve "
                         "against runaway loops; default 50M)")
+    p.add_argument("--profile", default=None, metavar="OUT.pstats",
+                   help="cProfile the simulate call and write the stats "
+                        "to this file (serial backend)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")

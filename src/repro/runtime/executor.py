@@ -116,17 +116,24 @@ class _Transfer:
         """Put the transfer on its link channel."""
         run = self.run
         op = self.op
-        run._link_channel(op).occupy(
+        key = f"{op.device_space}:{self.direction}"
+        # lane path: label/category come from the lane's pre-interned
+        # template and constants; the varying args pack into the lazy
+        # label columns and the meta dict is handed over un-copied
+        run.links[key].occupy(
             self.duration,
-            label=(_TRANSFER_LABEL[self.direction], op.array, op.start, op.end),
+            label="",
             category="transfer",
             on_complete=(run._transfer_done, self),
+            lane=run.transfer_lanes[key],
+            args=(op.array, op.start, op.end),
             meta={
                 "array": op.array,
                 "bytes": op.nbytes,
                 "direction": self.direction,
                 "device": op.device_space,
             },
+            own_meta=True,
         )
 
 
@@ -286,6 +293,30 @@ class _Run:
                 shared = SimResource(self.sim, f"link:{acc.device_id}", self.trace)
                 self.links[f"{acc.device_id}:h2d"] = shared
                 self.links[f"{acc.device_id}:d2h"] = shared
+
+        # staged trace lanes, one per pre-declared homogeneous stream:
+        # resource/category/template and the constant hot metadata keys
+        # are interned once here instead of once per occupation.  Every
+        # compute resource carries exactly one stream (kernel-instance
+        # rows); every link channel one per direction (a half-duplex
+        # link's shared SimResource gets two lanes, one per direction).
+        self.compute_lanes = {
+            r.resource_id: self.trace.lane(
+                r.resource_id, "compute", "{}[{}:{})#{}",
+                device_kind=r.device.kind.value,
+                device=r.device.device_id,
+            )
+            for r in self.resources
+        }
+        self.transfer_lanes = {}
+        for acc in platform.accelerators:
+            for direction in ("h2d", "d2h"):
+                key = f"{acc.device_id}:{direction}"
+                self.transfer_lanes[key] = self.trace.lane(
+                    self.links[key].resource_id, "transfer",
+                    _TRANSFER_LABEL[direction],
+                    device=acc.device_id, direction=direction,
+                )
 
         self.remaining = {
             inst.instance_id: len(inst.deps) for inst in graph.instances
@@ -519,12 +550,16 @@ class _Run:
 
         self.sim_resources[resource.resource_id].occupy(
             duration,
-            label=inst.label_lazy(),
+            label="",
             category="compute",
             on_complete=(
                 self._complete_cb,
                 (inst, resource, space, duration, transfer_total),
             ),
+            lane=self.compute_lanes[resource.resource_id],
+            args=(kernel.name, inst.lo, inst.hi, inst.instance_id),
+            size=inst.size,
+            kernel=kernel.name,
             meta={
                 "kernel": kernel.name,
                 "size": inst.size,
@@ -533,6 +568,7 @@ class _Run:
                 "invocation": inst.invocation.invocation_id,
                 "iteration": inst.invocation.iteration,
             },
+            own_meta=True,
         )
 
     def _complete_compute(self, args: tuple) -> None:

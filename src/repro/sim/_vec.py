@@ -66,6 +66,37 @@ def enabled() -> bool:
     return os.environ.get("REPRO_NO_NUMPY", "0") not in ("1", "true", "on")
 
 
+def lane_bounds(t0: float, durations):
+    """Cumulative completion bounds of a serial occupation stream.
+
+    Returns ``k + 1`` cumulative times ``[t0, t0 + d0, (t0 + d0) + d1,
+    ...]`` — row ``i`` of the stream spans ``bounds[i]`` to
+    ``bounds[i + 1]``.  On the vectorized path this is one
+    ``np.cumsum`` over ``[t0, *durations]`` (an ndarray); with numpy
+    unavailable or ``REPRO_NO_NUMPY=1`` it is the pure-Python
+    sequential chain (an ``array('d')``).  ``cumsum`` is numpy's naive
+    left-to-right recurrence, so both paths produce bit-identical
+    floats: each partial sum *is* the previous occupation's end time,
+    exactly as the per-event engines compute it.
+    """
+    if enabled() and len(durations) >= 1:
+        seed = _np.empty(len(durations) + 1, dtype=_np.float64)
+        seed[0] = t0
+        seed[1:] = durations
+        return _np.cumsum(seed)
+    from array import array
+
+    bounds = array("d", (0.0,)) * (len(durations) + 1)
+    t = t0
+    bounds[0] = t
+    i = 1
+    for d in durations:
+        t = t + d
+        bounds[i] = t
+        i += 1
+    return bounds
+
+
 def _seq_sum(values) -> float:
     """Left-to-right sequential sum of a 1-D float array.
 

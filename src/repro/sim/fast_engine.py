@@ -31,6 +31,14 @@ small integer ``kind`` inside an inlined run loop:
     per-occupation allocations.  This is the intake for occupancy-replay
     and schedule-search workloads, and what
     ``benchmarks/bench_event_core.py`` measures.
+``_K_FINISH_BATCH``
+    A whole occupation *stream* scheduled through
+    :meth:`schedule_stream` (the engine half of
+    ``SimResource.occupy_stream``): ``a0`` is the resource, ``a1`` a
+    ``_StreamBlock`` carrying precomputed cumulative bounds for a run of
+    back-to-back rows.  One heap event and one sequence number cover the
+    entire run; at fire time the resource block-extends its trace lane
+    and frees itself.  This is the traced production path's bulk drain.
 
 Because both engines drive the *same* executor and
 :class:`~repro.sim.resources.SimResource` code and consume sequence
@@ -64,6 +72,7 @@ from repro.sim.engine import (
 _K_CALLBACK = 0
 _K_FINISH = 1
 _K_LANE = 2
+_K_FINISH_BATCH = 3
 
 
 def fast_engine_enabled() -> bool:
@@ -227,6 +236,22 @@ class FastSimulator:
         )
         self._mixed = True
 
+    def schedule_stream(self, time: float, resource, block) -> None:
+        """Schedule a whole occupation stream's single completion event.
+
+        The engine half of ``SimResource.occupy_stream``: one heap tuple
+        and one sequence number for the entire run of rows, matching the
+        single ``sim.at`` closure the oracle engine schedules — so event
+        interleaving stays identical across engines.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(
+            self._heap,
+            (time, PRIORITY_COMPLETION, seq, _K_FINISH_BATCH, resource, block),
+        )
+        self._mixed = True
+
     def replay_lane(self, durations: list[float]) -> _ReplayLane:
         """Preload a serial resource's occupation stream for bulk replay.
 
@@ -349,8 +374,13 @@ class FastSimulator:
                         res._busy_until = end
                     record = res._record
                     if record is not None:
-                        record(res.resource_id, nxt.label, nxt.category,
-                               t, end, nxt.meta)
+                        lane = nxt.lane
+                        if lane is not None:
+                            lane.append(t, end, nxt.args, nxt.size,
+                                        nxt.kernel, nxt.meta)
+                        else:
+                            record(res.resource_id, nxt.label, nxt.category,
+                                   t, end, nxt.meta, nxt.own_meta)
                     seq = self._seq
                     self._seq = seq + 1
                     push(heap, (end, PRIORITY_COMPLETION, seq, _K_FINISH,
@@ -377,6 +407,15 @@ class FastSimulator:
                 handle._sim = None
                 self._now = t
                 handle.callback()
+            elif kind == _K_FINISH_BATCH:
+                # one event for a whole occupation stream: the resource
+                # block-extends its trace lane and frees itself (or hands
+                # over to work that queued up during the run)
+                if processed >= max_events:
+                    raise max_events_error(max_events)
+                processed += 1
+                self._now = t
+                ev[4]._finish_stream(ev[5])
             else:  # _K_LANE
                 if processed >= max_events:
                     raise max_events_error(max_events)

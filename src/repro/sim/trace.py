@@ -87,13 +87,25 @@ class ExecutionTrace:
         start: float,
         end: float,
         meta: dict[str, Any] | None = None,
+        own_meta: bool = False,
     ) -> None:
         """Append one occupation column-wise (no record allocation).
 
         ``label`` may be a display string or a lazy ``(template, *args)``
-        tuple the store formats only on row materialization.
+        tuple the store formats only on row materialization.  Pass
+        ``own_meta=True`` when ``meta`` is a throwaway dict the store may
+        keep without copying.
         """
-        self.store.record(resource_id, label, category, start, end, meta)
+        self.store.record(resource_id, label, category, start, end, meta, own_meta)
+
+    def lane(self, resource_id: str, category: str, template: str, **kwargs):
+        """Open a staging :class:`~repro.sim.tracestore.TraceLane`.
+
+        Thin forwarder to :meth:`TraceStore.lane`; see there for the
+        pre-interned constants (``device_kind``, ``device``,
+        ``direction``) and deferred-flush row-numbering semantics.
+        """
+        return self.store.lane(resource_id, category, template, **kwargs)
 
     # -- materialization -------------------------------------------------
 

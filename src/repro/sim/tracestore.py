@@ -24,6 +24,29 @@ never hit the intern pool unless someone actually materializes the row
 (:meth:`TraceStore.label_at` formats on demand; the formatted text is
 identical to the old eager f-strings).
 
+Ingestion has three entry points, fastest last:
+
+* :meth:`TraceStore.record` — one row per call, full generality (the
+  original API).  ``own_meta=True`` lets a caller that hands over a
+  throwaway metadata dict skip the defensive ``dict(meta)`` copy.
+* :meth:`TraceStore.record_batch` — a homogeneous *run* of rows for one
+  ``(resource, category)`` stream in one call: the resource and category
+  codes are resolved once, the numeric columns are extended in blocks,
+  and only labels/metadata are handled per row.  Byte-identical to the
+  equivalent sequence of :meth:`record` calls (enforced by
+  ``tests/sim/test_trace_ingestion.py``).
+* :meth:`TraceStore.lane` — a persistent :class:`TraceLane` staging
+  buffer for one fully pre-declared stream (resource, category, label
+  template, and the constant hot metadata keys are interned *once at
+  lane creation*).  Appends go into small parallel ``array`` buffers
+  with no interning and no dict traffic; the staged rows are flushed
+  into the store's columns in C-speed blocks the first time anything
+  reads, pickles, or indexes the store.  Staged rows are therefore
+  *deferred*: they take their row numbers at flush time (lane
+  registration order), not append time — identical under every engine
+  and backend, which is what keeps cross-engine artifact pickles
+  byte-identical.
+
 Aggregate queries run in one of two observationally identical ways:
 
 * the **pure-Python path** walks exactly the matching rows and
@@ -94,6 +117,267 @@ class _StringPool:
         return len(self.table)
 
 
+def _const_i(code: int, k: int) -> array:
+    """``k`` copies of ``code`` as an ``array('i')`` (C-level repeat)."""
+    return array("i", (code,)) * k
+
+
+def _const_q(value: int, k: int) -> array:
+    """``k`` copies of ``value`` as an ``array('q')`` (C-level repeat)."""
+    return array("q", (value,)) * k
+
+
+class TraceLane:
+    """Staged columnar intake for one pre-declared occupation stream.
+
+    A lane is created once per homogeneous ``(resource, category)``
+    stream via :meth:`TraceStore.lane`; the resource id, category, label
+    template, and the constant hot metadata columns (``device_kind``,
+    ``device``, ``direction``) are interned exactly once, at creation.
+    :meth:`append` then costs a handful of ``array`` pushes per row —
+    no interning, no ``dict(meta)`` copy, no per-row branching on the
+    metadata shape — and :meth:`extend_block` ingests a whole
+    precomputed completion block with ``array.extend``/``frombytes``
+    bulk copies.
+
+    Contract (checked by the differential ingestion suite, not per
+    append): label ``args`` are at most one leading ``str`` plus up to
+    three true ``int`` s matching the declared template; ``meta`` dicts
+    are **owned** by the store once appended (never mutated by the
+    caller afterwards) and any hot keys they carry must agree with the
+    lane's declared constants and the explicit ``size``/``kernel``
+    arguments.  The runtime executor and the replay benches satisfy
+    this by construction.
+
+    Staged rows become real store rows — in lane registration order —
+    the first time the store is read, indexed, or pickled; see
+    ``TraceStore._flush_lanes``.
+    """
+
+    __slots__ = (
+        "_store",
+        "resource_id",
+        "category",
+        # constants interned at creation
+        "_resource_code",
+        "_category_code",
+        "_tmpl_code",
+        "_kind_code",
+        "_device_code",
+        "_direction_code",
+        # staged per-row columns
+        "starts",
+        "ends",
+        "str_codes",
+        "arg_a",
+        "arg_b",
+        "arg_c",
+        "sizes",
+        "kernel_codes",
+        "metas",
+        "meta_count",
+        "max_end",
+        # bound intern methods (one attribute load per varying string)
+        "_intern_arg",
+        "_intern_kernel",
+    )
+
+    def __init__(
+        self,
+        store: "TraceStore",
+        resource_id: str,
+        category: str,
+        template: str,
+        *,
+        device_kind: str | None = None,
+        device: Any = _MISSING,
+        direction: str | None = None,
+    ) -> None:
+        self._store = store
+        self.resource_id = resource_id
+        self.category = category
+        self._resource_code = store.resource_pool.intern(resource_id)
+        self._category_code = store.category_pool.intern(category)
+        self._tmpl_code = store.label_tmpl_pool.intern(template)
+        self._kind_code = (
+            -1 if device_kind is None
+            else store.kind_pool.intern(str(device_kind))
+        )
+        self._device_code = (
+            -1 if device is _MISSING else store.device_pool.intern(str(device))
+        )
+        self._direction_code = (
+            store.direction_pool.intern(direction)
+            if isinstance(direction, str) else -1
+        )
+        self._intern_arg = store.label_arg_pool.intern
+        self._intern_kernel = store.kernel_pool.intern
+        self.starts = array("d")
+        self.ends = array("d")
+        self.str_codes = array("i")
+        self.arg_a = array("q")
+        self.arg_b = array("q")
+        self.arg_c = array("q")
+        self.sizes = array("q")
+        self.kernel_codes = array("i")
+        self.metas: list[dict[str, Any] | None] = []
+        self.meta_count = 0
+        self.max_end = 0.0
+
+    def __len__(self) -> int:
+        """Rows currently staged (not yet flushed into the store)."""
+        return len(self.starts)
+
+    # -- writing ---------------------------------------------------------
+
+    def append(
+        self,
+        start: float,
+        end: float,
+        args: tuple = (),
+        size: int = -1,
+        kernel: str | None = None,
+        meta: dict[str, Any] | None = None,
+    ) -> None:
+        """Stage one occupation row.
+
+        ``args`` are the varying label arguments for the lane's template
+        (an optional leading string plus up to three ints); ``size`` and
+        ``kernel`` feed the hot metadata columns directly; ``meta`` is
+        the row's full metadata dict, owned by the store from here on.
+        """
+        self.starts.append(start)
+        self.ends.append(end)
+        if args and type(args[0]) is str:
+            self.str_codes.append(self._intern_arg(args[0]))
+            ints = args[1:]
+        else:
+            self.str_codes.append(-1)
+            ints = args
+        n = len(ints)
+        self.arg_a.append(ints[0] if n else 0)
+        self.arg_b.append(ints[1] if n > 1 else 0)
+        self.arg_c.append(ints[2] if n > 2 else 0)
+        self.sizes.append(size)
+        self.kernel_codes.append(
+            -1 if kernel is None else self._intern_kernel(kernel)
+        )
+        if meta:
+            self.metas.append(meta)
+            self.meta_count += 1
+        else:
+            self.metas.append(None)
+        if end > self.max_end:
+            self.max_end = end
+
+    def extend_block(
+        self,
+        bounds,
+        str_arg: str | None = None,
+        args=None,
+        metas: list[dict[str, Any]] | None = None,
+    ) -> None:
+        """Stage a whole completion block in bulk.
+
+        ``bounds`` holds ``k + 1`` cumulative times — row ``i`` spans
+        ``bounds[i]`` to ``bounds[i + 1]`` (the cumsum layout
+        :func:`repro.sim._vec.lane_bounds` produces).  ``str_arg`` is a
+        constant string label argument for every row; ``args`` an
+        optional length-``k`` int sequence feeding the first int label
+        slot; ``metas`` an optional length-``k`` list of owned per-row
+        dicts (all rows carry one, or none do).
+        """
+        k = len(bounds) - 1
+        if k <= 0:
+            return
+        if isinstance(bounds, array):
+            self.starts.extend(bounds[:-1])
+            self.ends.extend(bounds[1:])
+        else:  # ndarray from the vectorized path: raw memcpy
+            self.starts.frombytes(bounds[:-1].tobytes())
+            self.ends.frombytes(bounds[1:].tobytes())
+        code = -1 if str_arg is None else self._intern_arg(str_arg)
+        self.str_codes.extend(_const_i(code, k))
+        if args is None:
+            self.arg_a.extend(_const_q(0, k))
+        else:
+            if not isinstance(args, array):
+                args = array("q", args)
+            if len(args) != k:
+                raise ValueError(
+                    f"extend_block: {len(args)} args for {k} rows"
+                )
+            self.arg_a.extend(args)
+        self.arg_b.extend(_const_q(0, k))
+        self.arg_c.extend(_const_q(0, k))
+        self.sizes.extend(_const_q(-1, k))
+        self.kernel_codes.extend(_const_i(-1, k))
+        if metas is None:
+            self.metas.extend([None] * k)
+        else:
+            if len(metas) != k:
+                raise ValueError(
+                    f"extend_block: {len(metas)} metas for {k} rows"
+                )
+            self.metas.extend(metas)
+            self.meta_count += len(metas)
+        last = float(bounds[-1])
+        if last > self.max_end:
+            self.max_end = last
+
+    # -- flushing --------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Move the staged rows into the store's columns (bulk extends)."""
+        k = len(self.starts)
+        if not k:
+            return
+        store = self._store
+        store.starts.extend(self.starts)
+        store.ends.extend(self.ends)
+        store.resource_codes.extend(_const_i(self._resource_code, k))
+        store.label_codes.extend(_const_i(-1, k))
+        store.category_codes.extend(_const_i(self._category_code, k))
+        store.kind_codes.extend(_const_i(self._kind_code, k))
+        store.kernel_codes.extend(self.kernel_codes)
+        store.device_codes.extend(_const_i(self._device_code, k))
+        store.direction_codes.extend(_const_i(self._direction_code, k))
+        store.label_tmpl_codes.extend(_const_i(self._tmpl_code, k))
+        store.label_arg_strs.extend(self.str_codes)
+        store.label_arg_a.extend(self.arg_a)
+        store.label_arg_b.extend(self.arg_b)
+        store.label_arg_c.extend(self.arg_c)
+        store.sizes.extend(self.sizes)
+        metas = self.metas
+        if self.meta_count == 0:
+            store.meta_idx.extend(_const_q(-1, k))
+        elif self.meta_count == k:
+            first = len(store.metas)
+            store.meta_idx.extend(array("q", range(first, first + k)))
+            store.metas.extend(metas)
+        else:
+            meta_idx, store_metas = store.meta_idx, store.metas
+            for meta in metas:
+                if meta is None:
+                    meta_idx.append(-1)
+                else:
+                    meta_idx.append(len(store_metas))
+                    store_metas.append(meta)
+        if self.max_end > store._max_end:
+            store._max_end = self.max_end
+        self.starts = array("d")
+        self.ends = array("d")
+        self.str_codes = array("i")
+        self.arg_a = array("q")
+        self.arg_b = array("q")
+        self.arg_c = array("q")
+        self.sizes = array("q")
+        self.kernel_codes = array("i")
+        self.metas = []
+        self.meta_count = 0
+        self.max_end = 0.0
+
+
 class TraceStore:
     """Append-only columnar store of resource occupations.
 
@@ -138,6 +422,8 @@ class TraceStore:
         "label_arg_pool",
         # metadata side table
         "metas",
+        # staging lanes (flushed lazily, in registration order)
+        "_lanes",
         # lazy state
         "_by_resource",
         "_by_category",
@@ -173,11 +459,54 @@ class TraceStore:
         self.label_tmpl_pool = _StringPool()
         self.label_arg_pool = _StringPool()
         self.metas: list[dict[str, Any]] = []
+        self._lanes: list[TraceLane] = []
         self._by_resource: dict[str, list[int]] = {}
         self._by_category: dict[str, list[int]] = {}
         self._indexed_rows = 0
         self._max_end = 0.0
         self._vec_view = None
+
+    # -- staging lanes ---------------------------------------------------
+
+    def lane(
+        self,
+        resource_id: str,
+        category: str,
+        template: str,
+        *,
+        device_kind: str | None = None,
+        device: Any = _MISSING,
+        direction: str | None = None,
+    ) -> TraceLane:
+        """Open a staged ingestion lane for one pre-declared stream.
+
+        All lane-constant codes (resource, category, label template, and
+        the constant hot metadata columns) are interned here, once;
+        :meth:`TraceLane.append` never touches an intern table except
+        for genuinely varying strings.  Staged rows land in the store —
+        in lane registration order — the first time it is read, indexed,
+        or pickled.
+        """
+        lane = TraceLane(
+            self, resource_id, category, template,
+            device_kind=device_kind, device=device, direction=direction,
+        )
+        self._lanes.append(lane)
+        return lane
+
+    def _flush_lanes(self) -> None:
+        """Flush every staged lane row into the columns (idempotent)."""
+        for lane in self._lanes:
+            lane._flush()
+
+    def _ensure_flushed(self) -> None:
+        """Land staged lane rows before any read/index/pickle use."""
+        if self._lanes:
+            self._flush_lanes()
+
+    def staged_rows(self) -> int:
+        """Rows currently staged across all lanes (0 when none open)."""
+        return sum(len(lane.starts) for lane in self._lanes)
 
     # -- writing ---------------------------------------------------------
 
@@ -192,20 +521,25 @@ class TraceStore:
         pooled string each (``label_at`` formats on materialization).
         Tuples that do not fit are formatted eagerly: laziness is an
         optimization, never a constraint on callers.
+
+        Packability is decided on *exact* types: only a leading ``str``
+        (not a subclass) may fill the string slot, and the int slots
+        accept only true ``int`` s — ``bool`` is an ``int`` subclass
+        but formats as ``"True"``/``"False"``, so a bool (or any
+        int/str subclass) routes the whole label through the eager
+        ``template.format(*args)`` path, which renders every type
+        faithfully.  The property suite asserts lazy and eager
+        formatting agree for str/int/bool/mixed argument mixes.
         """
         if type(label) is tuple:
             template = label[0]
             args = label[1:]
             str_arg: str | None = None
             ints = args
-            if args and isinstance(args[0], str):
+            if args and type(args[0]) is str:
                 str_arg = args[0]
                 ints = args[1:]
-            if (
-                len(ints) <= 3
-                and all(type(v) is int for v in ints)
-                and not any(isinstance(v, str) for v in ints)
-            ):
+            if len(ints) <= 3 and all(type(v) is int for v in ints):
                 self.label_codes.append(-1)
                 self.label_tmpl_codes.append(
                     self.label_tmpl_pool.intern(template)
@@ -235,12 +569,20 @@ class TraceStore:
         start: float,
         end: float,
         meta: Mapping[str, Any] | None = None,
+        own_meta: bool = False,
     ) -> int:
         """Append one occupation; returns its row number.
 
         ``label`` is a display string, or a lazy ``(template, *args)``
         tuple formatted only when the row is materialized (see
         :meth:`_append_label`).
+
+        ``meta`` is defensively copied by default, so callers may keep
+        mutating a shared dict.  A caller handing over a throwaway dict
+        it will never touch again passes ``own_meta=True`` and the
+        store keeps the dict itself — the executor's per-occupation
+        metadata takes this path.  Pickles are identical either way
+        (both store one distinct dict per row).
         """
         row = len(self.starts)
         self.starts.append(start)
@@ -250,7 +592,7 @@ class TraceStore:
         self.category_codes.append(self.category_pool.intern(category))
         if meta:
             self.meta_idx.append(len(self.metas))
-            self.metas.append(dict(meta))
+            self.metas.append(meta if own_meta else dict(meta))
             size = meta.get("size")
             if size is None:
                 self.sizes.append(-1)
@@ -288,12 +630,121 @@ class TraceStore:
             self._max_end = end
         return row
 
+    def record_batch(
+        self,
+        resource_id: str,
+        category: str,
+        starts,
+        ends,
+        labels,
+        metas=None,
+        *,
+        own_meta: bool = False,
+    ) -> range:
+        """Append a homogeneous run of rows in one call; returns its rows.
+
+        Equivalent — byte-for-byte, pickle included — to calling
+        :meth:`record` once per row with the same ``resource_id`` and
+        ``category``, but the resource and category codes are resolved
+        once and the numeric columns are extended in C-speed blocks;
+        only labels and metadata are still handled per row (with full
+        :meth:`record` fidelity, hot-key extraction included).
+
+        ``starts``/``ends`` are float sequences, ``labels`` a sequence
+        of display strings or lazy ``(template, *args)`` tuples, and
+        ``metas`` ``None`` (no row carries metadata) or a per-row
+        sequence of dicts/``None``.  ``own_meta`` has :meth:`record`'s
+        meaning, applied to every dict in ``metas``.
+        """
+        k = len(starts)
+        if len(ends) != k or len(labels) != k:
+            raise ValueError(
+                f"record_batch: column lengths differ "
+                f"({k} starts, {len(ends)} ends, {len(labels)} labels)"
+            )
+        if metas is not None and len(metas) != k:
+            raise ValueError(
+                f"record_batch: {len(metas)} metas for {k} rows"
+            )
+        row0 = len(self.starts)
+        if not k:
+            return range(row0, row0)
+        if not isinstance(starts, array):
+            starts = array("d", starts)
+        if not isinstance(ends, array):
+            ends = array("d", ends)
+        self.starts.extend(starts)
+        self.ends.extend(ends)
+        self.resource_codes.extend(
+            _const_i(self.resource_pool.intern(resource_id), k)
+        )
+        self.category_codes.extend(
+            _const_i(self.category_pool.intern(category), k)
+        )
+        append_label = self._append_label
+        for label in labels:
+            append_label(label)
+        if metas is None:
+            self.meta_idx.extend(_const_q(-1, k))
+            self.sizes.extend(_const_q(-1, k))
+            self.kind_codes.extend(_const_i(-1, k))
+            self.kernel_codes.extend(_const_i(-1, k))
+            self.device_codes.extend(_const_i(-1, k))
+            self.direction_codes.extend(_const_i(-1, k))
+        else:
+            # per-row metadata handling, kept operation-for-operation
+            # identical to record()'s branch (same per-pool intern order)
+            for meta in metas:
+                if meta:
+                    self.meta_idx.append(len(self.metas))
+                    self.metas.append(meta if own_meta else dict(meta))
+                    size = meta.get("size")
+                    if size is None:
+                        self.sizes.append(-1)
+                    else:
+                        try:
+                            self.sizes.append(int(size))
+                        except (TypeError, ValueError):
+                            self.sizes.append(-1)
+                    kind = meta.get("device_kind")
+                    self.kind_codes.append(
+                        -1 if kind is None
+                        else self.kind_pool.intern(str(kind))
+                    )
+                    kernel = meta.get("kernel")
+                    self.kernel_codes.append(
+                        -1 if kernel is None
+                        else self.kernel_pool.intern(str(kernel))
+                    )
+                    device = meta.get("device", _MISSING)
+                    self.device_codes.append(
+                        -1 if device is _MISSING
+                        else self.device_pool.intern(str(device))
+                    )
+                    direction = meta.get("direction")
+                    self.direction_codes.append(
+                        self.direction_pool.intern(direction)
+                        if isinstance(direction, str) else -1
+                    )
+                else:
+                    self.meta_idx.append(-1)
+                    self.sizes.append(-1)
+                    self.kind_codes.append(-1)
+                    self.kernel_codes.append(-1)
+                    self.device_codes.append(-1)
+                    self.direction_codes.append(-1)
+        last = max(ends)
+        if last > self._max_end:
+            self._max_end = last
+        return range(row0, row0 + k)
+
     # -- pickling --------------------------------------------------------
     #
     # Only the columns, pools and metadata travel; group indexes and the
     # vectorized view are caches that rebuild lazily on first query.
 
     def __getstate__(self):
+        self._ensure_flushed()
         return (
             self.starts, self.ends, self.meta_idx, self.sizes,
             self.resource_codes, self.label_codes, self.category_codes,
@@ -322,6 +773,7 @@ class TraceStore:
             self.label_tmpl_pool, self.label_arg_pool,
             self.metas, self._max_end,
         ) = state
+        self._lanes = []
         self._by_resource = {}
         self._by_category = {}
         self._indexed_rows = 0
@@ -331,6 +783,7 @@ class TraceStore:
 
     def _ensure_indexes(self) -> None:
         """Extend the group indexes to cover rows appended since last use."""
+        self._ensure_flushed()
         start = self._indexed_rows
         total = len(self.starts)
         if start == total:
@@ -386,6 +839,7 @@ class TraceStore:
         tiny stores (differential tests); it still returns ``None`` when
         numpy is unavailable or disabled.
         """
+        self._ensure_flushed()
         if not _vec.enabled():
             return None
         n = len(self.starts)
@@ -400,13 +854,16 @@ class TraceStore:
     # -- row access ------------------------------------------------------
 
     def __len__(self) -> int:
+        self._ensure_flushed()
         return len(self.starts)
 
     def resource_id_at(self, row: int) -> str:
+        self._ensure_flushed()
         return self.resource_pool.table[self.resource_codes[row]]
 
     def label_at(self, row: int) -> str:
         """The display label of ``row`` (packed labels format here)."""
+        self._ensure_flushed()
         code = self.label_codes[row]
         if code >= 0:
             return self.label_pool.table[code]
@@ -423,14 +880,17 @@ class TraceStore:
         return template.format(*args)
 
     def category_at(self, row: int) -> str:
+        self._ensure_flushed()
         return self.category_pool.table[self.category_codes[row]]
 
     def meta_at(self, row: int) -> dict[str, Any]:
         """Metadata dict of ``row`` (a shared empty dict when absent)."""
+        self._ensure_flushed()
         idx = self.meta_idx[row]
         return self.metas[idx] if idx >= 0 else _NO_META
 
     def duration_at(self, row: int) -> float:
+        self._ensure_flushed()
         return self.ends[row] - self.starts[row]
 
     def device_key_at(self, row: int) -> str:
@@ -439,6 +899,7 @@ class TraceStore:
         This is the per-device identity the overlap analysis groups by;
         CPU threads sharing one ``device`` tag collectively count as one.
         """
+        self._ensure_flushed()
         code = self.device_codes[row]
         if code >= 0:
             return self.device_pool.table[code]
@@ -455,6 +916,7 @@ class TraceStore:
         """
         import sys
 
+        self._ensure_flushed()
         total = 0
         for name in (
             "starts", "ends", "meta_idx", "sizes",
@@ -484,6 +946,7 @@ class TraceStore:
 
     def makespan(self) -> float:
         """Latest end time across all rows (0.0 for an empty store)."""
+        self._ensure_flushed()
         return self._max_end if self.starts else 0.0
 
     def busy_time(self, resource_id: str, *, category: str | None = None) -> float:
@@ -641,4 +1104,5 @@ class TraceStore:
         return out
 
     def iter_rows(self) -> Iterator[int]:
+        self._ensure_flushed()
         return iter(range(len(self.starts)))

@@ -1,0 +1,91 @@
+"""Lazy-packed labels must format exactly like eager ``format(*args)``.
+
+``TraceStore._append_label`` packs a ``(template, *args)`` tuple into
+fixed-width columns only when the args fit the packed shape — at most
+one leading *exact* ``str`` plus up to three *exact* ``int`` s.
+Anything else (bools, str/int subclasses, floats, too many args) must
+route through the eager ``template.format(*args)`` path.  Hypothesis
+drives arbitrary str/int/bool/mixed argument tuples through ``record``
+and demands ``label_at`` equal the eager rendering, character for
+character — the packed representation is an encoding, never a lossy
+one.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.tracestore import TraceStore
+
+
+class _IntSub(int):
+    """An int subclass whose str() differs from the base rendering."""
+
+    def __str__(self) -> str:
+        return f"sub({int(self)})"
+
+
+class _StrSub(str):
+    pass
+
+
+_arg = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(1 << 62), max_value=1 << 62),
+    st.text(
+        alphabet=st.characters(blacklist_categories=("Cs",)), max_size=8
+    ),
+    st.builds(_IntSub, st.integers(0, 99)),
+    st.builds(_StrSub, st.text(max_size=4)),
+)
+
+
+@given(args=st.lists(_arg, max_size=5))
+def test_lazy_label_formats_like_eager(args):
+    template = "lbl " + " ".join("{}" for _ in args)
+    store = TraceStore()
+    store.record("r", (template, *args), "compute", 0.0, 1.0)
+    assert store.label_at(0) == template.format(*args)
+
+
+@given(
+    s=st.text(max_size=6),
+    ints=st.lists(
+        st.integers(min_value=-(1 << 62), max_value=1 << 62),
+        min_size=0, max_size=3,
+    ),
+)
+def test_packable_shapes_stay_unpooled(s, ints):
+    """str + <=3 ints takes the packed path: no label_pool entry."""
+    args = (s, *ints)
+    template = " ".join("{}" for _ in args)
+    store = TraceStore()
+    store.record("r", (template, *args), "compute", 0.0, 1.0)
+    assert len(store.label_pool) == 0
+    assert store.label_at(0) == template.format(*args)
+
+
+def test_bool_routes_eager():
+    """bool is an int subclass but renders True/False: must not pack."""
+    store = TraceStore()
+    store.record("r", ("flag {}", True), "compute", 0.0, 1.0)
+    assert store.label_at(0) == "flag True"
+    # eager path pools the formatted string
+    assert len(store.label_pool) == 1
+
+
+def test_int_subclass_routes_eager():
+    store = TraceStore()
+    store.record("r", ("v {}", _IntSub(5)), "compute", 0.0, 1.0)
+    assert store.label_at(0) == "v sub(5)"
+    assert len(store.label_pool) == 1
+
+
+def test_str_subclass_leading_arg_routes_eager():
+    """A str subclass may format differently; only exact str packs."""
+    store = TraceStore()
+    store.record("r", (_StrSub("x"), 1), "compute", 0.0, 1.0)
+    # template position is still a plain format call either way; the
+    # *argument* position is what the predicate guards
+    store.record("r", ("a {} {}", _StrSub("x"), 1), "compute", 1.0, 2.0)
+    assert store.label_at(1) == "a x 1"
+    assert len(store.label_pool) >= 1

@@ -88,6 +88,29 @@ class TestRun:
         ) == 0
         assert "Only-CPU" in capsys.readouterr().out
 
+    def test_profile_writes_pstats(self, capsys, tmp_path):
+        out_file = tmp_path / "run.pstats"
+        assert main(
+            ["run", "MatrixMul", "-n", "512", "--strategy", "Only-CPU",
+             "--profile", str(out_file)]
+        ) == 0
+        assert "Only-CPU" in capsys.readouterr().out
+        import pstats
+
+        stats = pstats.Stats(str(out_file))
+        # the profile covers the simulate call: the engine's run loop
+        # must appear in the recorded functions
+        functions = {fn for _, _, fn in stats.stats}
+        assert any("run" in fn for fn in functions)
+        assert stats.total_calls > 100
+
+    def test_profile_matchmade_run(self, tmp_path):
+        out_file = tmp_path / "match.pstats"
+        assert main(
+            ["run", "MatrixMul", "-n", "512", "--profile", str(out_file)]
+        ) == 0
+        assert out_file.exists()
+
     def test_stats_and_gantt(self, capsys):
         assert main(
             ["run", "BlackScholes", "-n", "65536", "--stats", "--gantt"]
