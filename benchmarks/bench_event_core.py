@@ -36,8 +36,14 @@ part shed tracing machinery, part batching.
 
 Also measures end-to-end wall clock of the full scenario under both
 engines (``run_speedup``), verifies their artifacts pickle byte-identical
-(``parity``), and times fused block dispatch vs per-cell dispatch over a
-process pool on cheap cells (``fused``).
+(``parity``), times fused block dispatch vs per-cell dispatch over a
+process pool on cheap cells (``fused``), and measures the plan-evaluator
+inner loop of the schedule×partition search (``plan_eval``): prebuilt
+compiled plans replayed through :class:`~repro.sim.plan.PlanEvaluator`
+vs the fused ``simulate_many`` executor path on the same candidate
+cells.  Every ``*_speedup`` ratio is a best-of-rounds ratio (minimum
+elapsed per variant), never a mean — a single slow round on a noisy
+runner must not fail the CI band.
 
 Runs under pytest (``pytest benchmarks/bench_event_core.py``) and as a
 plain script; ``bench_pipeline_perf.py`` embeds the same record as its
@@ -72,6 +78,11 @@ ITERATIONS = 79
 #: round runs untimed
 ROUNDS = 10
 
+#: rounds for the heavier end-to-end / fused / plan-eval sections; their
+#: ``*_speedup`` ratios are best-of (minimum elapsed per variant), with
+#: engine rounds interleaved so frequency drift hits both sides alike
+RUN_ROUNDS = 5
+
 #: acceptance floor: fast-engine lane replay vs the seed's replay path
 EVENTS_SPEEDUP_FLOOR = 10.0
 
@@ -79,6 +90,16 @@ EVENTS_SPEEDUP_FLOOR = 10.0
 #: vs the seed's traced replay path — the tentpole "traced production
 #: path >= 3x over the oracle" criterion
 TRACED_BATCH_FLOOR = 3.0
+
+#: acceptance floor: the fast engine must not lose end to end — the
+#: full ``repro run`` scenario under the fast engine must be at least as
+#: fast (best-of-rounds) as under the oracle
+RUN_SPEEDUP_FLOOR = 1.0
+
+#: acceptance floor: compiled-plan evaluation vs the fused
+#: ``simulate_many`` executor path on the same candidate cells — the
+#: search engine's reason to exist
+PLAN_EVAL_FLOOR = 10.0
 
 #: metrics ``--check-baseline`` verifies, all same-process ratios: raw
 #: events/sec shifts with runner hardware, but two engine variants timed
@@ -312,11 +333,15 @@ def measure_run_parity() -> dict:
     """
     fast_art, fast_s = _scenario_artifact(oracle=False)
     _, oracle_s = _scenario_artifact(oracle=True)
+    for _ in range(RUN_ROUNDS - 1):
+        fast_s = min(fast_s, _scenario_artifact(oracle=False)[1])
+        oracle_s = min(oracle_s, _scenario_artifact(oracle=True)[1])
     parity = (
         _subprocess_artifact_bytes(oracle=False)
         == _subprocess_artifact_bytes(oracle=True)
     )
     return {
+        "run_rounds": RUN_ROUNDS,
         "fast_run_s": fast_s,
         "oracle_run_s": oracle_s,
         "run_speedup": oracle_s / fast_s,
@@ -349,13 +374,16 @@ def measure_fused() -> dict:
     clear_all()
     run_sweep(cells)  # warm the parent stores both pools snapshot from
 
-    t0 = time.perf_counter()
-    per_cell = run_sweep(cells, jobs=FUSED_JOBS)
-    per_cell_s = time.perf_counter() - t0
+    def _timed(**kwargs):
+        t0 = time.perf_counter()
+        results = run_sweep(cells, jobs=FUSED_JOBS, **kwargs)
+        return time.perf_counter() - t0, results
 
-    t0 = time.perf_counter()
-    fused = run_sweep(cells, jobs=FUSED_JOBS, fuse=0)
-    fused_s = time.perf_counter() - t0
+    per_cell_s, per_cell = _timed()
+    fused_s, fused = _timed(fuse=0)
+    for _ in range(RUN_ROUNDS - 1):
+        per_cell_s = min(per_cell_s, _timed()[0])
+        fused_s = min(fused_s, _timed(fuse=0)[0])
 
     match = all(
         a.makespan_ms == b.makespan_ms and a.summary == b.summary
@@ -373,6 +401,103 @@ def measure_fused() -> dict:
     }
 
 
+#: forced-split candidate grid for the plan-eval measurement — the
+#: schedule×partition search's inner loop shape (SP-Unified on the
+#: scenario app across a ``gpu_fraction`` grid)
+PLAN_EVAL_FRACTIONS = 8
+
+
+def measure_plan_eval() -> dict:
+    """Search inner loop: prebuilt compiled plans vs fused ``simulate_many``.
+
+    Builds the same forced-fraction candidate cells the search engine
+    sweeps, runs them through the fused executor path once (cells/sec),
+    then compiles each cell's plan once and replays it through
+    :class:`~repro.sim.plan.PlanEvaluator` (plans/sec, best of
+    ``RUN_ROUNDS``).  Parity bits compare evaluator makespans against
+    the executor's, on the vectorized drain and again on the
+    ``REPRO_NO_NUMPY=1`` scalar fallback.
+    """
+    from dataclasses import replace
+
+    from repro.apps import get_application
+    from repro.bench.harness import simulate_many
+    from repro.partition.base import PlanConfig, get_strategy
+    from repro.sim.plan import PlanEvaluator, compile_plan
+
+    platform = shen_icpp15_platform()
+    base = PlanConfig()
+    fractions = [
+        i / (PLAN_EVAL_FRACTIONS - 1) for i in range(PLAN_EVAL_FRACTIONS)
+    ]
+    cells = [
+        SweepCell(
+            app="STREAM-Loop", strategy="SP-Unified", platform=platform,
+            n=N, iterations=ITERATIONS, sync=False,
+            config=replace(base, gpu_fraction=f),
+        )
+        for f in fractions
+    ]
+    clear_all()
+    simulate_many(cells)  # warm the planning caches (Glinda, profiles)
+    t0 = time.perf_counter()
+    reference = simulate_many(cells)
+    simulate_s = time.perf_counter() - t0
+
+    strategy = get_strategy("SP-Unified")
+    program = get_application("STREAM-Loop").program(
+        N, iterations=ITERATIONS, sync=False
+    )
+    evaluators = [
+        PlanEvaluator(
+            platform,
+            compile_plan(
+                strategy.plan(program, platform, replace(base, gpu_fraction=f)),
+                platform,
+            ),
+        )
+        for f in fractions
+    ]
+
+    def _evaluate_all() -> tuple[float, list]:
+        t0 = time.perf_counter()
+        artifacts = [ev.evaluate() for ev in evaluators]
+        return time.perf_counter() - t0, artifacts
+
+    eval_s, artifacts = _evaluate_all()  # warm-up round
+    for _ in range(RUN_ROUNDS):
+        eval_s = min(eval_s, _evaluate_all()[0])
+
+    want = [a.makespan_ms for a in reference]
+    parity = [a.makespan_ms for a in artifacts] == want
+    prior = os.environ.get("REPRO_NO_NUMPY")
+    os.environ["REPRO_NO_NUMPY"] = "1"
+    try:
+        parity_fallback = [
+            ev.evaluate().makespan_ms for ev in evaluators
+        ] == want
+    finally:
+        if prior is None:
+            del os.environ["REPRO_NO_NUMPY"]
+        else:
+            os.environ["REPRO_NO_NUMPY"] = prior
+
+    plans_per_sec = len(evaluators) / eval_s
+    simulate_cells_per_sec = len(cells) / simulate_s
+    return {
+        "cells": len(cells),
+        "instances": evaluators[0].compiled.n_compute,
+        "rounds": RUN_ROUNDS,
+        "simulate_s": simulate_s,
+        "eval_s": eval_s,
+        "simulate_cells_per_sec": simulate_cells_per_sec,
+        "plans_per_sec": plans_per_sec,
+        "plans_vs_simulate_speedup": plans_per_sec / simulate_cells_per_sec,
+        "parity": parity,
+        "parity_fallback": parity_fallback,
+    }
+
+
 def measure_sim_core() -> dict:
     """The full ``sim_core`` record the pipeline bench embeds."""
     runs, fast_art = measure_run_parity()
@@ -381,6 +506,7 @@ def measure_sim_core() -> dict:
         **measure_event_core(fast_art),
         **runs,
         "fused": measure_fused(),
+        "plan_eval": measure_plan_eval(),
     }
     return payload
 
@@ -391,6 +517,13 @@ def check(payload: dict) -> None:
     assert payload["traced_batch_speedup"] >= TRACED_BATCH_FLOOR, payload
     assert payload["parity"], payload
     assert payload["fused"]["match"], payload["fused"]
+    check_plan_eval(payload["plan_eval"])
+
+
+def check_plan_eval(plan_eval: dict) -> None:
+    assert plan_eval["parity"], plan_eval
+    assert plan_eval["parity_fallback"], plan_eval
+    assert plan_eval["plans_vs_simulate_speedup"] >= PLAN_EVAL_FLOOR, plan_eval
 
 
 def check_baseline(payload: dict, baseline_path: str) -> list[str]:
@@ -413,7 +546,26 @@ def check_baseline(payload: dict, baseline_path: str) -> list[str]:
                 f"{key}: {payload[key]:.2f}x < {floor:.2f}x "
                 f"(baseline {base:.2f}x - {BASELINE_TOLERANCE:.0%})"
             )
+    # absolute floor, not a baseline ratio: the fast engine must never
+    # lose end to end (smoke payloads skip the end-to-end section)
+    if "run_speedup" in payload and payload["run_speedup"] < RUN_SPEEDUP_FLOOR:
+        failures.append(
+            f"run_speedup: {payload['run_speedup']:.2f}x < "
+            f"{RUN_SPEEDUP_FLOOR:g}x (absolute floor)"
+        )
     return failures
+
+
+def _format_plan_eval(pe: dict) -> str:
+    return (
+        f"plan evaluation:      {pe['plans_per_sec']:,.1f} plans/s vs "
+        f"{pe['simulate_cells_per_sec']:,.1f} simulate_many cells/s "
+        f"({pe['plans_vs_simulate_speedup']:.1f}x, floor "
+        f"{PLAN_EVAL_FLOOR:g}x; {pe['cells']} candidate cells, "
+        f"{pe['instances']} instances each), parity "
+        f"{'ok' if pe['parity'] else 'DIVERGED'}, fallback parity "
+        f"{'ok' if pe['parity_fallback'] else 'DIVERGED'}"
+    )
 
 
 def _format(payload: dict) -> str:
@@ -438,13 +590,15 @@ def _format(payload: dict) -> str:
         f"{payload['traced_lane_speedup']:.1f}x)\n"
         f"end-to-end run:       {payload['fast_run_s']:.2f} s fast vs "
         f"{payload['oracle_run_s']:.2f} s oracle "
-        f"({payload['run_speedup']:.2f}x), parity "
+        f"({payload['run_speedup']:.2f}x, floor {RUN_SPEEDUP_FLOOR:g}x, "
+        f"best of {payload['run_rounds']}), parity "
         f"{'ok' if payload['parity'] else 'DIVERGED'}\n"
         f"fused dispatch:       {fused['fused_cells_per_sec']:,.1f} cells/s "
         f"vs {fused['per_cell_cells_per_sec']:,.1f} per-cell "
         f"({fused['fused_vs_per_cell_speedup']:.2f}x, "
         f"{fused['cells']} cells, {fused['jobs']} jobs), results "
-        f"{'match' if fused['match'] else 'DIVERGED'}"
+        f"{'match' if fused['match'] else 'DIVERGED'}\n"
+        + _format_plan_eval(payload["plan_eval"])
     )
 
 
@@ -470,6 +624,12 @@ def main(argv: list[str] | None = None) -> int:
         "fused sections; CI's bench-smoke step)",
     )
     parser.add_argument(
+        "--plan-eval", action="store_true",
+        help="plan-evaluator section only: compiled-plan replays vs fused "
+        f"simulate_many on the same cells, gated at {PLAN_EVAL_FLOOR:g}x "
+        "with both parity bits (CI's search-smoke step)",
+    )
+    parser.add_argument(
         "--check-baseline", metavar="FILE", default=None,
         help="fail when a speedup ratio regresses more than "
         f"{BASELINE_TOLERANCE:.0%} below the committed baseline JSON",
@@ -477,6 +637,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.dump_artifact:
         _dump_artifact(args.dump_artifact)
+        return 0
+    if args.plan_eval:
+        plan_eval = measure_plan_eval()
+        print(_format_plan_eval(plan_eval))
+        check_plan_eval(plan_eval)
         return 0
 
     if args.smoke:

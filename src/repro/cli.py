@@ -357,6 +357,37 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_search(args) -> int:
+    from repro.partition.search import format_search, search_plan
+
+    platform = _platform(args)
+    config = PlanConfig(cpu_threads=args.threads)
+    result = search_plan(
+        args.app, platform, n=args.n, iterations=args.iterations,
+        sync=args.sync, config=config, grid=args.grid, beam=args.beam,
+        rounds=args.rounds, jobs=args.jobs, workers=_workers(args),
+        fuse=args.fuse, progress=args.progress,
+    )
+    print(format_search(result, top=args.top))
+    if args.output:
+        import json
+        from pathlib import Path
+
+        path = Path(args.output)
+        path.write_text(json.dumps(result.to_record(), indent=2) + "\n")
+        print(f"\nwrote {path}")
+    if args.min_plans_per_sec is not None and (
+        result.plans_per_sec < args.min_plans_per_sec
+    ):
+        print(
+            f"error: {result.plans_per_sec:.1f} plans/s below the "
+            f"--min-plans-per-sec floor {args.min_plans_per_sec:g}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_baseline(args) -> int:
     from repro.bench.baseline import check_baseline, save_baseline
 
@@ -482,6 +513,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("-o", "--output", default="REPORT.md")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "search",
+        help="search (strategy x split ratio x chunking) for one scenario",
+    )
+    _add_common(p)
+    _add_jobs(p)
+    p.add_argument("app")
+    p.add_argument("-n", type=int, default=None, help="problem size")
+    p.add_argument("-i", "--iterations", type=int, default=None)
+    p.add_argument("--threads", type=int, default=None,
+                   help="SMP thread count m")
+    sync = p.add_mutually_exclusive_group()
+    sync.add_argument("--sync", dest="sync", action="store_true", default=None)
+    sync.add_argument("--no-sync", dest="sync", action="store_false")
+    p.add_argument("--grid", type=int, default=9,
+                   help="coarse GPU-fraction grid points in [0, 1]")
+    p.add_argument("--beam", type=int, default=3,
+                   help="fraction candidates each refinement round expands")
+    p.add_argument("--rounds", type=int, default=2,
+                   help="halving refinement rounds after the coarse grid")
+    p.add_argument("--top", type=int, default=10,
+                   help="candidates shown in the report")
+    p.add_argument("-o", "--output", default=None, metavar="FILE.json",
+                   help="write the SearchResult record to FILE.json")
+    p.add_argument("--min-plans-per-sec", type=float, default=None,
+                   metavar="X",
+                   help="exit 1 if the search evaluated fewer than X "
+                        "candidates per second (CI throughput gate)")
+    p.set_defaults(func=cmd_search)
 
     p = sub.add_parser(
         "baseline", help="save or check a regression baseline snapshot"

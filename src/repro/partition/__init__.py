@@ -48,6 +48,13 @@ from repro.partition.glinda import (
     HardwareConfig,
     TransferModel,
 )
+from repro.partition.search import (
+    Candidate,
+    CandidateResult,
+    SearchResult,
+    format_search,
+    search_plan,
+)
 from repro.partition.glinda_multi import (
     DeviceTerm,
     MultiDeviceDecision,

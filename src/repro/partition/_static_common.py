@@ -87,6 +87,75 @@ def multi_static_chunks(
     return chunks
 
 
+def forced_gpu_count(config: PlanConfig, n: int) -> int:
+    """Index count of a forced ``config.gpu_fraction`` split.
+
+    The count is rounded up to a warp multiple exactly like a Glinda
+    decision, so forced splits land on the same grid the predictor uses
+    (and the schedule×partition search explores no unreachable points).
+    """
+    frac = config.gpu_fraction
+    if frac is None or not 0.0 <= frac <= 1.0:
+        raise PartitioningError(
+            f"gpu_fraction={frac!r} must be a float in [0, 1]"
+        )
+    n_gpu = int(round(frac * n))
+    if 0 < n_gpu < n:
+        w = config.warp_size
+        n_gpu = min(-(-n_gpu // w) * w, n)
+    return n_gpu
+
+
+def forced_plan(
+    strategy_name: str,
+    program: Program,
+    platform: Platform,
+    config: PlanConfig,
+    **notes,
+):
+    """Execution plan for an explicitly forced GPU fraction.
+
+    The SP-* strategies delegate here when ``config.gpu_fraction`` is set:
+    the Glinda predictor is bypassed and every invocation is split at the
+    forced (warp-rounded) point.  Strategy-specific applicability gates
+    and program rewrites (SP-Varied's ``force_sync``) stay with the
+    caller, so a forced SP-Varied still pays for its synchronization.
+    """
+    from repro.partition.base import (
+        ExecutionPlan,
+        StrategyDecision,
+        finalize_graph,
+    )
+    from repro.runtime.schedulers.base import StaticScheduler
+
+    m = config.threads(platform)
+    fractions: dict[str, float] = {}
+
+    def chunker(inv: KernelInvocation) -> list[Chunk]:
+        n_gpu = forced_gpu_count(config, inv.n)
+        fractions[inv.kernel.name] = n_gpu / inv.n if inv.n else 0.0
+        return static_chunks(inv, n_gpu, platform=platform, m=m)
+
+    graph = finalize_graph(program, chunker)
+    fracs = set(fractions.values())
+    if fracs == {1.0}:
+        hardware = HardwareConfig.ONLY_GPU.value
+    elif fracs == {0.0}:
+        hardware = HardwareConfig.ONLY_CPU.value
+    else:
+        hardware = HardwareConfig.CPU_GPU.value
+    return ExecutionPlan(
+        graph=graph,
+        scheduler=StaticScheduler(),
+        decision=StrategyDecision(
+            strategy=strategy_name,
+            hardware_config=hardware,
+            gpu_fraction_by_kernel=fractions,
+            notes={"forced_gpu_fraction": config.gpu_fraction, **notes},
+        ),
+    )
+
+
 def single_kernel_of(program: Program, strategy: str):
     """The unique kernel of a single-kernel program, or raise."""
     kernels = program.kernels

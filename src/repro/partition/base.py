@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import abc
 import difflib
+import os
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
@@ -52,6 +53,10 @@ class PlanConfig:
     warp_size: int = 32
     gpu_only_threshold: float = 0.97
     cpu_only_threshold: float = 0.03
+    #: force the GPU share of every split instead of asking the Glinda
+    #: predictor (SP-* strategies only).  The schedule×partition search
+    #: drives this knob across a candidate grid.
+    gpu_fraction: float | None = None
 
     def threads(self, platform: Platform) -> int:
         return self.cpu_threads or platform.host.spec.cores
@@ -139,6 +144,16 @@ class Strategy(abc.ABC):
         return f"<Strategy {self.name}>"
 
 
+def _plan_eval_enabled() -> bool:
+    """Whether ``REPRO_PLAN_EVAL`` opts runs into the compiled evaluator.
+
+    Read per call (not at import) so sweeps can flip it around a pool of
+    already-imported workers.  Mirrors
+    :func:`repro.sim.plan.plan_eval_enabled`.
+    """
+    return os.environ.get("REPRO_PLAN_EVAL", "0").lower() in ("1", "true", "on")
+
+
 def run_plan(
     plan: ExecutionPlan,
     platform: Platform,
@@ -158,8 +173,20 @@ def run_plan(
     if plan.runtime_overrides:
         config = replace(config, **plan.runtime_overrides)
     before = cache_baseline if cache_baseline is not None else _cache.counters()
-    engine = RuntimeEngine(platform, config=config)
-    artifact = engine.execute(plan.graph, plan.scheduler, detail=detail)
+    artifact = None
+    if _plan_eval_enabled():
+        from repro.errors import PlanCompileError
+        from repro.sim.plan import evaluate_plan
+
+        try:
+            artifact = evaluate_plan(
+                plan, platform, runtime_config=config, detail=detail
+            )
+        except PlanCompileError:
+            artifact = None
+    if artifact is None:
+        engine = RuntimeEngine(platform, config=config)
+        artifact = engine.execute(plan.graph, plan.scheduler, detail=detail)
     return artifact.with_context(
         decision=plan.decision, cache_stats=_cache.stats_delta(before)
     )

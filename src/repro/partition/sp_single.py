@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.partition._static_common import (
     decision_chunker,
+    forced_plan,
     glinda_kwargs,
     multi_static_chunks,
     single_kernel_of,
@@ -45,6 +46,9 @@ class SPSingle(Strategy):
         self, program: Program, platform: Platform, config: PlanConfig | None = None
     ) -> ExecutionPlan:
         config = config or PlanConfig()
+        if config.gpu_fraction is not None:
+            single_kernel_of(program, self.name)  # applicability gate
+            return forced_plan(self.name, program, platform, config)
         if len(platform.accelerators) > 1:
             return self._plan_multi(program, platform, config)
         kernel = single_kernel_of(program, self.name)

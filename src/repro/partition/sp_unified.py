@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.partition._static_common import (
     decision_chunker,
+    forced_plan,
     glinda_kwargs,
     require_multi_kernel,
     uniform_problem_size,
@@ -85,6 +86,8 @@ class SPUnified(Strategy):
         config = config or PlanConfig()
         require_multi_kernel(program, self.name)
         n = uniform_problem_size(program, self.name)
+        if config.gpu_fraction is not None:
+            return forced_plan(self.name, program, platform, config, fused=True)
 
         # fused throughput: per-index time adds up across the kernels of
         # one pass (weighted by how often each kernel appears)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.partition._static_common import (
     decision_chunker,
+    forced_plan,
     glinda_kwargs,
     require_multi_kernel,
 )
@@ -47,6 +48,10 @@ class SPVaried(Strategy):
         config = config or PlanConfig()
         require_multi_kernel(program, self.name)
         synced = force_sync(program)
+        if config.gpu_fraction is not None:
+            return forced_plan(
+                self.name, synced, platform, config, forced_sync=True
+            )
 
         model = GlindaModel(**glinda_kwargs(config))
         link = platform.link_for(platform.gpu.device_id)

@@ -33,7 +33,11 @@ from repro.errors import SchedulingError, SimulationError
 from repro.platform.topology import HOST_SPACE, ComputeResource, Platform
 from repro.runtime.graph import TaskGraph, TaskInstance
 from repro.runtime.memory import MemoryManager, TransferOp
-from repro.runtime.schedulers.base import Scheduler, SchedulingContext
+from repro.runtime.schedulers.base import (
+    Scheduler,
+    SchedulingContext,
+    StaticScheduler,
+)
 from repro.sim.engine import DEFAULT_MAX_EVENTS
 from repro.sim.fast_engine import make_simulator
 from repro.sim.resources import SimResource
@@ -339,10 +343,14 @@ class _Run:
         #: region being transferred must wait for the wire, not just for
         #: the (optimistically updated) directory
         self._inflight: dict[tuple[str, str], list[_InflightTransfer]] = {}
-        #: per-instance ``inst.regions()`` materialization — the list is
-        #: walked up to three times per instance (hazard scan, transfer
-        #: planning, write-back), so build it once
-        self._regions_cache: dict[int, list] = {}
+        #: signature-keyed memo caches.  Looped programs re-issue the same
+        #: (kernel object, range, n) chunk once per iteration, so regions
+        #: and compute durations are materialized once per *signature*
+        #: instead of once per instance — region lists are shared (callers
+        #: only iterate them) and durations are pure roofline arithmetic,
+        #: so sharing is value-identical to recomputing.
+        self._regions_cache: dict[tuple, list] = {}
+        self._duration_cache: dict[tuple, float] = {}
         #: prebound completion methods — occupations carry ``(method, arg)``
         #: tuples instead of a fresh closure each
         self._complete_cb = self._complete_compute
@@ -367,10 +375,14 @@ class _Run:
             ) from None
 
     def _regions(self, inst: TaskInstance) -> list:
-        regions = self._regions_cache.get(inst.instance_id)
+        # the kernel *object* keys the memo: looped programs reuse one
+        # Kernel per iteration, while DAG apps emit distinct same-named
+        # kernels over different arrays (Cholesky's per-tile gemms)
+        key = (id(inst.kernel), inst.lo, inst.hi, inst.invocation.n)
+        regions = self._regions_cache.get(key)
         if regions is None:
             regions = list(inst.regions())
-            self._regions_cache[inst.instance_id] = regions
+            self._regions_cache[key] = regions
         return regions
 
     def _link_channel(self, op: TransferOp) -> SimResource:
@@ -425,8 +437,6 @@ class _Run:
                 ]
                 assignments: list[tuple[TaskInstance, str]] = []
                 if pinned:
-                    from repro.runtime.schedulers.base import StaticScheduler
-
                     if self._static is None:
                         self._static = StaticScheduler()
                     assignments.extend(self._static.assign(pinned, self._ctx()))
@@ -537,13 +547,17 @@ class _Run:
         transfer_total: float,
     ) -> None:
         kernel = inst.kernel
-        duration = kernel.chunk_time(
-            resource.device,
-            kernel.work_units(inst.lo, inst.hi),
-            inst.invocation.n,
-            share=resource.share,
-        )
-        duration += self.config.task_creation_overhead_s
+        key = (id(kernel), resource.resource_id, inst.lo, inst.hi,
+               inst.invocation.n)
+        duration = self._duration_cache.get(key)
+        if duration is None:
+            duration = kernel.chunk_time(
+                resource.device,
+                kernel.work_units(inst.lo, inst.hi),
+                inst.invocation.n,
+                share=resource.share,
+            ) + self.config.task_creation_overhead_s
+            self._duration_cache[key] = duration
         if self.scheduler.dynamic and inst.pinned_resource is None \
                 and inst.pinned_device is None:
             duration += self.config.dynamic_decision_overhead_s

@@ -105,11 +105,12 @@ class PerfAwareScheduler(Scheduler):
         #: dependence-chain tracking (shared policy with DP-Dep)
         self._chains: dict[int, int] = {}
         self._chain_device: dict[int, str] = {}
-        #: per-instance ``(work_units, in_bytes, out_bytes)`` — pure
-        #: functions of the instance's range, but ``estimate`` runs once
-        #: per *resource* per assignment, so recomputing them there walks
-        #: the kernel's access list m+1 times per instance
-        self._inst_cost: dict[int, tuple[float, int, int]] = {}
+        #: ``(work_units, in_bytes, out_bytes)`` memoized per
+        #: ``(kernel, lo, hi, n)`` signature — pure functions of the
+        #: instance's range, and iterative apps re-issue the same ranges
+        #: every iteration, so the access-list walk runs once per
+        #: distinct chunk instead of once per instance per resource
+        self._inst_cost: dict[tuple, tuple[float, int, int]] = {}
 
     def start(self, graph: TaskGraph, ctx: SchedulingContext) -> None:
         self._graph = graph
@@ -161,11 +162,15 @@ class PerfAwareScheduler(Scheduler):
 
     def _cost(self, inst: TaskInstance) -> tuple[float, int, int]:
         """Memoized ``(work_units, in_bytes, out_bytes)`` of an instance."""
-        cost = self._inst_cost.get(inst.instance_id)
+        # keyed by kernel object, not name: DAG apps emit distinct
+        # same-named kernels (different arrays, possibly different work
+        # profiles), while looped apps reuse one Kernel per iteration
+        key = (id(inst.kernel), inst.lo, inst.hi, inst.invocation.n)
+        cost = self._inst_cost.get(key)
         if cost is None:
             work = inst.kernel.work_units(inst.lo, inst.hi)
             in_b, out_b = _partitioned_bytes(inst)
-            cost = self._inst_cost[inst.instance_id] = (work, in_b, out_b)
+            cost = self._inst_cost[key] = (work, in_b, out_b)
         return cost
 
     def estimate(self, inst: TaskInstance, resource: ComputeResource) -> float:
@@ -207,12 +212,22 @@ class PerfAwareScheduler(Scheduler):
         self, ready: Sequence[TaskInstance], ctx: SchedulingContext
     ) -> list[tuple[TaskInstance, str]]:
         out: list[tuple[TaskInstance, str]] = []
+        busy_until = self._busy_until
+        now = ctx.now
         for inst in ready:  # creation order, assigned immediately
             best_rid: str | None = None
             best_finish = float("inf")
+            # estimate() is a pure function of the instance and the
+            # resource's (device, share) — identical for every thread of
+            # the same device — so compute it once per device class, not
+            # once per resource (m+1 calls collapse to one per device)
+            est_by_class: dict[tuple[str, float], float] = {}
             for resource in ctx.resources:
-                est = self.estimate(inst, resource)
-                start = max(ctx.now, self._busy_until.get(resource.resource_id, 0.0))
+                cls = (resource.device.device_id, resource.share)
+                est = est_by_class.get(cls)
+                if est is None:
+                    est = est_by_class[cls] = self.estimate(inst, resource)
+                start = max(now, busy_until.get(resource.resource_id, 0.0))
                 finish = start + est
                 if finish < best_finish - 1e-15:
                     best_finish = finish

@@ -97,6 +97,34 @@ def lane_bounds(t0: float, durations):
     return bounds
 
 
+def chain_bounds(t0s, duration_rows):
+    """Per-resource cumulative bounds for a set of serial chains.
+
+    The cross-resource generalization of :func:`lane_bounds`: ``t0s[i]``
+    anchors resource ``i``'s chain and ``duration_rows[i]`` holds its
+    back-to-back durations.  Returns one bounds sequence per resource
+    (``len(duration_rows[i]) + 1`` entries each, same layout as
+    :func:`lane_bounds`).
+
+    On the vectorized path every chain is a row of one 2-D matrix —
+    short rows padded with trailing zeros — drained by a single
+    ``np.cumsum(axis=1)``.  ``cumsum`` is the naive left-to-right
+    recurrence and ``x + 0.0 == x`` for the non-negative times simulated
+    here, so the padding never perturbs the partial sums and both paths
+    stay bit-identical to chained :func:`lane_bounds` calls.
+    """
+    if enabled() and duration_rows:
+        width = max(len(row) for row in duration_rows)
+        mat = _np.zeros((len(duration_rows), width + 1), dtype=_np.float64)
+        for i, (t0, row) in enumerate(zip(t0s, duration_rows)):
+            mat[i, 0] = t0
+            if len(row):
+                mat[i, 1:len(row) + 1] = row
+        _np.cumsum(mat, axis=1, out=mat)
+        return [mat[i, :len(row) + 1] for i, row in enumerate(duration_rows)]
+    return [lane_bounds(t0, row) for t0, row in zip(t0s, duration_rows)]
+
+
 def _seq_sum(values) -> float:
     """Left-to-right sequential sum of a 1-D float array.
 

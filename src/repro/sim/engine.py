@@ -41,17 +41,29 @@ class Simulator:
     moves forward; scheduling into the past is an error.
     """
 
-    #: minimum number of cancelled slots before a heap compaction is
-    #: considered (avoids rebuilding tiny heaps); compaction also requires
-    #: cancelled slots to outnumber live ones
+    #: default minimum number of cancelled slots before a heap compaction
+    #: is considered (avoids rebuilding tiny heaps); compaction also
+    #: requires cancelled slots to outnumber live ones
     _COMPACT_MIN = 64
 
-    def __init__(self) -> None:
+    def __init__(self, *, compact_min: int | None = None) -> None:
         self._now = 0.0
         self._heap: list[Event] = []
         self._seq = 0
         self._running = False
         self._cancelled = 0  # cancelled events still occupying heap slots
+        #: cancelled-slot threshold below which the heap is never rebuilt;
+        #: cancel-heavy workloads can raise it to amortize rebuilds over
+        #: larger batches (or lower it to bound heap memory)
+        self._compact_min = (
+            self._COMPACT_MIN if compact_min is None else compact_min
+        )
+        self.compactions = 0  # heap rebuilds performed so far
+
+    @property
+    def compact_min(self) -> int:
+        """Cancelled-slot threshold that arms heap compaction."""
+        return self._compact_min
 
     @property
     def now(self) -> float:
@@ -80,12 +92,13 @@ class Simulator:
         """Track a cancellation; compact once cancelled slots dominate."""
         self._cancelled += 1
         if (
-            self._cancelled >= self._COMPACT_MIN
+            self._cancelled >= self._compact_min
             and self._cancelled * 2 > len(self._heap)
         ):
             self._heap = [e for e in self._heap if not e.cancelled]
             heapq.heapify(self._heap)
             self._cancelled = 0
+            self.compactions += 1
 
     def after(
         self,

@@ -85,9 +85,17 @@ def fast_engine_enabled() -> bool:
     return os.environ.get("REPRO_NO_FAST_ENGINE", "0") not in ("1", "true", "on")
 
 
-def make_simulator() -> "FastSimulator | Simulator":
-    """The engine new runs should use, honoring ``REPRO_NO_FAST_ENGINE``."""
-    return FastSimulator() if fast_engine_enabled() else Simulator()
+def make_simulator(
+    *, compact_min: int | None = None
+) -> "FastSimulator | Simulator":
+    """The engine new runs should use, honoring ``REPRO_NO_FAST_ENGINE``.
+
+    ``compact_min`` overrides the cancelled-event pruning threshold on
+    whichever engine is selected (``None`` keeps the engine default).
+    """
+    if fast_engine_enabled():
+        return FastSimulator(compact_min=compact_min)
+    return Simulator(compact_min=compact_min)
 
 
 class FastEvent:
@@ -156,7 +164,7 @@ class _ReplayLane:
 class FastSimulator:
     """Drop-in fast engine: same contract as the oracle ``Simulator``."""
 
-    #: same compaction policy as the oracle engine
+    #: same default compaction policy as the oracle engine
     _COMPACT_MIN = 64
 
     #: capability flag: :class:`~repro.sim.resources.SimResource` detects
@@ -164,18 +172,30 @@ class FastSimulator:
     #: :meth:`schedule_completion` instead of a per-event closure
     inline_completions = True
 
-    __slots__ = ("_now", "_heap", "_seq", "_running", "_cancelled", "_mixed")
+    __slots__ = ("_now", "_heap", "_seq", "_running", "_cancelled", "_mixed",
+                 "_compact_min", "compactions")
 
-    def __init__(self) -> None:
+    def __init__(self, *, compact_min: int | None = None) -> None:
         self._now = 0.0
         #: heap of (time, priority, seq, kind, a0, a1) tuples
         self._heap: list[tuple] = []
         self._seq = 0
         self._running = False
         self._cancelled = 0  # cancelled handles still occupying heap slots
+        #: cancelled-slot threshold below which the heap is never rebuilt
+        #: (see :meth:`_note_cancel`); configurable per workload
+        self._compact_min = (
+            self._COMPACT_MIN if compact_min is None else compact_min
+        )
+        self.compactions = 0  # heap rebuilds performed so far
         #: True once any non-lane event was scheduled; gates the
         #: specialized pure-lane drain loop
         self._mixed = False
+
+    @property
+    def compact_min(self) -> int:
+        """Cancelled-slot threshold that arms heap compaction."""
+        return self._compact_min
 
     @property
     def now(self) -> float:
@@ -279,7 +299,7 @@ class FastSimulator:
         """Track a cancellation; compact once cancelled slots dominate."""
         self._cancelled += 1
         if (
-            self._cancelled >= self._COMPACT_MIN
+            self._cancelled >= self._compact_min
             and self._cancelled * 2 > len(self._heap)
         ):
             self._heap = [
@@ -288,6 +308,7 @@ class FastSimulator:
             ]
             heapq.heapify(self._heap)
             self._cancelled = 0
+            self.compactions += 1
 
     # -- run loop -----------------------------------------------------------
 

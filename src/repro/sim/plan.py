@@ -1,0 +1,705 @@
+"""Compiled run-plans: static-plan lowering + a terminal vectorized drain.
+
+The schedule×partition search engine (:mod:`repro.partition.search`) needs
+orders of magnitude more simulated runs per second than the general
+event-driven executor delivers, without giving up its exactness.  This
+module gets there in two steps:
+
+* :func:`compile_plan` lowers one static :class:`ExecutionPlan` into a
+  :class:`CompiledPlan` of flat per-instance arrays — compute durations
+  (signature-memoized roofline arithmetic), statically-known resource ids,
+  and eager-writeback flags.  Plans that cannot be lowered (dynamic
+  scheduler, unpinned instances) raise
+  :class:`~repro.errors.PlanCompileError` and callers fall back to the
+  general engine.
+
+* :class:`PlanEvaluator` runs the compiled plan through the **real**
+  engine — ``_EvalRun`` subclasses the executor's ``_Run``, so memory
+  coherence, transfers, barriers and trace lanes are exact by
+  construction — and adds a *terminal drain*: once no transfer is on the
+  wire, no barrier or write-back is pending, and the rest of the graph is
+  provably a set of per-resource back-to-back chains, the remaining
+  completions are computed in one shot with
+  :func:`repro.sim._vec.chain_bounds` (one 2-D ``cumsum`` across all
+  resource frontiers — the cross-resource generalization of the
+  single-stream ``_K_FINISH_BATCH`` path) instead of thousands of heap
+  events.  Under ``REPRO_NO_NUMPY=1`` the bounds come from the
+  bit-identical sequential fallback.
+
+Exactness contract (enforced by
+``tests/integration/test_plan_eval_differential.py``): in ``summary``
+detail the evaluated artifact's makespan, per-resource busy times and
+every other summary aggregate equal the general engine's bit-for-bit; in
+``full`` detail the drain is disabled entirely, so artifacts are
+byte-identical trivially.  The drain only commits when a validation walk
+proves the engine would have produced the same timeline:
+
+* every not-yet-done instance has a statically known resource, and every
+  unmet dependence of a remaining instance lives on the *same* resource
+  (so each resource's future is an independent FIFO chain — release order
+  equals the engine's sorted-successor dispatch order, and chains run
+  back-to-back with no idle gaps);
+* a shadow copy of the memory directory confirms every remaining read is
+  already resident in its target space (no transfers would be issued);
+* instances that face a synchronization point (and would issue eager
+  write-backs) write pairwise-disjoint regions, so replaying their
+  write-backs at their computed end times commutes with committing all
+  drained writes up front.
+
+When any check fails the drain simply does not commit — the run continues
+on the ordinary event loop, still exact, just slower.  Applications that
+synchronize every iteration (pending barriers at all times) therefore
+never drain; the big wins come from sync-free loops, which is exactly the
+population the search sweeps.
+
+One accepted blind spot, by construction rather than by luck: barriers
+and in-flight transfers block the drain, so the only timeline ambiguity
+the literature's batched drains hit — two same-time completions releasing
+work into one queue from *different* resources — cannot arise here (the
+same-resource dependence gate forbids the cross-resource release).
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from collections import deque
+from dataclasses import dataclass, replace
+
+from repro.artifact import RunArtifact, check_detail
+from repro.errors import PlanCompileError, SimulationError
+from repro.platform.topology import HOST_SPACE, Platform
+from repro.runtime.executor import RuntimeConfig, _Run
+from repro.runtime.schedulers.base import StaticScheduler
+from repro.sim import _vec
+from repro.sim.engine import PRIORITY_COMPLETION
+
+#: do not bother draining tails smaller than this — the validation walk
+#: has a fixed cost the event loop beats on tiny remainders
+DRAIN_MIN_INSTANCES = 24
+
+
+def plan_eval_enabled() -> bool:
+    """Whether ``run_plan`` should route static plans through the evaluator.
+
+    Read per call (like the engine seam's ``REPRO_NO_FAST_ENGINE``), so
+    tests and the search driver can flip ``REPRO_PLAN_EVAL`` at any point.
+    """
+    return os.environ.get("REPRO_PLAN_EVAL", "0") in ("1", "true", "on")
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """One static plan lowered to flat per-instance arrays.
+
+    ``durations``/``resource_ids``/``writeback_flags`` are indexed by
+    ``instance_id`` (barrier slots hold ``0.0``/``None``/``False``).
+    ``drainable`` is precomputed: every compute instance's resource is
+    statically known, so the terminal drain may even be attempted.
+
+    ``succs_sorted``/``region_rows``/``cross_deps`` are the drain walk's
+    per-instance lookups hoisted to compile time: successor ids in the
+    engine's release order, flat ``(region, reads, writes)`` rows, and
+    the (usually empty) dependences that live on a *different* resource
+    — the only ones the drain's gate 1 must re-check at runtime.
+    ``kernel_names``/``los``/``his``/``sizes`` are the drain commit's
+    trace-row columns, precomputed so the bulk lane extend never touches
+    instance property descriptors.
+    """
+
+    graph: object
+    scheduler: StaticScheduler
+    config: RuntimeConfig
+    durations: array
+    resource_ids: tuple
+    writeback_flags: tuple
+    drainable: bool
+    n_compute: int
+    n_barriers: int
+    succs_sorted: tuple
+    region_rows: tuple
+    cross_deps: tuple
+    kernel_names: tuple
+    los: tuple
+    his: tuple
+    sizes: tuple
+
+
+def compile_plan(
+    plan, platform: Platform, runtime_config: RuntimeConfig | None = None
+) -> CompiledPlan:
+    """Lower ``plan`` for :class:`PlanEvaluator`, or raise.
+
+    Raises :class:`~repro.errors.PlanCompileError` when the plan is not
+    statically lowerable: the scheduler takes runtime decisions, or an
+    instance carries no resource/device pin.  ``plan.runtime_overrides``
+    are applied to ``runtime_config`` here, exactly as ``run_plan`` does.
+    """
+    scheduler = plan.scheduler
+    if type(scheduler) is not StaticScheduler:
+        raise PlanCompileError(
+            f"plan uses scheduler {scheduler.name!r}; only purely static "
+            "plans compile"
+        )
+    config = runtime_config or RuntimeConfig()
+    if plan.runtime_overrides:
+        config = replace(config, **plan.runtime_overrides)
+
+    graph = plan.graph
+    resources = platform.compute_resources(cpu_threads=config.cpu_threads)
+    by_id = {r.resource_id: r for r in resources}
+    by_device: dict[str, list] = {}
+    for r in resources:
+        by_device.setdefault(r.device.device_id, []).append(r)
+    host_id = platform.host.device_id
+
+    invocations = graph.program.invocations
+    last_invocation_id = (
+        invocations[-1].invocation_id if invocations else -1
+    )
+
+    n = len(graph.instances)
+    durations = array("d", bytes(8 * n))
+    resource_ids: list = [None] * n
+    writeback_flags = [False] * n
+    duration_memo: dict[tuple, float] = {}
+    writes_memo: dict[tuple, bool] = {}
+    drainable = True
+    n_compute = 0
+    n_barriers = 0
+
+    for inst in graph.instances:
+        if inst.is_barrier:
+            n_barriers += 1
+            continue
+        n_compute += 1
+        i = inst.instance_id
+        if inst.pinned_resource is not None:
+            resource = by_id.get(inst.pinned_resource)
+            if resource is None:
+                raise PlanCompileError(
+                    f"instance {i} pinned to unknown resource "
+                    f"{inst.pinned_resource!r}"
+                )
+            resource_ids[i] = resource.resource_id
+        elif inst.pinned_device is not None:
+            device_resources = by_device.get(inst.pinned_device)
+            if not device_resources:
+                raise PlanCompileError(
+                    f"instance {i} pinned to unknown device "
+                    f"{inst.pinned_device!r}"
+                )
+            resource = device_resources[0]
+            if len(device_resources) == 1:
+                resource_ids[i] = resource.resource_id
+            else:
+                # the static scheduler round-robins multi-resource
+                # devices by runtime load; not statically known
+                drainable = False
+        else:
+            raise PlanCompileError(
+                f"instance {i} is unpinned; static plans pin every instance"
+            )
+
+        kernel = inst.kernel
+        key = (id(kernel), resource.resource_id, inst.lo, inst.hi,
+               inst.invocation.n)
+        duration = duration_memo.get(key)
+        if duration is None:
+            # must match _Run._start_compute's arithmetic exactly: the
+            # drain's chained ends have to be bit-identical to the floats
+            # the engine would have produced event by event
+            duration = kernel.chunk_time(
+                resource.device,
+                kernel.work_units(inst.lo, inst.hi),
+                inst.invocation.n,
+                share=resource.share,
+            ) + config.task_creation_overhead_s
+            duration_memo[key] = duration
+        durations[i] = duration
+
+        if config.eager_writeback and resource_ids[i] is not None:
+            space = (
+                HOST_SPACE
+                if resource.device.device_id == host_id
+                else resource.device.device_id
+            )
+            if space != HOST_SPACE:
+                faces_sync = inst.invocation.sync_after or (
+                    config.final_flush
+                    and inst.invocation.invocation_id == last_invocation_id
+                )
+                if faces_sync:
+                    wkey = (id(kernel), inst.lo, inst.hi, inst.invocation.n)
+                    writes = writes_memo.get(wkey)
+                    if writes is None:
+                        writes = any(
+                            mode.writes for _, mode in inst.regions()
+                        )
+                        writes_memo[wkey] = writes
+                    writeback_flags[i] = writes
+
+    # hoist the drain walk's per-instance lookups: release order,
+    # region rows (shared per signature, like the executor's memo), and
+    # the statically-known cross-resource dependences
+    succs_sorted: list = [()] * n
+    region_rows: list = [()] * n
+    cross_deps: list = [()] * n
+    kernel_names: list = [None] * n
+    los: list = [0] * n
+    his: list = [0] * n
+    sizes: list = [0] * n
+    rows_memo: dict[tuple, tuple] = {}
+    for inst in graph.instances:
+        if inst.is_barrier:
+            continue
+        i = inst.instance_id
+        if inst.succs:
+            succs_sorted[i] = tuple(sorted(inst.succs))
+        kernel = inst.kernel
+        kernel_names[i] = kernel.name
+        los[i] = inst.lo
+        his[i] = inst.hi
+        sizes[i] = inst.size
+        # keyed by kernel *object*: looped programs reuse one Kernel per
+        # iteration, while DAG apps emit distinct same-named kernels
+        # over different arrays (Cholesky's per-tile gemms)
+        rkey = (id(kernel), inst.lo, inst.hi, inst.invocation.n)
+        rows = rows_memo.get(rkey)
+        if rows is None:
+            rows = rows_memo[rkey] = tuple(
+                (region, mode.reads, mode.writes)
+                for region, mode in inst.regions()
+            )
+        region_rows[i] = rows
+        rid = resource_ids[i]
+        crossing = tuple(
+            dep for dep in inst.deps if resource_ids[dep] != rid
+        )
+        if crossing:
+            cross_deps[i] = crossing
+
+    return CompiledPlan(
+        graph=graph,
+        scheduler=scheduler,
+        config=config,
+        durations=durations,
+        resource_ids=tuple(resource_ids),
+        writeback_flags=tuple(writeback_flags),
+        drainable=drainable,
+        n_compute=n_compute,
+        n_barriers=n_barriers,
+        succs_sorted=tuple(succs_sorted),
+        region_rows=tuple(region_rows),
+        cross_deps=tuple(cross_deps),
+        kernel_names=tuple(kernel_names),
+        los=tuple(los),
+        his=tuple(his),
+        sizes=tuple(sizes),
+    )
+
+
+def evaluate_plan(
+    plan,
+    platform: Platform,
+    *,
+    runtime_config: RuntimeConfig | None = None,
+    detail: str = "summary",
+    compiled: CompiledPlan | None = None,
+) -> RunArtifact:
+    """Compile (unless precompiled) and evaluate one plan.
+
+    Raises :class:`~repro.errors.PlanCompileError` for plans the compiler
+    rejects; callers needing a universal entry point catch it and fall
+    back to :class:`~repro.runtime.executor.RuntimeEngine`.
+    """
+    if compiled is None:
+        compiled = compile_plan(plan, platform, runtime_config)
+    return PlanEvaluator(platform, compiled).evaluate(detail=detail)
+
+
+class PlanEvaluator:
+    """Evaluates one compiled plan; reusable across calls."""
+
+    def __init__(self, platform: Platform, compiled: CompiledPlan) -> None:
+        self.platform = platform
+        self.compiled = compiled
+
+    def evaluate(self, *, detail: str = "summary") -> RunArtifact:
+        detail = check_detail(detail)
+        run = _EvalRun(self.platform, self.compiled, detail)
+        return run.go(detail=detail)
+
+
+class _DrainTail:
+    """Replays one drained instance's eager write-back at its end time."""
+
+    __slots__ = ("run", "inst", "space")
+
+    def __init__(self, run, inst, space):
+        self.run = run
+        self.inst = inst
+        self.space = space
+
+    def __call__(self) -> None:
+        self.run._drain_writeback(self.inst, self.space)
+
+
+def _noop() -> None:
+    """Clock anchor: advances ``sim.now`` to the drained chains' last end."""
+
+
+class _EvalRun(_Run):
+    """The executor's ``_Run`` plus compiled durations and the drain."""
+
+    def __init__(self, platform: Platform, compiled: CompiledPlan,
+                 detail: str) -> None:
+        super().__init__(platform, compiled.config, compiled.graph,
+                         compiled.scheduler)
+        self._compiled = compiled
+        # full-detail runs stay on the pure event loop: per-row metadata
+        # dicts and exact event interleaving make the artifact
+        # byte-identical to the general engine with zero special cases
+        self._drain_enabled = detail == "summary" and compiled.drainable
+        self._drained = False
+        self._drain_retry = True
+        self._wires = 0
+        self._undone = compiled.n_compute
+        self._barriers_left = compiled.n_barriers
+        #: per-resource dispatch-order queues of not-yet-completed
+        #: instances (head = currently running occupation)
+        self._res_dispatched: dict[str, deque] = {
+            r.resource_id: deque() for r in self.resources
+        }
+
+    # -- engine hooks (exact behavior preserved, counters added) ---------
+
+    def go(self, *, detail: str = "full") -> RunArtifact:
+        # mirrors _Run.go with one extra drain attempt once the initial
+        # dispatch wave has settled (all-host plans never transfer, so
+        # the wire counter alone would never trigger it)
+        self.scheduler.start(self.graph, self._ctx())
+        for inst in self.graph.instances:
+            if self.remaining[inst.instance_id] == 0:
+                self.ready.append(inst)
+        self._pump()
+        self._maybe_drain()
+        self.sim.run(max_events=self.config.max_events)
+        if len(self.done) != len(self.graph.instances):
+            stuck = [
+                i.label() for i in self.graph.instances
+                if i.instance_id not in self.done
+            ]
+            raise SimulationError(
+                f"deadlock: {len(stuck)} instances never ran, "
+                f"e.g. {stuck[:5]}"
+            )
+        if self.config.final_flush:
+            self._final_flush()
+            self.sim.run(max_events=self.config.max_events)
+        return self._result(detail)
+
+    def _start_compute(self, inst, resource, space, transfer_total):
+        self._res_dispatched[resource.resource_id].append(inst)
+        kernel = inst.kernel
+        duration = self._compiled.durations[inst.instance_id]
+        self.sim_resources[resource.resource_id].occupy(
+            duration,
+            label="",
+            category="compute",
+            on_complete=(
+                self._complete_cb,
+                (inst, resource, space, duration, transfer_total),
+            ),
+            lane=self.compute_lanes[resource.resource_id],
+            args=(kernel.name, inst.lo, inst.hi, inst.instance_id),
+            size=inst.size,
+            kernel=kernel.name,
+            meta={
+                "kernel": kernel.name,
+                "size": inst.size,
+                "device_kind": resource.device.kind.value,
+                "device": resource.device.device_id,
+                "invocation": inst.invocation.invocation_id,
+                "iteration": inst.invocation.iteration,
+            },
+            own_meta=True,
+        )
+
+    def _complete_compute(self, args):
+        if self._drained:
+            # an absorbed head: its writes and bookkeeping were committed
+            # at drain time; only a pending eager write-back remains
+            inst = args[0]
+            if self._compiled.writeback_flags[inst.instance_id]:
+                self._drain_writeback(inst, args[2])
+            return
+        self._res_dispatched[args[1].resource_id].popleft()
+        self._complete(*args)
+
+    def _issue_transfer(self, op, *, on_complete=None) -> None:
+        self._wires += 1
+        super()._issue_transfer(op, on_complete=on_complete)
+
+    def _transfer_done(self, xfer) -> None:
+        self._wires -= 1
+        super()._transfer_done(xfer)
+        if self._wires == 0 and not self._drained:
+            self._drain_retry = True
+            self._maybe_drain()
+
+    def _mark_done(self, inst) -> None:
+        if inst.is_barrier:
+            self._barriers_left -= 1
+            super()._mark_done(inst)
+            # the last barrier's wave has now been pumped; for transfer-free
+            # tails (Only-CPU loops) no wire transition will ever re-arm
+            if not self._barriers_left and not self._drained and not self._wires:
+                self._drain_retry = True
+                self._maybe_drain()
+        else:
+            self._undone -= 1
+            super()._mark_done(inst)
+
+    # -- the terminal drain ----------------------------------------------
+
+    def _maybe_drain(self) -> None:
+        if (
+            self._drained
+            or not self._drain_enabled
+            or not self._drain_retry
+            or self._wires
+            or self._pending_writebacks
+            or self._barriers_left
+            or self._undone < DRAIN_MIN_INSTANCES
+        ):
+            return
+        if not self._try_drain():
+            # re-armed on the next wire-empty transition; pointless to
+            # rewalk the graph until the world has changed
+            self._drain_retry = False
+
+    def _try_drain(self) -> bool:
+        if self.ready:
+            return False
+        compiled = self._compiled
+        graph = self.graph
+        done = self.done
+        rids = compiled.resource_ids
+        instances = graph.instances
+        succs_sorted = compiled.succs_sorted
+        cross_deps = compiled.cross_deps
+
+        dispatched: set[int] = set()
+        for dq in self._res_dispatched.values():
+            for inst in dq:
+                dispatched.add(inst.instance_id)
+
+        # gate 1: every remaining (undispatched, not done) instance's
+        # unmet dependences live on its own resource — each resource's
+        # future is then an independent FIFO chain (the cross-resource
+        # dependence set is static, so only those need the done check)
+        remaining_ids: list[int] = []
+        for inst in instances:
+            i = inst.instance_id
+            if i in done or i in dispatched:
+                continue
+            if rids[i] is None:
+                return False
+            remaining_ids.append(i)
+            for dep in cross_deps[i]:
+                if dep not in done:
+                    return False
+
+        # gate 2: per-resource Kahn walk in FIFO readiness order — the
+        # exact order the engine would dispatch (completions release
+        # successors in sorted id order onto the same resource's queue)
+        indeg = {i: self.remaining[i] for i in remaining_ids}
+        chains: dict[str, list] = {}
+        chained = 0
+        for rid, dq in self._res_dispatched.items():
+            chain: list = []
+            work = deque(dq)
+            while work:
+                inst = work.popleft()
+                chain.append(inst)
+                chained += 1
+                for succ in succs_sorted[inst.instance_id]:
+                    left = indeg.get(succ)
+                    if left is None:
+                        continue
+                    left -= 1
+                    indeg[succ] = left
+                    if left == 0:
+                        work.append(instances[succ])
+            chains[rid] = chain
+        if chained != len(remaining_ids) + len(dispatched):
+            return False
+
+        # gate 3: shadow directory walk — every remaining read must
+        # already be resident (the engine would otherwise issue
+        # transfers, which the chains cannot model); writes are applied
+        # along the way so later chain links see earlier results
+        memory = self.memory
+        spaces = tuple(memory._spaces)
+        host_id = self.platform.host.device_id
+        shadow: dict[tuple, object] = {}
+        shadow_get = shadow.get
+        real = memory._valid
+
+        space_of: dict[str, str] = {}
+        for r in self.resources:
+            space_of[r.resource_id] = (
+                HOST_SPACE if r.device.device_id == host_id
+                else r.device.device_id
+            )
+
+        wb_regions: list = []
+        flags = self._compiled.writeback_flags
+        region_rows = compiled.region_rows
+
+        def shadow_entry(arr, sp):
+            key = (arr, sp)
+            entry = shadow_get(key)
+            if entry is None:
+                entry = shadow[key] = real[arr][sp].copy()
+            return entry
+
+        for rid, chain in chains.items():
+            space = space_of[rid]
+            others = tuple(sp for sp in spaces if sp != space)
+            # per-array bound methods of this chain's shadow entries —
+            # one dict hit per region instead of tuple-keyed lookups and
+            # attribute walks on every chain link
+            ops_of: dict = {}
+            ops_get = ops_of.get
+            for inst in chain:
+                i = inst.instance_id
+                check_reads = i not in dispatched
+                for region, reads, writes in region_rows[i]:
+                    arr = region.array
+                    ops = ops_get(arr)
+                    if ops is None:
+                        entry = shadow_entry(arr, space)
+                        ops = ops_of[arr] = (
+                            entry.contains,
+                            entry.add,
+                            tuple(
+                                shadow_entry(arr, sp).remove
+                                for sp in others
+                            ),
+                        )
+                    if check_reads and reads:
+                        if not ops[0](region.start, region.end):
+                            return False
+                    if writes:
+                        ops[1](region.start, region.end)
+                        for remove in ops[2]:
+                            remove(region.start, region.end)
+                        if flags[i]:
+                            wb_regions.append(region)
+
+        # gate 4: replayed write-backs must commute with the up-front
+        # write commit — their written regions must be pairwise disjoint
+        if len(wb_regions) > 1:
+            for i, a in enumerate(wb_regions):
+                for b in wb_regions[i + 1:]:
+                    if a.overlaps(b):
+                        return False
+
+        # -- commit: the engine provably produces these chains ------------
+        # a resource with nothing running cannot anchor a chain (every
+        # remaining instance traces back to a dispatched seed); an empty
+        # queue with a non-empty chain means the walk above went wrong
+        sim = self.sim
+        now = sim.now
+        t0s: list[float] = []
+        rows: list[array] = []
+        order: list[str] = []
+        durations = compiled.durations
+        kernel_names = compiled.kernel_names
+        los = compiled.los
+        his = compiled.his
+        sizes = compiled.sizes
+        for rid, chain in chains.items():
+            if not self._res_dispatched[rid]:
+                if chain:
+                    return False
+                continue
+            lane = self.compute_lanes[rid]
+            if not len(lane.ends):
+                return False  # staged head row unavailable; stay exact
+            order.append(rid)
+            # the running head's row is the lane's last staged append;
+            # its end anchors the chain with the exact float the pending
+            # completion event carries
+            t0s.append(lane.ends[-1])
+            rows.append(
+                array("d", [durations[inst.instance_id]
+                            for inst in chain[1:]])
+            )
+
+        bounds = _vec.chain_bounds(t0s, rows)
+
+        t_max = now
+        tails: list[tuple[float, int, _DrainTail]] = []
+        seq = 0
+        for rid, b in zip(order, bounds):
+            chain = chains[rid]
+            k = len(b) - 1
+            head_end = float(b[0]) if k == 0 else float(b[k])
+            if head_end > t_max:
+                t_max = head_end
+            space = space_of[rid]
+            drained = chain[1:]
+            if k:
+                ids = [inst.instance_id for inst in drained]
+                names = [kernel_names[j] for j in ids]
+                lane = self.compute_lanes[rid]
+                lane.extend_rows(
+                    b[:-1],
+                    b[1:],
+                    str_args=names,
+                    args_a=[los[j] for j in ids],
+                    args_b=[his[j] for j in ids],
+                    args_c=ids,
+                    sizes=[sizes[j] for j in ids],
+                    kernels=names,
+                )
+            for j, inst in enumerate(drained):
+                if flags[inst.instance_id]:
+                    tails.append(
+                        (float(b[j + 1]), seq, _DrainTail(self, inst, space))
+                    )
+                    seq += 1
+            # the running head completes through its own pending event
+            # (see _complete_compute); everything queued behind it is now
+            # accounted for by the bulk rows above
+            self.sim_resources[rid]._queue.clear()
+
+        # apply the shadow directory: all drained writes land at once
+        for (arr, space), entry in shadow.items():
+            real[arr][space] = entry
+
+        done.update(range(len(instances)))
+        self._undone = 0
+        self._drained = True
+
+        for end, _, tail in sorted(tails, key=lambda t: (t[0], t[1])):
+            sim.at(end, tail, priority=PRIORITY_COMPLETION)
+        # anchor the clock so the final flush starts when the last chain
+        # ends, exactly as the event loop would have left it
+        if t_max > now:
+            sim.at(t_max, _noop, priority=PRIORITY_COMPLETION)
+        return True
+
+    def _drain_writeback(self, inst, space) -> None:
+        # replica of _Run._complete's eager write-back block, fired at
+        # the drained instance's computed end time
+        for region, mode in self._regions(inst):
+            if mode.writes:
+                for op in self.memory.writeback(region, space):
+                    self._pending_writebacks += 1
+                    self._issue_transfer(
+                        op, on_complete=self._writeback_done
+                    )

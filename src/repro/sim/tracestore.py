@@ -325,6 +325,100 @@ class TraceLane:
         if last > self.max_end:
             self.max_end = last
 
+    def extend_rows(
+        self,
+        starts,
+        ends,
+        *,
+        str_args: list[str] | None = None,
+        args_a=None,
+        args_b=None,
+        args_c=None,
+        sizes=None,
+        kernels: list[str] | None = None,
+        metas: list[dict[str, Any] | None] | None = None,
+    ) -> None:
+        """Stage ``k`` fully heterogeneous rows in bulk.
+
+        Where :meth:`extend_block` ingests a completion run whose rows
+        share one string argument and vary only in the first int slot,
+        this is the general bulk intake: every label/metadata slot may
+        vary per row.  Numeric columns are extended with
+        ``array.extend``/``frombytes`` bulk copies; only the genuinely
+        varying strings (``str_args``, ``kernels``) pay a per-row intern
+        lookup.  A ``None`` sequence fills its column with the same
+        defaults :meth:`append` would use (``0`` int args, ``-1`` size,
+        no kernel, no meta).  Byte-identical to ``k`` :meth:`append`
+        calls with the same payload.
+        """
+        k = len(starts)
+        if k == 0:
+            return
+        if len(ends) != k:
+            raise ValueError(f"extend_rows: {len(ends)} ends for {k} starts")
+
+        def _ext_d(col, values):
+            if isinstance(values, array):
+                col.extend(values)
+            elif type(values).__name__ == "ndarray":
+                col.frombytes(values.tobytes())
+            else:
+                col.extend(values)
+
+        def _ext_q(col, values, default):
+            if values is None:
+                col.extend(_const_q(default, k))
+                return
+            if len(values) != k:
+                raise ValueError(
+                    f"extend_rows: {len(values)} values for {k} rows"
+                )
+            if isinstance(values, array) and values.typecode == "q":
+                col.extend(values)
+            else:
+                col.extend(array("q", values))
+
+        _ext_d(self.starts, starts)
+        _ext_d(self.ends, ends)
+        if str_args is None:
+            self.str_codes.extend(_const_i(-1, k))
+        else:
+            if len(str_args) != k:
+                raise ValueError(
+                    f"extend_rows: {len(str_args)} str_args for {k} rows"
+                )
+            intern = self._intern_arg
+            self.str_codes.extend(
+                array("i", [intern(s) for s in str_args])
+            )
+        _ext_q(self.arg_a, args_a, 0)
+        _ext_q(self.arg_b, args_b, 0)
+        _ext_q(self.arg_c, args_c, 0)
+        _ext_q(self.sizes, sizes, -1)
+        if kernels is None:
+            self.kernel_codes.extend(_const_i(-1, k))
+        else:
+            if len(kernels) != k:
+                raise ValueError(
+                    f"extend_rows: {len(kernels)} kernels for {k} rows"
+                )
+            intern = self._intern_kernel
+            self.kernel_codes.extend(
+                array("i", [-1 if s is None else intern(s) for s in kernels])
+            )
+        if metas is None:
+            self.metas.extend([None] * k)
+        else:
+            if len(metas) != k:
+                raise ValueError(
+                    f"extend_rows: {len(metas)} metas for {k} rows"
+                )
+            self.metas.extend(metas)
+            self.meta_count += sum(1 for m in metas if m)
+        last = float(max(ends))
+        if last > self.max_end:
+            self.max_end = last
+
     # -- flushing --------------------------------------------------------
 
     def _flush(self) -> None:

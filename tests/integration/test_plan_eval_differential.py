@@ -1,0 +1,180 @@
+"""Differential suite: the compiled plan evaluator vs the general engine.
+
+The evaluator's contract mirrors the fast event core's: routing a static
+plan through :class:`~repro.sim.plan.PlanEvaluator` must be
+*indistinguishable* from the general :class:`RuntimeEngine` — summary
+artifacts agree on makespan and every per-resource busy time bit for bit,
+and full-trace artifacts pickle to identical bytes (the drain is disabled
+in full detail, so byte identity covers the non-drain plumbing while the
+summary matrix covers the drain itself).
+
+Dynamic strategies must *compile-fail* and fall through to the engine:
+under ``REPRO_PLAN_EVAL=1`` a DP-* cell still runs, identically.
+
+In-process comparisons use structural equality on cache-cold artifacts;
+byte identity is checked across fresh subprocesses for the same
+``sys.intern`` reason as ``test_fast_engine_differential``.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import SweepCell, _run_cell
+from repro.cache import clear_all
+from repro.errors import PlanCompileError, StrategyInapplicableError
+
+#: static strategies (must compile) + dynamic ones (must fall back)
+STRATEGIES = ("Only-CPU", "Only-GPU", "SP-Single", "SP-Unified", "SP-Varied")
+FALLBACK_STRATEGIES = ("DP-Perf", "DP-Dep")
+
+#: (app, n, iterations) — small instances spanning the app classes,
+#: including sync-free loops (which drain) and synced ones (which don't)
+APPS = [
+    ("STREAM-Loop", 2048, 4),
+    ("MatrixMul", 128, 1),
+    ("BlackScholes", 2048, 1),
+    ("Cholesky", 6, 1),  # n counts tiles, not elements
+    ("SpMV", 2048, 1),
+]
+
+
+@contextmanager
+def _env(name, value):
+    prior = os.environ.get(name)
+    os.environ[name] = value
+    try:
+        yield
+    finally:
+        if prior is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = prior
+
+
+def _cell(platform, app, n, iterations, strategy):
+    return SweepCell(app=app, strategy=strategy, platform=platform,
+                     n=n, iterations=iterations, sync=False)
+
+
+def _run(cell, *, plan_eval, detail="summary"):
+    with _env("REPRO_PLAN_EVAL", "1" if plan_eval else "0"):
+        clear_all()
+        try:
+            return _run_cell(cell, detail)
+        except StrategyInapplicableError:
+            return StrategyInapplicableError
+
+
+@pytest.mark.parametrize("app,n,iterations", APPS)
+def test_summary_identical_across_static_strategies(paper_platform, app, n,
+                                                    iterations):
+    for strategy in STRATEGIES:
+        cell = _cell(paper_platform, app, n, iterations, strategy)
+        ref = _run(cell, plan_eval=False)
+        ev = _run(cell, plan_eval=True)
+        if ref is StrategyInapplicableError:
+            assert ev is StrategyInapplicableError
+            continue
+        assert ev.makespan_ms == ref.makespan_ms, strategy
+        assert ev.summary == ref.summary, strategy
+        assert ev == ref, strategy
+
+
+@pytest.mark.parametrize("strategy", FALLBACK_STRATEGIES)
+def test_dynamic_strategies_fall_back_identically(paper_platform, strategy):
+    cell = _cell(paper_platform, "STREAM-Loop", 2048, 2, strategy)
+    ref = _run(cell, plan_eval=False)
+    ev = _run(cell, plan_eval=True)
+    assert ev == ref
+
+
+def test_dynamic_plans_raise_plan_compile_error(paper_platform):
+    from repro.apps import get_application
+    from repro.partition.base import get_strategy
+    from repro.sim.plan import compile_plan
+
+    prog = get_application("STREAM-Loop").program(2048, iterations=2)
+    plan = get_strategy("DP-Perf").plan(prog, paper_platform)
+    with pytest.raises(PlanCompileError):
+        compile_plan(plan, paper_platform)
+
+
+def test_full_detail_identical(paper_platform):
+    """Full-trace runs bypass the drain and match structurally in-process."""
+    cell = _cell(paper_platform, "STREAM-Loop", 2048, 4, "SP-Unified")
+    ref = _run(cell, plan_eval=False, detail="full")
+    ev = _run(cell, plan_eval=True, detail="full")
+    assert list(ev.trace) == list(ref.trace)
+    assert ev == ref
+
+
+def test_forced_fraction_cells_identical(paper_platform):
+    """The search's forced-split cells hold parity too."""
+    from repro.partition.base import PlanConfig
+
+    for frac in (0.0, 0.5, 1.0):
+        cell = SweepCell(
+            app="STREAM-Loop", strategy="SP-Unified",
+            platform=paper_platform, n=2048, iterations=4, sync=False,
+            config=PlanConfig(gpu_fraction=frac),
+        )
+        ref = _run(cell, plan_eval=False)
+        ev = _run(cell, plan_eval=True)
+        assert ev == ref, frac
+
+
+SUBPROCESS_SCRIPT = (
+    "import pickle, sys\n"
+    "from repro.bench.harness import SweepCell, _run_cell\n"
+    "from repro.platform import shen_icpp15_platform\n"
+    "cell = SweepCell(app='STREAM-Loop', strategy='SP-Unified',\n"
+    "                 platform=shen_icpp15_platform(), n=2048,\n"
+    "                 iterations=4, sync=False)\n"
+    "artifact = _run_cell(cell, sys.argv[1])\n"
+    "sys.stdout.buffer.write(pickle.dumps(artifact, 5))\n"
+)
+
+
+@pytest.mark.parametrize("detail", ("summary", "full"))
+def test_pickle_bytes_identical_in_fresh_processes(detail):
+    """Byte identity across (plan-eval × numpy) in fresh interpreters."""
+    src = str(Path(__file__).resolve().parents[2] / "src")
+
+    def dump(plan_eval, no_numpy):
+        env = dict(os.environ, PYTHONPATH=src,
+                   REPRO_PLAN_EVAL="1" if plan_eval else "0",
+                   REPRO_NO_NUMPY="1" if no_numpy else "0")
+        proc = subprocess.run(
+            [sys.executable, "-c", SUBPROCESS_SCRIPT, detail],
+            env=env, capture_output=True, check=True,
+        )
+        return proc.stdout
+
+    ref = dump(plan_eval=False, no_numpy=False)
+    assert len(ref) > 500
+    for plan_eval, no_numpy in ((True, False), (True, True), (False, True)):
+        assert dump(plan_eval, no_numpy) == ref, (plan_eval, no_numpy)
+    artifact = pickle.loads(ref)
+    assert artifact.makespan_ms > 0
+
+
+def test_drain_engages_on_sync_free_loop(paper_platform):
+    """Guards against silent regressions to the pure event loop."""
+    from repro.apps import get_application
+    from repro.partition.base import get_strategy
+    from repro.sim.plan import _EvalRun, compile_plan
+
+    prog = get_application("STREAM-Loop").program(2048, iterations=4,
+                                                  sync=False)
+    plan = get_strategy("SP-Unified").plan(prog, paper_platform)
+    compiled = compile_plan(plan, paper_platform)
+    assert compiled.drainable
+    run = _EvalRun(paper_platform, compiled, "summary")
+    run.go()
+    assert run._drained

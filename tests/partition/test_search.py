@@ -1,0 +1,107 @@
+"""The schedule×partition search engine (``repro.partition.search``)."""
+
+import json
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.partition.search import format_search, search_plan
+
+
+@pytest.fixture(scope="module")
+def stream_result(paper_platform_module):
+    return search_plan(
+        "STREAM-Loop", paper_platform_module, n=2048, iterations=4,
+        grid=5, rounds=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def paper_platform_module():
+    from repro.platform import shen_icpp15_platform
+
+    return shen_icpp15_platform()
+
+
+class TestSearchPlan:
+    def test_best_never_worse_than_baseline(self, stream_result):
+        assert (
+            stream_result.best.makespan_ms
+            <= stream_result.baseline.makespan_ms
+        )
+
+    def test_seeds_cover_applicable_strategies(self, stream_result):
+        seeded = {
+            r.candidate.strategy
+            for r in stream_result.evaluated
+            if r.candidate.gpu_fraction is None
+            and r.candidate.task_count is None
+        }
+        # MK-Loop: baselines + the static MK pair + the dynamic family
+        assert {"Only-CPU", "Only-GPU", "SP-Unified", "SP-Varied"} <= seeded
+
+    def test_fraction_grid_spans_unit_interval(self, stream_result):
+        fracs = sorted(
+            r.candidate.gpu_fraction
+            for r in stream_result.evaluated
+            if r.candidate.gpu_fraction is not None
+        )
+        assert fracs[0] == 0.0 and fracs[-1] == 1.0
+        assert len(fracs) > 5  # grid + at least one refinement round
+
+    def test_refinement_rounds_tagged(self, stream_result):
+        rounds = {r.round for r in stream_result.evaluated}
+        assert 0 in rounds and 1 in rounds
+
+    def test_no_duplicate_candidates(self, stream_result):
+        keys = [
+            (r.candidate.strategy, r.candidate.gpu_fraction,
+             r.candidate.task_count)
+            for r in stream_result.evaluated
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_throughput_recorded(self, stream_result):
+        assert stream_result.plans_per_sec > 0
+        assert stream_result.elapsed_s > 0
+
+    def test_mk_dag_best_not_worse_than_single_pick(
+        self, paper_platform_module
+    ):
+        """The acceptance scenario: MK-DAG (blocked Cholesky)."""
+        result = search_plan(
+            "Cholesky", paper_platform_module, n=6, grid=3, rounds=1,
+        )
+        assert result.app_class == "MK-DAG"
+        assert result.best.makespan_ms <= result.baseline.makespan_ms
+
+    def test_grid_too_small_rejected(self, paper_platform_module):
+        with pytest.raises(PartitioningError):
+            search_plan("STREAM-Loop", paper_platform_module, n=2048, grid=1)
+
+    def test_parallel_jobs_identical(self, paper_platform_module,
+                                     stream_result):
+        parallel = search_plan(
+            "STREAM-Loop", paper_platform_module, n=2048, iterations=4,
+            grid=5, rounds=1, jobs=2,
+        )
+        key = lambda rs: [
+            (r.candidate, r.makespan_ms) for r in rs.evaluated
+        ]
+        assert key(parallel) == key(stream_result)
+
+
+class TestSearchArtifact:
+    def test_record_roundtrips_through_json(self, stream_result):
+        record = json.loads(json.dumps(stream_result.to_record()))
+        assert record["app"] == "STREAM-Loop"
+        assert record["candidates"] == len(stream_result.evaluated)
+        assert record["best"]["makespan_ms"] == (
+            stream_result.best.makespan_ms
+        )
+        assert len(record["evaluated"]) == record["candidates"]
+
+    def test_format_mentions_best_and_baseline(self, stream_result):
+        text = format_search(stream_result)
+        assert "baseline" in text and "best" in text
+        assert f"{len(stream_result.evaluated)} candidates" in text

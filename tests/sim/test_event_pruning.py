@@ -1,0 +1,130 @@
+"""Cancelled-event pruning: the configurable compaction threshold.
+
+Both engines drop cancelled slots by rebuilding the heap once cancelled
+entries dominate.  The rebuild trigger (``compact_min``) used to be a
+fixed class constant; cancel-heavy workloads (schedule-then-reschedule
+churn over a small live set) paid one O(n) heapify per 64 cancels no
+matter what.  The threshold is now a constructor knob on both engines
+and on :func:`make_simulator`.
+"""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.fast_engine import FastSimulator, make_simulator
+
+ENGINES = [Simulator, FastSimulator]
+
+
+def _noop() -> None:
+    pass
+
+
+def _churn(sim, *, cancels: int, live: int = 8) -> None:
+    """Schedule/cancel ``cancels`` far-future events over a small live set.
+
+    The cancelled slots sit beyond the run horizon, so they linger in the
+    heap until a compaction drops them — the reschedule-churn shape that
+    used to pay one O(n) heapify per 64 cancels, fixed threshold or not.
+    """
+    horizon = float(cancels + 1)
+    for i in range(cancels):
+        t = float(i + 1)
+        handle = sim.at(horizon + i, _noop)
+        for _ in range(live):
+            sim.at(t, _noop)
+        handle.cancel()
+        sim.run(until=t)
+
+
+class TestCompactMin:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_default_matches_class_constant(self, engine):
+        sim = engine()
+        assert sim.compact_min == engine._COMPACT_MIN == 64
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_low_threshold_compacts_eagerly(self, engine):
+        sim = engine(compact_min=4)
+        events = [sim.at(1.0, _noop) for _ in range(16)]
+        for e in events[:12]:
+            e.cancel()
+        assert sim.compactions >= 1
+        # the rebuild really dropped the cancelled slots
+        assert sim.pending == 4
+        assert len(sim._heap) < 16
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_high_threshold_never_rebuilds(self, engine):
+        sim = engine(compact_min=10**9)
+        events = [sim.at(1.0, _noop) for _ in range(256)]
+        for e in events[:255]:
+            e.cancel()
+        assert sim.compactions == 0
+        # cancelled slots stay queued but the live accounting is exact
+        assert sim.pending == 1
+        assert len(sim._heap) == 256
+        assert sim.run() == 1.0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_minority_cancels_never_trigger_rebuild(self, engine):
+        # dominance gate: a big live heap absorbs a burst of cancels
+        # without any O(n) rebuild, whatever the threshold
+        sim = engine(compact_min=4)
+        live = [sim.at(2.0, _noop) for _ in range(1000)]
+        for e in live[:400]:
+            e.cancel()
+        assert sim.compactions == 0
+        assert sim.pending == 600
+
+
+class TestCancelHeavyChurn:
+    """The heapify-storm regression the knob exists for."""
+
+    CANCELS = 512
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_rebuilds_bounded_by_threshold(self, engine):
+        eager = engine(compact_min=8)
+        _churn(eager, cancels=self.CANCELS)
+        lazy = engine(compact_min=256)
+        _churn(lazy, cancels=self.CANCELS)
+        # each rebuild consumes >= compact_min cancellations, so raising
+        # the threshold provably amortizes the O(n) rebuild passes
+        assert eager.compactions <= self.CANCELS // 8
+        assert lazy.compactions <= self.CANCELS // 256
+        assert lazy.compactions < eager.compactions
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_behavior_identical_across_thresholds(self, engine):
+        fired: dict[int, list] = {}
+        for threshold in (2, 64, 10**9):
+            order: list = []
+            sim = engine(compact_min=threshold)
+            keep = []
+            for i in range(64):
+                handle = sim.at(
+                    float(i % 7 + 1), (lambda i=i: order.append(i))
+                )
+                if i % 3 == 0:
+                    handle.cancel()
+                else:
+                    keep.append(handle)
+            sim.run()
+            fired[threshold] = order
+        assert fired[2] == fired[64] == fired[10**9]
+        assert len(fired[64]) == sum(1 for i in range(64) if i % 3)
+
+
+class TestSeamPassthrough:
+    @pytest.mark.parametrize("env", ["0", "1"])
+    def test_make_simulator_forwards_threshold(self, env, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_FAST_ENGINE", env)
+        sim = make_simulator(compact_min=7)
+        assert sim.compact_min == 7
+        expected = Simulator if env == "1" else FastSimulator
+        assert type(sim) is expected
+
+    def test_make_simulator_default_keeps_engine_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_FAST_ENGINE", raising=False)
+        assert make_simulator().compact_min == FastSimulator._COMPACT_MIN

@@ -1,0 +1,146 @@
+"""Unit coverage of plan compilation and its vector/trace primitives.
+
+``compile_plan``'s gates and flag computation, ``_vec.chain_bounds``'s
+numpy/scalar bit parity, and ``TraceLane.extend_rows``'s equivalence to
+row-at-a-time appends.  The end-to-end drain exactness lives in
+``tests/integration/test_plan_eval_differential.py``.
+"""
+
+from array import array
+
+import pytest
+
+from repro.apps import get_application
+from repro.errors import PlanCompileError
+from repro.partition.base import PlanConfig, get_strategy
+from repro.sim import _vec
+from repro.sim.plan import compile_plan, plan_eval_enabled
+from repro.sim.tracestore import TraceStore
+
+
+def _static_plan(platform, app="STREAM-Loop", n=2048, strategy="SP-Unified"):
+    prog = get_application(app).program(n, iterations=2, sync=False)
+    return get_strategy(strategy).plan(prog, platform)
+
+
+class TestCompileGates:
+    def test_static_plan_compiles(self, paper_platform):
+        plan = _static_plan(paper_platform)
+        compiled = compile_plan(plan, paper_platform)
+        assert compiled.drainable
+        assert compiled.n_compute + compiled.n_barriers == len(
+            plan.graph.instances
+        )
+        assert len(compiled.durations) == len(plan.graph.instances)
+        # every compute instance got a positive duration and a resource
+        for inst in plan.graph.instances:
+            if inst.is_barrier:
+                continue
+            i = inst.instance_id
+            assert compiled.durations[i] > 0
+            assert compiled.resource_ids[i] is not None
+
+    def test_dynamic_scheduler_rejected(self, paper_platform):
+        prog = get_application("STREAM-Loop").program(2048, iterations=2)
+        plan = get_strategy("DP-Perf").plan(prog, paper_platform)
+        with pytest.raises(PlanCompileError):
+            compile_plan(plan, paper_platform)
+
+    def test_runtime_overrides_applied(self, paper_platform):
+        prog = get_application("STREAM-Loop").program(2048, iterations=2)
+        plan = get_strategy("Only-GPU").plan(prog, paper_platform)
+        assert plan.runtime_overrides  # zeroes OmpSs overheads
+        compiled = compile_plan(plan, paper_platform)
+        for key, value in plan.runtime_overrides.items():
+            assert getattr(compiled.config, key) == value
+
+    def test_writeback_flags_only_on_synced_device_writers(
+        self, paper_platform
+    ):
+        plan = _static_plan(paper_platform)
+        compiled = compile_plan(plan, paper_platform)
+        host = paper_platform.host.device_id
+        for inst in plan.graph.instances:
+            if inst.is_barrier:
+                continue
+            if compiled.writeback_flags[inst.instance_id]:
+                rid = compiled.resource_ids[inst.instance_id]
+                assert not rid.startswith(host)
+
+    def test_env_seam(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PLAN_EVAL", raising=False)
+        assert not plan_eval_enabled()
+        monkeypatch.setenv("REPRO_PLAN_EVAL", "1")
+        assert plan_eval_enabled()
+        monkeypatch.setenv("REPRO_PLAN_EVAL", "0")
+        assert not plan_eval_enabled()
+
+
+class TestChainBounds:
+    CASES = [
+        ([0.5], [array("d", [0.25, 0.125, 1.5])]),
+        ([1.0, 2.0], [array("d", [0.1] * 7), array("d", [])]),
+        ([0.0, 3.5, 7.25], [array("d", [1e-9, 2.5]), array("d", [0.125]),
+                            array("d", [0.3, 0.7, 0.11, 1e3])]),
+        ([], []),
+    ]
+
+    @pytest.mark.parametrize("t0s,rows", CASES)
+    def test_matches_scalar_lane_bounds(self, t0s, rows):
+        got = _vec.chain_bounds(t0s, rows)
+        want = [_vec.lane_bounds(t0, row) for t0, row in zip(t0s, rows)]
+        assert len(got) == len(want)
+        for g, w in zip(got, want):
+            assert list(g) == list(w)  # bit-exact, == not approx
+
+    @pytest.mark.parametrize("t0s,rows", CASES)
+    def test_scalar_fallback_identical(self, t0s, rows, monkeypatch):
+        got = [list(b) for b in _vec.chain_bounds(t0s, rows)]
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        fallback = [list(b) for b in _vec.chain_bounds(t0s, rows)]
+        assert got == fallback
+
+
+class TestExtendRows:
+    def _rowwise(self, lane, rows):
+        for start, end, sa, a, b, c, size, kern in rows:
+            lane.append(start, end, args=(sa, a, b, c), size=size,
+                        kernel=kern)
+
+    def test_matches_per_row_appends(self):
+        rows = [
+            (0.0, 1.0, "k1", 0, 10, 7, 40, "k1"),
+            (1.0, 2.5, "k2", 10, 20, 8, 40, "k2"),
+            (2.5, 2.75, "k1", 20, 30, 9, 40, "k1"),
+        ]
+        stores = TraceStore(), TraceStore()
+        lanes = [
+            s.lane("r0", "compute", "", device="gpu", device_kind="gpu")
+            for s in stores
+        ]
+        self._rowwise(lanes[0], rows)
+        lanes[1].extend_rows(
+            [r[0] for r in rows], [r[1] for r in rows],
+            str_args=[r[2] for r in rows], args_a=[r[3] for r in rows],
+            args_b=[r[4] for r in rows], args_c=[r[5] for r in rows],
+            sizes=[r[6] for r in rows], kernels=[r[7] for r in rows],
+        )
+        import pickle
+
+        assert stores[0].makespan() == stores[1].makespan()
+        assert pickle.dumps(stores[0], 5) == pickle.dumps(stores[1], 5)
+
+    def test_defaults_for_omitted_columns(self):
+        store = TraceStore()
+        lane = store.lane("r0", "compute", "", device="gpu",
+                          device_kind="gpu")
+        lane.extend_rows([0.0, 1.0], [1.0, 2.0])
+        assert len(list(store.iter_rows())) == 2
+        assert store.makespan() == 2.0
+
+    def test_length_mismatch_rejected(self):
+        store = TraceStore()
+        lane = store.lane("r0", "compute", "", device="gpu",
+                          device_kind="gpu")
+        with pytest.raises(ValueError):
+            lane.extend_rows([0.0, 1.0], [1.0])
