@@ -101,6 +101,11 @@ RUN_SPEEDUP_FLOOR = 1.0
 #: search engine's reason to exist
 PLAN_EVAL_FLOOR = 10.0
 
+#: acceptance floor: compiled-plan evaluation of *per-iteration-sync*
+#: plans (the wave drain's territory — every epoch fenced by a barrier,
+#: so the terminal drain never fires) vs the fused executor path
+WAVE_DRAIN_FLOOR = 5.0
+
 #: metrics ``--check-baseline`` verifies, all same-process ratios: raw
 #: events/sec shifts with runner hardware, but two engine variants timed
 #: back-to-back on the same box regress together unless the code did
@@ -108,6 +113,13 @@ BASELINE_RATIOS = (
     "fast_vs_oracle_speedup",
     "traced_lane_speedup",
     "traced_batch_speedup",
+)
+
+#: nested-section ratios ``--check-baseline`` also verifies: section
+#: key -> ratio key within that section (skipped when either file's
+#: payload lacks the section)
+BASELINE_SECTION_RATIOS = (
+    ("wave_drain", "synced_plans_vs_simulate_speedup"),
 )
 
 #: allowed relative shortfall below a baseline ratio before the smoke
@@ -498,6 +510,119 @@ def measure_plan_eval() -> dict:
     }
 
 
+#: the wave-drain scenario: a per-iteration-sync loop (HotSpot is the
+#: paper's SK-Loop w/-sync workload) sized so each epoch carries a real
+#: split — every iteration ends at a barrier, so only the wave drain
+#: can lift the evaluator above the event loop
+WAVE_N = 1 << 16
+WAVE_ITERATIONS = 64
+WAVE_FRACTIONS = 8
+
+
+def measure_wave_drain() -> dict:
+    """Synced-plan evaluation: the wave drain vs fused ``simulate_many``.
+
+    The ``plan_eval`` section's shape on the search's *other* workload
+    class: per-iteration-sync plans whose barriers stop the terminal
+    drain at every epoch.  Prebuilt compiled plans (SP-Single
+    forced-fraction splits of HotSpot w/ sync) replay through
+    :class:`~repro.sim.plan.PlanEvaluator`, committing one wave per
+    barrier analytically; parity bits compare makespans against the
+    executor on the vectorized path and the ``REPRO_NO_NUMPY=1`` scalar
+    fallback.  Wave counters keep the measurement honest: a silent
+    per-wave fallback to the event loop would still be exact, but it is
+    a perf regression this section exists to catch.
+    """
+    from dataclasses import replace
+
+    from repro.apps import get_application
+    from repro.bench.harness import simulate_many
+    from repro.partition.base import PlanConfig, get_strategy
+    from repro.sim.plan import PlanEvaluator, compile_plan, drain_stats
+
+    platform = shen_icpp15_platform()
+    base = PlanConfig()
+    fractions = [
+        i / (WAVE_FRACTIONS - 1) for i in range(WAVE_FRACTIONS)
+    ]
+    cells = [
+        SweepCell(
+            app="HotSpot", strategy="SP-Single", platform=platform,
+            n=WAVE_N, iterations=WAVE_ITERATIONS, sync=True,
+            config=replace(base, gpu_fraction=f),
+        )
+        for f in fractions
+    ]
+    clear_all()
+    simulate_many(cells)  # warm the planning caches
+    t0 = time.perf_counter()
+    reference = simulate_many(cells)
+    simulate_s = time.perf_counter() - t0
+
+    strategy = get_strategy("SP-Single")
+    program = get_application("HotSpot").program(
+        WAVE_N, iterations=WAVE_ITERATIONS, sync=True
+    )
+    evaluators = [
+        PlanEvaluator(
+            platform,
+            compile_plan(
+                strategy.plan(program, platform, replace(base, gpu_fraction=f)),
+                platform,
+            ),
+        )
+        for f in fractions
+    ]
+
+    def _evaluate_all() -> tuple[float, list]:
+        t0 = time.perf_counter()
+        artifacts = [ev.evaluate() for ev in evaluators]
+        return time.perf_counter() - t0, artifacts
+
+    eval_s, artifacts = _evaluate_all()  # warm-up round
+    stats_before = drain_stats()
+    for _ in range(RUN_ROUNDS):
+        eval_s = min(eval_s, _evaluate_all()[0])
+    stats_after = drain_stats()
+    waves = stats_after["waves_drained"] - stats_before["waves_drained"]
+    fallbacks = stats_after["wave_fallbacks"] - stats_before["wave_fallbacks"]
+
+    want = [a.makespan_ms for a in reference]
+    parity = [a.makespan_ms for a in artifacts] == want
+    prior = os.environ.get("REPRO_NO_NUMPY")
+    os.environ["REPRO_NO_NUMPY"] = "1"
+    try:
+        parity_fallback = [
+            ev.evaluate().makespan_ms for ev in evaluators
+        ] == want
+    finally:
+        if prior is None:
+            del os.environ["REPRO_NO_NUMPY"]
+        else:
+            os.environ["REPRO_NO_NUMPY"] = prior
+
+    synced_plans_per_sec = len(evaluators) / eval_s
+    simulate_cells_per_sec = len(cells) / simulate_s
+    return {
+        "cells": len(cells),
+        "instances": evaluators[0].compiled.n_compute,
+        "barriers": evaluators[0].compiled.n_barriers,
+        "rounds": RUN_ROUNDS,
+        "simulate_s": simulate_s,
+        "eval_s": eval_s,
+        "simulate_cells_per_sec": simulate_cells_per_sec,
+        "synced_plans_per_sec": synced_plans_per_sec,
+        "synced_plans_vs_simulate_speedup": (
+            synced_plans_per_sec / simulate_cells_per_sec
+        ),
+        # per timed pass over the grid (RUN_ROUNDS passes counted)
+        "waves_drained_per_round": waves / RUN_ROUNDS,
+        "wave_fallbacks": fallbacks,
+        "parity": parity,
+        "parity_fallback": parity_fallback,
+    }
+
+
 def measure_sim_core() -> dict:
     """The full ``sim_core`` record the pipeline bench embeds."""
     runs, fast_art = measure_run_parity()
@@ -507,6 +632,7 @@ def measure_sim_core() -> dict:
         **runs,
         "fused": measure_fused(),
         "plan_eval": measure_plan_eval(),
+        "wave_drain": measure_wave_drain(),
     }
     return payload
 
@@ -518,12 +644,23 @@ def check(payload: dict) -> None:
     assert payload["parity"], payload
     assert payload["fused"]["match"], payload["fused"]
     check_plan_eval(payload["plan_eval"])
+    check_wave_drain(payload["wave_drain"])
 
 
 def check_plan_eval(plan_eval: dict) -> None:
     assert plan_eval["parity"], plan_eval
     assert plan_eval["parity_fallback"], plan_eval
     assert plan_eval["plans_vs_simulate_speedup"] >= PLAN_EVAL_FLOOR, plan_eval
+
+
+def check_wave_drain(wave_drain: dict) -> None:
+    assert wave_drain["parity"], wave_drain
+    assert wave_drain["parity_fallback"], wave_drain
+    assert wave_drain["waves_drained_per_round"] > 0, wave_drain
+    assert wave_drain["wave_fallbacks"] == 0, wave_drain
+    assert (
+        wave_drain["synced_plans_vs_simulate_speedup"] >= WAVE_DRAIN_FLOOR
+    ), wave_drain
 
 
 def check_baseline(payload: dict, baseline_path: str) -> list[str]:
@@ -546,6 +683,17 @@ def check_baseline(payload: dict, baseline_path: str) -> list[str]:
                 f"{key}: {payload[key]:.2f}x < {floor:.2f}x "
                 f"(baseline {base:.2f}x - {BASELINE_TOLERANCE:.0%})"
             )
+    for section, key in BASELINE_SECTION_RATIOS:
+        base = baseline.get(section, {}).get(key)
+        got = payload.get(section, {}).get(key)
+        if base is None or got is None:
+            continue  # payload or baseline predates this section
+        floor = base * (1.0 - BASELINE_TOLERANCE)
+        if got < floor:
+            failures.append(
+                f"{section}.{key}: {got:.2f}x < {floor:.2f}x "
+                f"(baseline {base:.2f}x - {BASELINE_TOLERANCE:.0%})"
+            )
     # absolute floor, not a baseline ratio: the fast engine must never
     # lose end to end (smoke payloads skip the end-to-end section)
     if "run_speedup" in payload and payload["run_speedup"] < RUN_SPEEDUP_FLOOR:
@@ -565,6 +713,20 @@ def _format_plan_eval(pe: dict) -> str:
         f"{pe['instances']} instances each), parity "
         f"{'ok' if pe['parity'] else 'DIVERGED'}, fallback parity "
         f"{'ok' if pe['parity_fallback'] else 'DIVERGED'}"
+    )
+
+
+def _format_wave_drain(wd: dict) -> str:
+    return (
+        f"wave drain (synced):  {wd['synced_plans_per_sec']:,.1f} plans/s vs "
+        f"{wd['simulate_cells_per_sec']:,.1f} simulate_many cells/s "
+        f"({wd['synced_plans_vs_simulate_speedup']:.1f}x, floor "
+        f"{WAVE_DRAIN_FLOOR:g}x; {wd['cells']} candidate cells, "
+        f"{wd['instances']} instances / {wd['barriers']} barriers each, "
+        f"{wd['waves_drained_per_round']:.0f} waves/round, "
+        f"{wd['wave_fallbacks']} fallbacks), parity "
+        f"{'ok' if wd['parity'] else 'DIVERGED'}, fallback parity "
+        f"{'ok' if wd['parity_fallback'] else 'DIVERGED'}"
     )
 
 
@@ -598,7 +760,8 @@ def _format(payload: dict) -> str:
         f"({fused['fused_vs_per_cell_speedup']:.2f}x, "
         f"{fused['cells']} cells, {fused['jobs']} jobs), results "
         f"{'match' if fused['match'] else 'DIVERGED'}\n"
-        + _format_plan_eval(payload["plan_eval"])
+        + _format_plan_eval(payload["plan_eval"]) + "\n"
+        + _format_wave_drain(payload["wave_drain"])
     )
 
 
@@ -647,10 +810,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.smoke:
         # replay measurements only: the hard floors stay with the full
         # bench (they assume a quiet box); smoke regressions are caught
-        # relative to the committed baseline ratios instead
+        # relative to the committed baseline ratios instead — except the
+        # wave-drain parity/engagement bits, which are deterministic and
+        # checked here too
         artifact, _ = _scenario_artifact(oracle=False)
         payload = measure_event_core(artifact)
         assert payload["events"] > 1000, payload
+        payload["wave_drain"] = measure_wave_drain()
+        check_wave_drain(payload["wave_drain"])
     else:
         payload = measure_sim_core()
         check(payload)

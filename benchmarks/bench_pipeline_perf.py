@@ -712,6 +712,8 @@ BASELINE_CHECKS = [
     ("sim_core.traced_speedup", "min", 0.5),
     ("sim_core.traced_lane_speedup", "min", 0.5),
     ("sim_core.traced_batch_speedup", "min", 0.5),
+    ("sim_core.plan_eval.plans_vs_simulate_speedup", "min", 0.5),
+    ("sim_core.wave_drain.synced_plans_vs_simulate_speedup", "min", 0.5),
     ("matchmaking.table_agreement", "min", 0.05),
 ]
 

@@ -144,14 +144,20 @@ class Strategy(abc.ABC):
         return f"<Strategy {self.name}>"
 
 
-def _plan_eval_enabled() -> bool:
-    """Whether ``REPRO_PLAN_EVAL`` opts runs into the compiled evaluator.
+def _plan_eval_enabled(config: RuntimeConfig | None = None) -> bool:
+    """Whether this run opts into the compiled evaluator.
 
-    Read per call (not at import) so sweeps can flip it around a pool of
-    already-imported workers.  Mirrors
-    :func:`repro.sim.plan.plan_eval_enabled`.
+    The ``REPRO_PLAN_EVAL`` environment variable, when *set*, wins in
+    both directions (the sweep drivers flip it around pools of
+    already-imported workers, and CI forces the engine path with ``0``);
+    otherwise the :attr:`RuntimeConfig.plan_eval` field — populated by
+    the ``--plan-eval`` CLI flag — decides.  Read per call, not at
+    import.  Mirrors :func:`repro.sim.plan.plan_eval_enabled`.
     """
-    return os.environ.get("REPRO_PLAN_EVAL", "0").lower() in ("1", "true", "on")
+    env = os.environ.get("REPRO_PLAN_EVAL")
+    if env is not None:
+        return env.lower() in ("1", "true", "on")
+    return bool(config is not None and config.plan_eval)
 
 
 def run_plan(
@@ -174,15 +180,16 @@ def run_plan(
         config = replace(config, **plan.runtime_overrides)
     before = cache_baseline if cache_baseline is not None else _cache.counters()
     artifact = None
-    if _plan_eval_enabled():
+    if _plan_eval_enabled(config):
         from repro.errors import PlanCompileError
-        from repro.sim.plan import evaluate_plan
+        from repro.sim.plan import evaluate_plan, record_compile_error
 
         try:
             artifact = evaluate_plan(
                 plan, platform, runtime_config=config, detail=detail
             )
         except PlanCompileError:
+            record_compile_error()
             artifact = None
     if artifact is None:
         engine = RuntimeEngine(platform, config=config)

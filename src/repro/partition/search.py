@@ -10,11 +10,13 @@ fraction candidates is refined on a halving grid for a few rounds.
 
 Every candidate is one :class:`~repro.bench.harness.SweepCell`, so the
 search streams through the ordinary sweep backends (``jobs`` process
-pools, remote ``workers``) unchanged.  ``REPRO_PLAN_EVAL`` is switched on
-around the sweep: static candidates run through the compiled-plan
-evaluator (:mod:`repro.sim.plan`) — pool workers inherit the environment
-— while dynamic candidates compile-fail and fall back to the general
-engine, so the result set is exact either way.
+pools, remote ``workers``) unchanged.  Plan evaluation is on by default
+(``plan_eval=True``; an already-set ``REPRO_PLAN_EVAL`` overrides):
+static candidates run through the compiled-plan evaluator
+(:mod:`repro.sim.plan`) — sync-free plans drain terminally, synced
+plans drain wave by wave — while dynamic candidates compile-fail and
+fall back to the general engine, so the result set is exact either way.
+The fallback counts ride back on the :class:`SearchResult`.
 
 The search's contract with the seeds: the returned ``best`` is the
 minimum over a superset of the per-strategy default picks, so it is never
@@ -84,6 +86,14 @@ class SearchResult:
     baseline.makespan_ms`` always holds.  ``plans_per_sec`` counts
     evaluated candidates against the wall-clock of the whole search
     (planning + simulation + dispatch).
+
+    ``plan_compile_errors`` and ``wave_fallbacks`` surface the silent
+    engine fallbacks behind the numbers: candidates whose plan the
+    evaluator rejected outright (dynamic schedulers — expected for the
+    DP-*/HYB-* families) and barrier waves whose gates failed mid-run.
+    Both are exact under serial evaluation (``jobs=1``, no remote
+    workers) and a lower bound otherwise — pool workers keep their own
+    process-wide counters.
     """
 
     app: str
@@ -97,6 +107,8 @@ class SearchResult:
     baseline: CandidateResult
     elapsed_s: float
     plans_per_sec: float
+    plan_compile_errors: int = 0
+    wave_fallbacks: int = 0
 
     def to_record(self) -> dict:
         """A JSON-serializable summary (the ``-o file.json`` form)."""
@@ -121,6 +133,8 @@ class SearchResult:
             "candidates": len(self.evaluated),
             "elapsed_s": self.elapsed_s,
             "plans_per_sec": self.plans_per_sec,
+            "plan_compile_errors": self.plan_compile_errors,
+            "wave_fallbacks": self.wave_fallbacks,
             "best": rec(self.best),
             "baseline": rec(self.baseline),
             "evaluated": [rec(r) for r in self.evaluated],
@@ -225,6 +239,7 @@ def _evaluate(
     workers,
     fuse,
     progress: bool,
+    plan_eval: bool,
 ) -> list[CandidateResult]:
     # deferred: repro.bench pulls in repro.core, which imports this package
     from repro.bench.harness import SweepCell, run_sweep
@@ -249,8 +264,13 @@ def _evaluate(
         )
         for cand in candidates
     ]
+    # an already-set REPRO_PLAN_EVAL wins (same override contract as
+    # run_plan); otherwise the plan_eval argument decides for the sweep
+    # — pool workers inherit the environment either way
     prior = os.environ.get("REPRO_PLAN_EVAL")
-    os.environ["REPRO_PLAN_EVAL"] = "1"
+    os.environ["REPRO_PLAN_EVAL"] = (
+        prior if prior is not None else ("1" if plan_eval else "0")
+    )
     try:
         artifacts = run_sweep(
             cells, jobs=jobs, workers=workers, fuse=fuse,
@@ -288,6 +308,7 @@ def search_plan(
     workers=None,
     fuse=None,
     progress: bool = False,
+    plan_eval: bool = True,
 ) -> SearchResult:
     """Search (strategy × split ratio × chunking) for one scenario.
 
@@ -295,7 +316,10 @@ def search_plan(
     ``beam`` how many best fraction candidates each refinement round
     expands; ``rounds`` how many halving refinement rounds follow the
     coarse sweep.  ``jobs``/``workers``/``fuse`` pass straight through to
-    :func:`~repro.bench.harness.run_sweep`.
+    :func:`~repro.bench.harness.run_sweep`.  ``plan_eval`` routes static
+    candidates through the compiled-plan evaluator (the default; an
+    already-set ``REPRO_PLAN_EVAL`` environment variable overrides it in
+    both directions).
     """
     if grid < 2:
         raise PartitioningError(f"grid={grid} needs at least 2 points")
@@ -309,6 +333,10 @@ def search_plan(
             f"no strategy can plan {app.name!r} on this platform"
         )
 
+    # deferred for the same import-cycle reason as the harness import
+    from repro.sim.plan import drain_stats
+
+    stats_before = drain_stats()
     t0 = time.perf_counter()
     evaluated: list[CandidateResult] = []
 
@@ -320,6 +348,7 @@ def search_plan(
             n=n, iterations=iterations, sync=sync,
             base_config=base_config, round_no=round_no,
             jobs=jobs, workers=workers, fuse=fuse, progress=progress,
+            plan_eval=plan_eval,
         )
         evaluated.extend(results)
         return results
@@ -340,6 +369,7 @@ def search_plan(
         step /= 2.0
 
     elapsed = time.perf_counter() - t0
+    stats_after = drain_stats()
     best = min(evaluated, key=lambda r: r.makespan_ms)
     baseline = min(seed_results, key=lambda r: r.makespan_ms)
     return SearchResult(
@@ -354,6 +384,12 @@ def search_plan(
         baseline=baseline,
         elapsed_s=elapsed,
         plans_per_sec=len(evaluated) / elapsed if elapsed > 0 else 0.0,
+        plan_compile_errors=(
+            stats_after["compile_errors"] - stats_before["compile_errors"]
+        ),
+        wave_fallbacks=(
+            stats_after["wave_fallbacks"] - stats_before["wave_fallbacks"]
+        ),
     )
 
 
@@ -371,6 +407,12 @@ def format_search(result: SearchResult, *, top: int = 10) -> str:
     ]
     gain = result.baseline.makespan_ms / result.best.makespan_ms
     lines.append(f"  gain over baseline: {gain:.3f}x")
+    if result.plan_compile_errors or result.wave_fallbacks:
+        lines.append(
+            f"  engine fallbacks: {result.plan_compile_errors} "
+            f"compile-failed plans, {result.wave_fallbacks} wave-gate "
+            "failures (exact runs, just slower)"
+        )
     ranked = sorted(result.evaluated, key=lambda r: r.makespan_ms)[:top]
     lines.append(f"  top {len(ranked)}:")
     for r in ranked:

@@ -211,6 +211,15 @@ class RuntimeConfig:
         :class:`~repro.errors.SimulationError` that names this knob (and
         the CLI ``--max-events`` flag); raise it for legitimately huge
         simulations instead of editing the engine.
+    plan_eval:
+        Route static plans through the compiled
+        :class:`~repro.sim.plan.PlanEvaluator` (dynamic plans always
+        fall back to this engine, identically).  ``None`` means "not
+        requested" — the ``REPRO_PLAN_EVAL`` environment variable, when
+        set, overrides this field in both directions.  Populated by the
+        ``--plan-eval`` CLI flag; consulted only by
+        :func:`repro.partition.base.run_plan`, never by the engine
+        itself.
     """
 
     cpu_threads: int | None = None
@@ -221,6 +230,7 @@ class RuntimeConfig:
     barrier_invalidates_devices: bool = True
     barrier_overhead_s: float = 11e-3
     max_events: int = DEFAULT_MAX_EVENTS
+    plan_eval: bool | None = None
 
 
 #: Compatibility alias: the historical result type.  One simulated run now
@@ -638,16 +648,25 @@ class _Run:
             for barrier in waiters:
                 self._mark_done(barrier)
 
+    def _barrier_overhead(self, inst: TaskInstance) -> float:
+        """Quiescence cost of one ``taskwait``.
+
+        A trailing barrier (no successors) is the program's exit sync:
+        the thread team is torn down rather than restarted, so no
+        quiescence is charged.  Shared by the event path below and the
+        plan evaluator's wave drain, which models barriers analytically
+        and must charge the identical float.
+        """
+        return self.config.barrier_overhead_s if inst.succs else 0.0
+
     def _run_barrier(self, inst: TaskInstance) -> None:
         ops = self.memory.flush_to_host(
             invalidate=self.config.barrier_invalidates_devices
         )
         # the quiescence overhead and the flush transfers proceed in
         # parallel; the barrier completes when both are over (and all
-        # eager write-backs have landed on the host).  A trailing barrier
-        # (no successors) is the program's exit sync: the thread team is
-        # torn down rather than restarted, so no quiescence is charged.
-        overhead = self.config.barrier_overhead_s if inst.succs else 0.0
+        # eager write-backs have landed on the host)
+        overhead = self._barrier_overhead(inst)
         arm = _BarrierArm(self, inst, len(ops) + 1)
         self.sim.after(overhead, arm)
         for op in ops:

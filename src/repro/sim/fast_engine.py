@@ -39,6 +39,16 @@ small integer ``kind`` inside an inlined run loop:
     back-to-back rows.  One heap event and one sequence number cover the
     entire run; at fire time the resource block-extends its trace lane
     and frees itself.  This is the traced production path's bulk drain.
+``_K_CALL``
+    A closure-free deferred call scheduled through
+    :meth:`schedule_call`: ``a0`` is a callable, ``a1`` its single
+    argument, and the loop simply runs ``a0(a1)``.  The cross-resource
+    generalization of ``_K_FINISH_BATCH``: where a stream event commits
+    one resource's run of rows, a call event anchors an entire
+    barrier-epoch *wave* whose rows were committed analytically by the
+    plan evaluator's wave drain — one heap tuple and one sequence
+    number stand in for every completion of the epoch.  Not
+    cancellable (no handle is allocated), which is what keeps it free.
 
 Because both engines drive the *same* executor and
 :class:`~repro.sim.resources.SimResource` code and consume sequence
@@ -73,6 +83,7 @@ _K_CALLBACK = 0
 _K_FINISH = 1
 _K_LANE = 2
 _K_FINISH_BATCH = 3
+_K_CALL = 4
 
 
 def fast_engine_enabled() -> bool:
@@ -272,6 +283,31 @@ class FastSimulator:
         )
         self._mixed = True
 
+    def schedule_call(
+        self,
+        time: float,
+        fn: Callable[[Any], Any],
+        arg: Any,
+        *,
+        priority: int = PRIORITY_COMPLETION,
+    ) -> None:
+        """Schedule ``fn(arg)`` at ``time`` without allocating a handle.
+
+        The wave-drain anchor: one tuple and one sequence number for a
+        whole barrier epoch, mirroring the single ``sim.at`` closure the
+        oracle engine schedules for the same anchor — which keeps event
+        interleaving identical across engines.  Not cancellable.
+        """
+        if time < self._now - 1e-15:
+            raise SimulationError(
+                f"cannot schedule event at {time} before now={self._now}"
+            )
+        time = max(time, self._now)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, priority, seq, _K_CALL, fn, arg))
+        self._mixed = True
+
     def replay_lane(self, durations: list[float]) -> _ReplayLane:
         """Preload a serial resource's occupation stream for bulk replay.
 
@@ -437,6 +473,15 @@ class FastSimulator:
                 processed += 1
                 self._now = t
                 ev[4]._finish_stream(ev[5])
+            elif kind == _K_CALL:
+                # one event for a whole barrier-epoch wave: the plan
+                # evaluator committed every row analytically and left a
+                # single anchor to advance the clock and continue
+                if processed >= max_events:
+                    raise max_events_error(max_events)
+                processed += 1
+                self._now = t
+                ev[4](ev[5])
             else:  # _K_LANE
                 if processed >= max_events:
                     raise max_events_error(max_events)

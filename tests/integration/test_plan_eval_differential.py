@@ -43,6 +43,18 @@ APPS = [
     ("SpMV", 2048, 1),
 ]
 
+#: (app, n, iterations) — per-iteration-sync scenarios: every loop body
+#: ends at a barrier, so the terminal drain never fires and parity rides
+#: on the wave drain (or its per-wave fallback to the event loop)
+SYNCED_APPS = [
+    ("HotSpot", 1024, 4),
+    ("Nbody", 512, 3),
+    ("FDTD", 512, 3),
+]
+
+#: dynamic schedulers exercised on synced cells (must compile-fail)
+SYNCED_FALLBACK_STRATEGIES = ("HYB-Static", "DP-Perf")
+
 
 @contextmanager
 def _env(name, value):
@@ -57,9 +69,9 @@ def _env(name, value):
             os.environ[name] = prior
 
 
-def _cell(platform, app, n, iterations, strategy):
+def _cell(platform, app, n, iterations, strategy, *, sync=False):
     return SweepCell(app=app, strategy=strategy, platform=platform,
-                     n=n, iterations=iterations, sync=False)
+                     n=n, iterations=iterations, sync=sync)
 
 
 def _run(cell, *, plan_eval, detail="summary"):
@@ -178,3 +190,147 @@ def test_drain_engages_on_sync_free_loop(paper_platform):
     run = _EvalRun(paper_platform, compiled, "summary")
     run.go()
     assert run._drained
+
+
+# -- per-iteration-sync apps: the wave drain ---------------------------------
+
+
+@pytest.mark.parametrize("app,n,iterations", SYNCED_APPS)
+def test_summary_identical_across_synced_apps(paper_platform, app, n,
+                                              iterations):
+    """Every applicable strategy holds parity on barrier-fenced loops."""
+    for strategy in STRATEGIES + SYNCED_FALLBACK_STRATEGIES:
+        cell = _cell(paper_platform, app, n, iterations, strategy, sync=True)
+        ref = _run(cell, plan_eval=False)
+        ev = _run(cell, plan_eval=True)
+        if ref is StrategyInapplicableError:
+            assert ev is StrategyInapplicableError, strategy
+            continue
+        assert ev.makespan_ms == ref.makespan_ms, strategy
+        assert ev.summary == ref.summary, strategy
+        assert ev == ref, strategy
+
+
+def test_synced_full_detail_identical(paper_platform):
+    """Full-trace synced runs bypass both drains and match structurally."""
+    cell = _cell(paper_platform, "HotSpot", 1024, 4, "SP-Single", sync=True)
+    ref = _run(cell, plan_eval=False, detail="full")
+    ev = _run(cell, plan_eval=True, detail="full")
+    assert list(ev.trace) == list(ref.trace)
+    assert ev == ref
+
+
+def test_wave_drain_engages_on_synced_loop(paper_platform):
+    """Waves must actually drain — not silently fall back per barrier."""
+    from repro.apps import get_application
+    from repro.partition.base import get_strategy
+    from repro.sim.plan import _EvalRun, compile_plan
+
+    prog = get_application("HotSpot").program(1024, iterations=4, sync=True)
+    plan = get_strategy("SP-Single").plan(prog, paper_platform)
+    compiled = compile_plan(plan, paper_platform)
+    assert compiled.drainable
+    assert compiled.wave_next  # barrier -> next barrier chain was compiled
+    run = _EvalRun(paper_platform, compiled, "summary")
+    run.go()
+    assert run._waves_drained > 0
+    assert run._wave_fallbacks == 0
+
+
+def _lanes_of(trace):
+    """Trace rows grouped per resource lane, in firing order."""
+    lanes = {}
+    for rec in trace:
+        lanes.setdefault(rec.resource_id, []).append(
+            (rec.start, rec.end, rec.label, rec.category)
+        )
+    return lanes
+
+
+@pytest.mark.parametrize("app,n,iterations", SYNCED_APPS)
+@pytest.mark.parametrize("strategy", ("SP-Single", "SP-Unified", "SP-Varied"))
+def test_wave_commits_never_reorder_lanes(paper_platform, app, n, iterations,
+                                          strategy):
+    """Property: wave commits append rows in the oracle's firing order.
+
+    The committed wave writes each resource lane in one bulk
+    ``extend_rows``; this checks row-by-row (start, end, label, category)
+    equality against the pure event loop's lane contents, which is
+    stronger than the summary equality the matrix tests assert (summaries
+    aggregate, so they could mask two reorderings that cancel).
+    """
+    from repro.apps import get_application
+    from repro.partition.base import get_strategy
+    from repro.runtime.executor import _Run
+    from repro.sim.plan import _EvalRun, compile_plan
+
+    def build():
+        clear_all()
+        prog = get_application(app).program(n, iterations=iterations,
+                                            sync=True)
+        try:
+            plan = get_strategy(strategy).plan(prog, paper_platform)
+        except StrategyInapplicableError:
+            return None
+        return compile_plan(plan, paper_platform)
+
+    compiled = build()
+    if compiled is None:
+        pytest.skip(f"{strategy} inapplicable to {app}")
+    oracle = _Run(paper_platform, compiled.config, compiled.graph,
+                  compiled.scheduler)
+    oracle.go(detail="summary")
+
+    compiled = build()  # fresh graph/scheduler: runs are single-use
+    ev = _EvalRun(paper_platform, compiled, "summary")
+    ev.go(detail="summary")
+
+    ref_lanes = _lanes_of(oracle.trace)
+    ev_lanes = _lanes_of(ev.trace)
+    assert set(ev_lanes) == set(ref_lanes)
+    for key in ref_lanes:
+        assert ev_lanes[key] == ref_lanes[key], key
+
+
+SYNCED_SUBPROCESS_SCRIPT = (
+    "import pickle, sys\n"
+    "from repro.bench.harness import SweepCell, _run_cell\n"
+    "from repro.platform import shen_icpp15_platform\n"
+    "cell = SweepCell(app='HotSpot', strategy='SP-Single',\n"
+    "                 platform=shen_icpp15_platform(), n=1024,\n"
+    "                 iterations=4, sync=True)\n"
+    "artifact = _run_cell(cell, sys.argv[1])\n"
+    "sys.stdout.buffer.write(pickle.dumps(artifact, 5))\n"
+)
+
+
+@pytest.mark.parametrize("detail", ("summary", "full"))
+def test_synced_pickle_bytes_identical_in_fresh_processes(detail):
+    """Wave-drained artifacts are byte-identical across every engine tier."""
+    src = str(Path(__file__).resolve().parents[2] / "src")
+
+    def dump(plan_eval, no_numpy, no_fast=False):
+        env = dict(os.environ, PYTHONPATH=src,
+                   REPRO_PLAN_EVAL="1" if plan_eval else "0",
+                   REPRO_NO_NUMPY="1" if no_numpy else "0",
+                   REPRO_NO_FAST_ENGINE="1" if no_fast else "0")
+        proc = subprocess.run(
+            [sys.executable, "-c", SYNCED_SUBPROCESS_SCRIPT, detail],
+            env=env, capture_output=True, check=True,
+        )
+        return proc.stdout
+
+    ref = dump(plan_eval=False, no_numpy=False)
+    assert len(ref) > 500
+    combos = (
+        (True, False, False),
+        (True, True, False),
+        (False, True, False),
+        (True, False, True),
+        (True, True, True),
+    )
+    for plan_eval, no_numpy, no_fast in combos:
+        got = dump(plan_eval, no_numpy, no_fast)
+        assert got == ref, (plan_eval, no_numpy, no_fast)
+    artifact = pickle.loads(ref)
+    assert artifact.makespan_ms > 0

@@ -75,6 +75,24 @@ class TestSearchPlan:
         assert result.app_class == "MK-DAG"
         assert result.best.makespan_ms <= result.baseline.makespan_ms
 
+    def test_fallback_counts_recorded(self, stream_result):
+        # the dynamic seeds (DP-*) compile-fail and are tallied; the
+        # sync-free scenario has no barriers, so no wave ever falls back
+        assert stream_result.plan_compile_errors > 0
+        assert stream_result.wave_fallbacks == 0
+
+    def test_synced_app_search_drains_waves(self, paper_platform_module):
+        """A per-iteration-sync search rides the wave drain end to end."""
+        from repro.sim.plan import drain_stats
+
+        before = drain_stats()["waves_drained"]
+        result = search_plan(
+            "HotSpot", paper_platform_module, n=1024, iterations=4,
+            grid=3, rounds=1,
+        )
+        assert result.best.makespan_ms <= result.baseline.makespan_ms
+        assert drain_stats()["waves_drained"] > before
+
     def test_grid_too_small_rejected(self, paper_platform_module):
         with pytest.raises(PartitioningError):
             search_plan("STREAM-Loop", paper_platform_module, n=2048, grid=1)
@@ -100,6 +118,10 @@ class TestSearchArtifact:
             stream_result.best.makespan_ms
         )
         assert len(record["evaluated"]) == record["candidates"]
+        assert record["plan_compile_errors"] == (
+            stream_result.plan_compile_errors
+        )
+        assert record["wave_fallbacks"] == stream_result.wave_fallbacks
 
     def test_format_mentions_best_and_baseline(self, stream_result):
         text = format_search(stream_result)

@@ -125,6 +125,20 @@ class TestRun:
              "--threads", "3"]
         ) == 0
 
+    def test_plan_eval_flag_routes_through_evaluator(self, capsys):
+        """--plan-eval flips the evaluator on and preserves the output."""
+        from repro.sim.plan import drain_stats
+
+        argv = ["run", "HotSpot", "-n", "1024", "-i", "4", "--sync",
+                "--strategy", "SP-Single", "--detail", "summary"]
+        assert main(argv) == 0
+        ref = capsys.readouterr().out
+
+        before = drain_stats()["evaluations"]
+        assert main(argv + ["--plan-eval"]) == 0
+        assert capsys.readouterr().out == ref
+        assert drain_stats()["evaluations"] > before
+
     def test_strategy_typo_suggests_and_exits_cleanly(self, capsys):
         assert main(
             ["run", "MatrixMul", "-n", "512", "--strategy", "DP-Prf"]
